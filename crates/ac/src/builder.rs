@@ -1,0 +1,192 @@
+//! Combining pattern sets from multiple middleboxes (§5.1).
+//!
+//! "Our simple algorithm works in two steps. First, we construct the AC
+//! automaton as if the pattern set was ⋃ᵢ Pᵢ. … The second step is to
+//! determine, for each accepting state, which middleboxes have registered
+//! the pattern and what the identifier of the pattern is within the
+//! middlebox pattern set."
+
+use crate::full::FullAc;
+use crate::sparse::SparseAc;
+use crate::trie::{Trie, TrieError};
+use crate::{MiddleboxId, PatternId};
+use serde::{Deserialize, Serialize};
+
+/// The pattern set `Pᵢ` of one middlebox. The pattern id of each pattern
+/// is its index in `patterns`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatternSet {
+    /// The owning middlebox type.
+    pub middlebox: MiddleboxId,
+    /// The exact-match patterns, id = index.
+    pub patterns: Vec<Vec<u8>>,
+}
+
+impl PatternSet {
+    /// Builds a set from byte patterns.
+    pub fn new(middlebox: MiddleboxId, patterns: Vec<Vec<u8>>) -> PatternSet {
+        PatternSet {
+            middlebox,
+            patterns,
+        }
+    }
+
+    /// Builds a set from string literals (tests and examples).
+    pub fn from_strs(middlebox: MiddleboxId, patterns: &[&str]) -> PatternSet {
+        PatternSet {
+            middlebox,
+            patterns: patterns.iter().map(|p| p.as_bytes().to_vec()).collect(),
+        }
+    }
+
+    /// Number of patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Serialized size of the raw patterns in bytes — what the middlebox
+    /// actually ships to the DPI controller. §4.1 argues this is small
+    /// ("as opposed to DPI DFAs, which are large, the pattern sets
+    /// themselves are compact").
+    pub fn transfer_bytes(&self) -> usize {
+        self.patterns.iter().map(|p| p.len() + 4).sum::<usize>() + 8
+    }
+}
+
+/// Accumulates pattern sets and builds combined automatons.
+///
+/// ```
+/// use dpi_ac::{Automaton, CombinedAcBuilder, MiddleboxId, PatternSet};
+///
+/// let mut b = CombinedAcBuilder::new();
+/// b.add_set(PatternSet::from_strs(MiddleboxId(0), &["attack", "virus"])).unwrap();
+/// b.add_set(PatternSet::from_strs(MiddleboxId(1), &["attack"])).unwrap();
+/// let ac = b.build_full();
+/// // "attack" is stored once but reported for both middleboxes.
+/// let hits = ac.find_all(b"an attack!");
+/// assert_eq!(hits.len(), 2);
+/// assert_ne!(hits[0].1.middlebox, hits[1].1.middlebox);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct CombinedAcBuilder {
+    trie: Trie,
+    pattern_count: usize,
+    set_count: usize,
+}
+
+impl CombinedAcBuilder {
+    /// An empty builder.
+    pub fn new() -> CombinedAcBuilder {
+        CombinedAcBuilder {
+            trie: Trie::new(),
+            pattern_count: 0,
+            set_count: 0,
+        }
+    }
+
+    /// Adds one middlebox's pattern set.
+    ///
+    /// # Errors
+    /// Fails on empty or oversized patterns; the builder is left in a
+    /// consistent state containing every pattern added before the bad one.
+    pub fn add_set(&mut self, set: PatternSet) -> Result<(), TrieError> {
+        for (i, p) in set.patterns.iter().enumerate() {
+            self.trie
+                .add_pattern(set.middlebox, PatternId(i as u16), p)?;
+            self.pattern_count += 1;
+        }
+        self.set_count += 1;
+        Ok(())
+    }
+
+    /// Adds a single pattern with an explicit id (the controller's
+    /// incremental add-pattern path, §4.1).
+    pub fn add_pattern(
+        &mut self,
+        middlebox: MiddleboxId,
+        id: PatternId,
+        pattern: &[u8],
+    ) -> Result<(), TrieError> {
+        self.trie.add_pattern(middlebox, id, pattern)?;
+        self.pattern_count += 1;
+        Ok(())
+    }
+
+    /// Total patterns added (counting duplicates registered by different
+    /// middleboxes separately, like the paper's `f = Σ|Pᵢ|` discussion).
+    pub fn pattern_count(&self) -> usize {
+        self.pattern_count
+    }
+
+    /// Number of sets added.
+    pub fn set_count(&self) -> usize {
+        self.set_count
+    }
+
+    /// Builds the full-table DFA (consumes a clone of the trie so the
+    /// builder can keep accepting incremental updates and rebuild — the
+    /// controller's pattern add/remove path rebuilds affected instances).
+    pub fn build_full(&self) -> FullAc {
+        let mut trie = self.trie.clone();
+        let order = trie.build_failure_links();
+        FullAc::from_trie(&trie, &order)
+    }
+
+    /// Builds the sparse (goto + failure) automaton.
+    pub fn build_sparse(&self) -> SparseAc {
+        let mut trie = self.trie.clone();
+        let order = trie.build_failure_links();
+        SparseAc::from_trie(&trie, &order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Automaton;
+
+    #[test]
+    fn build_is_repeatable_and_incremental() {
+        let mut b = CombinedAcBuilder::new();
+        b.add_set(PatternSet::from_strs(MiddleboxId(0), &["abc"]))
+            .unwrap();
+        let ac1 = b.build_full();
+        assert_eq!(ac1.accepting_count(), 1);
+        // Add more patterns and rebuild — the first automaton is unaffected.
+        b.add_set(PatternSet::from_strs(MiddleboxId(1), &["abcd", "zz"]))
+            .unwrap();
+        let ac2 = b.build_full();
+        assert_eq!(ac1.accepting_count(), 1);
+        assert_eq!(ac2.accepting_count(), 3);
+        assert_eq!(b.pattern_count(), 3);
+        assert_eq!(b.set_count(), 2);
+    }
+
+    #[test]
+    fn transfer_bytes_tracks_raw_pattern_size() {
+        let s = PatternSet::from_strs(MiddleboxId(0), &["12345678", "abcd"]);
+        assert_eq!(s.transfer_bytes(), (8 + 4) + (4 + 4) + 8);
+    }
+
+    #[test]
+    fn error_reports_offending_pattern() {
+        let mut b = CombinedAcBuilder::new();
+        let set = PatternSet::new(MiddleboxId(7), vec![b"ok".to_vec(), Vec::new()]);
+        let err = b.add_set(set).unwrap_err();
+        assert_eq!(
+            err,
+            TrieError::EmptyPattern {
+                middlebox: MiddleboxId(7),
+                pattern: PatternId(1)
+            }
+        );
+        // The good pattern before the failure is still in the builder.
+        assert_eq!(b.pattern_count(), 1);
+        assert_eq!(b.build_full().find_all(b"ok").len(), 1);
+    }
+}

@@ -1,0 +1,268 @@
+//! The sparse (goto + failure link) automaton.
+//!
+//! Instead of a 256-entry row per state, each state stores only its trie
+//! (goto) transitions plus a failure link; a miss follows failure links
+//! until a goto transition exists or the root is reached. This is the
+//! classic space/time tradeoff in software DPI (the paper's reference \[9\],
+//! "Space-time tradeoffs in software-based deep packet inspection") and the
+//! kind of alternative implementation MCA² runs on its dedicated instances
+//! for heavy traffic (§4.3.1).
+//!
+//! State numbering matches [`crate::FullAc`]'s convention: accepting states
+//! are `0..f`, so the two representations are interchangeable behind
+//! [`Automaton`] — including resuming a stateful scan, as long as the
+//! stored state came from the same representation.
+
+use crate::trie::Trie;
+use crate::{Automaton, MatchEntry, StateId};
+
+/// Per-state sparse data.
+#[derive(Debug, Clone)]
+struct SparseState {
+    /// Sorted goto transitions `(byte, target)`.
+    gotos: Vec<(u8, u32)>,
+    /// Failure link (root for depth-1 states).
+    fail: u32,
+}
+
+/// The sparse automaton.
+#[derive(Debug, Clone)]
+pub struct SparseAc {
+    states: Vec<SparseState>,
+    /// Accepting states are `0..f`.
+    f: u32,
+    root: u32,
+    bitmaps: Vec<u64>,
+    offsets: Vec<u32>,
+    entries: Vec<MatchEntry>,
+}
+
+impl SparseAc {
+    /// Builds from a trie whose failure links are in place.
+    pub(crate) fn from_trie(trie: &Trie, _bfs_order: &[u32]) -> SparseAc {
+        let n = trie.len();
+
+        // Same renumbering as FullAc: accepting states first.
+        let mut remap = vec![0u32; n];
+        let mut next_accepting = 0u32;
+        let mut next_plain = trie
+            .nodes()
+            .iter()
+            .filter(|nd| !nd.outputs.is_empty())
+            .count() as u32;
+        let f = next_plain;
+        for (old, node) in trie.nodes().iter().enumerate() {
+            if node.outputs.is_empty() {
+                remap[old] = next_plain;
+                next_plain += 1;
+            } else {
+                remap[old] = next_accepting;
+                next_accepting += 1;
+            }
+        }
+
+        let mut states = vec![
+            SparseState {
+                gotos: Vec::new(),
+                fail: 0
+            };
+            n
+        ];
+        let mut per_state: Vec<&[MatchEntry]> = vec![&[]; f as usize];
+        for (old, node) in trie.nodes().iter().enumerate() {
+            let new = remap[old] as usize;
+            states[new] = SparseState {
+                gotos: node
+                    .children
+                    .iter()
+                    .map(|(&b, &c)| (b, remap[c as usize]))
+                    .collect(),
+                fail: remap[node.fail as usize],
+            };
+            if !node.outputs.is_empty() {
+                per_state[new] = &node.outputs;
+            }
+        }
+
+        let mut offsets = Vec::with_capacity(f as usize + 1);
+        let mut entries = Vec::new();
+        offsets.push(0u32);
+        let mut bitmaps = Vec::with_capacity(f as usize);
+        for outs in per_state {
+            entries.extend_from_slice(outs);
+            offsets.push(entries.len() as u32);
+            bitmaps.push(crate::bitmap_of(
+                &outs.iter().map(|e| e.middlebox).collect::<Vec<_>>(),
+            ));
+        }
+
+        SparseAc {
+            states,
+            f,
+            root: remap[0],
+            bitmaps,
+            offsets,
+            entries,
+        }
+    }
+
+    fn goto(&self, state: StateId, byte: u8) -> Option<StateId> {
+        let gotos = &self.states[state as usize].gotos;
+        gotos
+            .binary_search_by_key(&byte, |&(b, _)| b)
+            .ok()
+            .map(|i| gotos[i].1)
+    }
+}
+
+impl Automaton for SparseAc {
+    fn start(&self) -> StateId {
+        self.root
+    }
+
+    fn step(&self, state: StateId, byte: u8) -> StateId {
+        let mut s = state;
+        loop {
+            if let Some(next) = self.goto(s, byte) {
+                return next;
+            }
+            if s == self.root {
+                return self.root;
+            }
+            s = self.states[s as usize].fail;
+        }
+    }
+
+    fn is_accepting(&self, state: StateId) -> bool {
+        state < self.f
+    }
+
+    fn bitmap(&self, state: StateId) -> u64 {
+        if state < self.f {
+            self.bitmaps[state as usize]
+        } else {
+            0
+        }
+    }
+
+    fn entries(&self, state: StateId) -> &[MatchEntry] {
+        if state < self.f {
+            let lo = self.offsets[state as usize] as usize;
+            let hi = self.offsets[state as usize + 1] as usize;
+            &self.entries[lo..hi]
+        } else {
+            &[]
+        }
+    }
+
+    fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    fn accepting_count(&self) -> usize {
+        self.f as usize
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let goto_bytes: usize = self
+            .states
+            .iter()
+            .map(|s| s.gotos.len() * std::mem::size_of::<(u8, u32)>() + std::mem::size_of::<u32>())
+            .sum();
+        goto_bytes
+            + self.bitmaps.len() * std::mem::size_of::<u64>()
+            + self.offsets.len() * std::mem::size_of::<u32>()
+            + self.entries.len() * std::mem::size_of::<MatchEntry>()
+    }
+
+    fn scan<F: FnMut(usize, StateId)>(
+        &self,
+        state: StateId,
+        data: &[u8],
+        mut on_match: F,
+    ) -> StateId {
+        let mut s = state;
+        for (i, &b) in data.iter().enumerate() {
+            s = self.step(s, b);
+            if s < self.f {
+                on_match(i, s);
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{CombinedAcBuilder, PatternSet};
+    use crate::MiddleboxId;
+
+    fn paper_builder() -> CombinedAcBuilder {
+        let mut b = CombinedAcBuilder::new();
+        b.add_set(PatternSet::from_strs(
+            MiddleboxId(0),
+            &["E", "BE", "BD", "BCD", "BCAA", "CDBCAB"],
+        ))
+        .unwrap();
+        b.add_set(PatternSet::from_strs(
+            MiddleboxId(1),
+            &["EDAE", "BE", "CDBA", "CBD"],
+        ))
+        .unwrap();
+        b
+    }
+
+    #[test]
+    fn sparse_and_full_agree_on_paper_example() {
+        let b = paper_builder();
+        let full = b.build_full();
+        let sparse = b.build_sparse();
+        let input = b"XBEBCDAACDBCABCBDQEDAEBCAAZ";
+        let mut fm = full.find_all(input);
+        let mut sm = sparse.find_all(input);
+        fm.sort();
+        sm.sort();
+        assert_eq!(fm, sm);
+        assert!(!fm.is_empty());
+    }
+
+    #[test]
+    fn sparse_is_smaller_than_full() {
+        let b = paper_builder();
+        assert!(b.build_sparse().memory_bytes() < b.build_full().memory_bytes());
+    }
+
+    #[test]
+    fn state_numbering_is_compatible() {
+        let b = paper_builder();
+        let full = b.build_full();
+        let sparse = b.build_sparse();
+        assert_eq!(full.accepting_count(), sparse.accepting_count());
+        assert_eq!(full.state_count(), sparse.state_count());
+        // Accepting state ids carry the same entries in both.
+        for s in 0..full.accepting_count() as u32 {
+            assert_eq!(full.entries(s), sparse.entries(s));
+            assert_eq!(full.bitmap(s), sparse.bitmap(s));
+        }
+    }
+
+    #[test]
+    fn failure_chain_walk_matches_suffix_semantics() {
+        let mut b = CombinedAcBuilder::new();
+        b.add_set(PatternSet::from_strs(MiddleboxId(0), &["ABAB", "BAB"]))
+            .unwrap();
+        let sparse = b.build_sparse();
+        let m = sparse.find_all(b"ABAB");
+        // ABAB ends at 3; BAB also ends at 3.
+        assert_eq!(m.len(), 2);
+        assert!(m.iter().all(|(p, _)| *p == 3));
+    }
+
+    #[test]
+    fn empty_sparse_automaton_scans_safely() {
+        let b = CombinedAcBuilder::new();
+        let sparse = b.build_sparse();
+        assert!(sparse.find_all(b"no patterns registered").is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! Edge-case regression suite for the combined Aho-Corasick automata.
+
+use dpi_ac::{Automaton, CombinedAcBuilder, MiddleboxId, PatternSet};
+
+fn build(sets: &[(u16, &[&[u8]])]) -> dpi_ac::FullAc {
+    let mut b = CombinedAcBuilder::new();
+    for (mb, pats) in sets {
+        b.add_set(PatternSet::new(
+            MiddleboxId(*mb),
+            pats.iter().map(|p| p.to_vec()).collect(),
+        ))
+        .unwrap();
+    }
+    b.build_full()
+}
+
+#[test]
+fn binary_patterns_with_nul_and_ff() {
+    let p1: &[u8] = &[0x00, 0x00, 0x01];
+    let p2: &[u8] = &[0xff, 0xfe, 0xff];
+    let ac = build(&[(0, &[p1, p2])]);
+    let mut hay = vec![0x42u8; 10];
+    hay.extend_from_slice(p1);
+    hay.extend_from_slice(&[7, 7]);
+    hay.extend_from_slice(p2);
+    let hits = ac.find_all(&hay);
+    assert_eq!(hits.len(), 2);
+}
+
+#[test]
+fn pattern_equal_to_whole_input() {
+    let ac = build(&[(0, &[b"exactly-this"])]);
+    assert_eq!(ac.find_all(b"exactly-this").len(), 1);
+    assert!(ac.find_all(b"exactly-thi").is_empty());
+}
+
+#[test]
+fn deep_suffix_chains_propagate_transitively() {
+    // d is a suffix of cd is a suffix of bcd is a suffix of abcd: the
+    // abcd accepting state must report all four.
+    let ac = build(&[(0, &[b"d", b"cd", b"bcd", b"abcd"])]);
+    let hits = ac.find_all(b"abcd");
+    // Ends: d@0? no — matches end at index 3 for all four patterns, plus
+    // intermediate d/cd/bcd completions earlier? "abcd": 'd' ends at 3
+    // only; 'cd' at 3; 'bcd' at 3; 'abcd' at 3. Total 4 hits at pos 3.
+    assert_eq!(hits.len(), 4);
+    assert!(hits.iter().all(|(pos, _)| *pos == 3));
+}
+
+#[test]
+fn self_overlapping_pattern() {
+    let ac = build(&[(0, &[b"aabaa"])]);
+    // "aabaabaa" contains aabaa at ends 4 and 7 (overlapping).
+    let hits = ac.find_all(b"aabaabaa");
+    assert_eq!(hits.iter().map(|(p, _)| *p).collect::<Vec<_>>(), vec![4, 7]);
+}
+
+#[test]
+fn sixty_five_middleboxes_bitmap_saturation() {
+    // Middlebox ids ≥ 64 share bitmap bit 63: matches must still be
+    // reported exactly (bitmap false positives are allowed, losses not).
+    let mut b = CombinedAcBuilder::new();
+    for mb in 60..70u16 {
+        b.add_set(PatternSet::new(
+            MiddleboxId(mb),
+            vec![
+                format!("pattern-{mb}").into_bytes(),
+                b"shared-tail".to_vec(),
+            ],
+        ))
+        .unwrap();
+    }
+    let ac = b.build_full();
+    let hits = ac.find_all(b"xx shared-tail yy pattern-65 zz");
+    let shared = hits
+        .iter()
+        .filter(|(_, e)| e.pattern == dpi_ac::PatternId(1))
+        .count();
+    assert_eq!(shared, 10, "all ten middleboxes get the shared pattern");
+    assert!(hits
+        .iter()
+        .any(|(_, e)| e.middlebox == MiddleboxId(65) && e.pattern == dpi_ac::PatternId(0)));
+}
+
+#[test]
+fn single_repeated_byte_patterns() {
+    let ac = build(&[(0, &[b"aaaa"])]);
+    let hits = ac.find_all(&[b'a'; 10]);
+    // Ends at 3,4,...,9 → 7 hits.
+    assert_eq!(hits.len(), 7);
+}
+
+#[test]
+fn all_256_single_byte_patterns() {
+    let patterns: Vec<Vec<u8>> = (0..=255u8).map(|b| vec![b]).collect();
+    let mut b = CombinedAcBuilder::new();
+    b.add_set(PatternSet::new(MiddleboxId(0), patterns))
+        .unwrap();
+    let ac = b.build_full();
+    assert_eq!(ac.state_count(), 257);
+    assert_eq!(ac.accepting_count(), 256);
+    // Every input byte is a match.
+    assert_eq!(ac.find_all(b"anything").len(), 8);
+}
+
+#[test]
+fn sparse_agrees_on_edge_cases_too() {
+    let mut b = CombinedAcBuilder::new();
+    b.add_set(PatternSet::new(
+        MiddleboxId(0),
+        vec![
+            vec![0x00, 0x00],
+            b"aabaa".to_vec(),
+            b"d".to_vec(),
+            b"abcd".to_vec(),
+        ],
+    ))
+    .unwrap();
+    let full = b.build_full();
+    let sparse = b.build_sparse();
+    for hay in [
+        &[0u8, 0, 0, 0][..],
+        b"aabaabaa",
+        b"abcd",
+        b"",
+        &[0xff; 32][..],
+    ] {
+        let mut a = full.find_all(hay);
+        let mut s = sparse.find_all(hay);
+        a.sort();
+        s.sort();
+        assert_eq!(a, s, "hay {hay:?}");
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests: both automaton representations must agree with the
+//! naive reference matcher on arbitrary pattern sets and inputs, and the
+//! §5.1 structural invariants must hold for every build.
+
+use dpi_ac::naive::NaiveMatcher;
+use dpi_ac::{bitmap_bit, Automaton, CombinedAcBuilder, MiddleboxId, PatternSet};
+use proptest::prelude::*;
+
+/// Strategy: up to 3 middleboxes, each with up to 6 patterns over a small
+/// alphabet (small alphabets maximize overlap, suffix sharing and failure
+/// link interplay).
+fn pattern_sets() -> impl Strategy<Value = Vec<PatternSet>> {
+    prop::collection::vec(
+        prop::collection::vec(
+            prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c']), 1..8),
+            1..7,
+        ),
+        1..4,
+    )
+    .prop_map(|sets| {
+        sets.into_iter()
+            .enumerate()
+            .map(|(i, patterns)| PatternSet::new(MiddleboxId(i as u16), patterns))
+            .collect()
+    })
+}
+
+fn input() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c', b'x']), 0..200)
+}
+
+fn build(sets: &[PatternSet]) -> CombinedAcBuilder {
+    let mut b = CombinedAcBuilder::new();
+    for s in sets {
+        b.add_set(s.clone()).unwrap();
+    }
+    b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn full_matches_naive(sets in pattern_sets(), data in input()) {
+        let builder = build(&sets);
+        let ac = builder.build_full();
+        let mut naive = NaiveMatcher::new();
+        for s in &sets {
+            naive.add_set(s);
+        }
+        let mut got = ac.find_all(&data);
+        got.sort();
+        got.dedup();
+        prop_assert_eq!(got, naive.find_all(&data));
+    }
+
+    #[test]
+    fn sparse_matches_full(sets in pattern_sets(), data in input()) {
+        let builder = build(&sets);
+        let full = builder.build_full();
+        let sparse = builder.build_sparse();
+        let mut a = full.find_all(&data);
+        let mut b = sparse.find_all(&data);
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn accepting_ids_are_compact(sets in pattern_sets()) {
+        let ac = build(&sets).build_full();
+        let f = ac.accepting_count() as u32;
+        for s in 0..ac.state_count() as u32 {
+            prop_assert_eq!(ac.is_accepting(s), s < f);
+            prop_assert_eq!(ac.entries(s).is_empty(), s >= f);
+        }
+    }
+
+    #[test]
+    fn bitmaps_cover_exactly_entry_middleboxes(sets in pattern_sets()) {
+        let ac = build(&sets).build_full();
+        for s in 0..ac.accepting_count() as u32 {
+            let expected = ac
+                .entries(s)
+                .iter()
+                .fold(0u64, |acc, e| acc | bitmap_bit(e.middlebox));
+            prop_assert_eq!(ac.bitmap(s), expected);
+        }
+    }
+
+    #[test]
+    fn split_scan_equals_whole_scan(sets in pattern_sets(), data in input(), cut in 0usize..200) {
+        // Stateful scanning across a packet boundary (§5.2) must see the
+        // same matches as scanning the concatenated payload, with
+        // positions shifted.
+        let ac = build(&sets).build_full();
+        let cut = cut.min(data.len());
+        let (a, b) = data.split_at(cut);
+
+        let mut whole = Vec::new();
+        ac.scan(ac.start(), &data, |pos, st| {
+            for e in ac.entries(st) {
+                whole.push((pos, *e));
+            }
+        });
+
+        let mut split = Vec::new();
+        let mid = ac.scan(ac.start(), a, |pos, st| {
+            for e in ac.entries(st) {
+                split.push((pos, *e));
+            }
+        });
+        ac.scan(mid, b, |pos, st| {
+            for e in ac.entries(st) {
+                split.push((pos + cut, *e));
+            }
+        });
+
+        whole.sort();
+        split.sort();
+        prop_assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn merged_automaton_equals_pairwise_union(sets in pattern_sets(), data in input()) {
+        // The heart of §5.1: scanning once against the merged automaton
+        // yields exactly the union of per-middlebox scans.
+        let merged = build(&sets).build_full();
+        let mut merged_hits = merged.find_all(&data);
+        merged_hits.sort();
+        merged_hits.dedup();
+
+        let mut union = Vec::new();
+        for s in &sets {
+            let mut b = CombinedAcBuilder::new();
+            b.add_set(s.clone()).unwrap();
+            let single = b.build_full();
+            union.extend(single.find_all(&data));
+        }
+        union.sort();
+        union.dedup();
+
+        prop_assert_eq!(merged_hits, union);
+    }
+
+    #[test]
+    fn state_count_never_exceeds_total_pattern_bytes_plus_one(sets in pattern_sets()) {
+        let total: usize = sets.iter().flat_map(|s| s.patterns.iter()).map(|p| p.len()).sum();
+        let ac = build(&sets).build_full();
+        prop_assert!(ac.state_count() <= total + 1);
+    }
+}

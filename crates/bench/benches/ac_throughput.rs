@@ -1,0 +1,41 @@
+//! Criterion bench: Aho-Corasick scan throughput vs pattern count —
+//! the micro-benchmark behind Figure 8's main effect.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpi_ac::Automaton;
+use dpi_bench::build_ac;
+use dpi_traffic::patterns::snort_like;
+use dpi_traffic::trace::TraceConfig;
+
+fn bench_ac_throughput(c: &mut Criterion) {
+    let full = snort_like(4356, 42);
+    let trace = TraceConfig {
+        packets: 200,
+        match_density: 0.02,
+        prefix_density: 3.0,
+        seed: 8,
+        ..TraceConfig::default()
+    }
+    .generate(&full);
+    let bytes: usize = trace.iter().map(|p| p.len()).sum();
+
+    let mut g = c.benchmark_group("ac_scan");
+    g.throughput(Throughput::Bytes(bytes as u64));
+    g.sample_size(20);
+    for n in [500usize, 2000, 4356] {
+        let ac = build_ac(&full[..n]);
+        g.bench_with_input(BenchmarkId::new("full_table", n), &ac, |b, ac| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for p in &trace {
+                    ac.scan(ac.start(), p, |_, st| acc = acc.wrapping_add(u64::from(st)));
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ac_throughput);
+criterion_main!(benches);

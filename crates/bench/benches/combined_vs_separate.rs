@@ -1,0 +1,62 @@
+//! Criterion bench: one merged-set scan vs two separate-set scans of the
+//! same payloads — the per-byte work behind Table 2 and Figure 9.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dpi_ac::Automaton;
+use dpi_bench::{build_ac, build_combined_ac, SNORT1_COUNT};
+use dpi_traffic::patterns::{snort_like, split_set};
+use dpi_traffic::trace::TraceConfig;
+
+fn bench_combined(c: &mut Criterion) {
+    let snort = snort_like(4356, 42);
+    let (s1, s2) = split_set(&snort, SNORT1_COUNT, 7);
+    let trace = TraceConfig {
+        packets: 200,
+        match_density: 0.02,
+        prefix_density: 3.0,
+        seed: 2,
+        ..TraceConfig::default()
+    }
+    .generate(&snort);
+    let bytes: usize = trace.iter().map(|p| p.len()).sum();
+
+    let ac1 = build_ac(&s1);
+    let ac2 = build_ac(&s2);
+    let merged = build_combined_ac(&s1, &s2);
+
+    let mut g = c.benchmark_group("scan_once_vs_twice");
+    g.throughput(Throughput::Bytes(bytes as u64));
+    g.sample_size(20);
+
+    g.bench_function("two_separate_scans", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in &trace {
+                ac1.scan(ac1.start(), p, |_, st| {
+                    acc = acc.wrapping_add(u64::from(st))
+                });
+                ac2.scan(ac2.start(), p, |_, st| {
+                    acc = acc.wrapping_add(u64::from(st))
+                });
+            }
+            acc
+        })
+    });
+
+    g.bench_function("one_combined_scan", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in &trace {
+                merged.scan(merged.start(), p, |_, st| {
+                    acc = acc.wrapping_add(u64::from(st))
+                });
+            }
+            acc
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_combined);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion bench: per-packet middlebox cost with inline DPI vs
+//! consuming precomputed DPI-service results — the §1 motivation
+//! ("DPI slows packet processing by a factor of at least 2.9").
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dpi_ac::MiddleboxId;
+use dpi_core::config::NumberedRule;
+use dpi_core::{DpiInstance, InstanceConfig, MiddleboxProfile, RuleSpec};
+use dpi_middlebox::{MbAction, RuleLogic, SelfScanMiddlebox, ServiceMiddlebox};
+use dpi_traffic::patterns::snort_like;
+use dpi_traffic::trace::TraceConfig;
+
+fn bench_dpi_cost(c: &mut Criterion) {
+    const MB: MiddleboxId = MiddleboxId(1);
+    let pats = snort_like(4356, 42);
+    let trace = TraceConfig {
+        packets: 200,
+        match_density: 0.05,
+        seed: 12,
+        ..TraceConfig::default()
+    }
+    .generate(&pats);
+    let bytes: usize = trace.iter().map(|p| p.len()).sum();
+
+    let mut g = c.benchmark_group("middlebox_processing");
+    g.throughput(Throughput::Bytes(bytes as u64));
+    g.sample_size(20);
+
+    g.bench_function("with_inline_dpi", |b| {
+        let mut mb = SelfScanMiddlebox::new(
+            MiddleboxProfile::stateless(MB),
+            "inline",
+            NumberedRule::sequence(RuleSpec::exact_set(&pats)),
+            RuleLogic::one_per_pattern(pats.len() as u16, MbAction::Alert),
+        )
+        .expect("valid patterns");
+        b.iter(|| {
+            let mut fired = 0usize;
+            for p in &trace {
+                fired += mb.process(None, p).fired.len();
+            }
+            fired
+        })
+    });
+
+    g.bench_function("results_only", |b| {
+        let cfg = InstanceConfig::new()
+            .with_middlebox(MiddleboxProfile::stateless(MB), RuleSpec::exact_set(&pats))
+            .with_chain(1, vec![MB]);
+        let mut dpi = DpiInstance::new(cfg).expect("valid config");
+        let reports: Vec<_> = trace
+            .iter()
+            .map(|p| {
+                dpi.scan_payload(1, None, p)
+                    .expect("chain exists")
+                    .reports
+                    .into_iter()
+                    .find(|r| r.middlebox_id == MB.0)
+            })
+            .collect();
+        let mut mb = ServiceMiddlebox::new(
+            MB,
+            "offloaded",
+            RuleLogic::one_per_pattern(pats.len() as u16, MbAction::Alert),
+        );
+        b.iter(|| {
+            let mut fired = 0usize;
+            for r in &reports {
+                fired += mb.process(r.as_ref()).fired.len();
+            }
+            fired
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_dpi_cost);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benches for the shared-task substrates the DPI service runs
+//! once per packet instead of once per middlebox: DEFLATE inflation and
+//! TCP stream reassembly.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dpi_core::reassembly::StreamReassembler;
+use dpi_core::{deflate_fixed, inflate};
+use dpi_traffic::trace::TraceConfig;
+
+fn bench_inflate(c: &mut Criterion) {
+    let plain = TraceConfig {
+        packets: 100,
+        seed: 61,
+        ..TraceConfig::default()
+    }
+    .generate(&[]);
+    let compressed: Vec<Vec<u8>> = plain.iter().map(|p| deflate_fixed(p)).collect();
+    let bytes: usize = plain.iter().map(|p| p.len()).sum();
+
+    let mut g = c.benchmark_group("decompress");
+    g.throughput(Throughput::Bytes(bytes as u64));
+    g.sample_size(20);
+    g.bench_function("inflate_http_like", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for z in &compressed {
+                total += inflate(z, 1 << 16).expect("valid stream").len();
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+fn bench_reassembly(c: &mut Criterion) {
+    // A 1 MiB stream in 1460-byte segments, slightly shuffled (every pair
+    // swapped) so the out-of-order path is continuously exercised.
+    let stream: Vec<u8> = (0..1_048_576u32).map(|i| (i % 251) as u8).collect();
+    let mut segments: Vec<(u32, &[u8])> = stream
+        .chunks(1460)
+        .enumerate()
+        .map(|(i, c)| ((i * 1460) as u32, c))
+        .collect();
+    for pair in segments.chunks_mut(2) {
+        if pair.len() == 2 {
+            pair.swap(0, 1);
+        }
+    }
+
+    let mut g = c.benchmark_group("reassembly");
+    g.throughput(Throughput::Bytes(stream.len() as u64));
+    g.sample_size(20);
+    g.bench_function("swapped_pairs_1mib", |b| {
+        b.iter(|| {
+            let mut r = StreamReassembler::new(0, 1 << 20);
+            let mut delivered = 0usize;
+            for (seq, data) in &segments {
+                for run in r.push(*seq, data) {
+                    delivered += run.len();
+                }
+            }
+            assert_eq!(delivered, stream.len());
+            delivered
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_inflate, bench_reassembly);
+criterion_main!(benches);

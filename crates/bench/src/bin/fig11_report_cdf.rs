@@ -1,0 +1,118 @@
+//! Figure 11: "Cumulative distribution of non-empty match report size per
+//! packet."
+//!
+//! Paper findings on the campus trace, with 6-byte encoding for both
+//! single and range reports: >90% of packets have no matches at all; the
+//! average non-empty report is 34 bytes; only ~1% of reports exceed 120
+//! bytes.
+//!
+//! Here the DPI instance scans a campus-like trace (≤10% of packets carry
+//! a planted pattern, matching the paper's observed density) and we
+//! collect the wire size of every non-empty result packet's report
+//! section.
+
+use dpi_ac::MiddleboxId;
+use dpi_core::{DpiInstance, InstanceConfig, MiddleboxProfile, RuleSpec};
+use dpi_traffic::patterns::snort_like;
+use dpi_traffic::trace::{TraceConfig, TraceKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut pats = snort_like(4356, 42);
+    // Real signature sets contain repeated-character patterns (NOP sleds,
+    // padding) — the very case the paper's range reports exist for.
+    pats.push(vec![b'\x90'; 8]);
+    pats.push(vec![b'A'; 8]);
+    const MB: MiddleboxId = MiddleboxId(1);
+    let cfg = InstanceConfig::new()
+        .with_middlebox(MiddleboxProfile::stateless(MB), RuleSpec::exact_set(&pats))
+        .with_chain(1, vec![MB]);
+    let mut dpi = DpiInstance::new(cfg).expect("valid config");
+
+    // Campus-like base trace (paper: >90% of packets have no matches).
+    // Matched packets are bursty: an exploit payload rarely trips exactly
+    // one signature — plant a geometric number of patterns, and give a
+    // small fraction a long repeated-character run (NOP-sled-like), which
+    // produces range reports.
+    let mut trace = TraceConfig {
+        kind: TraceKind::Campus,
+        packets: 20_000,
+        match_density: 0.0,
+        seed: 11,
+        ..TraceConfig::default()
+    }
+    .generate(&[]);
+    let mut rng = StdRng::seed_from_u64(0x000f_1611);
+    for payload in trace.iter_mut() {
+        if !rng.gen_bool(0.08) {
+            continue;
+        }
+        // Geometric burst: keep planting with probability 0.7 (real
+        // exploit payloads trip several signatures at once).
+        loop {
+            let p = &pats[rng.gen_range(0..pats.len())];
+            if p.len() <= payload.len() {
+                let off = rng.gen_range(0..=payload.len() - p.len());
+                payload[off..off + p.len()].copy_from_slice(p);
+            }
+            if !rng.gen_bool(0.7) {
+                break;
+            }
+        }
+        if rng.gen_bool(0.15) {
+            // A NOP-sled-like run of 20–120 repeated bytes.
+            let run = rng.gen_range(30..=250usize).min(payload.len());
+            let off = rng.gen_range(0..=payload.len() - run);
+            let c = if rng.gen_bool(0.5) { b'\x90' } else { b'A' };
+            payload[off..off + run].fill(c);
+        }
+    }
+
+    let mut sizes = Vec::new();
+    for p in &trace {
+        let out = dpi.scan_payload(1, None, p).expect("chain exists");
+        if out.has_matches() {
+            // Paper counts the match-report payload ("using 6 bytes per
+            // match report" — we measure the actual 4/6-byte records plus
+            // per-middlebox block headers).
+            let report_bytes: usize = out
+                .reports
+                .iter()
+                .map(dpi_packet::report::MiddleboxReport::wire_size)
+                .sum();
+            sizes.push(report_bytes);
+        }
+    }
+
+    let empty = trace.len() - sizes.len();
+    println!("# Figure 11 — match report size distribution\n");
+    println!(
+        "packets: {} total, {} with no matches ({:.1}%)",
+        trace.len(),
+        empty,
+        100.0 * empty as f64 / trace.len() as f64
+    );
+    if sizes.is_empty() {
+        println!("no matches generated — raise match_density");
+        return;
+    }
+    sizes.sort_unstable();
+    let avg = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+    println!(
+        "non-empty reports: {}, average size {avg:.1} bytes\n",
+        sizes.len()
+    );
+
+    println!("{:>12}  {:>12}", "percentile", "report bytes");
+    for pct in [10, 25, 50, 75, 90, 95, 99, 100] {
+        let idx = ((sizes.len() - 1) * pct) / 100;
+        println!("{:>11}%  {:>12}", pct, sizes[idx]);
+    }
+    let over_120 = sizes.iter().filter(|&&s| s > 120).count();
+    println!(
+        "\n# reports over 120 bytes: {:.1}% (paper: ~1%)",
+        100.0 * over_120 as f64 / sizes.len() as f64
+    );
+    println!("# paper: >90% of packets empty, mean report 34 B");
+}

@@ -1,0 +1,66 @@
+//! Figure 8: "The effect of virtualization and number of patterns on the
+//! throughput of the AC algorithm."
+//!
+//! Paper setup: the original AC algorithm on (1) a stand-alone machine,
+//! (2) a single VM with idle cores, (3) four VMs pinned to four cores,
+//! reporting per-VM average, over increasing Snort pattern counts.
+//!
+//! Substitution: VMs become OS threads sharing the LLC and memory
+//! bandwidth (DESIGN.md §3). The finding to reproduce is the *shape*:
+//! virtualization/co-location costs little; pattern count dominates.
+
+use dpi_bench::{build_ac, concurrent_throughput_mbps, fmt_mbps, print_row, throughput_mbps};
+use dpi_traffic::patterns::snort_like;
+use dpi_traffic::trace::TraceConfig;
+
+fn main() {
+    let pattern_counts = [250usize, 500, 1000, 2000, 3000, 4356];
+    let full = snort_like(*pattern_counts.last().expect("non-empty"), 42);
+    let trace = TraceConfig {
+        packets: 2000,
+        match_density: 0.02,
+        prefix_density: 3.0,
+        seed: 8,
+        ..TraceConfig::default()
+    }
+    .generate(&full);
+
+    let cores = dpi_bench::host_cores();
+    println!("# Figure 8 — AC throughput vs number of patterns");
+    println!("# (stand-alone = 1 thread; 'single VM' = 1 thread, warm cache;");
+    println!("#  '4 VMs' = 4 concurrent scanning threads; host has {cores} core(s))\n");
+    print_row(&[
+        "patterns".into(),
+        "stand-alone".into(),
+        "single VM".into(),
+        "4 VMs (avg)".into(),
+        "4 VMs (aggr)".into(),
+    ]);
+
+    for &n in &pattern_counts {
+        let ac = build_ac(&full[..n]);
+        // "Stand-alone": cold-ish first run.
+        let standalone = throughput_mbps(&ac, &trace, 1);
+        // "Single VM": repeated runs, median (same hardware, virtualization
+        // overhead in our substitution is the noise between these two).
+        let single_vm = throughput_mbps(&ac, &trace, 3);
+        let (four_avg, four_aggr) = concurrent_throughput_mbps(&ac, &trace, 4);
+        print_row(&[
+            n.to_string(),
+            fmt_mbps(standalone),
+            fmt_mbps(single_vm),
+            fmt_mbps(four_avg),
+            fmt_mbps(four_aggr),
+        ]);
+    }
+
+    println!("\n# expected shape: every column falls with pattern count.");
+    if cores >= 4 {
+        println!("# with ≥4 cores the per-VM average stays close to single-VM");
+        println!("# (the paper's finding: virtualization/co-location is minor).");
+    } else {
+        println!("# host has {cores} core(s) < 4: threads time-slice, so read the");
+        println!("# AGGREGATE column — it staying close to single-VM is the");
+        println!("# co-location-overhead-is-minor signal on this host.");
+    }
+}

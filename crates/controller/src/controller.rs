@@ -1,0 +1,581 @@
+//! The DPI controller proper.
+
+use crate::proto::{ControllerMessage, ControllerReply};
+use crate::registry::GlobalPatternSet;
+use dpi_ac::MiddleboxId;
+use dpi_core::{ChainSpec, InstanceConfig, MiddleboxProfile, Telemetry};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Identifier of a deployed DPI service instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstanceId(pub u32);
+
+/// Controller-side errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControllerError {
+    /// A message referenced an unregistered middlebox.
+    UnknownMiddlebox(u16),
+    /// Registration with an id that is already taken.
+    AlreadyRegistered(u16),
+    /// `inherit_from` referenced an unregistered middlebox.
+    UnknownInheritSource(u16),
+    /// A chain referenced an unregistered middlebox.
+    ChainMemberUnknown(u16),
+    /// Chain-id space exhausted (12-bit VLAN-encodable ids).
+    ChainIdSpaceExhausted,
+    /// An unknown instance id.
+    UnknownInstance(InstanceId),
+    /// The controller's stored configuration failed to build an instance
+    /// (should be unreachable: rules are validated on ingestion).
+    InconsistentConfig(String),
+}
+
+impl std::fmt::Display for ControllerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControllerError::UnknownMiddlebox(id) => write!(f, "unknown middlebox {id}"),
+            ControllerError::AlreadyRegistered(id) => {
+                write!(f, "middlebox {id} already registered")
+            }
+            ControllerError::UnknownInheritSource(id) => {
+                write!(f, "inherit source {id} not registered")
+            }
+            ControllerError::ChainMemberUnknown(id) => {
+                write!(f, "chain references unregistered middlebox {id}")
+            }
+            ControllerError::ChainIdSpaceExhausted => write!(f, "no chain ids left"),
+            ControllerError::UnknownInstance(i) => write!(f, "unknown instance {}", i.0),
+            ControllerError::InconsistentConfig(e) => {
+                write!(f, "stored configuration failed to build: {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ControllerError {}
+
+/// A registered middlebox record.
+#[derive(Debug, Clone)]
+struct MiddleboxRecord {
+    name: String,
+    profile: MiddleboxProfile,
+}
+
+/// Telemetry bookkeeping per deployed instance.
+#[derive(Debug, Default, Clone)]
+struct InstanceRecord {
+    chains: Vec<u16>,
+    last_report: Telemetry,
+    total: Telemetry,
+    dedicated: bool,
+}
+
+/// The logically-centralized DPI controller. Thread-safe: the paper's
+/// controller serves many middleboxes and instances concurrently, so all
+/// state sits behind a mutex (coarse-grained — control-plane rates are
+/// low).
+#[derive(Debug, Default)]
+pub struct DpiController {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    middleboxes: HashMap<MiddleboxId, MiddleboxRecord>,
+    patterns: GlobalPatternSet,
+    /// chain id → member middleboxes, in traversal order.
+    chains: HashMap<u16, Vec<MiddleboxId>>,
+    /// Dedup: member list → already-allocated chain id.
+    chain_ids: HashMap<Vec<MiddleboxId>, u16>,
+    next_chain_id: u16,
+    instances: HashMap<InstanceId, InstanceRecord>,
+    next_instance_id: u32,
+    /// Monotonic version, bumped on every pattern/registration change so
+    /// deployed instances know when their configuration is stale.
+    version: u64,
+}
+
+impl DpiController {
+    /// A fresh controller.
+    pub fn new() -> DpiController {
+        DpiController::default()
+    }
+
+    /// Handles one JSON message from a middlebox and returns the JSON
+    /// reply — the paper's §4.1 channel.
+    pub fn handle_json(&self, json: &str) -> String {
+        let msg = match ControllerMessage::from_json(json) {
+            Ok(m) => m,
+            Err(e) => {
+                return ControllerReply::Error {
+                    reason: format!("malformed message: {e}"),
+                }
+                .to_json()
+            }
+        };
+        self.handle(msg).to_json()
+    }
+
+    /// Handles one typed message.
+    pub fn handle(&self, msg: ControllerMessage) -> ControllerReply {
+        let result = match msg {
+            ControllerMessage::Register {
+                middlebox_id,
+                name,
+                inherit_from,
+                stateful,
+                read_only,
+                stopping_condition,
+            } => self
+                .register(
+                    MiddleboxId(middlebox_id),
+                    &name,
+                    inherit_from.map(MiddleboxId),
+                    MiddleboxProfile {
+                        id: MiddleboxId(middlebox_id),
+                        stateful,
+                        read_only,
+                        stopping_condition,
+                    },
+                )
+                .map(|_| ControllerReply::Registered { middlebox_id }),
+            ControllerMessage::AddPattern {
+                middlebox_id,
+                rule_id,
+                rule,
+            } => self
+                .add_pattern(MiddleboxId(middlebox_id), rule_id, &rule)
+                .map(|_| ControllerReply::Ok),
+            ControllerMessage::RemovePattern {
+                middlebox_id,
+                rule_id,
+            } => self
+                .remove_pattern(MiddleboxId(middlebox_id), rule_id)
+                .map(|_| ControllerReply::Ok),
+            ControllerMessage::Deregister { middlebox_id } => self
+                .deregister(MiddleboxId(middlebox_id))
+                .map(|_| ControllerReply::Ok),
+        };
+        match result {
+            Ok(r) => r,
+            Err(e) => ControllerReply::Error {
+                reason: e.to_string(),
+            },
+        }
+    }
+
+    /// Registers a middlebox, optionally inheriting another's pattern set.
+    pub fn register(
+        &self,
+        id: MiddleboxId,
+        name: &str,
+        inherit_from: Option<MiddleboxId>,
+        profile: MiddleboxProfile,
+    ) -> Result<(), ControllerError> {
+        let mut g = self.inner.lock();
+        if g.middleboxes.contains_key(&id) {
+            return Err(ControllerError::AlreadyRegistered(id.0));
+        }
+        let inherited = match inherit_from {
+            Some(src) => {
+                if !g.middleboxes.contains_key(&src) {
+                    return Err(ControllerError::UnknownInheritSource(src.0));
+                }
+                g.patterns.rules_of(src)
+            }
+            None => Vec::new(),
+        };
+        g.middleboxes.insert(
+            id,
+            MiddleboxRecord {
+                name: name.to_string(),
+                profile,
+            },
+        );
+        for (rid, rule) in inherited {
+            g.patterns.add(id, rid, &rule);
+        }
+        g.version += 1;
+        Ok(())
+    }
+
+    /// Adds a rule for a registered middlebox.
+    pub fn add_pattern(
+        &self,
+        id: MiddleboxId,
+        rule_id: u16,
+        rule: &dpi_core::RuleSpec,
+    ) -> Result<(), ControllerError> {
+        let mut g = self.inner.lock();
+        if !g.middleboxes.contains_key(&id) {
+            return Err(ControllerError::UnknownMiddlebox(id.0));
+        }
+        g.patterns.add(id, rule_id, rule);
+        g.version += 1;
+        Ok(())
+    }
+
+    /// Removes a rule reference.
+    pub fn remove_pattern(&self, id: MiddleboxId, rule_id: u16) -> Result<(), ControllerError> {
+        let mut g = self.inner.lock();
+        if !g.middleboxes.contains_key(&id) {
+            return Err(ControllerError::UnknownMiddlebox(id.0));
+        }
+        g.patterns.remove(id, rule_id);
+        g.version += 1;
+        Ok(())
+    }
+
+    /// Deregisters a middlebox entirely.
+    pub fn deregister(&self, id: MiddleboxId) -> Result<(), ControllerError> {
+        let mut g = self.inner.lock();
+        if g.middleboxes.remove(&id).is_none() {
+            return Err(ControllerError::UnknownMiddlebox(id.0));
+        }
+        g.patterns.remove_middlebox(id);
+        g.chains.retain(|_, members| !members.contains(&id));
+        g.chain_ids.retain(|members, _| !members.contains(&id));
+        g.version += 1;
+        Ok(())
+    }
+
+    /// Receives a policy chain from the TSA and returns its identifier
+    /// ("It assigns each policy chain a unique identifier that is used
+    /// later by the DPI service instances", §4.1). Identical chains share
+    /// one id. Chain ids fit VLAN tags (12 bits).
+    pub fn register_chain(&self, members: &[MiddleboxId]) -> Result<u16, ControllerError> {
+        let mut g = self.inner.lock();
+        for m in members {
+            if !g.middleboxes.contains_key(m) {
+                return Err(ControllerError::ChainMemberUnknown(m.0));
+            }
+        }
+        if let Some(&id) = g.chain_ids.get(members) {
+            return Ok(id);
+        }
+        if g.next_chain_id > dpi_packet::vlan::MAX_VLAN_ID {
+            return Err(ControllerError::ChainIdSpaceExhausted);
+        }
+        g.next_chain_id += 1;
+        let id = g.next_chain_id;
+        g.chains.insert(id, members.to_vec());
+        g.chain_ids.insert(members.to_vec(), id);
+        g.version += 1;
+        Ok(id)
+    }
+
+    /// Members of a chain.
+    pub fn chain_members(&self, chain_id: u16) -> Option<Vec<MiddleboxId>> {
+        self.inner.lock().chains.get(&chain_id).cloned()
+    }
+
+    /// Current configuration version.
+    pub fn version(&self) -> u64 {
+        self.inner.lock().version
+    }
+
+    /// The registered name of a middlebox.
+    pub fn middlebox_name(&self, id: MiddleboxId) -> Option<String> {
+        self.inner
+            .lock()
+            .middleboxes
+            .get(&id)
+            .map(|r| r.name.clone())
+    }
+
+    /// Builds the [`InstanceConfig`] for an instance that will serve
+    /// `chain_ids` — "a common deployment choice is to group together
+    /// similar policy chains and to deploy instances that support only one
+    /// group" (§4.3). Pass all chains for a serve-everything instance.
+    pub fn instance_config(&self, chain_ids: &[u16]) -> Result<InstanceConfig, ControllerError> {
+        let g = self.inner.lock();
+        let mut cfg = InstanceConfig::new();
+        let mut needed: Vec<MiddleboxId> = Vec::new();
+        for cid in chain_ids {
+            let members = g
+                .chains
+                .get(cid)
+                .ok_or(ControllerError::ChainMemberUnknown(*cid))?;
+            cfg.chains.push(ChainSpec {
+                chain_id: *cid,
+                members: members.clone(),
+            });
+            for m in members {
+                if !needed.contains(m) {
+                    needed.push(*m);
+                }
+            }
+        }
+        for m in needed {
+            let rec = g
+                .middleboxes
+                .get(&m)
+                .ok_or(ControllerError::UnknownMiddlebox(m.0))?;
+            cfg.profiles.push(rec.profile);
+            let rules: Vec<dpi_core::config::NumberedRule> = g
+                .patterns
+                .rules_of(m)
+                .into_iter()
+                .map(|(id, spec)| dpi_core::config::NumberedRule { id, spec })
+                .collect();
+            cfg.pattern_sets.push((m, rules));
+        }
+        Ok(cfg)
+    }
+
+    /// Registers a deployed instance serving `chain_ids`.
+    pub fn deploy_instance(&self, chain_ids: Vec<u16>) -> InstanceId {
+        let mut g = self.inner.lock();
+        let id = InstanceId(g.next_instance_id);
+        g.next_instance_id += 1;
+        g.instances.insert(
+            id,
+            InstanceRecord {
+                chains: chain_ids,
+                ..InstanceRecord::default()
+            },
+        );
+        id
+    }
+
+    /// Removes a deployed instance.
+    pub fn remove_instance(&self, id: InstanceId) -> Result<(), ControllerError> {
+        self.inner
+            .lock()
+            .instances
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(ControllerError::UnknownInstance(id))
+    }
+
+    /// Records a telemetry report from an instance and returns the delta
+    /// since its previous report (what the stress monitor consumes).
+    pub fn report_telemetry(
+        &self,
+        id: InstanceId,
+        t: Telemetry,
+    ) -> Result<Telemetry, ControllerError> {
+        let mut g = self.inner.lock();
+        let rec = g
+            .instances
+            .get_mut(&id)
+            .ok_or(ControllerError::UnknownInstance(id))?;
+        let delta = t.delta_since(&rec.last_report);
+        rec.last_report = t;
+        rec.total.merge(&delta);
+        Ok(delta)
+    }
+
+    /// Marks or unmarks an instance as MCA²-dedicated.
+    pub fn set_dedicated(&self, id: InstanceId, dedicated: bool) -> Result<(), ControllerError> {
+        let mut g = self.inner.lock();
+        g.instances
+            .get_mut(&id)
+            .map(|r| r.dedicated = dedicated)
+            .ok_or(ControllerError::UnknownInstance(id))
+    }
+
+    /// Deployed instances with their chains and dedicated flag.
+    pub fn instances(&self) -> Vec<(InstanceId, Vec<u16>, bool)> {
+        let g = self.inner.lock();
+        let mut v: Vec<_> = g
+            .instances
+            .iter()
+            .map(|(id, r)| (*id, r.chains.clone(), r.dedicated))
+            .collect();
+        v.sort_by_key(|(id, _, _)| *id);
+        v
+    }
+
+    /// Total serialized pattern bytes (§4.1's transfer-size argument).
+    pub fn pattern_transfer_bytes(&self) -> usize {
+        self.inner.lock().patterns.transfer_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpi_core::RuleSpec;
+
+    fn register(c: &DpiController, id: u16, name: &str) {
+        c.register(
+            MiddleboxId(id),
+            name,
+            None,
+            MiddleboxProfile::stateless(MiddleboxId(id)),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn register_add_and_build_config() {
+        let c = DpiController::new();
+        register(&c, 1, "ids");
+        register(&c, 2, "av");
+        c.add_pattern(MiddleboxId(1), 0, &RuleSpec::exact(b"sig-a".to_vec()))
+            .unwrap();
+        c.add_pattern(MiddleboxId(2), 0, &RuleSpec::exact(b"sig-b".to_vec()))
+            .unwrap();
+        let chain = c.register_chain(&[MiddleboxId(1), MiddleboxId(2)]).unwrap();
+        let cfg = c.instance_config(&[chain]).unwrap();
+        assert_eq!(cfg.pattern_sets.len(), 2);
+        assert_eq!(cfg.chains.len(), 1);
+        // And it actually builds a working instance.
+        let mut dpi = dpi_core::DpiInstance::new(cfg).unwrap();
+        let out = dpi.scan_payload(chain, None, b"xxsig-bxx").unwrap();
+        assert_eq!(out.reports.len(), 1);
+        assert_eq!(out.reports[0].middlebox_id, 2);
+    }
+
+    #[test]
+    fn duplicate_registration_fails() {
+        let c = DpiController::new();
+        register(&c, 1, "ids");
+        assert_eq!(
+            c.register(
+                MiddleboxId(1),
+                "ids2",
+                None,
+                MiddleboxProfile::stateless(MiddleboxId(1))
+            )
+            .unwrap_err(),
+            ControllerError::AlreadyRegistered(1)
+        );
+    }
+
+    #[test]
+    fn inheritance_copies_rules() {
+        let c = DpiController::new();
+        register(&c, 1, "ids");
+        c.add_pattern(MiddleboxId(1), 0, &RuleSpec::exact(b"inherited".to_vec()))
+            .unwrap();
+        c.register(
+            MiddleboxId(5),
+            "ids-clone",
+            Some(MiddleboxId(1)),
+            MiddleboxProfile::stateless(MiddleboxId(5)),
+        )
+        .unwrap();
+        let chain = c.register_chain(&[MiddleboxId(5)]).unwrap();
+        let cfg = c.instance_config(&[chain]).unwrap();
+        let mut dpi = dpi_core::DpiInstance::new(cfg).unwrap();
+        let out = dpi.scan_payload(chain, None, b"the inherited sig").unwrap();
+        assert_eq!(out.reports[0].middlebox_id, 5);
+    }
+
+    #[test]
+    fn identical_chains_share_an_id() {
+        let c = DpiController::new();
+        register(&c, 1, "a");
+        register(&c, 2, "b");
+        let x = c.register_chain(&[MiddleboxId(1), MiddleboxId(2)]).unwrap();
+        let y = c.register_chain(&[MiddleboxId(1), MiddleboxId(2)]).unwrap();
+        let z = c.register_chain(&[MiddleboxId(2), MiddleboxId(1)]).unwrap();
+        assert_eq!(x, y);
+        assert_ne!(x, z); // order matters: it is a routing sequence
+    }
+
+    #[test]
+    fn chain_with_unknown_member_fails() {
+        let c = DpiController::new();
+        assert_eq!(
+            c.register_chain(&[MiddleboxId(9)]).unwrap_err(),
+            ControllerError::ChainMemberUnknown(9)
+        );
+    }
+
+    #[test]
+    fn json_protocol_end_to_end() {
+        let c = DpiController::new();
+        let reply = c.handle_json(
+            &ControllerMessage::Register {
+                middlebox_id: 3,
+                name: "l7fw".into(),
+                inherit_from: None,
+                stateful: false,
+                read_only: false,
+                stopping_condition: None,
+            }
+            .to_json(),
+        );
+        assert_eq!(
+            ControllerReply::from_json(&reply).unwrap(),
+            ControllerReply::Registered { middlebox_id: 3 }
+        );
+        let reply = c.handle_json(
+            &ControllerMessage::AddPattern {
+                middlebox_id: 3,
+                rule_id: 0,
+                rule: RuleSpec::exact(b"blocked".to_vec()),
+            }
+            .to_json(),
+        );
+        assert!(ControllerReply::from_json(&reply).unwrap().is_ok());
+        // Unknown middlebox errors flow back as JSON errors.
+        let reply = c.handle_json(
+            &ControllerMessage::AddPattern {
+                middlebox_id: 99,
+                rule_id: 0,
+                rule: RuleSpec::exact(b"x".to_vec()),
+            }
+            .to_json(),
+        );
+        assert!(!ControllerReply::from_json(&reply).unwrap().is_ok());
+        // Garbage JSON is an error, not a panic.
+        assert!(!ControllerReply::from_json(&c.handle_json("not json"))
+            .unwrap()
+            .is_ok());
+    }
+
+    #[test]
+    fn pattern_removal_updates_configs() {
+        let c = DpiController::new();
+        register(&c, 1, "ids");
+        c.add_pattern(MiddleboxId(1), 0, &RuleSpec::exact(b"gone-soon".to_vec()))
+            .unwrap();
+        let chain = c.register_chain(&[MiddleboxId(1)]).unwrap();
+        let v1 = c.version();
+        c.remove_pattern(MiddleboxId(1), 0).unwrap();
+        assert!(c.version() > v1);
+        let cfg = c.instance_config(&[chain]).unwrap();
+        let mut dpi = dpi_core::DpiInstance::new(cfg).unwrap();
+        let out = dpi.scan_payload(chain, None, b"gone-soon").unwrap();
+        assert!(out.reports.is_empty());
+    }
+
+    #[test]
+    fn telemetry_reports_return_deltas() {
+        let c = DpiController::new();
+        let inst = c.deploy_instance(vec![]);
+        let t1 = Telemetry {
+            packets: 10,
+            bytes: 1000,
+            ..Telemetry::default()
+        };
+        let d1 = c.report_telemetry(inst, t1).unwrap();
+        assert_eq!(d1.packets, 10);
+        let t2 = Telemetry {
+            packets: 25,
+            bytes: 2500,
+            ..Telemetry::default()
+        };
+        let d2 = c.report_telemetry(inst, t2).unwrap();
+        assert_eq!(d2.packets, 15);
+        assert_eq!(d2.bytes, 1500);
+    }
+
+    #[test]
+    fn deregistration_cleans_chains_and_patterns() {
+        let c = DpiController::new();
+        register(&c, 1, "a");
+        register(&c, 2, "b");
+        c.add_pattern(MiddleboxId(1), 0, &RuleSpec::exact(b"only-a".to_vec()))
+            .unwrap();
+        let chain = c.register_chain(&[MiddleboxId(1), MiddleboxId(2)]).unwrap();
+        c.deregister(MiddleboxId(1)).unwrap();
+        assert!(c.chain_members(chain).is_none());
+        assert_eq!(c.pattern_transfer_bytes(), 0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Instance deployment planning (§4.3).
+//!
+//! "A common deployment choice is to group together similar policy chains
+//! and to deploy instances that support only one group and not all the
+//! policy chains in the system." The planner here groups chains by member
+//! overlap (greedy Jaccard clustering) and sizes the instance fleet, and
+//! also makes the scale-out/in decisions of §4.3's resource management
+//! ("the DPI controller should collect performance metrics from the
+//! working DPI instances and may decide to allocate more instances, to
+//! remove service instances, or to migrate flows between instances").
+
+use dpi_ac::MiddleboxId;
+use std::collections::HashMap;
+
+/// A planned instance: the chains it serves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeploymentPlan {
+    /// One entry per instance; each is the list of chain ids it serves.
+    pub groups: Vec<Vec<u16>>,
+}
+
+/// Jaccard similarity of two member sets.
+fn jaccard(a: &[MiddleboxId], b: &[MiddleboxId]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let sa: std::collections::HashSet<_> = a.iter().collect();
+    let sb: std::collections::HashSet<_> = b.iter().collect();
+    let inter = sa.intersection(&sb).count() as f64;
+    let union = sa.union(&sb).count() as f64;
+    inter / union
+}
+
+/// Groups policy chains into at most `max_instances` groups of similar
+/// chains. Greedy: each chain joins the existing group it is most similar
+/// to (by average member overlap), or founds a new group while capacity
+/// remains.
+pub fn plan_grouped(
+    chains: &HashMap<u16, Vec<MiddleboxId>>,
+    max_instances: usize,
+    similarity_threshold: f64,
+) -> DeploymentPlan {
+    let max_instances = max_instances.max(1);
+    let mut order: Vec<u16> = chains.keys().copied().collect();
+    order.sort_unstable(); // determinism
+    let mut groups: Vec<Vec<u16>> = Vec::new();
+    for cid in order {
+        let members = &chains[&cid];
+        let mut best: Option<(usize, f64)> = None;
+        for (gi, group) in groups.iter().enumerate() {
+            let avg: f64 = group
+                .iter()
+                .map(|c| jaccard(members, &chains[c]))
+                .sum::<f64>()
+                / group.len() as f64;
+            if best.map(|(_, s)| avg > s).unwrap_or(true) {
+                best = Some((gi, avg));
+            }
+        }
+        match best {
+            Some((gi, s)) if s >= similarity_threshold || groups.len() >= max_instances => {
+                groups[gi].push(cid);
+            }
+            _ => groups.push(vec![cid]),
+        }
+    }
+    DeploymentPlan { groups }
+}
+
+/// Scale decision based on load: packets/s per instance versus a target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// Fleet is within the band.
+    Hold,
+    /// Add this many instances.
+    Out(usize),
+    /// Remove this many instances (never below one).
+    In(usize),
+}
+
+/// Decides scale-out/in from per-instance load samples (e.g. bytes per
+/// reporting interval) against a per-instance capacity.
+pub fn scale_decision(loads: &[u64], capacity_per_instance: u64) -> ScaleDecision {
+    if loads.is_empty() || capacity_per_instance == 0 {
+        return ScaleDecision::Hold;
+    }
+    let total: u64 = loads.iter().sum();
+    let n = loads.len() as u64;
+    // Target the fleet at 50–80% utilization.
+    let hi = capacity_per_instance * 8 / 10;
+    let lo = capacity_per_instance / 2;
+    let per = total / n;
+    if per > hi {
+        // Instances needed so that per-instance load falls to ~65%.
+        let target = capacity_per_instance * 65 / 100;
+        let needed = total.div_ceil(target).max(1) as usize;
+        ScaleDecision::Out(needed.saturating_sub(loads.len()).max(1))
+    } else if per < lo && loads.len() > 1 {
+        let target = capacity_per_instance * 65 / 100;
+        let needed = (total.div_ceil(target)).max(1) as usize;
+        if needed < loads.len() {
+            ScaleDecision::In(loads.len() - needed)
+        } else {
+            ScaleDecision::Hold
+        }
+    } else {
+        ScaleDecision::Hold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chains(spec: &[(u16, &[u16])]) -> HashMap<u16, Vec<MiddleboxId>> {
+        spec.iter()
+            .map(|(id, ms)| (*id, ms.iter().map(|&m| MiddleboxId(m)).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn similar_chains_group_together() {
+        let cs = chains(&[
+            (1, &[1, 2, 3]),
+            (2, &[1, 2, 3, 4]),
+            (3, &[8, 9]),
+            (4, &[8, 9, 10]),
+        ]);
+        let plan = plan_grouped(&cs, 4, 0.5);
+        assert_eq!(plan.groups.len(), 2);
+        let mut sizes: Vec<usize> = plan.groups.iter().map(|g| g.len()).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 2]);
+    }
+
+    #[test]
+    fn capacity_forces_merging() {
+        let cs = chains(&[(1, &[1]), (2, &[2]), (3, &[3])]);
+        let plan = plan_grouped(&cs, 1, 0.9);
+        assert_eq!(plan.groups.len(), 1);
+        assert_eq!(plan.groups[0].len(), 3);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_plan() {
+        let plan = plan_grouped(&HashMap::new(), 4, 0.5);
+        assert!(plan.groups.is_empty());
+    }
+
+    #[test]
+    fn plan_is_a_partition_of_chains() {
+        let cs = chains(&[
+            (1, &[1, 2]),
+            (2, &[2, 3]),
+            (3, &[4]),
+            (4, &[1, 2]),
+            (5, &[5, 6]),
+        ]);
+        let plan = plan_grouped(&cs, 3, 0.4);
+        let mut all: Vec<u16> = plan.groups.concat();
+        all.sort_unstable();
+        assert_eq!(all, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn overload_scales_out() {
+        match scale_decision(&[950, 980], 1000) {
+            ScaleDecision::Out(n) => assert!(n >= 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn underload_scales_in_but_keeps_one() {
+        match scale_decision(&[100, 120, 90], 1000) {
+            ScaleDecision::In(n) => assert!((1..3).contains(&n)),
+            other => panic!("{other:?}"),
+        }
+        // A single instance never scales in.
+        assert_eq!(scale_decision(&[1], 1000), ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn mid_band_holds() {
+        assert_eq!(scale_decision(&[650, 700], 1000), ScaleDecision::Hold);
+        assert_eq!(scale_decision(&[], 1000), ScaleDecision::Hold);
+    }
+}

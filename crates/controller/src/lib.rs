@@ -1,0 +1,41 @@
+//! # dpi-controller
+//!
+//! The logically-centralized **DPI controller** (§4.1 of *Deep Packet
+//! Inspection as a Service*): the entity that abstracts the DPI process
+//! for middleboxes, the Traffic Steering Application and the SDN
+//! controller.
+//!
+//! Responsibilities reproduced here:
+//!
+//! * **Registration and pattern-set management** ([`proto`],
+//!   [`controller`]): middleboxes register over JSON messages (the paper's
+//!   wire format), may inherit the pattern set of an already-registered
+//!   middlebox, and add/remove patterns at runtime.
+//! * **The global pattern set** ([`registry`]): patterns are stored once
+//!   under controller-internal ids; every middlebox's (rule id → pattern)
+//!   association is tracked by reference, and a pattern is only removed
+//!   when its last referrer is gone.
+//! * **Policy-chain management** ([`controller`]): the TSA hands over its
+//!   chains; the controller allocates the chain identifiers that the tags
+//!   carry and that DPI instances resolve into active-middlebox sets.
+//! * **Instance deployment** ([`deploy`]): grouping policy chains onto
+//!   instances (§4.3) and building each instance's
+//!   [`dpi_core::InstanceConfig`].
+//! * **Stress monitoring / MCA²** ([`stress`]): aggregating instance
+//!   telemetry, detecting complexity attacks via the deep-state ratio, and
+//!   orchestrating dedicated instances plus heavy-flow migration
+//!   (§4.3.1, Figure 6).
+
+pub mod controller;
+pub mod deploy;
+pub mod managed;
+pub mod proto;
+pub mod registry;
+pub mod stress;
+
+pub use controller::{ControllerError, DpiController, InstanceId};
+pub use deploy::DeploymentPlan;
+pub use managed::ManagedInstance;
+pub use proto::{ControllerMessage, ControllerReply};
+pub use registry::GlobalPatternSet;
+pub use stress::{Mca2Action, StressMonitor, StressPolicy};

@@ -1,0 +1,155 @@
+//! Controller-managed DPI instances.
+//!
+//! §4.1's pattern add/remove messages change the global pattern set at
+//! runtime; deployed instances must follow. A [`ManagedInstance`] pairs a
+//! live [`DpiInstance`] with the controller version it was built from and
+//! rebuilds itself when the configuration moves — the operational loop
+//! between "the DPI controller maintains a global pattern set" and the
+//! per-instance automatons built from it.
+
+use crate::controller::{ControllerError, DpiController, InstanceId};
+use dpi_core::{DpiInstance, Telemetry};
+
+/// A deployed instance that tracks controller configuration changes.
+#[derive(Debug)]
+pub struct ManagedInstance {
+    id: InstanceId,
+    chains: Vec<u16>,
+    built_at_version: u64,
+    /// The live engine. Callers scan through this handle.
+    pub instance: DpiInstance,
+}
+
+impl ManagedInstance {
+    /// The controller-side identifier.
+    pub fn id(&self) -> InstanceId {
+        self.id
+    }
+
+    /// The chains this instance serves.
+    pub fn chains(&self) -> &[u16] {
+        &self.chains
+    }
+
+    /// Controller version of the current automaton.
+    pub fn version(&self) -> u64 {
+        self.built_at_version
+    }
+
+    /// Rebuilds the instance if the controller configuration changed
+    /// since the last build. Returns whether a rebuild happened.
+    ///
+    /// Rebuilding replaces the automaton, so state identifiers stored for
+    /// stateful flows become meaningless: flow state is dropped and
+    /// affected flows rescan from the automaton root — matches in flight
+    /// across the rebuild boundary may be missed once, exactly as when a
+    /// middlebox reloads its rule set today.
+    pub fn refresh(&mut self, controller: &DpiController) -> Result<bool, ControllerError> {
+        let v = controller.version();
+        if v == self.built_at_version {
+            return Ok(false);
+        }
+        let cfg = controller.instance_config(&self.chains)?;
+        self.instance = DpiInstance::new(cfg).map_err(|e| {
+            // Configuration came from the controller's own state; a build
+            // failure means the stored rules are inconsistent.
+            ControllerError::InconsistentConfig(e.to_string())
+        })?;
+        self.built_at_version = v;
+        Ok(true)
+    }
+
+    /// Reports telemetry to the controller, returning the delta the
+    /// stress monitor consumes.
+    pub fn report(&self, controller: &DpiController) -> Result<Telemetry, ControllerError> {
+        controller.report_telemetry(self.id, self.instance.telemetry())
+    }
+}
+
+impl DpiController {
+    /// Deploys a managed instance serving `chains`, built from the
+    /// current configuration.
+    pub fn spawn_managed(&self, chains: Vec<u16>) -> Result<ManagedInstance, ControllerError> {
+        let cfg = self.instance_config(&chains)?;
+        let instance = DpiInstance::new(cfg)
+            .map_err(|e| ControllerError::InconsistentConfig(e.to_string()))?;
+        let id = self.deploy_instance(chains.clone());
+        Ok(ManagedInstance {
+            id,
+            chains,
+            built_at_version: self.version(),
+            instance,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpi_ac::MiddleboxId;
+    use dpi_core::{MiddleboxProfile, RuleSpec};
+
+    fn controller_with_mb() -> DpiController {
+        let c = DpiController::new();
+        c.register(
+            MiddleboxId(1),
+            "ids",
+            None,
+            MiddleboxProfile::stateless(MiddleboxId(1)),
+        )
+        .unwrap();
+        c.add_pattern(MiddleboxId(1), 0, &RuleSpec::exact(b"first-sig".to_vec()))
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn managed_instance_follows_pattern_updates() {
+        let c = controller_with_mb();
+        let chain = c.register_chain(&[MiddleboxId(1)]).unwrap();
+        let mut m = c.spawn_managed(vec![chain]).unwrap();
+
+        let out = m
+            .instance
+            .scan_payload(chain, None, b"first-sig here")
+            .unwrap();
+        assert_eq!(out.reports.len(), 1);
+
+        // A new pattern arrives at the controller…
+        c.add_pattern(MiddleboxId(1), 1, &RuleSpec::exact(b"second-sig".to_vec()))
+            .unwrap();
+        // …the stale instance misses it…
+        let out = m.instance.scan_payload(chain, None, b"second-sig").unwrap();
+        assert!(out.reports.is_empty());
+        // …until refreshed.
+        assert!(m.refresh(&c).unwrap());
+        let out = m.instance.scan_payload(chain, None, b"second-sig").unwrap();
+        assert_eq!(out.reports.len(), 1);
+        // No change → no rebuild.
+        assert!(!m.refresh(&c).unwrap());
+    }
+
+    #[test]
+    fn pattern_removal_propagates() {
+        let c = controller_with_mb();
+        let chain = c.register_chain(&[MiddleboxId(1)]).unwrap();
+        let mut m = c.spawn_managed(vec![chain]).unwrap();
+        c.remove_pattern(MiddleboxId(1), 0).unwrap();
+        assert!(m.refresh(&c).unwrap());
+        let out = m.instance.scan_payload(chain, None, b"first-sig").unwrap();
+        assert!(out.reports.is_empty());
+    }
+
+    #[test]
+    fn managed_instance_reports_telemetry() {
+        let c = controller_with_mb();
+        let chain = c.register_chain(&[MiddleboxId(1)]).unwrap();
+        let mut m = c.spawn_managed(vec![chain]).unwrap();
+        m.instance.scan_payload(chain, None, b"payload").unwrap();
+        let delta = m.report(&c).unwrap();
+        assert_eq!(delta.packets, 1);
+        // Second report: no new packets → zero delta.
+        let delta = m.report(&c).unwrap();
+        assert_eq!(delta.packets, 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Instance configuration: middlebox profiles and policy chains.
+//!
+//! "Upon instantiation, the DPI controller passes to the DPI instance the
+//! pattern sets and the corresponding middlebox identifiers. Along with
+//! these sets, the DPI controller may pass additional information, such as
+//! a stopping condition for each middlebox …, or whether the middlebox is
+//! stateless … or stateful …. Moreover, the DPI controller passes the
+//! mapping between policy chain identifiers and the corresponding
+//! middlebox identifiers in the chain." (§5.1)
+
+use crate::rules::RuleSpec;
+use dpi_ac::MiddleboxId;
+use serde::{Deserialize, Serialize};
+
+/// A rule together with the middlebox-local identifier it is reported
+/// under. Identifiers need not be dense — the controller preserves
+/// whatever rule ids each middlebox reported (§4.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NumberedRule {
+    /// The middlebox-local rule id.
+    pub id: u16,
+    /// The rule body.
+    pub spec: RuleSpec,
+}
+
+impl NumberedRule {
+    /// Numbers a rule list positionally (id = index).
+    pub fn sequence(rules: Vec<RuleSpec>) -> Vec<NumberedRule> {
+        rules
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| NumberedRule { id: i as u16, spec })
+            .collect()
+    }
+}
+
+/// Per-middlebox scanning properties (§4.1 registration options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MiddleboxProfile {
+    /// The middlebox's registered identifier.
+    pub id: MiddleboxId,
+    /// `true` if the DPI scan must "maintain state across the packet
+    /// boundaries of a flow".
+    pub stateful: bool,
+    /// `true` if the middlebox "performs no actions at the packet itself
+    /// and therefore requires receiving only pattern matching results" —
+    /// an IDS, as opposed to an IPS. Read-only middleboxes can be served
+    /// results-only packets, skipping data-packet routing entirely.
+    pub read_only: bool,
+    /// "How deep into L7 payload the DPI instance should look": matches
+    /// ending after this many bytes (of the packet for stateless
+    /// middleboxes, of the flow for stateful ones) are not reported.
+    /// `None` = unbounded.
+    pub stopping_condition: Option<u64>,
+}
+
+impl MiddleboxProfile {
+    /// A stateless, full-packet, read-write profile — the common default.
+    pub fn stateless(id: MiddleboxId) -> MiddleboxProfile {
+        MiddleboxProfile {
+            id,
+            stateful: false,
+            read_only: false,
+            stopping_condition: None,
+        }
+    }
+
+    /// A stateful profile (IDS-style cross-packet matching).
+    pub fn stateful(id: MiddleboxId) -> MiddleboxProfile {
+        MiddleboxProfile {
+            stateful: true,
+            ..MiddleboxProfile::stateless(id)
+        }
+    }
+
+    /// Marks the profile read-only (results-only delivery).
+    pub fn read_only(mut self) -> MiddleboxProfile {
+        self.read_only = true;
+        self
+    }
+
+    /// Sets the stopping condition.
+    pub fn with_stop(mut self, bytes: u64) -> MiddleboxProfile {
+        self.stopping_condition = Some(bytes);
+        self
+    }
+}
+
+/// One policy chain: the ordered middlebox types a tagged packet visits.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChainSpec {
+    /// The identifier the TSA encodes in the packet tag (§4.1).
+    pub chain_id: u16,
+    /// The middlebox types on the chain, in traversal order. Only members
+    /// that registered pattern sets are relevant to the DPI instance.
+    pub members: Vec<MiddleboxId>,
+}
+
+/// Everything a DPI service instance is initialized with (§5.1).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct InstanceConfig {
+    /// Scanning profiles for every registered middlebox.
+    pub profiles: Vec<MiddleboxProfile>,
+    /// Each middlebox's rule list with explicit rule ids.
+    pub pattern_sets: Vec<(MiddleboxId, Vec<NumberedRule>)>,
+    /// Policy-chain-id → members mapping.
+    pub chains: Vec<ChainSpec>,
+    /// Maximum tracked flows before the flow table evicts (stateful scans
+    /// only). Defaults to [`InstanceConfig::DEFAULT_MAX_FLOWS`].
+    pub max_flows: Option<usize>,
+}
+
+impl InstanceConfig {
+    /// Default flow-table capacity.
+    pub const DEFAULT_MAX_FLOWS: usize = 65536;
+
+    /// Starts an empty config.
+    pub fn new() -> InstanceConfig {
+        InstanceConfig::default()
+    }
+
+    /// Adds a middlebox with its profile and positionally-numbered rules.
+    pub fn with_middlebox(self, profile: MiddleboxProfile, rules: Vec<RuleSpec>) -> InstanceConfig {
+        self.with_middlebox_numbered(profile, NumberedRule::sequence(rules))
+    }
+
+    /// Adds a middlebox with explicitly-numbered rules.
+    pub fn with_middlebox_numbered(
+        mut self,
+        profile: MiddleboxProfile,
+        rules: Vec<NumberedRule>,
+    ) -> InstanceConfig {
+        self.pattern_sets.push((profile.id, rules));
+        self.profiles.push(profile);
+        self
+    }
+
+    /// Adds a policy chain.
+    pub fn with_chain(mut self, chain_id: u16, members: Vec<MiddleboxId>) -> InstanceConfig {
+        self.chains.push(ChainSpec { chain_id, members });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_builders() {
+        let p = MiddleboxProfile::stateful(MiddleboxId(3))
+            .read_only()
+            .with_stop(512);
+        assert!(p.stateful && p.read_only);
+        assert_eq!(p.stopping_condition, Some(512));
+        let q = MiddleboxProfile::stateless(MiddleboxId(1));
+        assert!(!q.stateful && !q.read_only && q.stopping_condition.is_none());
+    }
+
+    #[test]
+    fn config_builder_accumulates() {
+        let cfg = InstanceConfig::new()
+            .with_middlebox(
+                MiddleboxProfile::stateless(MiddleboxId(0)),
+                vec![RuleSpec::exact(b"x".to_vec())],
+            )
+            .with_chain(1, vec![MiddleboxId(0)]);
+        assert_eq!(cfg.profiles.len(), 1);
+        assert_eq!(cfg.pattern_sets.len(), 1);
+        assert_eq!(cfg.chains.len(), 1);
+    }
+
+    #[test]
+    fn config_round_trips_as_json() {
+        let cfg = InstanceConfig::new().with_middlebox(
+            MiddleboxProfile::stateful(MiddleboxId(9)),
+            vec![RuleSpec::regex("a+")],
+        );
+        let j = serde_json::to_string(&cfg).unwrap();
+        let back: InstanceConfig = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.profiles, cfg.profiles);
+        assert_eq!(back.pattern_sets, cfg.pattern_sets);
+    }
+}

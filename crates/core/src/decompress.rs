@@ -1,0 +1,687 @@
+//! DEFLATE (RFC 1951) decompression — the "decompress once" substrate.
+//!
+//! §1 of the paper: "Since DPI is performed once, the effect of
+//! decompression or decryption, which usually takes place prior to the
+//! DPI phase, may be reduced significantly, as these heavy processes are
+//! executed only once for each packet." HTTP payloads are routinely
+//! `Content-Encoding: deflate`/`gzip`; without the DPI service every
+//! middlebox on the chain inflates the same bytes again.
+//!
+//! [`inflate`] is a complete RFC 1951 decoder (stored, fixed-Huffman and
+//! dynamic-Huffman blocks) with an explicit output bound — a DPI service
+//! must not be zip-bombable. [`deflate_stored`] and [`deflate_fixed`]
+//! produce valid DEFLATE streams (the latter with fixed-Huffman literals
+//! plus distance-1 run-length back-references), used by the workload
+//! generators and tests; compression *ratio* is not the point, validity
+//! and coverage of the decoder paths are.
+
+/// Decompression errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InflateError {
+    /// Input ended mid-stream.
+    Truncated,
+    /// Reserved block type 11.
+    BadBlockType,
+    /// Stored block LEN/NLEN mismatch.
+    BadStoredLength,
+    /// Over-subscribed or invalid Huffman code lengths.
+    BadHuffmanTable,
+    /// A symbol that cannot appear (e.g. undefined length code).
+    BadSymbol,
+    /// A back-reference before the start of output.
+    BadDistance,
+    /// Output would exceed the caller's bound (zip-bomb guard).
+    OutputLimit,
+}
+
+impl std::fmt::Display for InflateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            InflateError::Truncated => "truncated deflate stream",
+            InflateError::BadBlockType => "reserved block type",
+            InflateError::BadStoredLength => "stored block length check failed",
+            InflateError::BadHuffmanTable => "invalid huffman table",
+            InflateError::BadSymbol => "invalid symbol",
+            InflateError::BadDistance => "distance before output start",
+            InflateError::OutputLimit => "output limit exceeded",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for InflateError {}
+
+/// LSB-first bit reader over the compressed stream.
+struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    bit: u32,
+    acc: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(data: &'a [u8]) -> BitReader<'a> {
+        BitReader {
+            data,
+            pos: 0,
+            bit: 0,
+            acc: 0,
+        }
+    }
+
+    fn bits(&mut self, n: u32) -> Result<u32, InflateError> {
+        while self.bit < n {
+            let byte = *self.data.get(self.pos).ok_or(InflateError::Truncated)?;
+            self.acc |= u32::from(byte) << self.bit;
+            self.bit += 8;
+            self.pos += 1;
+        }
+        let v = self.acc & ((1u32 << n) - 1);
+        self.acc >>= n;
+        self.bit -= n;
+        Ok(v)
+    }
+
+    fn align_byte(&mut self) {
+        self.acc = 0;
+        self.bit = 0;
+    }
+
+    fn take_bytes(&mut self, n: usize) -> Result<&'a [u8], InflateError> {
+        if self.pos + n > self.data.len() {
+            return Err(InflateError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+}
+
+/// A canonical Huffman decoding table (counts + symbols per length).
+struct Huffman {
+    /// count[len] = number of codes of that length (len 1..=15).
+    count: [u16; 16],
+    /// Symbols sorted by (length, symbol).
+    symbols: Vec<u16>,
+}
+
+impl Huffman {
+    fn from_lengths(lengths: &[u8]) -> Result<Huffman, InflateError> {
+        let mut count = [0u16; 16];
+        for &l in lengths {
+            if l > 15 {
+                return Err(InflateError::BadHuffmanTable);
+            }
+            count[usize::from(l)] += 1;
+        }
+        count[0] = 0;
+        // Check the code is not over-subscribed.
+        let mut left = 1i32;
+        for &c in &count[1..16] {
+            left <<= 1;
+            left -= i32::from(c);
+            if left < 0 {
+                return Err(InflateError::BadHuffmanTable);
+            }
+        }
+        // Offsets per length, then place symbols.
+        let mut offs = [0u16; 16];
+        for l in 1..15 {
+            offs[l + 1] = offs[l] + count[l];
+        }
+        let mut symbols = vec![0u16; lengths.iter().filter(|&&l| l > 0).count()];
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l != 0 {
+                symbols[usize::from(offs[usize::from(l)])] = sym as u16;
+                offs[usize::from(l)] += 1;
+            }
+        }
+        Ok(Huffman { count, symbols })
+    }
+
+    /// Decodes one symbol (bit-by-bit canonical decoding).
+    fn decode(&self, r: &mut BitReader<'_>) -> Result<u16, InflateError> {
+        let mut code = 0i32;
+        let mut first = 0i32;
+        let mut index = 0i32;
+        for len in 1..16 {
+            code |= r.bits(1)? as i32;
+            let cnt = i32::from(self.count[len]);
+            if code - cnt < first {
+                return Ok(self.symbols[(index + (code - first)) as usize]);
+            }
+            index += cnt;
+            first += cnt;
+            first <<= 1;
+            code <<= 1;
+        }
+        Err(InflateError::BadSymbol)
+    }
+}
+
+const LENGTH_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
+];
+const LENGTH_EXTRA: [u32; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+const DIST_EXTRA: [u32; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
+];
+/// Order of code-length-code lengths in a dynamic block header.
+const CLC_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
+
+fn fixed_litlen_lengths() -> Vec<u8> {
+    let mut l = vec![8u8; 288];
+    for x in l.iter_mut().take(256).skip(144) {
+        *x = 9;
+    }
+    for x in l.iter_mut().take(280).skip(256) {
+        *x = 7;
+    }
+    l
+}
+
+/// Inflates a raw DEFLATE stream, producing at most `max_out` bytes.
+pub fn inflate(data: &[u8], max_out: usize) -> Result<Vec<u8>, InflateError> {
+    let mut r = BitReader::new(data);
+    let mut out: Vec<u8> = Vec::new();
+    loop {
+        let bfinal = r.bits(1)?;
+        let btype = r.bits(2)?;
+        match btype {
+            0 => {
+                // Stored.
+                r.align_byte();
+                let header = r.take_bytes(4)?;
+                let len = u16::from_le_bytes([header[0], header[1]]);
+                let nlen = u16::from_le_bytes([header[2], header[3]]);
+                if len != !nlen {
+                    return Err(InflateError::BadStoredLength);
+                }
+                let body = r.take_bytes(usize::from(len))?;
+                if out.len() + body.len() > max_out {
+                    return Err(InflateError::OutputLimit);
+                }
+                out.extend_from_slice(body);
+            }
+            1 | 2 => {
+                let (litlen, dist) = if btype == 1 {
+                    (
+                        Huffman::from_lengths(&fixed_litlen_lengths())?,
+                        Huffman::from_lengths(&[5u8; 30])?,
+                    )
+                } else {
+                    read_dynamic_tables(&mut r)?
+                };
+                inflate_block(&mut r, &litlen, &dist, &mut out, max_out)?;
+            }
+            _ => return Err(InflateError::BadBlockType),
+        }
+        if bfinal == 1 {
+            return Ok(out);
+        }
+    }
+}
+
+fn read_dynamic_tables(r: &mut BitReader<'_>) -> Result<(Huffman, Huffman), InflateError> {
+    let hlit = r.bits(5)? as usize + 257;
+    let hdist = r.bits(5)? as usize + 1;
+    let hclen = r.bits(4)? as usize + 4;
+    if hlit > 286 || hdist > 30 {
+        return Err(InflateError::BadHuffmanTable);
+    }
+    let mut clc_lengths = [0u8; 19];
+    for &idx in CLC_ORDER.iter().take(hclen) {
+        clc_lengths[idx] = r.bits(3)? as u8;
+    }
+    let clc = Huffman::from_lengths(&clc_lengths)?;
+
+    let mut lengths = Vec::with_capacity(hlit + hdist);
+    while lengths.len() < hlit + hdist {
+        let sym = clc.decode(r)?;
+        match sym {
+            0..=15 => lengths.push(sym as u8),
+            16 => {
+                let prev = *lengths.last().ok_or(InflateError::BadHuffmanTable)?;
+                let n = 3 + r.bits(2)? as usize;
+                lengths.extend(std::iter::repeat_n(prev, n));
+            }
+            17 => {
+                let n = 3 + r.bits(3)? as usize;
+                lengths.extend(std::iter::repeat_n(0u8, n));
+            }
+            18 => {
+                let n = 11 + r.bits(7)? as usize;
+                lengths.extend(std::iter::repeat_n(0u8, n));
+            }
+            _ => return Err(InflateError::BadSymbol),
+        }
+    }
+    if lengths.len() != hlit + hdist {
+        return Err(InflateError::BadHuffmanTable);
+    }
+    let litlen = Huffman::from_lengths(&lengths[..hlit])?;
+    let dist = Huffman::from_lengths(&lengths[hlit..])?;
+    Ok((litlen, dist))
+}
+
+fn inflate_block(
+    r: &mut BitReader<'_>,
+    litlen: &Huffman,
+    dist: &Huffman,
+    out: &mut Vec<u8>,
+    max_out: usize,
+) -> Result<(), InflateError> {
+    loop {
+        let sym = litlen.decode(r)?;
+        match sym {
+            0..=255 => {
+                if out.len() >= max_out {
+                    return Err(InflateError::OutputLimit);
+                }
+                out.push(sym as u8);
+            }
+            256 => return Ok(()),
+            257..=285 => {
+                let li = usize::from(sym - 257);
+                let len = usize::from(LENGTH_BASE[li]) + r.bits(LENGTH_EXTRA[li])? as usize;
+                let dsym = dist.decode(r)?;
+                if usize::from(dsym) >= DIST_BASE.len() {
+                    return Err(InflateError::BadSymbol);
+                }
+                let di = usize::from(dsym);
+                let d = usize::from(DIST_BASE[di]) + r.bits(DIST_EXTRA[di])? as usize;
+                if d > out.len() {
+                    return Err(InflateError::BadDistance);
+                }
+                if out.len() + len > max_out {
+                    return Err(InflateError::OutputLimit);
+                }
+                let start = out.len() - d;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+            _ => return Err(InflateError::BadSymbol),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Compressors (valid DEFLATE producers for workloads and tests).
+// ---------------------------------------------------------------------
+
+/// Wraps `data` in DEFLATE stored blocks — a valid, ratio-1 stream.
+pub fn deflate_stored(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() + data.len() / 0xffff * 5 + 8);
+    let mut chunks = data.chunks(0xffff).peekable();
+    if data.is_empty() {
+        out.extend_from_slice(&[0x01, 0x00, 0x00, 0xff, 0xff]);
+        return out;
+    }
+    while let Some(chunk) = chunks.next() {
+        let last = chunks.peek().is_none();
+        out.push(if last { 0x01 } else { 0x00 }); // BFINAL + BTYPE=00
+        let len = chunk.len() as u16;
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&(!len).to_le_bytes());
+        out.extend_from_slice(chunk);
+    }
+    out
+}
+
+/// LSB-first bit writer.
+struct BitWriter {
+    out: Vec<u8>,
+    acc: u32,
+    bit: u32,
+}
+
+impl BitWriter {
+    fn new() -> BitWriter {
+        BitWriter {
+            out: Vec::new(),
+            acc: 0,
+            bit: 0,
+        }
+    }
+
+    /// Writes `n` bits LSB-first (non-Huffman fields).
+    fn bits(&mut self, v: u32, n: u32) {
+        self.acc |= v << self.bit;
+        self.bit += n;
+        while self.bit >= 8 {
+            self.out.push((self.acc & 0xff) as u8);
+            self.acc >>= 8;
+            self.bit -= 8;
+        }
+    }
+
+    /// Writes a Huffman code: codes go on the wire MSB-of-code first.
+    fn code(&mut self, code: u32, n: u32) {
+        for i in (0..n).rev() {
+            self.bits((code >> i) & 1, 1);
+        }
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        if self.bit > 0 {
+            self.out.push((self.acc & 0xff) as u8);
+        }
+        self.out
+    }
+}
+
+/// Fixed-Huffman code for a literal/length symbol.
+fn fixed_code(sym: u16) -> (u32, u32) {
+    match sym {
+        0..=143 => (0x30 + u32::from(sym), 8),
+        144..=255 => (0x190 + u32::from(sym - 144), 9),
+        256..=279 => (u32::from(sym - 256), 7),
+        _ => (0xc0 + u32::from(sym - 280), 8),
+    }
+}
+
+/// Compresses with a single fixed-Huffman block: literals plus
+/// distance-1 back-references for byte runs (RLE). Valid DEFLATE,
+/// exercises both the literal and the length/distance decode paths.
+pub fn deflate_fixed(data: &[u8]) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    w.bits(1, 1); // BFINAL
+    w.bits(1, 2); // BTYPE = 01 fixed
+    let mut i = 0;
+    while i < data.len() {
+        // Measure the run of bytes equal to data[i].
+        let b = data[i];
+        let mut run = 1;
+        while i + run < data.len() && data[i + run] == b && run < 259 {
+            run += 1;
+        }
+        if run >= 4 {
+            // Literal, then a <length, dist 1> copy of the rest of the run.
+            let (c, n) = fixed_code(u16::from(b));
+            w.code(c, n);
+            let copy = (run - 1).min(258);
+            // Find the largest length code ≤ copy.
+            let li = LENGTH_BASE
+                .iter()
+                .rposition(|&base| usize::from(base) <= copy)
+                .expect("copy ≥ 3");
+            let base = usize::from(LENGTH_BASE[li]);
+            let extra_bits = LENGTH_EXTRA[li];
+            // Clamp to what the extra bits can express.
+            let max_span = base + ((1usize << extra_bits) - 1);
+            let span = copy.min(max_span);
+            let (c, n) = fixed_code(257 + li as u16);
+            w.code(c, n);
+            w.bits((span - base) as u32, extra_bits);
+            // Distance code 0 (=1), 5 bits, no extra.
+            w.code(0, 5);
+            i += 1 + span;
+        } else {
+            let (c, n) = fixed_code(u16::from(b));
+            w.code(c, n);
+            i += 1;
+        }
+    }
+    let (c, n) = fixed_code(256);
+    w.code(c, n);
+    w.finish()
+}
+
+// ---------------------------------------------------------------------
+// gzip (RFC 1952) framing — what HTTP `Content-Encoding: gzip` actually
+// carries: a header, a raw DEFLATE stream, CRC32 and length trailers.
+// ---------------------------------------------------------------------
+
+/// CRC-32 (IEEE 802.3) with a compile-time table.
+fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut t = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xedb8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    };
+    let mut c = 0xffff_ffffu32;
+    for &b in data {
+        c = TABLE[usize::from((c as u8) ^ b)] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Errors specific to the gzip framing around [`InflateError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GzipError {
+    /// Bad magic, compression method, or truncated header/trailer.
+    BadFraming,
+    /// The embedded DEFLATE stream failed.
+    Deflate(InflateError),
+    /// The CRC32 trailer did not match the decompressed data.
+    BadCrc,
+    /// The ISIZE trailer did not match the decompressed length.
+    BadLength,
+}
+
+impl std::fmt::Display for GzipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GzipError::BadFraming => write!(f, "bad gzip framing"),
+            GzipError::Deflate(e) => write!(f, "gzip body: {e}"),
+            GzipError::BadCrc => write!(f, "gzip crc mismatch"),
+            GzipError::BadLength => write!(f, "gzip length mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for GzipError {}
+
+/// Wraps data in a minimal gzip member (stored-block body).
+pub fn gzip(data: &[u8]) -> Vec<u8> {
+    let mut out = vec![
+        0x1f, 0x8b, // magic
+        0x08, // CM = deflate
+        0x00, // no flags
+        0, 0, 0, 0,    // mtime
+        0x00, // XFL
+        0xff, // OS = unknown
+    ];
+    out.extend_from_slice(&deflate_fixed(data));
+    out.extend_from_slice(&crc32(data).to_le_bytes());
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out
+}
+
+/// Decompresses a gzip member, verifying the CRC32 and length trailers.
+/// Extra header fields (FEXTRA/FNAME/FCOMMENT/FHCRC) are skipped.
+pub fn gunzip(data: &[u8], max_out: usize) -> Result<Vec<u8>, GzipError> {
+    if data.len() < 18 || data[0] != 0x1f || data[1] != 0x8b || data[2] != 0x08 {
+        return Err(GzipError::BadFraming);
+    }
+    let flags = data[3];
+    let mut off = 10usize;
+    if flags & 0x04 != 0 {
+        // FEXTRA: u16le length + payload.
+        if data.len() < off + 2 {
+            return Err(GzipError::BadFraming);
+        }
+        let xlen = usize::from(u16::from_le_bytes([data[off], data[off + 1]]));
+        off += 2 + xlen;
+    }
+    for bit in [0x08u8, 0x10] {
+        // FNAME / FCOMMENT: zero-terminated strings.
+        if flags & bit != 0 {
+            let end = data[off.min(data.len())..]
+                .iter()
+                .position(|&b| b == 0)
+                .ok_or(GzipError::BadFraming)?;
+            off += end + 1;
+        }
+    }
+    if flags & 0x02 != 0 {
+        off += 2; // FHCRC
+    }
+    if data.len() < off + 8 {
+        return Err(GzipError::BadFraming);
+    }
+    let body = &data[off..data.len() - 8];
+    let out = inflate(body, max_out).map_err(GzipError::Deflate)?;
+    let trailer = &data[data.len() - 8..];
+    let want_crc = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    let want_len = u32::from_le_bytes([trailer[4], trailer[5], trailer[6], trailer[7]]);
+    if out.len() as u32 != want_len {
+        return Err(GzipError::BadLength);
+    }
+    if crc32(&out) != want_crc {
+        return Err(GzipError::BadCrc);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vector: CRC32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn gzip_round_trips() {
+        for data in [b"".to_vec(), b"hello gzip world".to_vec(), vec![7u8; 5000]] {
+            let z = gzip(&data);
+            assert_eq!(gunzip(&z, data.len() + 1).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn gunzip_detects_corruption() {
+        let mut z = gzip(b"protected payload");
+        let n = z.len();
+        z[n - 6] ^= 0xff; // corrupt the CRC trailer
+        assert_eq!(gunzip(&z, 1 << 16).unwrap_err(), GzipError::BadCrc);
+        let mut z = gzip(b"protected payload");
+        let n = z.len();
+        z[n - 1] ^= 0x01; // corrupt ISIZE
+        assert_eq!(gunzip(&z, 1 << 16).unwrap_err(), GzipError::BadLength);
+        assert_eq!(gunzip(b"nope", 16).unwrap_err(), GzipError::BadFraming);
+    }
+
+    #[test]
+    fn stored_round_trips() {
+        for data in [
+            b"".to_vec(),
+            b"hello world".to_vec(),
+            vec![0xabu8; 100_000], // multiple stored blocks
+        ] {
+            let z = deflate_stored(&data);
+            assert_eq!(inflate(&z, 1 << 20).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn fixed_literals_round_trip() {
+        let data = b"The quick brown fox jumps over the lazy dog \x00\xff\x80";
+        let z = deflate_fixed(data);
+        assert!(z.len() < data.len() + 8);
+        assert_eq!(inflate(&z, 1 << 16).unwrap(), data);
+    }
+
+    #[test]
+    fn rle_backreferences_round_trip_and_compress() {
+        let mut data = b"header ".to_vec();
+        data.extend(vec![b'A'; 500]);
+        data.extend_from_slice(b" trailer");
+        let z = deflate_fixed(&data);
+        assert!(z.len() < data.len() / 4, "RLE should compress runs");
+        assert_eq!(inflate(&z, 1 << 16).unwrap(), data);
+    }
+
+    #[test]
+    fn zip_bomb_is_bounded() {
+        let data = vec![b'x'; 100_000];
+        let z = deflate_fixed(&data);
+        assert_eq!(inflate(&z, 1000).unwrap_err(), InflateError::OutputLimit);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let z = deflate_fixed(b"some reasonable content");
+        for cut in 0..z.len() {
+            // Prefixes must error or produce a prefix, never panic.
+            let _ = inflate(&z[..cut], 1 << 16);
+        }
+    }
+
+    #[test]
+    fn stored_length_check_detects_corruption() {
+        let mut z = deflate_stored(b"payload");
+        z[2] ^= 0xff; // corrupt NLEN
+        assert_eq!(
+            inflate(&z, 1 << 16).unwrap_err(),
+            InflateError::BadStoredLength
+        );
+    }
+
+    #[test]
+    fn reserved_block_type_rejected() {
+        // BFINAL=1, BTYPE=11.
+        assert_eq!(
+            inflate(&[0b0000_0111], 16).unwrap_err(),
+            InflateError::BadBlockType
+        );
+    }
+
+    #[test]
+    fn bad_distance_rejected() {
+        // Fixed block, immediate length code with distance pointing
+        // before output start: craft via our writer.
+        let mut w = BitWriter::new();
+        w.bits(1, 1);
+        w.bits(1, 2);
+        let (c, n) = fixed_code(257); // length 3
+        w.code(c, n);
+        w.code(0, 5); // distance 1, but output is empty
+        let (c, n) = fixed_code(256);
+        w.code(c, n);
+        let z = w.finish();
+        assert_eq!(inflate(&z, 16).unwrap_err(), InflateError::BadDistance);
+    }
+
+    #[test]
+    fn dynamic_block_via_known_vector() {
+        // A dynamic-Huffman stream produced by zlib for "abaabbbabaababbaababaaaabaaabbbbbaa"
+        // (from the puff test suite).
+        let z: &[u8] = &[
+            0x1d, 0xc6, 0x49, 0x01, 0x00, 0x00, 0x10, 0x40, 0xc0, 0xac, 0xa3, 0x7f, 0x88, 0x3d,
+            0x3c, 0x20, 0x2a, 0x97, 0x9d, 0x37, 0x5e, 0x1d, 0x0c,
+        ];
+        let expect = b"abaabbbabaababbaababaaaabaaabbbbbaa";
+        assert_eq!(inflate(z, 1 << 10).unwrap(), expect);
+    }
+}

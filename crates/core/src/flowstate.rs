@@ -1,0 +1,172 @@
+//! Per-flow scan state for stateful middleboxes (§5.2).
+//!
+//! "If at least one of the middleboxes is stateful, we will initialize an
+//! empty data structure of active flows, which will hold the state and
+//! offset of scans done on that flow up until now." The paper also notes
+//! (§4.3) that this is the *only* state a DPI instance keeps per flow —
+//! "the DPI instance keeps only the current DFA state and an offset within
+//! the packet" — which is what makes instance migration cheap.
+
+use dpi_ac::StateId;
+use dpi_packet::FlowKey;
+use std::collections::HashMap;
+
+/// The scan state of one flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowState {
+    /// DFA state at the end of the last scanned packet.
+    pub state: StateId,
+    /// Bytes of the flow scanned so far (`offset` in §5.2).
+    pub offset: u64,
+    /// Logical timestamp of the last access (for eviction).
+    last_used: u64,
+}
+
+/// The active-flow table, bounded in size.
+///
+/// Eviction is approximate-LRU: when the table exceeds its capacity, the
+/// oldest half (by last access) is dropped. Losing a flow's state is safe
+/// — the next packet simply scans from the root, exactly as if the flow
+/// were new — so approximation costs accuracy on pattern matches spanning
+/// the eviction boundary, never correctness of the data path.
+#[derive(Debug)]
+pub struct FlowTable {
+    flows: HashMap<FlowKey, FlowState>,
+    capacity: usize,
+    clock: u64,
+}
+
+impl FlowTable {
+    /// Creates a table bounded to `capacity` flows (minimum 1).
+    pub fn new(capacity: usize) -> FlowTable {
+        FlowTable {
+            flows: HashMap::new(),
+            capacity: capacity.max(1),
+            clock: 0,
+        }
+    }
+
+    /// Number of tracked flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether no flows are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Looks up (and touches) a flow's state.
+    pub fn get(&mut self, key: &FlowKey) -> Option<FlowState> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.flows.get_mut(key).map(|fs| {
+            fs.last_used = clock;
+            *fs
+        })
+    }
+
+    /// Stores a flow's state after a scan.
+    pub fn put(&mut self, key: FlowKey, state: StateId, offset: u64) {
+        self.clock += 1;
+        self.flows.insert(
+            key,
+            FlowState {
+                state,
+                offset,
+                last_used: self.clock,
+            },
+        );
+        if self.flows.len() > self.capacity {
+            self.evict();
+        }
+    }
+
+    /// Removes a flow (connection teardown, or migration to another
+    /// instance — §4.3.1's flow migration exports exactly this record).
+    pub fn remove(&mut self, key: &FlowKey) -> Option<FlowState> {
+        self.flows.remove(key)
+    }
+
+    /// Exports a flow's state without touching LRU order — the migration
+    /// path (§4.3): the source instance exports, the target imports.
+    pub fn export(&self, key: &FlowKey) -> Option<(StateId, u64)> {
+        self.flows.get(key).map(|fs| (fs.state, fs.offset))
+    }
+
+    /// Imports a migrated flow.
+    pub fn import(&mut self, key: FlowKey, state: StateId, offset: u64) {
+        self.put(key, state, offset);
+    }
+
+    /// All tracked flow keys (diagnostics, migration candidate listing).
+    pub fn keys(&self) -> impl Iterator<Item = &FlowKey> {
+        self.flows.keys()
+    }
+
+    fn evict(&mut self) {
+        // Drop the least-recently-used half.
+        let mut ages: Vec<u64> = self.flows.values().map(|f| f.last_used).collect();
+        ages.sort_unstable();
+        let cutoff = ages[ages.len() / 2];
+        self.flows.retain(|_, f| f.last_used > cutoff);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpi_packet::ipv4::IpProtocol;
+    use std::net::Ipv4Addr;
+
+    fn key(n: u16) -> FlowKey {
+        FlowKey {
+            src_ip: Ipv4Addr::new(10, 0, 0, 1),
+            dst_ip: Ipv4Addr::new(10, 0, 0, 2),
+            protocol: IpProtocol::Tcp,
+            src_port: n,
+            dst_port: 80,
+        }
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut t = FlowTable::new(10);
+        assert!(t.get(&key(1)).is_none());
+        t.put(key(1), 42, 1000);
+        let fs = t.get(&key(1)).unwrap();
+        assert_eq!((fs.state, fs.offset), (42, 1000));
+    }
+
+    #[test]
+    fn eviction_bounds_size_and_keeps_recent() {
+        let mut t = FlowTable::new(16);
+        for i in 0..64 {
+            t.put(key(i), i as u32, 0);
+        }
+        assert!(t.len() <= 16);
+        // The most recent flow survives.
+        assert!(t.get(&key(63)).is_some());
+    }
+
+    #[test]
+    fn remove_and_migrate() {
+        let mut src = FlowTable::new(8);
+        src.put(key(5), 7, 512);
+        let (state, offset) = src.export(&key(5)).unwrap();
+        src.remove(&key(5));
+        assert!(src.get(&key(5)).is_none());
+
+        let mut dst = FlowTable::new(8);
+        dst.import(key(5), state, offset);
+        let fs = dst.get(&key(5)).unwrap();
+        assert_eq!((fs.state, fs.offset), (7, 512));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut t = FlowTable::new(0);
+        t.put(key(1), 1, 1);
+        assert!(t.len() <= 1);
+    }
+}

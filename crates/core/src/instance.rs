@@ -1,0 +1,725 @@
+//! The DPI service instance (§5).
+
+use crate::config::{InstanceConfig, MiddleboxProfile, NumberedRule};
+use crate::flowstate::FlowTable;
+use crate::report::compress_matches;
+use crate::rules::RuleKind;
+use crate::telemetry::Telemetry;
+use dpi_ac::trie::TrieError;
+use dpi_ac::{Automaton, CombinedAcBuilder, FullAc, MiddleboxId, PatternId};
+use dpi_packet::nsh::DpiResultsHeader;
+use dpi_packet::report::{MiddleboxReport, ResultPacket};
+use dpi_packet::{FlowKey, Packet};
+use dpi_regex::{Regex, RegexError};
+use std::collections::HashMap;
+
+/// Errors from instance construction or packet inspection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceError {
+    /// A policy chain references a middlebox with no registered profile.
+    UnknownMiddlebox {
+        /// The offending chain.
+        chain_id: u16,
+        /// The unregistered middlebox.
+        middlebox: MiddleboxId,
+    },
+    /// A packet arrived with a chain tag the instance does not serve.
+    UnknownChain(u16),
+    /// A packet without an IPv4 payload was handed to the scanner.
+    NoPayload,
+    /// A data packet reached the instance without a policy-chain tag
+    /// (the TSA failed to tag it, §4.1).
+    Untagged,
+    /// A compressed payload failed to decompress.
+    BadCompressedPayload(crate::decompress::InflateError),
+    /// A gzip payload failed framing or integrity checks.
+    BadGzipPayload(crate::decompress::GzipError),
+    /// A registered regex failed to compile.
+    BadRegex {
+        /// The middlebox that registered it.
+        middlebox: MiddleboxId,
+        /// Rule index within the middlebox's list.
+        rule: u16,
+        /// The underlying error.
+        error: RegexError,
+    },
+    /// An exact pattern was rejected by the automaton builder.
+    BadPattern(TrieError),
+    /// More rules (including synthetic anchor patterns) than the 15-bit
+    /// report id space can carry.
+    TooManyRules(MiddleboxId),
+    /// Two pattern sets were registered for the same middlebox id.
+    DuplicateMiddlebox(MiddleboxId),
+}
+
+impl std::fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstanceError::UnknownMiddlebox {
+                chain_id,
+                middlebox,
+            } => write!(
+                f,
+                "chain {chain_id} references unregistered middlebox {}",
+                middlebox.0
+            ),
+            InstanceError::UnknownChain(id) => write!(f, "unknown policy chain {id}"),
+            InstanceError::NoPayload => write!(f, "packet has no scannable payload"),
+            InstanceError::Untagged => write!(f, "packet carries no policy-chain tag"),
+            InstanceError::BadCompressedPayload(e) => {
+                write!(f, "compressed payload: {e}")
+            }
+            InstanceError::BadGzipPayload(e) => write!(f, "gzip payload: {e}"),
+            InstanceError::BadRegex {
+                middlebox,
+                rule,
+                error,
+            } => write!(f, "middlebox {} rule {rule}: {error}", middlebox.0),
+            InstanceError::BadPattern(e) => write!(f, "bad exact pattern: {e}"),
+            InstanceError::TooManyRules(mb) => {
+                write!(f, "middlebox {} exceeds the 15-bit rule id space", mb.0)
+            }
+            InstanceError::DuplicateMiddlebox(mb) => {
+                write!(f, "middlebox {} registered twice", mb.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+/// One compiled regular-expression rule.
+#[derive(Debug)]
+struct RegexRule {
+    /// The middlebox-local rule id reported on a match.
+    rule_id: u16,
+    regex: Regex,
+    /// Number of distinct anchors that must all be seen before the regex
+    /// runs (0 ⇒ the rule lives on the parallel path instead).
+    anchor_count: usize,
+    /// Anchor-less rules run on *every* packet, so they get a lazy DFA
+    /// (O(1)/byte steady state); anchor-gated rules run rarely and keep
+    /// the NFA simulation.
+    dfa: Option<parking_lot::Mutex<dpi_regex::dfa::LazyDfa<dpi_regex::nfa::Nfa>>>,
+}
+
+/// Per-middlebox compiled rule metadata.
+#[derive(Debug, Default)]
+struct MbRules {
+    /// Number of registered rules (exact + regex); synthetic anchor
+    /// pattern ids start here.
+    rule_count: u16,
+    regex_rules: Vec<RegexRule>,
+    /// Synthetic AC pattern id → (regex rule index, anchor index) pairs
+    /// (one anchor string can serve several rules).
+    anchor_owner: HashMap<u16, Vec<(usize, usize)>>,
+    /// Regex rules with no usable anchors: evaluated on every packet the
+    /// middlebox is active for (§5.3's parallel path).
+    parallel: Vec<usize>,
+}
+
+/// Active-chain metadata resolved at build time.
+#[derive(Debug, Clone)]
+struct ChainInfo {
+    members: Vec<MiddleboxId>,
+    bitmap: u64,
+    any_stateful: bool,
+}
+
+/// The result of scanning one packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanOutput {
+    /// Per-middlebox match lists; middleboxes with no matches are absent
+    /// ("a packet with no matches is always forwarded as is", §4.2).
+    pub reports: Vec<MiddleboxReport>,
+    /// The flow-relative offset of this packet's first byte (0 for
+    /// stateless scans).
+    pub flow_offset: u64,
+    /// Whether the scan resumed from stored flow state.
+    pub resumed: bool,
+    /// Payload bytes actually scanned (≤ payload length when every active
+    /// middlebox's stopping condition was reached earlier).
+    pub scanned: usize,
+}
+
+impl ScanOutput {
+    /// Whether any middlebox got any match.
+    pub fn has_matches(&self) -> bool {
+        !self.reports.is_empty()
+    }
+}
+
+/// The virtual DPI service instance.
+#[derive(Debug)]
+pub struct DpiInstance {
+    ac: FullAc,
+    profiles: HashMap<MiddleboxId, MiddleboxProfile>,
+    chains: HashMap<u16, ChainInfo>,
+    rules: HashMap<MiddleboxId, MbRules>,
+    flows: FlowTable,
+    /// Per-flow TCP reassembly state, created lazily by
+    /// [`DpiInstance::scan_tcp_segment`] (session reconstruction as a
+    /// service — the paper's named future work).
+    reassemblers: HashMap<FlowKey, crate::reassembly::StreamReassembler>,
+    /// Per-flow deep-state sampling, feeding MCA² heavy-flow selection
+    /// (§4.3.1: the controller "migrates the heavy flows, which are
+    /// suspected to be malicious").
+    flow_stress: HashMap<FlowKey, (u64, u64)>,
+    telemetry: Telemetry,
+    packet_counter: u32,
+}
+
+impl DpiInstance {
+    /// Builds an instance from a configuration (§5.1's initialization).
+    pub fn new(config: InstanceConfig) -> Result<DpiInstance, InstanceError> {
+        let mut profiles = HashMap::new();
+        for p in &config.profiles {
+            profiles.insert(p.id, *p);
+        }
+
+        let mut builder = CombinedAcBuilder::new();
+        let mut rules: HashMap<MiddleboxId, MbRules> = HashMap::new();
+
+        for (mb, specs) in &config.pattern_sets {
+            if rules.contains_key(mb) {
+                return Err(InstanceError::DuplicateMiddlebox(*mb));
+            }
+            let compiled = compile_rules(*mb, specs, &mut builder)?;
+            rules.insert(*mb, compiled);
+            // Middleboxes may register patterns without an explicit
+            // profile; default to stateless read-write.
+            profiles
+                .entry(*mb)
+                .or_insert_with(|| MiddleboxProfile::stateless(*mb));
+        }
+
+        let mut chains = HashMap::new();
+        for c in &config.chains {
+            let mut members = Vec::new();
+            for m in &c.members {
+                if !profiles.contains_key(m) {
+                    return Err(InstanceError::UnknownMiddlebox {
+                        chain_id: c.chain_id,
+                        middlebox: *m,
+                    });
+                }
+                // Only middleboxes with pattern sets matter to the scan.
+                if rules.contains_key(m) {
+                    members.push(*m);
+                }
+            }
+            let bitmap = dpi_ac::bitmap_of(&members);
+            let any_stateful = members
+                .iter()
+                .any(|m| profiles.get(m).map(|p| p.stateful).unwrap_or(false));
+            chains.insert(
+                c.chain_id,
+                ChainInfo {
+                    members,
+                    bitmap,
+                    any_stateful,
+                },
+            );
+        }
+
+        Ok(DpiInstance {
+            ac: builder.build_full(),
+            profiles,
+            chains,
+            rules,
+            flows: FlowTable::new(
+                config
+                    .max_flows
+                    .unwrap_or(InstanceConfig::DEFAULT_MAX_FLOWS),
+            ),
+            reassemblers: HashMap::new(),
+            flow_stress: HashMap::new(),
+            telemetry: Telemetry::default(),
+            packet_counter: 0,
+        })
+    }
+
+    /// The combined automaton (size/stat introspection for experiments).
+    pub fn automaton(&self) -> &FullAc {
+        &self.ac
+    }
+
+    /// Telemetry snapshot.
+    pub fn telemetry(&self) -> Telemetry {
+        self.telemetry
+    }
+
+    /// The policy chains this instance serves.
+    pub fn chain_ids(&self) -> Vec<u16> {
+        let mut v: Vec<u16> = self.chains.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Exports a flow's scan state for migration to another instance
+    /// (§4.3.1). Returns `None` for untracked flows.
+    pub fn export_flow(&mut self, key: &FlowKey) -> Option<(u32, u64)> {
+        let exported = self.flows.export(key);
+        if exported.is_some() {
+            self.flows.remove(key);
+        }
+        exported
+    }
+
+    /// Imports a migrated flow's scan state.
+    pub fn import_flow(&mut self, key: FlowKey, state: u32, offset: u64) {
+        self.flows.import(key, state, offset);
+    }
+
+    /// Number of flows currently tracked.
+    pub fn tracked_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Scans a raw payload for `chain_id` (§5.2's algorithm). `flow` must
+    /// be given when the chain has stateful members and the caller wants
+    /// cross-packet state.
+    pub fn scan_payload(
+        &mut self,
+        chain_id: u16,
+        flow: Option<FlowKey>,
+        payload: &[u8],
+    ) -> Result<ScanOutput, InstanceError> {
+        let chain = self
+            .chains
+            .get(&chain_id)
+            .ok_or(InstanceError::UnknownChain(chain_id))?
+            .clone();
+
+        // Restore per-flow DFA state for stateful chains.
+        let (start_state, offset) = match (chain.any_stateful, flow) {
+            (true, Some(key)) => self
+                .flows
+                .get(&key)
+                .map(|fs| (fs.state, fs.offset))
+                .unwrap_or((self.ac.start(), 0)),
+            _ => (self.ac.start(), 0),
+        };
+        let resumed = start_state != self.ac.start() || offset > 0;
+
+        // The most conservative stopping condition: scan as deep as the
+        // hungriest active middlebox needs (§5.2).
+        let scan_len = self.required_scan_len(&chain, offset, payload.len());
+
+        // Per-member raw hits: (pattern id, end pos, pattern len).
+        let mut hits: Vec<Vec<(u16, u16, u16)>> = vec![Vec::new(); chain.members.len()];
+        // Per-member set of (regex rule idx, anchor idx) seen.
+        let mut anchors_seen: Vec<std::collections::HashSet<(usize, usize)>> =
+            vec![std::collections::HashSet::new(); chain.members.len()];
+        let member_index: HashMap<MiddleboxId, usize> = chain
+            .members
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (*m, i))
+            .collect();
+
+        // The scan loop — manual rather than `Automaton::scan` so depth
+        // sampling and the bitmap fast path live inline.
+        let mut state = start_state;
+        let mut deep = 0u64;
+        let mut samples = 0u64;
+        for (i, &b) in payload[..scan_len].iter().enumerate() {
+            state = self.ac.step(state, b);
+            if i % Telemetry::SAMPLE == 0 {
+                samples += 1;
+                if self.ac.state_depth(state) >= Telemetry::DEEP_DEPTH {
+                    deep += 1;
+                }
+            }
+            if self.ac.is_accepting(state) && self.ac.bitmap(state) & chain.bitmap != 0 {
+                for e in self.ac.entries(state) {
+                    let Some(&mi) = member_index.get(&e.middlebox) else {
+                        continue;
+                    };
+                    let rules = &self.rules[&e.middlebox];
+                    let pid = e.pattern.0;
+                    if pid >= rules.rule_count {
+                        // A synthetic anchor pattern.
+                        if let Some(owners) = rules.anchor_owner.get(&pid) {
+                            for &(ri, ai) in owners {
+                                anchors_seen[mi].insert((ri, ai));
+                            }
+                        }
+                    } else {
+                        hits[mi].push((pid, i as u16, e.len));
+                    }
+                }
+            }
+        }
+
+        // Post-filtering (§5.2) and regex resolution (§5.3) per member.
+        let mut reports = Vec::new();
+        let mut total_matches = 0u64;
+        for (mi, member) in chain.members.iter().enumerate() {
+            let profile = self.profiles[member];
+            let stop = profile.stopping_condition;
+            let mut list: Vec<(u16, u16)> = Vec::new();
+            for &(pid, pos, len) in &hits[mi] {
+                let cnt = u64::from(pos) + 1;
+                if profile.stateful {
+                    // Stateful: the stopping condition counts flow bytes.
+                    if let Some(s) = stop {
+                        if cnt + offset > s {
+                            continue;
+                        }
+                    }
+                } else {
+                    // Stateless middleboxes must not see matches that
+                    // began in a previous packet (the scan only started
+                    // mid-automaton because a *stateful* middlebox shares
+                    // the flow).
+                    if resumed && u64::from(len) > cnt {
+                        continue;
+                    }
+                    if let Some(s) = stop {
+                        if cnt > s {
+                            continue;
+                        }
+                    }
+                }
+                list.push((pid, pos));
+            }
+
+            // §5.3: run each regex whose anchors were all seen.
+            let mb_rules = &self.rules[member];
+            for (ri, rr) in mb_rules.regex_rules.iter().enumerate() {
+                let on_parallel_path = rr.anchor_count == 0;
+                let triggered = if on_parallel_path {
+                    self.telemetry.parallel_regex_evaluations += 1;
+                    true
+                } else {
+                    let seen = anchors_seen[mi].iter().filter(|(r, _)| *r == ri).count();
+                    seen == rr.anchor_count
+                };
+                if !triggered {
+                    continue;
+                }
+                if !on_parallel_path {
+                    self.telemetry.regex_invocations += 1;
+                }
+                let found = match &rr.dfa {
+                    Some(dfa) => dfa.lock().find_end(&payload[..scan_len]),
+                    None => rr.regex.find_end(&payload[..scan_len]),
+                };
+                if let Some(end) = found {
+                    let pos = end.saturating_sub(1) as u16;
+                    let cnt = u64::from(pos) + 1;
+                    let within_stop = match stop {
+                        Some(s) if profile.stateful => cnt + offset <= s,
+                        Some(s) => cnt <= s,
+                        None => true,
+                    };
+                    if within_stop {
+                        list.push((rr.rule_id, pos));
+                    }
+                }
+            }
+
+            if !list.is_empty() {
+                // Sort by (pattern, position): runs of one pattern at
+                // consecutive positions become adjacent, which is the
+                // shape `compress_matches` folds into range records.
+                list.sort_unstable();
+                list.dedup();
+                let records = compress_matches(&list);
+                total_matches += records
+                    .iter()
+                    .map(|r| u64::from(r.occurrences()))
+                    .sum::<u64>();
+                reports.push(MiddleboxReport {
+                    middlebox_id: member.0,
+                    records,
+                });
+            }
+        }
+
+        // Persist flow state for stateful chains. The stored offset covers
+        // the whole payload even if the scan stopped early: every stateful
+        // middlebox's stopping condition was already exceeded, so later
+        // matches would be filtered anyway.
+        if chain.any_stateful {
+            if let Some(key) = flow {
+                self.flows.put(key, state, offset + payload.len() as u64);
+            }
+        }
+
+        // Telemetry, including the per-flow stress samples that MCA²
+        // heavy-flow selection reads.
+        if let Some(key) = flow {
+            if self.flow_stress.len() >= 4 * InstanceConfig::DEFAULT_MAX_FLOWS {
+                self.flow_stress.clear(); // bounded, coarse reset
+            }
+            let e = self.flow_stress.entry(key).or_insert((0, 0));
+            e.0 += deep;
+            e.1 += samples;
+        }
+        self.telemetry.packets += 1;
+        self.telemetry.bytes += scan_len as u64;
+        self.telemetry.matches += total_matches;
+        if !reports.is_empty() {
+            self.telemetry.packets_with_matches += 1;
+        }
+        self.telemetry.deep_samples += deep;
+        self.telemetry.depth_samples += samples;
+
+        Ok(ScanOutput {
+            reports,
+            flow_offset: offset,
+            resumed,
+            scanned: scan_len,
+        })
+    }
+
+    /// Scans a packet using its chain tag, marks it via ECN when matches
+    /// exist (§6.1), and returns the dedicated result packet to send right
+    /// after it (§4.2 option 3, the prototype's method).
+    pub fn inspect(&mut self, packet: &mut Packet) -> Result<Option<ResultPacket>, InstanceError> {
+        let chain_id = packet.chain_tag().ok_or(InstanceError::Untagged)?;
+        let flow = packet.flow_key();
+        let payload: Vec<u8> = packet.payload().ok_or(InstanceError::NoPayload)?.to_vec();
+        let out = self.scan_payload(chain_id, flow, &payload)?;
+        if !out.has_matches() {
+            return Ok(None);
+        }
+        packet.mark_matches();
+        self.packet_counter = self.packet_counter.wrapping_add(1);
+        Ok(Some(ResultPacket {
+            packet_id: self.packet_counter,
+            flow: flow.expect("ipv4 payload implies flow key"),
+            flow_offset: out.flow_offset,
+            reports: out.reports,
+        }))
+    }
+
+    /// Scans a packet and attaches the results as an in-band NSH-like
+    /// header (§4.2 option 1). Returns whether any matches were attached.
+    pub fn inspect_inband(&mut self, packet: &mut Packet) -> Result<bool, InstanceError> {
+        let chain_id = packet.chain_tag().ok_or(InstanceError::Untagged)?;
+        let flow = packet.flow_key();
+        let payload: Vec<u8> = packet.payload().ok_or(InstanceError::NoPayload)?.to_vec();
+        let out = self.scan_payload(chain_id, flow, &payload)?;
+        if !out.has_matches() {
+            return Ok(false);
+        }
+        packet.mark_matches();
+        let n_members = self
+            .chains
+            .get(&chain_id)
+            .map(|c| c.members.len() as u8)
+            .unwrap_or(0);
+        packet.attach_results(DpiResultsHeader::new(chain_id, n_members, out.reports));
+        Ok(true)
+    }
+
+    /// Declares a new TCP stream with its initial sequence number (what a
+    /// SYN carries). Without this, [`DpiInstance::scan_tcp_segment`]
+    /// initializes from the first segment seen — correct only when that
+    /// segment is the true stream start; under reordering of the opening
+    /// packets, declare the ISN explicitly.
+    pub fn open_tcp_flow(&mut self, flow: FlowKey, initial_seq: u32) {
+        self.reassemblers.insert(
+            flow,
+            crate::reassembly::StreamReassembler::new(initial_seq, 1 << 20),
+        );
+    }
+
+    /// Feeds one TCP segment through per-flow stream reassembly, then
+    /// scans every in-order byte run that becomes available. Out-of-order
+    /// segments return an empty vector and are scanned when the gap
+    /// fills; stateful middleboxes therefore see a *correct, in-order*
+    /// byte stream even under reordering — session reconstruction as a
+    /// service, done once instead of once per middlebox.
+    pub fn scan_tcp_segment(
+        &mut self,
+        chain_id: u16,
+        flow: FlowKey,
+        seq: u32,
+        payload: &[u8],
+    ) -> Result<Vec<ScanOutput>, InstanceError> {
+        // Bound the reassembler map alongside the flow table.
+        if self.reassemblers.len() > InstanceConfig::DEFAULT_MAX_FLOWS
+            && !self.reassemblers.contains_key(&flow)
+        {
+            // Fail-open on pressure: drop an arbitrary old stream.
+            if let Some(k) = self.reassemblers.keys().next().copied() {
+                self.reassemblers.remove(&k);
+            }
+        }
+        let r = self
+            .reassemblers
+            .entry(flow)
+            .or_insert_with(|| crate::reassembly::StreamReassembler::new(seq, 1 << 20));
+        let runs = r.push(seq, payload);
+        runs.iter()
+            .map(|run| self.scan_payload(chain_id, Some(flow), run))
+            .collect()
+    }
+
+    /// Tears down a flow's reassembly state (RST/FIN/timeout).
+    pub fn close_tcp_flow(&mut self, flow: &FlowKey) {
+        self.reassemblers.remove(flow);
+        self.flows.remove(flow);
+        self.flow_stress.remove(flow);
+    }
+
+    /// Per-flow deep-state ratios observed since the last
+    /// [`DpiInstance::reset_flow_stress`] — the input to
+    /// [`dpi_ac`]-independent heavy-flow selection (§4.3.1). Flows with
+    /// fewer than two samples are omitted (no signal).
+    pub fn flow_deep_ratios(&self) -> Vec<(FlowKey, f64)> {
+        let mut v: Vec<(FlowKey, f64)> = self
+            .flow_stress
+            .iter()
+            .filter(|(_, (_, samples))| *samples >= 2)
+            .map(|(k, (deep, samples))| (*k, *deep as f64 / *samples as f64))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("ratios are finite"));
+        v
+    }
+
+    /// Clears the per-flow stress window (after the controller consumed
+    /// it).
+    pub fn reset_flow_stress(&mut self) {
+        self.flow_stress.clear();
+    }
+
+    /// Scans a DEFLATE-compressed payload: inflates **once** and scans the
+    /// decompressed bytes for every active middlebox (§1: "the effect of
+    /// decompression … may be reduced significantly, as these heavy
+    /// processes are executed only once for each packet"). `max_inflated`
+    /// bounds the decompressed size — the zip-bomb guard a shared service
+    /// needs even more than a single middlebox does.
+    pub fn scan_payload_deflated(
+        &mut self,
+        chain_id: u16,
+        flow: Option<FlowKey>,
+        compressed: &[u8],
+        max_inflated: usize,
+    ) -> Result<ScanOutput, InstanceError> {
+        let inflated = crate::decompress::inflate(compressed, max_inflated)
+            .map_err(InstanceError::BadCompressedPayload)?;
+        self.telemetry.decompressions += 1;
+        self.telemetry.decompressed_bytes += inflated.len() as u64;
+        self.scan_payload(chain_id, flow, &inflated)
+    }
+
+    /// Like [`DpiInstance::scan_payload_deflated`] for gzip-framed bodies
+    /// (HTTP `Content-Encoding: gzip`), with CRC/length verification.
+    pub fn scan_payload_gzip(
+        &mut self,
+        chain_id: u16,
+        flow: Option<FlowKey>,
+        gz: &[u8],
+        max_inflated: usize,
+    ) -> Result<ScanOutput, InstanceError> {
+        let inflated =
+            crate::decompress::gunzip(gz, max_inflated).map_err(InstanceError::BadGzipPayload)?;
+        self.telemetry.decompressions += 1;
+        self.telemetry.decompressed_bytes += inflated.len() as u64;
+        self.scan_payload(chain_id, flow, &inflated)
+    }
+
+    fn required_scan_len(&self, chain: &ChainInfo, offset: u64, payload_len: usize) -> usize {
+        let mut needed = 0u64;
+        for m in &chain.members {
+            let p = &self.profiles[m];
+            match p.stopping_condition {
+                None => return payload_len,
+                Some(s) => {
+                    let n = if p.stateful {
+                        s.saturating_sub(offset)
+                    } else {
+                        s
+                    };
+                    needed = needed.max(n);
+                }
+            }
+        }
+        payload_len.min(needed as usize)
+    }
+}
+
+/// Compiles one middlebox's rule list into the shared automaton builder.
+fn compile_rules(
+    mb: MiddleboxId,
+    rules_in: &[NumberedRule],
+    builder: &mut CombinedAcBuilder,
+) -> Result<MbRules, InstanceError> {
+    // Synthetic anchor ids start right above the highest registered rule
+    // id; both must fit the 15-bit report space.
+    let max_id = rules_in
+        .iter()
+        .map(|r| r.id)
+        .max()
+        .map(|m| m + 1)
+        .unwrap_or(0);
+    if max_id > dpi_packet::report::MAX_REPORTABLE_PATTERN_ID {
+        return Err(InstanceError::TooManyRules(mb));
+    }
+    let mut out = MbRules {
+        rule_count: max_id,
+        ..MbRules::default()
+    };
+    let mut next_synthetic = max_id;
+    // Reuse identical anchor strings across rules of the same middlebox.
+    let mut anchor_ids: HashMap<Vec<u8>, u16> = HashMap::new();
+
+    for rule in rules_in {
+        let i = rule.id;
+        match &rule.spec.kind {
+            RuleKind::Exact(p) => {
+                builder
+                    .add_pattern(mb, PatternId(i), p)
+                    .map_err(InstanceError::BadPattern)?;
+            }
+            RuleKind::Regex(src) => {
+                let regex = Regex::new(src).map_err(|error| InstanceError::BadRegex {
+                    middlebox: mb,
+                    rule: i,
+                    error,
+                })?;
+                let anchors = regex.anchors().to_vec();
+                let ri = out.regex_rules.len();
+                if anchors.is_empty() {
+                    out.parallel.push(ri);
+                } else {
+                    for (ai, anchor) in anchors.iter().enumerate() {
+                        let pid = match anchor_ids.get(anchor) {
+                            Some(&pid) => pid,
+                            None => {
+                                let pid = next_synthetic;
+                                if pid > dpi_packet::report::MAX_REPORTABLE_PATTERN_ID {
+                                    return Err(InstanceError::TooManyRules(mb));
+                                }
+                                next_synthetic = next_synthetic
+                                    .checked_add(1)
+                                    .ok_or(InstanceError::TooManyRules(mb))?;
+                                builder
+                                    .add_pattern(mb, PatternId(pid), anchor)
+                                    .map_err(InstanceError::BadPattern)?;
+                                anchor_ids.insert(anchor.clone(), pid);
+                                pid
+                            }
+                        };
+                        out.anchor_owner.entry(pid).or_default().push((ri, ai));
+                    }
+                }
+                let dfa = anchors
+                    .is_empty()
+                    .then(|| parking_lot::Mutex::new(regex.to_lazy_dfa()));
+                out.regex_rules.push(RegexRule {
+                    rule_id: i,
+                    regex,
+                    anchor_count: anchors.len(),
+                    dfa,
+                });
+            }
+        }
+    }
+    Ok(out)
+}

@@ -1,0 +1,54 @@
+//! # dpi-core
+//!
+//! The **virtual DPI service instance** — the primary contribution of
+//! *Deep Packet Inspection as a Service* (CoNEXT 2014), §5.
+//!
+//! A [`DpiInstance`] is built from the pattern sets of every registered
+//! middlebox (exact strings *and* regular expressions), merged into a
+//! single Aho-Corasick automaton per §5.1. Each packet is scanned **once**;
+//! the instance then produces per-middlebox match lists that travel to the
+//! middleboxes either in a dedicated result packet or in an in-band
+//! NSH-like header (§4.2).
+//!
+//! The instance implements, faithfully to §5.2:
+//!
+//! * per-packet resolution of the *active middleboxes* from the policy
+//!   chain tag, with the bitmap fast path;
+//! * the most-conservative *stopping condition* across active middleboxes,
+//!   with per-middlebox post-filtering;
+//! * *stateful* scanning: the DFA state and flow offset are carried across
+//!   packet boundaries for flows that any stateful middlebox cares about;
+//! * the *stateless deletion rule*: when a scan started from a restored
+//!   state (because a stateful middlebox shares the flow), matches that
+//!   began in a previous packet are deleted for stateless middleboxes;
+//! * §5.3's regex handling: anchors extracted from each regular expression
+//!   are added to the combined automaton as synthetic patterns; the full
+//!   regex engine runs only when *all* anchors of a rule were seen, and
+//!   anchor-less expressions run on a parallel always-on path;
+//! * §6.5's match-report encoding, including range compression of
+//!   repeated-character match runs;
+//! * telemetry (packets, bytes, matches, and a deep-state ratio) — the
+//!   signals the MCA²-style stress monitor consumes (§4.3.1).
+
+pub mod config;
+pub mod decompress;
+pub mod flowstate;
+pub mod instance;
+pub mod reassembly;
+pub mod report;
+pub mod rules;
+pub mod telemetry;
+
+pub use config::{ChainSpec, InstanceConfig, MiddleboxProfile};
+pub use decompress::{
+    deflate_fixed, deflate_stored, gunzip, gzip, inflate, GzipError, InflateError,
+};
+pub use flowstate::{FlowState, FlowTable};
+pub use instance::{DpiInstance, InstanceError, ScanOutput};
+pub use reassembly::StreamReassembler;
+pub use report::compress_matches;
+pub use rules::{RuleKind, RuleSpec};
+pub use telemetry::Telemetry;
+
+// Re-export the identifier types shared across the system.
+pub use dpi_ac::{MiddleboxId, PatternId};

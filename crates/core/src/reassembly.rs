@@ -1,0 +1,243 @@
+//! TCP stream reassembly — "session reconstruction as a service".
+//!
+//! The paper's conclusion names this as the next shared task: "In future
+//! work, we plan to investigate the possibility of also turning other
+//! common tasks, such as flow tagging and session reconstruction, into
+//! services." Stateful DPI (§5.2) silently assumes in-order payload
+//! bytes; on a real network, TCP segments arrive out of order and
+//! retransmitted. This module turns a segment stream into the in-order
+//! byte stream the scanner needs — once, at the DPI service, instead of
+//! once per middlebox.
+//!
+//! The reassembler is deliberately conservative:
+//!
+//! * out-of-order segments are buffered (bounded) until the gap fills;
+//! * retransmissions and overlaps are resolved in favour of the *first*
+//!   copy of each byte (consistent targets would need to normalize
+//!   anyway; first-copy is Snort's default policy);
+//! * sequence numbers wrap mod 2³², handled with serial-number
+//!   comparisons.
+
+use std::collections::BTreeMap;
+
+/// Comparison of 32-bit sequence numbers with wraparound (RFC 1982
+/// serial-number arithmetic).
+fn seq_lt(a: u32, b: u32) -> bool {
+    a != b && b.wrapping_sub(a) < (1 << 31)
+}
+
+/// One direction of one TCP connection.
+#[derive(Debug)]
+pub struct StreamReassembler {
+    /// The next in-order sequence number the consumer expects.
+    next_seq: u32,
+    /// Out-of-order segments keyed by (wrapped) start sequence.
+    pending: BTreeMap<u32, Vec<u8>>,
+    /// Bytes currently buffered out of order.
+    buffered: usize,
+    /// Buffering bound; beyond it, the oldest pending data is dropped
+    /// (the scanner then sees a gap, exactly as a middlebox behind a
+    /// lossy tap would).
+    capacity: usize,
+    /// Total bytes delivered in order.
+    delivered: u64,
+    /// Segments dropped by the capacity bound.
+    dropped_segments: u64,
+}
+
+impl StreamReassembler {
+    /// A reassembler expecting `initial_seq` first, buffering at most
+    /// `capacity` out-of-order bytes.
+    pub fn new(initial_seq: u32, capacity: usize) -> StreamReassembler {
+        StreamReassembler {
+            next_seq: initial_seq,
+            pending: BTreeMap::new(),
+            buffered: 0,
+            capacity: capacity.max(1),
+            delivered: 0,
+            dropped_segments: 0,
+        }
+    }
+
+    /// Bytes delivered in order so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Out-of-order bytes currently held.
+    pub fn buffered(&self) -> usize {
+        self.buffered
+    }
+
+    /// Segments discarded because the buffer was full.
+    pub fn dropped_segments(&self) -> u64 {
+        self.dropped_segments
+    }
+
+    /// The sequence number of the next byte the consumer will get.
+    pub fn next_seq(&self) -> u32 {
+        self.next_seq
+    }
+
+    /// Feeds one segment; returns every in-order byte run that became
+    /// deliverable (usually zero or one run, more when a gap fills).
+    pub fn push(&mut self, seq: u32, payload: &[u8]) -> Vec<Vec<u8>> {
+        if payload.is_empty() {
+            return Vec::new();
+        }
+        let mut seq = seq;
+        let mut payload = payload.to_vec();
+
+        // Trim the part we already delivered (retransmission handling:
+        // first copy wins, later copies are discarded).
+        if seq_lt(seq, self.next_seq) {
+            let skip = self.next_seq.wrapping_sub(seq) as usize;
+            if skip >= payload.len() {
+                return Vec::new(); // fully duplicate
+            }
+            payload.drain(..skip);
+            seq = self.next_seq;
+        }
+
+        if seq == self.next_seq {
+            // In order: deliver, then drain any now-contiguous pending.
+            let mut out = Vec::new();
+            self.next_seq = seq.wrapping_add(payload.len() as u32);
+            self.delivered += payload.len() as u64;
+            out.push(payload);
+            out.extend(self.drain_pending());
+            out
+        } else {
+            // Out of order: buffer (trimming overlap with already-pending
+            // segments is handled at drain time by the first-copy rule).
+            if self.buffered + payload.len() > self.capacity {
+                self.dropped_segments += 1;
+                return Vec::new();
+            }
+            self.buffered += payload.len();
+            // Keep the first copy on exact-duplicate starts.
+            self.pending.entry(seq).or_insert(payload);
+            Vec::new()
+        }
+    }
+
+    /// Signals that the stream is being abandoned (RST / timeout): drops
+    /// pending data and returns how many bytes were discarded.
+    pub fn abort(&mut self) -> usize {
+        let n = self.buffered;
+        self.pending.clear();
+        self.buffered = 0;
+        n
+    }
+
+    fn drain_pending(&mut self) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        loop {
+            // Find a pending segment covering next_seq. BTreeMap ordering
+            // is by wrapped u32, so search both the exact key and any
+            // earlier segment that overlaps.
+            let candidate = self
+                .pending
+                .keys()
+                .copied()
+                .find(|&s| !seq_lt(self.next_seq, s));
+            let Some(start) = candidate else { break };
+            let data = self.pending.remove(&start).expect("key just found");
+            self.buffered -= data.len();
+            let skip = self.next_seq.wrapping_sub(start) as usize;
+            if skip >= data.len() {
+                continue; // fully stale
+            }
+            let fresh = data[skip..].to_vec();
+            self.next_seq = self.next_seq.wrapping_add(fresh.len() as u32);
+            self.delivered += fresh.len() as u64;
+            out.push(fresh);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_passthrough() {
+        let mut r = StreamReassembler::new(1000, 1 << 16);
+        assert_eq!(r.push(1000, b"hello "), vec![b"hello ".to_vec()]);
+        assert_eq!(r.push(1006, b"world"), vec![b"world".to_vec()]);
+        assert_eq!(r.delivered(), 11);
+        assert_eq!(r.buffered(), 0);
+    }
+
+    #[test]
+    fn out_of_order_reorders() {
+        let mut r = StreamReassembler::new(0, 1 << 16);
+        assert!(r.push(6, b"world").is_empty());
+        assert_eq!(r.buffered(), 5);
+        let runs = r.push(0, b"hello ");
+        let joined: Vec<u8> = runs.concat();
+        assert_eq!(joined, b"hello world");
+        assert_eq!(r.buffered(), 0);
+    }
+
+    #[test]
+    fn retransmission_first_copy_wins() {
+        let mut r = StreamReassembler::new(0, 1 << 16);
+        r.push(0, b"ORIGINAL");
+        // Full retransmission with different bytes is discarded.
+        assert!(r.push(0, b"TAMPERED").is_empty());
+        // Partial overlap: only the new tail is delivered.
+        let runs = r.push(4, b"XXXX-tail");
+        assert_eq!(runs.concat(), b"-tail");
+    }
+
+    #[test]
+    fn multiple_gaps_fill_in_any_order() {
+        let mut r = StreamReassembler::new(0, 1 << 16);
+        assert!(r.push(8, b"cc").is_empty());
+        assert!(r.push(4, b"bb").is_empty());
+        // 0..4 arrives: delivers aaaa + bb (4..6), still gap at 6..8.
+        let runs = r.push(0, b"aaaa");
+        assert_eq!(runs.concat(), b"aaaabb");
+        let runs = r.push(6, b"zz");
+        assert_eq!(runs.concat(), b"zzcc");
+        assert_eq!(r.delivered(), 10);
+    }
+
+    #[test]
+    fn sequence_wraparound() {
+        let start = u32::MAX - 2;
+        let mut r = StreamReassembler::new(start, 1 << 16);
+        // 0xFFFFFFFD + 3 wraps to 0.
+        assert_eq!(r.push(start, b"abc").concat(), b"abc");
+        assert_eq!(r.next_seq(), 0);
+        assert_eq!(r.push(0, b"def").concat(), b"def");
+        assert_eq!(r.next_seq(), 3);
+    }
+
+    #[test]
+    fn capacity_bound_drops_segments() {
+        let mut r = StreamReassembler::new(0, 8);
+        assert!(r.push(100, b"12345678").is_empty());
+        assert!(r.push(200, b"overflow").is_empty());
+        assert_eq!(r.dropped_segments(), 1);
+        assert_eq!(r.buffered(), 8);
+    }
+
+    #[test]
+    fn abort_clears_state() {
+        let mut r = StreamReassembler::new(0, 1 << 16);
+        r.push(50, b"future data");
+        assert_eq!(r.abort(), 11);
+        assert!(r.push(0, b"now").concat() == b"now");
+        assert_eq!(r.buffered(), 0);
+    }
+
+    #[test]
+    fn empty_segments_are_ignored() {
+        let mut r = StreamReassembler::new(0, 16);
+        assert!(r.push(0, b"").is_empty());
+        assert_eq!(r.next_seq(), 0);
+    }
+}

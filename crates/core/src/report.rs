@@ -1,0 +1,128 @@
+//! Converting raw match lists into wire records (§6.5).
+//!
+//! The scanner produces `(pattern id, end position)` pairs in scan order.
+//! Runs of the same pattern at *consecutive* positions — the
+//! repeated-character case the paper calls out — are compressed into
+//! 6-byte range records; everything else becomes 4-byte singles.
+
+use dpi_packet::report::{MatchRecord, MAX_REPORTABLE_PATTERN_ID};
+
+/// Compresses an in-scan-order match list into wire records.
+///
+/// Pattern ids above the 15-bit record limit are clamped (the controller
+/// never allocates such ids; the clamp is a belt-and-braces guard).
+pub fn compress_matches(matches: &[(u16, u16)]) -> Vec<MatchRecord> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < matches.len() {
+        let (pid, start) = matches[i];
+        let pid = pid.min(MAX_REPORTABLE_PATTERN_ID);
+        // Extend a run of the same pattern at consecutive positions.
+        let mut j = i + 1;
+        let mut last = start;
+        while j < matches.len()
+            && matches[j].0.min(MAX_REPORTABLE_PATTERN_ID) == pid
+            && matches[j].1 == last.wrapping_add(1)
+        {
+            last = matches[j].1;
+            j += 1;
+        }
+        let count = (j - i) as u16;
+        if count >= 2 {
+            out.push(MatchRecord::Range {
+                pattern_id: pid,
+                start,
+                count,
+            });
+        } else {
+            out.push(MatchRecord::Single {
+                pattern_id: pid,
+                position: start,
+            });
+        }
+        i = j;
+    }
+    out
+}
+
+/// Expands records back to `(pattern id, position)` pairs — the inverse of
+/// [`compress_matches`], used by middleboxes and tests.
+pub fn expand_records(records: &[MatchRecord]) -> Vec<(u16, u16)> {
+    let mut out = Vec::new();
+    for r in records {
+        match *r {
+            MatchRecord::Single {
+                pattern_id,
+                position,
+            } => out.push((pattern_id, position)),
+            MatchRecord::Range {
+                pattern_id,
+                start,
+                count,
+            } => {
+                for k in 0..count {
+                    out.push((pattern_id, start.wrapping_add(k)));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singles_stay_single() {
+        let m = vec![(1, 10), (2, 11), (1, 20)];
+        let r = compress_matches(&m);
+        assert_eq!(r.len(), 3);
+        assert!(r.iter().all(|x| matches!(x, MatchRecord::Single { .. })));
+        assert_eq!(expand_records(&r), m);
+    }
+
+    #[test]
+    fn consecutive_runs_become_ranges() {
+        // Pattern 7 matching at 5,6,7,8 — the "aaaa" case.
+        let m = vec![(7, 5), (7, 6), (7, 7), (7, 8), (9, 20)];
+        let r = compress_matches(&m);
+        assert_eq!(r.len(), 2);
+        assert_eq!(
+            r[0],
+            MatchRecord::Range {
+                pattern_id: 7,
+                start: 5,
+                count: 4
+            }
+        );
+        assert_eq!(expand_records(&r), m);
+    }
+
+    #[test]
+    fn interleaved_patterns_do_not_merge() {
+        let m = vec![(1, 5), (2, 6), (1, 7)];
+        let r = compress_matches(&m);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn non_consecutive_same_pattern_does_not_merge() {
+        let m = vec![(1, 5), (1, 7)];
+        assert_eq!(compress_matches(&m).len(), 2);
+    }
+
+    #[test]
+    fn wire_size_shrinks_for_runs() {
+        let run: Vec<(u16, u16)> = (0..100).map(|i| (3u16, i as u16)).collect();
+        let r = compress_matches(&run);
+        let bytes: usize = r.iter().map(MatchRecord::wire_size).sum();
+        assert_eq!(bytes, 6); // one range record instead of 400 bytes
+        assert_eq!(expand_records(&r), run);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        assert!(compress_matches(&[]).is_empty());
+    }
+}

@@ -1,0 +1,79 @@
+//! Rule specifications as middleboxes register them.
+//!
+//! A middlebox's "pattern set" (§4.1) is a list of rules; each rule is
+//! either an exact byte string or a regular expression. The rule's
+//! identifier — its index within the middlebox's list — is what the DPI
+//! service reports back, so the middlebox can resolve its own conditions
+//! and actions ("The DPI service responsibility is only to indicate
+//! appearances of patterns, while resolving the logic behind a condition
+//! and performing the action itself is the middlebox's responsibility").
+
+use serde::{Deserialize, Serialize};
+
+/// The body of one rule.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RuleKind {
+    /// An exact byte-string pattern.
+    Exact(Vec<u8>),
+    /// A regular expression in [`dpi_regex`] syntax (a PCRE subset).
+    Regex(String),
+}
+
+/// One registered rule.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RuleSpec {
+    /// The rule body.
+    pub kind: RuleKind,
+}
+
+impl RuleSpec {
+    /// An exact-match rule.
+    pub fn exact(pattern: impl Into<Vec<u8>>) -> RuleSpec {
+        RuleSpec {
+            kind: RuleKind::Exact(pattern.into()),
+        }
+    }
+
+    /// A regular-expression rule.
+    pub fn regex(pattern: impl Into<String>) -> RuleSpec {
+        RuleSpec {
+            kind: RuleKind::Regex(pattern.into()),
+        }
+    }
+
+    /// Builds exact rules from a raw pattern list (the
+    /// `dpi-traffic`-style byte sets).
+    pub fn exact_set(patterns: &[Vec<u8>]) -> Vec<RuleSpec> {
+        patterns.iter().cloned().map(RuleSpec::exact).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(
+            RuleSpec::exact(b"abc".to_vec()).kind,
+            RuleKind::Exact(b"abc".to_vec())
+        );
+        assert_eq!(
+            RuleSpec::regex("a+b").kind,
+            RuleKind::Regex("a+b".to_string())
+        );
+        assert_eq!(
+            RuleSpec::exact_set(&[b"x".to_vec(), b"y".to_vec()]).len(),
+            2
+        );
+    }
+
+    #[test]
+    fn rules_serialize_to_json() {
+        // The controller protocol ships rules as JSON (§4.1).
+        let r = RuleSpec::regex(r"evil\d+");
+        let j = serde_json::to_string(&r).unwrap();
+        let back: RuleSpec = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, r);
+    }
+}

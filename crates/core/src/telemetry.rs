@@ -1,0 +1,143 @@
+//! Per-instance telemetry.
+//!
+//! "Each DPI service instance should perform ongoing monitoring and export
+//! telemetries that might indicate attack attempts. … these telemetries
+//! are sent to a central stress monitor entity; here, the DPI controller
+//! takes over this role." (§4.3.1)
+//!
+//! The stress signal is the *deep-state ratio*: the fraction of scanned
+//! bytes during which the automaton sat in a state of depth ≥
+//! [`Telemetry::DEEP_DEPTH`]. Benign traffic hovers near the root (most
+//! bytes match no pattern prefix); complexity-attack traffic built from
+//! pattern prefixes pins the scan in deep, cache-hostile states.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters exported by a DPI instance.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Telemetry {
+    /// Packets scanned.
+    pub packets: u64,
+    /// Payload bytes scanned.
+    pub bytes: u64,
+    /// Individual pattern matches reported (after filtering).
+    pub matches: u64,
+    /// Packets that had at least one match.
+    pub packets_with_matches: u64,
+    /// Full regex evaluations triggered by the anchor pre-filter.
+    pub regex_invocations: u64,
+    /// Regex evaluations on the parallel (anchor-less) path.
+    pub parallel_regex_evaluations: u64,
+    /// Bytes during which the DFA was in a deep state (see
+    /// [`Telemetry::DEEP_DEPTH`]); sampled 1-in-[`Telemetry::SAMPLE`]
+    /// bytes to keep the hot loop cheap.
+    pub deep_samples: u64,
+    /// Total depth samples taken.
+    pub depth_samples: u64,
+    /// Compressed payloads inflated before scanning (§1's
+    /// decompress-once path).
+    pub decompressions: u64,
+    /// Total decompressed bytes produced.
+    pub decompressed_bytes: u64,
+}
+
+impl Telemetry {
+    /// States at or below this depth are "shallow"; deeper is suspicious.
+    pub const DEEP_DEPTH: u16 = 4;
+    /// Depth sampling period in bytes.
+    pub const SAMPLE: usize = 16;
+
+    /// Fraction of sampled bytes in deep states (0 when nothing sampled).
+    pub fn deep_ratio(&self) -> f64 {
+        if self.depth_samples == 0 {
+            0.0
+        } else {
+            self.deep_samples as f64 / self.depth_samples as f64
+        }
+    }
+
+    /// Fraction of packets with at least one match.
+    pub fn match_packet_ratio(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.packets_with_matches as f64 / self.packets as f64
+        }
+    }
+
+    /// Merges another instance's counters (controller-side aggregation).
+    pub fn merge(&mut self, other: &Telemetry) {
+        self.packets += other.packets;
+        self.bytes += other.bytes;
+        self.matches += other.matches;
+        self.packets_with_matches += other.packets_with_matches;
+        self.regex_invocations += other.regex_invocations;
+        self.parallel_regex_evaluations += other.parallel_regex_evaluations;
+        self.deep_samples += other.deep_samples;
+        self.depth_samples += other.depth_samples;
+        self.decompressions += other.decompressions;
+        self.decompressed_bytes += other.decompressed_bytes;
+    }
+
+    /// Difference since a previous snapshot (for rate computation).
+    pub fn delta_since(&self, prev: &Telemetry) -> Telemetry {
+        Telemetry {
+            packets: self.packets - prev.packets,
+            bytes: self.bytes - prev.bytes,
+            matches: self.matches - prev.matches,
+            packets_with_matches: self.packets_with_matches - prev.packets_with_matches,
+            regex_invocations: self.regex_invocations - prev.regex_invocations,
+            parallel_regex_evaluations: self.parallel_regex_evaluations
+                - prev.parallel_regex_evaluations,
+            deep_samples: self.deep_samples - prev.deep_samples,
+            depth_samples: self.depth_samples - prev.depth_samples,
+            decompressions: self.decompressions - prev.decompressions,
+            decompressed_bytes: self.decompressed_bytes - prev.decompressed_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero_denominators() {
+        let t = Telemetry::default();
+        assert_eq!(t.deep_ratio(), 0.0);
+        assert_eq!(t.match_packet_ratio(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = Telemetry {
+            packets: 1,
+            bytes: 100,
+            ..Telemetry::default()
+        };
+        let b = Telemetry {
+            packets: 2,
+            bytes: 50,
+            deep_samples: 5,
+            depth_samples: 10,
+            ..Telemetry::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.packets, 3);
+        assert_eq!(a.bytes, 150);
+        assert_eq!(a.deep_ratio(), 0.5);
+    }
+
+    #[test]
+    fn delta_subtracts() {
+        let prev = Telemetry {
+            packets: 10,
+            ..Telemetry::default()
+        };
+        let now = Telemetry {
+            packets: 25,
+            ..Telemetry::default()
+        };
+        assert_eq!(now.delta_since(&prev).packets, 15);
+    }
+}

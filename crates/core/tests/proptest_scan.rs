@@ -1,0 +1,167 @@
+//! Property tests for §5.2's scan semantics.
+
+use dpi_core::report::{compress_matches, expand_records};
+use dpi_core::{DpiInstance, InstanceConfig, MiddleboxId, MiddleboxProfile, RuleSpec};
+use dpi_packet::ipv4::IpProtocol;
+use dpi_packet::FlowKey;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+const SF: MiddleboxId = MiddleboxId(0); // stateful
+const SL: MiddleboxId = MiddleboxId(1); // stateless
+
+fn patterns() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(
+        prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c']), 2..6),
+        1..5,
+    )
+}
+
+fn payload() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c', b'z']), 0..150)
+}
+
+fn instance(pats: &[Vec<u8>]) -> DpiInstance {
+    let cfg = InstanceConfig::new()
+        .with_middlebox(MiddleboxProfile::stateful(SF), RuleSpec::exact_set(pats))
+        .with_middlebox(MiddleboxProfile::stateless(SL), RuleSpec::exact_set(pats))
+        .with_chain(1, vec![SF, SL]);
+    DpiInstance::new(cfg).unwrap()
+}
+
+fn flow() -> FlowKey {
+    FlowKey {
+        src_ip: Ipv4Addr::new(1, 2, 3, 4),
+        dst_ip: Ipv4Addr::new(5, 6, 7, 8),
+        protocol: IpProtocol::Tcp,
+        src_port: 1234,
+        dst_port: 80,
+    }
+}
+
+/// Flow-absolute match positions for one middlebox across a packet split.
+fn flow_positions(dpi: &mut DpiInstance, mb: MiddleboxId, chunks: &[&[u8]]) -> Vec<(u16, u64)> {
+    let mut out = Vec::new();
+    for chunk in chunks {
+        let res = dpi.scan_payload(1, Some(flow()), chunk).unwrap();
+        for r in &res.reports {
+            if r.middlebox_id == mb.0 {
+                for (pid, pos) in expand_records(&r.records) {
+                    out.push((pid, res.flow_offset + u64::from(pos)));
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn stateful_split_equals_whole(pats in patterns(), data in payload(), cut in 0usize..150) {
+        // Deduplicate patterns: duplicate rules in one set are legal but
+        // make position multisets differ trivially.
+        let mut pats = pats;
+        pats.sort();
+        pats.dedup();
+        let cut = cut.min(data.len());
+
+        // Whole payload in one packet.
+        let mut whole_dpi = instance(&pats);
+        let whole = flow_positions(&mut whole_dpi, SF, &[&data]);
+
+        // Split into two packets.
+        let mut split_dpi = instance(&pats);
+        let (a, b) = data.split_at(cut);
+        let split = flow_positions(&mut split_dpi, SF, &[a, b]);
+
+        prop_assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn stateless_reports_are_a_subset_with_no_boundary_spans(
+        pats in patterns(), data in payload(), cut in 0usize..150
+    ) {
+        let mut pats = pats;
+        pats.sort();
+        pats.dedup();
+        let cut = cut.min(data.len());
+        let (a, b) = data.split_at(cut);
+
+        let mut dpi = instance(&pats);
+        let stateful = flow_positions(&mut dpi, SF, &[a, b]);
+
+        let mut dpi2 = instance(&pats);
+        let stateless = flow_positions(&mut dpi2, SL, &[a, b]);
+
+        // Every stateless match is also a stateful match…
+        for m in &stateless {
+            prop_assert!(stateful.contains(m), "stateless-only match {m:?}");
+        }
+        // …and none of them crosses the packet boundary.
+        for &(pid, end) in &stateless {
+            let len = pats[pid as usize].len() as u64;
+            let start = end + 1 - len;
+            let crosses = start < cut as u64 && end >= cut as u64;
+            prop_assert!(!crosses, "stateless match spans the boundary");
+        }
+    }
+
+    #[test]
+    fn instance_reports_match_naive_reference(pats in patterns(), data in payload()) {
+        // End-to-end oracle: the instance's per-middlebox reports must
+        // equal a naive scan of the same payload filtered to that
+        // middlebox's patterns.
+        let mut pats = pats;
+        pats.sort();
+        pats.dedup();
+        let mut dpi = instance(&pats);
+        let out = dpi.scan_payload(1, None, &data).unwrap();
+
+        let mut naive = dpi_ac::naive::NaiveMatcher::new();
+        naive.add_set(&dpi_ac::PatternSet::new(SF, pats.clone()));
+        let mut expected: Vec<(u16, u16)> = naive
+            .find_all(&data)
+            .into_iter()
+            .map(|(pos, e)| (e.pattern.0, pos as u16))
+            .collect();
+        expected.sort_unstable();
+        expected.dedup();
+
+        for mb in [SF, SL] {
+            let mut got: Vec<(u16, u16)> = out
+                .reports
+                .iter()
+                .filter(|r| r.middlebox_id == mb.0)
+                .flat_map(|r| expand_records(&r.records))
+                .collect();
+            got.sort_unstable();
+            prop_assert_eq!(&got, &expected, "middlebox {}", mb.0);
+        }
+    }
+
+    #[test]
+    fn compress_expand_round_trips(
+        raw in prop::collection::vec((0u16..100, 0u16..500), 0..64)
+    ) {
+        let mut list = raw;
+        list.sort_unstable();
+        list.dedup();
+        let records = compress_matches(&list);
+        prop_assert_eq!(expand_records(&records), list);
+    }
+
+    #[test]
+    fn compression_never_grows_the_encoding(
+        raw in prop::collection::vec((0u16..4, 0u16..40), 0..64)
+    ) {
+        let mut list = raw;
+        list.sort_unstable();
+        list.dedup();
+        let records = compress_matches(&list);
+        let bytes: usize = records.iter().map(|r| r.wire_size()).sum();
+        prop_assert!(bytes <= list.len() * 4 + 2);
+    }
+}

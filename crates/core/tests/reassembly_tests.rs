@@ -1,0 +1,113 @@
+//! Session reconstruction as a service: the DPI instance reassembles TCP
+//! streams once and scans in order, regardless of segment arrival order.
+
+use dpi_core::report::expand_records;
+use dpi_core::{DpiInstance, InstanceConfig, MiddleboxId, MiddleboxProfile, RuleSpec};
+use dpi_packet::ipv4::IpProtocol;
+use dpi_packet::packet::flow;
+use dpi_packet::FlowKey;
+
+const IDS: MiddleboxId = MiddleboxId(1);
+
+fn instance() -> DpiInstance {
+    DpiInstance::new(
+        InstanceConfig::new()
+            .with_middlebox(
+                MiddleboxProfile::stateful(IDS),
+                vec![RuleSpec::exact(b"CROSS-SEGMENT-SIG".to_vec())],
+            )
+            .with_chain(1, vec![IDS]),
+    )
+    .unwrap()
+}
+
+fn f(port: u16) -> FlowKey {
+    flow([1, 1, 1, 1], port, [2, 2, 2, 2], 80, IpProtocol::Tcp)
+}
+
+fn all_hits(outs: &[dpi_core::ScanOutput]) -> Vec<(u16, u64)> {
+    outs.iter()
+        .flat_map(|o| {
+            o.reports.iter().flat_map(move |r| {
+                expand_records(&r.records)
+                    .into_iter()
+                    .map(move |(pid, pos)| (pid, o.flow_offset + u64::from(pos)))
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn out_of_order_segments_still_match() {
+    let mut dpi = instance();
+    let fk = f(1);
+    // The signature spans segments 2 and 3; segment 3 arrives first.
+    let seg1 = b"preamble ";
+    let seg2 = b"CROSS-SEG";
+    let seg3 = b"MENT-SIG done";
+
+    let o1 = dpi.scan_tcp_segment(1, fk, 1000, seg1).unwrap();
+    assert!(all_hits(&o1).is_empty());
+    // Segment 3 out of order: buffered, nothing scanned yet.
+    let o3 = dpi.scan_tcp_segment(1, fk, 1000 + 9 + 9, seg3).unwrap();
+    assert!(o3.is_empty());
+    // Segment 2 fills the gap: both runs scan, signature completes.
+    let o2 = dpi.scan_tcp_segment(1, fk, 1000 + 9, seg2).unwrap();
+    let hits = all_hits(&o2);
+    assert_eq!(hits.len(), 1);
+    // Flow-absolute end position: starts at byte 9, 17 bytes long.
+    assert_eq!(hits[0].1, 9 + 17 - 1);
+}
+
+#[test]
+fn retransmission_does_not_double_report() {
+    let mut dpi = instance();
+    let fk = f(2);
+    let o = dpi
+        .scan_tcp_segment(1, fk, 0, b"CROSS-SEGMENT-SIG")
+        .unwrap();
+    assert_eq!(all_hits(&o).len(), 1);
+    // Exact retransmission: no new bytes, no new report.
+    let o = dpi
+        .scan_tcp_segment(1, fk, 0, b"CROSS-SEGMENT-SIG")
+        .unwrap();
+    assert!(all_hits(&o).is_empty());
+}
+
+#[test]
+fn in_order_segment_path_equals_plain_scans() {
+    let mut via_segments = instance();
+    let mut via_payloads = instance();
+    let fk = f(3);
+    let chunks: [&[u8]; 3] = [
+        b"first CROSS-",
+        b"SEGMENT-SIG and ",
+        b"CROSS-SEGMENT-SIG again",
+    ];
+    let mut seq = 5000u32;
+    let mut seg_hits = Vec::new();
+    let mut plain_hits = Vec::new();
+    for c in chunks {
+        let outs = via_segments.scan_tcp_segment(1, fk, seq, c).unwrap();
+        seg_hits.extend(all_hits(&outs));
+        let out = via_payloads.scan_payload(1, Some(fk), c).unwrap();
+        plain_hits.extend(all_hits(std::slice::from_ref(&out)));
+        seq = seq.wrapping_add(c.len() as u32);
+    }
+    assert_eq!(seg_hits, plain_hits);
+    assert_eq!(seg_hits.len(), 2);
+}
+
+#[test]
+fn close_flow_drops_all_state() {
+    let mut dpi = instance();
+    let fk = f(4);
+    dpi.scan_tcp_segment(1, fk, 0, b"CROSS-SEGMENT").unwrap();
+    assert_eq!(dpi.tracked_flows(), 1);
+    dpi.close_tcp_flow(&fk);
+    assert_eq!(dpi.tracked_flows(), 0);
+    // A new stream at the same 5-tuple starts clean: the half-signature
+    // above must not combine with the rest.
+    let o = dpi.scan_tcp_segment(1, fk, 100, b"-SIG").unwrap();
+    assert!(all_hits(&o).is_empty());
+}

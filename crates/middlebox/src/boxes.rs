@@ -1,0 +1,303 @@
+//! Concrete middlebox types from the paper's Table 1.
+//!
+//! Each constructor returns the middlebox's `(profile, rules, logic)`
+//! triple: how it registers with the DPI controller (§4.1) and what it
+//! does with reported matches. The DPI patterns differ per type exactly
+//! as Table 1 lists — malicious-activity signatures for IDS/AV, URLs and
+//! application tokens for load balancing and shaping.
+
+use crate::logic::{MbAction, RuleLogic};
+use dpi_ac::MiddleboxId;
+use dpi_core::config::NumberedRule;
+use dpi_core::{MiddleboxProfile, RuleSpec};
+
+/// A fully-specified middlebox template.
+#[derive(Debug, Clone)]
+pub struct MiddleboxTemplate {
+    /// Registration profile.
+    pub profile: MiddleboxProfile,
+    /// Display name.
+    pub name: String,
+    /// Rules to register with the DPI controller.
+    pub rules: Vec<NumberedRule>,
+    /// Local action logic.
+    pub logic: RuleLogic,
+}
+
+fn numbered(rules: Vec<RuleSpec>) -> Vec<NumberedRule> {
+    NumberedRule::sequence(rules)
+}
+
+/// An intrusion *detection* system: stateful (matches span packets),
+/// read-only (consumes results only, never touches packets — §4.1's
+/// example of a read-only middlebox), alerts on every signature.
+pub fn ids(id: MiddleboxId, signatures: &[Vec<u8>]) -> MiddleboxTemplate {
+    let rules = numbered(RuleSpec::exact_set(signatures));
+    let logic = RuleLogic::one_per_pattern(rules.len() as u16, MbAction::Alert);
+    MiddleboxTemplate {
+        profile: MiddleboxProfile::stateful(id).read_only(),
+        name: format!("ids-{}", id.0),
+        rules,
+        logic,
+    }
+}
+
+/// An intrusion *prevention* system: like the IDS but inline — it blocks,
+/// so it is not read-only.
+pub fn ips(id: MiddleboxId, signatures: &[Vec<u8>]) -> MiddleboxTemplate {
+    let rules = numbered(RuleSpec::exact_set(signatures));
+    let logic = RuleLogic::one_per_pattern(rules.len() as u16, MbAction::Block);
+    MiddleboxTemplate {
+        profile: MiddleboxProfile::stateful(id),
+        name: format!("ips-{}", id.0),
+        rules,
+        logic,
+    }
+}
+
+/// An anti-virus: stateless per-packet signature blocking (ClamAV-style).
+pub fn antivirus(id: MiddleboxId, signatures: &[Vec<u8>]) -> MiddleboxTemplate {
+    let rules = numbered(RuleSpec::exact_set(signatures));
+    let logic = RuleLogic::one_per_pattern(rules.len() as u16, MbAction::Block);
+    MiddleboxTemplate {
+        profile: MiddleboxProfile::stateless(id),
+        name: format!("av-{}", id.0),
+        rules,
+        logic,
+    }
+}
+
+/// An L7 firewall: regex rules over headers (ModSecurity-style), blocking,
+/// with a stopping condition — application-layer headers have bounded
+/// length, the very §5.1 use case for stopping conditions.
+pub fn l7_firewall(
+    id: MiddleboxId,
+    header_rules: &[String],
+    header_limit: u64,
+) -> MiddleboxTemplate {
+    let rules = numbered(header_rules.iter().map(RuleSpec::regex).collect());
+    let logic = RuleLogic::one_per_pattern(rules.len() as u16, MbAction::Block);
+    MiddleboxTemplate {
+        profile: MiddleboxProfile::stateless(id).with_stop(header_limit),
+        name: format!("l7fw-{}", id.0),
+        rules,
+        logic,
+    }
+}
+
+/// A traffic shaper: application tokens map to shaping classes
+/// (PacketShaper-style). `apps` pairs a token with its class.
+pub fn traffic_shaper(id: MiddleboxId, apps: &[(Vec<u8>, u8)]) -> MiddleboxTemplate {
+    let rules = numbered(
+        apps.iter()
+            .map(|(t, _)| RuleSpec::exact(t.clone()))
+            .collect(),
+    );
+    let logic = RuleLogic::new(
+        apps.iter()
+            .enumerate()
+            .map(|(i, (_, class))| crate::logic::MbRule {
+                id: i as u16,
+                condition: crate::logic::Condition::Pattern(i as u16),
+                action: MbAction::Shape(*class),
+            })
+            .collect(),
+    );
+    MiddleboxTemplate {
+        profile: MiddleboxProfile::stateless(id),
+        name: format!("shaper-{}", id.0),
+        rules,
+        logic,
+    }
+}
+
+/// An L7 load balancer: URL prefixes steer to backend pools (F5-style).
+pub fn l7_load_balancer(id: MiddleboxId, urls: &[(Vec<u8>, u8)]) -> MiddleboxTemplate {
+    let rules = numbered(
+        urls.iter()
+            .map(|(u, _)| RuleSpec::exact(u.clone()))
+            .collect(),
+    );
+    let logic = RuleLogic::new(
+        urls.iter()
+            .enumerate()
+            .map(|(i, (_, backend))| crate::logic::MbRule {
+                id: i as u16,
+                condition: crate::logic::Condition::Pattern(i as u16),
+                action: MbAction::Steer(*backend),
+            })
+            .collect(),
+    );
+    MiddleboxTemplate {
+        // Load balancing only needs the request line: stop early.
+        profile: MiddleboxProfile::stateless(id).with_stop(512),
+        name: format!("l7lb-{}", id.0),
+        rules,
+        logic,
+    }
+}
+
+/// A data-leakage-prevention middlebox (Check Point DLP in Table 1):
+/// regex rules for structured secrets (card numbers, SSNs, internal
+/// markers), blocking, stateful — a document leaks across many packets.
+pub fn dlp(id: MiddleboxId) -> MiddleboxTemplate {
+    let rules = numbered(vec![
+        // 16-digit card number in 4-4-4-4 groups.
+        RuleSpec::regex(r"\d{4}[- ]\d{4}[- ]\d{4}[- ]\d{4}"),
+        // US SSN shape.
+        RuleSpec::regex(r"\d{3}-\d{2}-\d{4}"),
+        // Explicit internal markers (these have anchors and ride the
+        // Aho-Corasick pre-filter).
+        RuleSpec::exact(b"COMPANY-CONFIDENTIAL".to_vec()),
+        RuleSpec::regex(r"BEGIN RSA PRIVATE KEY"),
+    ]);
+    let logic = RuleLogic::one_per_pattern(rules.len() as u16, MbAction::Block);
+    MiddleboxTemplate {
+        profile: MiddleboxProfile::stateful(id),
+        name: format!("dlp-{}", id.0),
+        rules,
+        logic,
+    }
+}
+
+/// A network-analytics middlebox (Qosmos in Table 1): protocol
+/// identification by magic strings. Read-only (it only observes), with a
+/// tight stopping condition — protocol magics live in the first bytes.
+pub fn network_analytics(id: MiddleboxId) -> MiddleboxTemplate {
+    let protos: &[&[u8]] = &[
+        b"HTTP/1.",    // HTTP response
+        b"GET / HTTP", // HTTP request (anchored enough for a demo)
+        b"SSH-2.0",    // SSH banner
+        b"BitTorrent protocol",
+        b"RFB 003.",     // VNC
+        b"\x16\x03\x01", // TLS ClientHello (as literal bytes below)
+    ];
+    let mut rules: Vec<RuleSpec> = protos[..5]
+        .iter()
+        .map(|p| RuleSpec::exact(p.to_vec()))
+        .collect();
+    rules.push(RuleSpec::exact(vec![0x16, 0x03, 0x01]));
+    let rules = numbered(rules);
+    let logic = RuleLogic::one_per_pattern(rules.len() as u16, MbAction::Alert);
+    MiddleboxTemplate {
+        profile: MiddleboxProfile::stateless(id).read_only().with_stop(64),
+        name: format!("analytics-{}", id.0),
+        rules,
+        logic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ServiceMiddlebox;
+    use dpi_core::{DpiInstance, InstanceConfig};
+
+    fn run_one(template: MiddleboxTemplate, payloads: &[&[u8]]) -> Vec<crate::logic::Verdict> {
+        let id = template.profile.id;
+        let cfg = InstanceConfig::new()
+            .with_middlebox_numbered(template.profile, template.rules)
+            .with_chain(1, vec![id]);
+        let mut dpi = DpiInstance::new(cfg).unwrap();
+        let mut mb = ServiceMiddlebox::new(id, &template.name, template.logic);
+        payloads
+            .iter()
+            .map(|p| {
+                let out = dpi.scan_payload(1, None, p).unwrap();
+                mb.process(out.reports.iter().find(|r| r.middlebox_id == id.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ids_profile_is_stateful_readonly() {
+        let t = ids(MiddleboxId(1), &[b"sigsig".to_vec()]);
+        assert!(t.profile.stateful && t.profile.read_only);
+        let vs = run_one(t, &[b"a sigsig b"]);
+        assert!(vs[0].forwards());
+        assert_eq!(vs[0].fired, vec![0]);
+    }
+
+    #[test]
+    fn ips_blocks_what_ids_alerts() {
+        let t = ips(MiddleboxId(2), &[b"exploit".to_vec()]);
+        assert!(!t.profile.read_only);
+        let vs = run_one(t, &[b"an exploit here", b"benign"]);
+        assert!(vs[0].block);
+        assert!(vs[1].forwards());
+    }
+
+    #[test]
+    fn firewall_regexes_with_header_limit() {
+        let t = l7_firewall(MiddleboxId(3), &[r"X-Evil-Header:\s*true".to_string()], 128);
+        assert_eq!(t.profile.stopping_condition, Some(128));
+        let vs = run_one(
+            t,
+            &[
+                b"GET / HTTP/1.1\r\nX-Evil-Header: true\r\n\r\n".as_slice(),
+                b"GET / HTTP/1.1\r\nHost: fine\r\n\r\n",
+            ],
+        );
+        assert!(vs[0].block);
+        assert!(vs[1].forwards());
+    }
+
+    #[test]
+    fn shaper_assigns_classes() {
+        let t = traffic_shaper(
+            MiddleboxId(4),
+            &[(b"bittorrent".to_vec(), 1), (b"netflix-stream".to_vec(), 3)],
+        );
+        let vs = run_one(t, &[b"netflix-stream chunk", b"plain web"]);
+        assert_eq!(vs[0].shape, Some(3));
+        assert_eq!(vs[1].shape, None);
+    }
+
+    #[test]
+    fn dlp_blocks_leaks_with_and_without_anchors() {
+        let t = dlp(MiddleboxId(6));
+        assert!(t.profile.stateful);
+        let vs = run_one(
+            t,
+            &[
+                b"invoice total $99".as_slice(),
+                b"card: 4111 1111 1111 1111 exp 11/29",
+                b"ssn 078-05-1120 on file",
+                b"doc marked COMPANY-CONFIDENTIAL v2",
+            ],
+        );
+        assert!(vs[0].forwards());
+        assert!(vs[1].block, "card number must block");
+        assert!(vs[2].block, "ssn must block");
+        assert!(vs[3].block, "marker must block");
+    }
+
+    #[test]
+    fn analytics_identifies_protocols_readonly() {
+        let t = network_analytics(MiddleboxId(7));
+        assert!(t.profile.read_only);
+        assert_eq!(t.profile.stopping_condition, Some(64));
+        let vs = run_one(
+            t,
+            &[
+                b"SSH-2.0-OpenSSH_8.9".as_slice(),
+                &[0x16, 0x03, 0x01, 0x02, 0x00, 0x01],
+                b"completely unknown protocol",
+            ],
+        );
+        assert_eq!(vs[0].fired, vec![2]); // SSH rule id
+        assert_eq!(vs[1].fired, vec![5]); // TLS rule id
+        assert!(vs[2].fired.is_empty());
+        assert!(vs.iter().all(|v| v.forwards()));
+    }
+
+    #[test]
+    fn load_balancer_steers_by_url() {
+        let t = l7_load_balancer(
+            MiddleboxId(5),
+            &[(b"GET /api/".to_vec(), 1), (b"GET /static/".to_vec(), 2)],
+        );
+        let vs = run_one(t, &[b"GET /static/logo.png HTTP/1.1"]);
+        assert_eq!(vs[0].steer, Some(2));
+    }
+}

@@ -1,0 +1,44 @@
+//! # dpi-middlebox
+//!
+//! The middlebox framework of the *DPI as a Service* reproduction.
+//!
+//! "Abstractly, middleboxes operate by rules that contain actions, and
+//! conditions that should be satisfied to activate the actions. Some of
+//! the conditions are based on patterns in the packet's content. The DPI
+//! service responsibility is only to indicate appearances of patterns,
+//! while resolving the logic behind a condition and performing the action
+//! itself is the middlebox's responsibility." (§4.1)
+//!
+//! This crate provides:
+//!
+//! * [`logic`] — the rule/condition/action layer every middlebox shares.
+//! * [`engine`] — the two operation modes the paper compares:
+//!   [`SelfScanMiddlebox`] runs its own DPI
+//!   (the "without DPI service" baseline of Figures 2(a)/3(a)), while
+//!   [`ServiceMiddlebox`] is the paper's §6.1
+//!   "plugin": it consumes match results computed by the DPI service
+//!   instead of scanning ("the plugin itself requires less than 100 lines
+//!   of code").
+//! * [`reorder`] — the §6.1 pairing buffer: "a sample virtual middlebox
+//!   application that receives traffic from the DPI service instance and
+//!   if necessary, buffers packets until their corresponding results or
+//!   data packet arrives".
+//! * [`boxes`] — concrete middlebox types from Table 1: IDS, IPS,
+//!   anti-virus, L7 firewall, traffic shaper, L7 load balancer, DLP and
+//!   network analytics.
+//! * [`nodes`] — [`dpi_sdn::Node`] adapters so DPI instances and
+//!   middleboxes plug into the simulated network.
+
+pub mod boxes;
+pub mod engine;
+pub mod logic;
+pub mod nodes;
+pub mod reorder;
+
+pub use boxes::{
+    antivirus, dlp, ids, ips, l7_firewall, l7_load_balancer, network_analytics, traffic_shaper,
+};
+pub use engine::{MiddleboxStats, SelfScanMiddlebox, ServiceMiddlebox};
+pub use logic::{Condition, MbAction, MbRule, RuleLogic, Verdict};
+pub use nodes::{DpiServiceNode, MiddleboxNode, ResultsDelivery, SelfScanNode};
+pub use reorder::ReorderBuffer;

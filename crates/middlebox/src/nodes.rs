@@ -1,0 +1,435 @@
+//! [`dpi_sdn::Node`] adapters: plugging DPI instances and middleboxes
+//! into the simulated network.
+//!
+//! Each adapter is a one-NIC host on the star topology (§6.1): packets
+//! arrive on a port and are bounced back on the same port after
+//! processing, letting the switch's chain rules steer them onward.
+//!
+//! The engines are held behind `Arc<Mutex<…>>` so tests and experiment
+//! harnesses keep a handle for out-of-band inspection (telemetry, stats)
+//! while the node lives inside the network — the same pattern as
+//! [`dpi_sdn::Switch::table`].
+
+use crate::engine::ServiceMiddlebox;
+use crate::reorder::ReorderBuffer;
+use dpi_core::DpiInstance;
+use dpi_packet::packet::PacketBody;
+use dpi_packet::{MacAddr, Packet};
+use dpi_sdn::{Node, PortId};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// How the DPI service delivers match results (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResultsDelivery {
+    /// Option 3: a dedicated result packet right after the (ECN-marked)
+    /// data packet — the paper prototype's method.
+    DedicatedPacket,
+    /// Option 1: an in-band NSH-like header on the data packet itself.
+    InBand,
+    /// Option 2: match results as MPLS result labels on the data packet.
+    /// Lossy (no positions) and bounded (≤ 8 distinct matches); packets
+    /// whose reports do not fit fall back to a dedicated result packet —
+    /// the paper's "messy" caveat made concrete.
+    MplsTags,
+}
+
+/// The DPI service instance as a network node.
+pub struct DpiServiceNode {
+    dpi: Arc<Mutex<DpiInstance>>,
+    delivery: ResultsDelivery,
+    mac: MacAddr,
+    /// Packets dropped because they were untagged or on unknown chains.
+    errors: Arc<Mutex<u64>>,
+}
+
+impl DpiServiceNode {
+    /// Wraps an instance; returns the node and a handle to the instance.
+    pub fn new(
+        dpi: DpiInstance,
+        delivery: ResultsDelivery,
+        mac: MacAddr,
+    ) -> (DpiServiceNode, Arc<Mutex<DpiInstance>>) {
+        let dpi = Arc::new(Mutex::new(dpi));
+        (
+            DpiServiceNode {
+                dpi: Arc::clone(&dpi),
+                delivery,
+                mac,
+                errors: Arc::new(Mutex::new(0)),
+            },
+            dpi,
+        )
+    }
+
+    /// Scan errors so far (untagged packets, unknown chains).
+    pub fn error_count(&self) -> u64 {
+        *self.errors.lock()
+    }
+}
+
+impl Node for DpiServiceNode {
+    fn on_packet(&mut self, mut packet: Packet, port: PortId) -> Vec<(PortId, Packet)> {
+        if !matches!(packet.body, PacketBody::Ipv4 { .. }) {
+            // Result packets from upstream instances etc. pass through.
+            return vec![(port, packet)];
+        }
+        let chain_tag = packet.chain_tag();
+        match self.delivery {
+            ResultsDelivery::DedicatedPacket => match self.dpi.lock().inspect(&mut packet) {
+                Ok(Some(result)) => {
+                    let mut rp = Packet::result(self.mac, packet.eth.dst, result);
+                    if let Some(tag) = chain_tag {
+                        // The result packet follows the same chain rules.
+                        let _ = rp.push_chain_tag(tag);
+                    }
+                    vec![(port, packet), (port, rp)]
+                }
+                Ok(None) => vec![(port, packet)],
+                Err(_) => {
+                    *self.errors.lock() += 1;
+                    Vec::new()
+                }
+            },
+            ResultsDelivery::InBand => match self.dpi.lock().inspect_inband(&mut packet) {
+                Ok(_) => vec![(port, packet)],
+                Err(_) => {
+                    *self.errors.lock() += 1;
+                    Vec::new()
+                }
+            },
+            ResultsDelivery::MplsTags => match self.dpi.lock().inspect(&mut packet) {
+                Ok(Some(result)) => {
+                    match dpi_packet::mpls_results::encode_matches(&result.reports) {
+                        Some(labels) => {
+                            packet.mpls.extend(labels);
+                            vec![(port, packet)]
+                        }
+                        None => {
+                            // Too many matches for tags: fall back to the
+                            // dedicated result packet.
+                            let mut rp = Packet::result(self.mac, packet.eth.dst, result);
+                            if let Some(tag) = chain_tag {
+                                let _ = rp.push_chain_tag(tag);
+                            }
+                            vec![(port, packet), (port, rp)]
+                        }
+                    }
+                }
+                Ok(None) => vec![(port, packet)],
+                Err(_) => {
+                    *self.errors.lock() += 1;
+                    Vec::new()
+                }
+            },
+        }
+    }
+
+    fn label(&self) -> String {
+        "dpi-service".to_string()
+    }
+}
+
+/// A service-consuming middlebox as a network node (§6.1's plugin plus
+/// pairing buffer).
+pub struct MiddleboxNode {
+    mb: Arc<Mutex<ServiceMiddlebox>>,
+    buffer: ReorderBuffer,
+    /// Whether this is the last results-consuming element on its chains —
+    /// the one that strips the in-band header before the packet leaves
+    /// the service chain (§4.2).
+    last_on_chain: bool,
+}
+
+impl MiddleboxNode {
+    /// Wraps a middlebox; returns the node and a stats/engine handle.
+    pub fn new(
+        mb: ServiceMiddlebox,
+        last_on_chain: bool,
+    ) -> (MiddleboxNode, Arc<Mutex<ServiceMiddlebox>>) {
+        MiddleboxNode::with_buffer_capacity(mb, last_on_chain, 4096)
+    }
+
+    /// Like [`MiddleboxNode::new`] with an explicit pairing-buffer bound.
+    /// When result packets are lost in the network, marked data packets
+    /// eventually overflow the buffer and are released *unpaired* — the
+    /// middlebox fails open rather than stalling the flow.
+    pub fn with_buffer_capacity(
+        mb: ServiceMiddlebox,
+        last_on_chain: bool,
+        capacity: usize,
+    ) -> (MiddleboxNode, Arc<Mutex<ServiceMiddlebox>>) {
+        let mb = Arc::new(Mutex::new(mb));
+        (
+            MiddleboxNode {
+                mb: Arc::clone(&mb),
+                buffer: ReorderBuffer::new(capacity),
+                last_on_chain,
+            },
+            mb,
+        )
+    }
+}
+
+impl Node for MiddleboxNode {
+    fn on_packet(&mut self, packet: Packet, port: PortId) -> Vec<(PortId, Packet)> {
+        // MPLS-tag delivery: result labels ride on the data packet.
+        let has_result_labels = packet
+            .mpls
+            .iter()
+            .any(|l| l.tc == dpi_packet::mpls_results::RESULT_TC);
+        if has_result_labels {
+            let mut packet = packet;
+            let mb_id = self.mb.lock().id().0;
+            let decoded = dpi_packet::mpls_results::decode_matches(&packet.mpls);
+            let my_report = decoded.into_iter().find(|r| r.middlebox_id == mb_id);
+            let verdict = self.mb.lock().process(my_report.as_ref());
+            if !verdict.forwards() {
+                return Vec::new();
+            }
+            if self.last_on_chain {
+                dpi_packet::mpls_results::strip_result_labels(&mut packet.mpls);
+            }
+            return vec![(port, packet)];
+        }
+
+        // In-band delivery: results ride on the data packet.
+        if packet.dpi_results.is_some() {
+            let mut packet = packet;
+            let mb_id = self.mb.lock().id().0;
+            let header = packet.dpi_results.as_ref().expect("checked above");
+            let my_report = header
+                .reports
+                .iter()
+                .find(|r| r.middlebox_id == mb_id)
+                .cloned();
+            let verdict = self.mb.lock().process(my_report.as_ref());
+            if !verdict.forwards() {
+                return Vec::new();
+            }
+            if self.last_on_chain {
+                packet.detach_results();
+            }
+            return vec![(port, packet)];
+        }
+
+        // Dedicated-packet delivery: pair via the buffer.
+        let chain_tag = packet.chain_tag();
+        let mut out = Vec::new();
+        for paired in self.buffer.push(packet) {
+            let mb_id = self.mb.lock().id().0;
+            let my_report = paired
+                .results
+                .as_ref()
+                .and_then(|r| r.report_for(mb_id))
+                .cloned();
+            let verdict = self.mb.lock().process(my_report.as_ref());
+            if !verdict.forwards() {
+                continue; // blocked: neither data nor results go on
+            }
+            let data_tag = paired.packet.chain_tag().or(chain_tag);
+            let src_mac = paired.packet.eth.src;
+            let dst_mac = paired.packet.eth.dst;
+            out.push((port, paired.packet));
+            if let Some(results) = paired.results {
+                // Re-emit the result packet so downstream middleboxes can
+                // read their own sections.
+                let mut rp = Packet::result(src_mac, dst_mac, results);
+                if let Some(tag) = data_tag {
+                    let _ = rp.push_chain_tag(tag);
+                }
+                out.push((port, rp));
+            }
+        }
+        out
+    }
+
+    fn label(&self) -> String {
+        format!("middlebox:{}", self.mb.lock().name())
+    }
+}
+
+/// A baseline middlebox that scans packets itself (no DPI service).
+pub struct SelfScanNode {
+    mb: Arc<Mutex<crate::engine::SelfScanMiddlebox>>,
+}
+
+impl SelfScanNode {
+    /// Wraps a self-scanning middlebox; returns the node and a handle.
+    pub fn new(
+        mb: crate::engine::SelfScanMiddlebox,
+    ) -> (SelfScanNode, Arc<Mutex<crate::engine::SelfScanMiddlebox>>) {
+        let mb = Arc::new(Mutex::new(mb));
+        (
+            SelfScanNode {
+                mb: Arc::clone(&mb),
+            },
+            mb,
+        )
+    }
+}
+
+impl Node for SelfScanNode {
+    fn on_packet(&mut self, packet: Packet, port: PortId) -> Vec<(PortId, Packet)> {
+        let (flow, payload) = match (&packet.flow_key(), packet.payload()) {
+            (Some(f), Some(p)) => (Some(*f), p.to_vec()),
+            _ => return vec![(port, packet)],
+        };
+        let verdict = self.mb.lock().process(flow, &payload);
+        if verdict.forwards() {
+            vec![(port, packet)]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("selfscan:{}", self.mb.lock().name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::{MbAction, RuleLogic};
+    use dpi_ac::MiddleboxId;
+    use dpi_core::{InstanceConfig, MiddleboxProfile, RuleSpec};
+    use dpi_packet::ipv4::IpProtocol;
+    use dpi_packet::packet::flow;
+
+    fn dpi_for(patterns: &[&str], chain: u16, mbs: &[u16]) -> DpiInstance {
+        let mut cfg = InstanceConfig::new();
+        for &m in mbs {
+            cfg = cfg.with_middlebox(
+                MiddleboxProfile::stateless(MiddleboxId(m)),
+                patterns
+                    .iter()
+                    .map(|p| RuleSpec::exact(p.as_bytes().to_vec()))
+                    .collect(),
+            );
+        }
+        cfg = cfg.with_chain(chain, mbs.iter().map(|&m| MiddleboxId(m)).collect());
+        DpiInstance::new(cfg).unwrap()
+    }
+
+    fn tagged_pkt(payload: &[u8], chain: u16) -> Packet {
+        let mut p = Packet::tcp(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            flow([1, 1, 1, 1], 9, [2, 2, 2, 2], 80, IpProtocol::Tcp),
+            0,
+            payload.to_vec(),
+        );
+        p.push_chain_tag(chain).unwrap();
+        p
+    }
+
+    #[test]
+    fn dpi_node_emits_data_then_result() {
+        let dpi = dpi_for(&["needle99"], 5, &[1]);
+        let (mut node, _h) =
+            DpiServiceNode::new(dpi, ResultsDelivery::DedicatedPacket, MacAddr::local(9));
+        let out = node.on_packet(tagged_pkt(b"a needle99 b", 5), 0);
+        assert_eq!(out.len(), 2);
+        assert!(out[0].1.has_match_mark());
+        assert!(matches!(out[1].1.body, PacketBody::Result(_)));
+        assert_eq!(out[1].1.chain_tag(), Some(5));
+        // Clean packet: only the data goes on.
+        let out = node.on_packet(tagged_pkt(b"clean", 5), 0);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn dpi_node_drops_untagged_and_counts() {
+        let dpi = dpi_for(&["x"], 5, &[1]);
+        let (mut node, _h) =
+            DpiServiceNode::new(dpi, ResultsDelivery::DedicatedPacket, MacAddr::local(9));
+        let mut p = tagged_pkt(b"payload", 5);
+        p.pop_chain_tag();
+        assert!(node.on_packet(p, 0).is_empty());
+        assert_eq!(node.error_count(), 1);
+    }
+
+    #[test]
+    fn middlebox_node_pairs_and_forwards() {
+        let dpi = dpi_for(&["matchme99"], 5, &[1]);
+        let (mut dpi_node, _h) =
+            DpiServiceNode::new(dpi, ResultsDelivery::DedicatedPacket, MacAddr::local(9));
+        let mb = ServiceMiddlebox::new(
+            MiddleboxId(1),
+            "ids",
+            RuleLogic::one_per_pattern(1, MbAction::Alert),
+        );
+        let (mut mb_node, handle) = MiddleboxNode::new(mb, true);
+
+        let emitted = dpi_node.on_packet(tagged_pkt(b"xx matchme99 yy", 5), 0);
+        let mut forwarded = Vec::new();
+        for (_, p) in emitted {
+            forwarded.extend(mb_node.on_packet(p, 0));
+        }
+        // Data + result both continue (alert does not block).
+        assert_eq!(forwarded.len(), 2);
+        let stats = handle.lock().stats();
+        assert_eq!(stats.packets, 1);
+        assert_eq!(stats.matches, 1);
+        assert_eq!(stats.rules_fired, 1);
+    }
+
+    #[test]
+    fn blocking_middlebox_consumes_both_packets() {
+        let dpi = dpi_for(&["dropit99"], 5, &[1]);
+        let (mut dpi_node, _h) =
+            DpiServiceNode::new(dpi, ResultsDelivery::DedicatedPacket, MacAddr::local(9));
+        let mb = ServiceMiddlebox::new(
+            MiddleboxId(1),
+            "ips",
+            RuleLogic::one_per_pattern(1, MbAction::Block),
+        );
+        let (mut mb_node, handle) = MiddleboxNode::new(mb, true);
+        let emitted = dpi_node.on_packet(tagged_pkt(b"dropit99", 5), 0);
+        let mut forwarded = Vec::new();
+        for (_, p) in emitted {
+            forwarded.extend(mb_node.on_packet(p, 0));
+        }
+        assert!(forwarded.is_empty());
+        assert_eq!(handle.lock().stats().blocked, 1);
+    }
+
+    #[test]
+    fn inband_mode_strips_header_at_last_middlebox() {
+        let dpi = dpi_for(&["inband99"], 5, &[1]);
+        let (mut dpi_node, _h) =
+            DpiServiceNode::new(dpi, ResultsDelivery::InBand, MacAddr::local(9));
+        let mb = ServiceMiddlebox::new(
+            MiddleboxId(1),
+            "ids",
+            RuleLogic::one_per_pattern(1, MbAction::Alert),
+        );
+        let (mut mb_node, handle) = MiddleboxNode::new(mb, true);
+        let emitted = dpi_node.on_packet(tagged_pkt(b"see inband99 here", 5), 0);
+        assert_eq!(emitted.len(), 1);
+        assert!(emitted[0].1.dpi_results.is_some());
+        let forwarded = mb_node.on_packet(emitted[0].1.clone(), 0);
+        assert_eq!(forwarded.len(), 1);
+        assert!(
+            forwarded[0].1.dpi_results.is_none(),
+            "last middlebox strips the header"
+        );
+        assert_eq!(handle.lock().stats().matches, 1);
+    }
+
+    #[test]
+    fn selfscan_node_blocks_inline() {
+        let mb = crate::engine::SelfScanMiddlebox::new(
+            MiddleboxProfile::stateless(MiddleboxId(7)),
+            "av",
+            dpi_core::config::NumberedRule::sequence(vec![RuleSpec::exact(b"virus99".to_vec())]),
+            RuleLogic::one_per_pattern(1, MbAction::Block),
+        )
+        .unwrap();
+        let (mut node, handle) = SelfScanNode::new(mb);
+        assert_eq!(node.on_packet(tagged_pkt(b"ok payload", 5), 0).len(), 1);
+        assert!(node.on_packet(tagged_pkt(b"virus99", 5), 0).is_empty());
+        assert_eq!(handle.lock().stats().bytes_self_scanned, 17);
+    }
+}

@@ -1,0 +1,275 @@
+//! IPv4 headers, including the ECN field the prototype uses to mark
+//! packets that produced matches (§6.1).
+
+use crate::checksum::checksum;
+use crate::{need, ParseError, Result};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Length of an IPv4 header without options. The system never emits
+/// options; received options are rejected (the DPI service is not a router).
+pub const IPV4_HEADER_LEN: usize = 20;
+
+/// Explicit Congestion Notification codepoints.
+///
+/// The paper's prototype repurposes this two-bit field as the "packet has
+/// DPI matches" marker: "If a packet matches one or more rules, the DPI
+/// service instance marks it so that middleboxes will know it has matches
+/// (we use the IP ECN field for this purpose)" (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Ecn {
+    /// `00` — not ECN-capable; the untouched state of generated traffic.
+    NotEct,
+    /// `01` — ECT(1).
+    Ect1,
+    /// `10` — ECT(0). The prototype uses this codepoint as its
+    /// "matches present, result packet follows" marker.
+    Ect0,
+    /// `11` — congestion experienced.
+    Ce,
+}
+
+impl Ecn {
+    /// Decodes the low two bits of the TOS byte.
+    pub fn from_bits(b: u8) -> Ecn {
+        match b & 0b11 {
+            0b00 => Ecn::NotEct,
+            0b01 => Ecn::Ect1,
+            0b10 => Ecn::Ect0,
+            _ => Ecn::Ce,
+        }
+    }
+
+    /// Encodes into the low two bits of the TOS byte.
+    pub fn to_bits(self) -> u8 {
+        match self {
+            Ecn::NotEct => 0b00,
+            Ecn::Ect1 => 0b01,
+            Ecn::Ect0 => 0b10,
+            Ecn::Ce => 0b11,
+        }
+    }
+}
+
+/// IP protocol numbers understood by the flow classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum IpProtocol {
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// Anything else, preserved verbatim.
+    Other(u8),
+}
+
+impl IpProtocol {
+    /// The on-wire protocol number.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            IpProtocol::Tcp => 6,
+            IpProtocol::Udp => 17,
+            IpProtocol::Other(v) => v,
+        }
+    }
+
+    /// Decodes the on-wire protocol number.
+    pub fn from_u8(v: u8) -> IpProtocol {
+        match v {
+            6 => IpProtocol::Tcp,
+            17 => IpProtocol::Udp,
+            other => IpProtocol::Other(other),
+        }
+    }
+}
+
+/// An IPv4 header (no options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ipv4Header {
+    /// Differentiated services codepoint (high six bits of TOS).
+    pub dscp: u8,
+    /// ECN codepoint (low two bits of TOS).
+    pub ecn: Ecn,
+    /// Total length of header + payload in bytes.
+    pub total_len: u16,
+    /// Identification field.
+    pub identification: u16,
+    /// Don't-fragment flag. The simulator does not fragment, so generated
+    /// packets set it.
+    pub dont_fragment: bool,
+    /// Time to live.
+    pub ttl: u8,
+    /// Payload protocol.
+    pub protocol: IpProtocol,
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+}
+
+impl Ipv4Header {
+    /// Builds a header for a payload of `payload_len` bytes.
+    pub fn new(
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        protocol: IpProtocol,
+        payload_len: usize,
+    ) -> Ipv4Header {
+        Ipv4Header {
+            dscp: 0,
+            ecn: Ecn::NotEct,
+            total_len: (IPV4_HEADER_LEN + payload_len) as u16,
+            identification: 0,
+            dont_fragment: true,
+            ttl: 64,
+            protocol,
+            src,
+            dst,
+        }
+    }
+
+    /// Parses a header, verifying version, IHL and checksum. Returns the
+    /// header and bytes consumed (always [`IPV4_HEADER_LEN`]; options are
+    /// rejected).
+    pub fn parse(buf: &[u8]) -> Result<(Ipv4Header, usize)> {
+        need("ipv4", buf, IPV4_HEADER_LEN)?;
+        let version = buf[0] >> 4;
+        if version != 4 {
+            return Err(ParseError::Unsupported {
+                layer: "ipv4",
+                what: "version",
+                value: u64::from(version),
+            });
+        }
+        let ihl = usize::from(buf[0] & 0x0f) * 4;
+        if ihl != IPV4_HEADER_LEN {
+            return Err(ParseError::Unsupported {
+                layer: "ipv4",
+                what: "header with options (IHL != 5)",
+                value: ihl as u64,
+            });
+        }
+        if checksum(&buf[..IPV4_HEADER_LEN]) != 0 {
+            return Err(ParseError::BadChecksum { layer: "ipv4" });
+        }
+        let total_len = u16::from_be_bytes([buf[2], buf[3]]);
+        if usize::from(total_len) < IPV4_HEADER_LEN {
+            return Err(ParseError::BadLength {
+                layer: "ipv4",
+                claimed: usize::from(total_len),
+                max: usize::MAX,
+            });
+        }
+        let flags_frag = u16::from_be_bytes([buf[6], buf[7]]);
+        Ok((
+            Ipv4Header {
+                dscp: buf[1] >> 2,
+                ecn: Ecn::from_bits(buf[1]),
+                total_len,
+                identification: u16::from_be_bytes([buf[4], buf[5]]),
+                dont_fragment: flags_frag & 0x4000 != 0,
+                ttl: buf[8],
+                protocol: IpProtocol::from_u8(buf[9]),
+                src: Ipv4Addr::new(buf[12], buf[13], buf[14], buf[15]),
+                dst: Ipv4Addr::new(buf[16], buf[17], buf[18], buf[19]),
+            },
+            IPV4_HEADER_LEN,
+        ))
+    }
+
+    /// Serializes the header, computing the checksum.
+    pub fn write(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.push(0x45);
+        out.push((self.dscp << 2) | self.ecn.to_bits());
+        out.extend_from_slice(&self.total_len.to_be_bytes());
+        out.extend_from_slice(&self.identification.to_be_bytes());
+        let flags_frag: u16 = if self.dont_fragment { 0x4000 } else { 0 };
+        out.extend_from_slice(&flags_frag.to_be_bytes());
+        out.push(self.ttl);
+        out.push(self.protocol.to_u8());
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(&self.src.octets());
+        out.extend_from_slice(&self.dst.octets());
+        let ck = checksum(&out[start..start + IPV4_HEADER_LEN]);
+        out[start + 10..start + 12].copy_from_slice(&ck.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv4Header {
+        Ipv4Header::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            IpProtocol::Tcp,
+            100,
+        )
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let h = sample();
+        let mut buf = Vec::new();
+        h.write(&mut buf);
+        assert_eq!(buf.len(), IPV4_HEADER_LEN);
+        let (parsed, used) = Ipv4Header::parse(&buf).unwrap();
+        assert_eq!(used, IPV4_HEADER_LEN);
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn ecn_marking_round_trips() {
+        let mut h = sample();
+        h.ecn = Ecn::Ect0;
+        let mut buf = Vec::new();
+        h.write(&mut buf);
+        let (parsed, _) = Ipv4Header::parse(&buf).unwrap();
+        assert_eq!(parsed.ecn, Ecn::Ect0);
+    }
+
+    #[test]
+    fn corrupted_byte_fails_checksum() {
+        let mut buf = Vec::new();
+        sample().write(&mut buf);
+        buf[15] ^= 0xff;
+        assert_eq!(
+            Ipv4Header::parse(&buf).unwrap_err(),
+            ParseError::BadChecksum { layer: "ipv4" }
+        );
+    }
+
+    #[test]
+    fn ipv6_version_is_rejected() {
+        let mut buf = Vec::new();
+        sample().write(&mut buf);
+        buf[0] = 0x60;
+        assert!(matches!(
+            Ipv4Header::parse(&buf).unwrap_err(),
+            ParseError::Unsupported {
+                what: "version",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn options_are_rejected() {
+        let mut buf = Vec::new();
+        sample().write(&mut buf);
+        buf[0] = 0x46; // IHL = 6
+                       // Checksum is now stale too, but IHL is checked first.
+        assert!(matches!(
+            Ipv4Header::parse(&buf).unwrap_err(),
+            ParseError::Unsupported { .. }
+        ));
+    }
+
+    #[test]
+    fn ecn_bits_cover_all_codepoints() {
+        for ecn in [Ecn::NotEct, Ecn::Ect1, Ecn::Ect0, Ecn::Ce] {
+            assert_eq!(Ecn::from_bits(ecn.to_bits()), ecn);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! MPLS label stacks.
+//!
+//! MPLS labels are the second tagging option of §4.2: "flexible pushing and
+//! pulling of tags (e.g., MPLS labels …) supported in current
+//! OpenFlow-based SDN networks". The simulator supports pushing a stack of
+//! labels in front of the IPv4 header, which can encode either steering
+//! information or (several labels deep) compact match results.
+
+use crate::{need, ParseError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Length of one MPLS label stack entry.
+pub const MPLS_LABEL_LEN: usize = 4;
+
+/// Maximum label value (20 bits).
+pub const MAX_LABEL: u32 = (1 << 20) - 1;
+
+/// One MPLS label stack entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MplsLabel {
+    /// 20-bit label value.
+    pub label: u32,
+    /// 3-bit traffic class.
+    pub tc: u8,
+    /// Bottom-of-stack flag; set on the last entry before the IP header.
+    pub bottom: bool,
+    /// Time to live.
+    pub ttl: u8,
+}
+
+impl MplsLabel {
+    /// Builds a label entry.
+    ///
+    /// # Errors
+    /// Returns an error when `label` exceeds the 20-bit space.
+    pub fn new(label: u32, bottom: bool) -> Result<MplsLabel> {
+        if label > MAX_LABEL {
+            return Err(ParseError::Unsupported {
+                layer: "mpls",
+                what: "label out of 20-bit range",
+                value: u64::from(label),
+            });
+        }
+        Ok(MplsLabel {
+            label,
+            tc: 0,
+            bottom,
+            ttl: 64,
+        })
+    }
+
+    /// Parses one stack entry, returning it and the bytes consumed.
+    pub fn parse(buf: &[u8]) -> Result<(MplsLabel, usize)> {
+        need("mpls", buf, MPLS_LABEL_LEN)?;
+        let w = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]);
+        Ok((
+            MplsLabel {
+                label: w >> 12,
+                tc: ((w >> 9) & 0x7) as u8,
+                bottom: w & 0x100 != 0,
+                ttl: (w & 0xff) as u8,
+            },
+            MPLS_LABEL_LEN,
+        ))
+    }
+
+    /// Parses a whole stack: entries until (and including) the
+    /// bottom-of-stack entry.
+    pub fn parse_stack(buf: &[u8]) -> Result<(Vec<MplsLabel>, usize)> {
+        let mut stack = Vec::new();
+        let mut off = 0;
+        loop {
+            let (l, used) = MplsLabel::parse(&buf[off..])?;
+            off += used;
+            let bottom = l.bottom;
+            stack.push(l);
+            if bottom {
+                return Ok((stack, off));
+            }
+        }
+    }
+
+    /// Serializes the entry.
+    pub fn write(&self, out: &mut Vec<u8>) {
+        let w = (self.label & 0xfffff) << 12
+            | u32::from(self.tc & 0x7) << 9
+            | u32::from(self.bottom) << 8
+            | u32::from(self.ttl);
+        out.extend_from_slice(&w.to_be_bytes());
+    }
+
+    /// Serializes a stack, forcing the bottom-of-stack bit to be set only on
+    /// the last entry so a malformed input stack cannot produce an
+    /// unparseable wire image.
+    pub fn write_stack(stack: &[MplsLabel], out: &mut Vec<u8>) {
+        for (i, entry) in stack.iter().enumerate() {
+            let mut e = *entry;
+            e.bottom = i + 1 == stack.len();
+            e.write(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_round_trips() {
+        let l = MplsLabel {
+            label: 0xabcde,
+            tc: 3,
+            bottom: true,
+            ttl: 17,
+        };
+        let mut buf = Vec::new();
+        l.write(&mut buf);
+        let (parsed, used) = MplsLabel::parse(&buf).unwrap();
+        assert_eq!(used, MPLS_LABEL_LEN);
+        assert_eq!(parsed, l);
+    }
+
+    #[test]
+    fn new_rejects_oversized_label() {
+        assert!(MplsLabel::new(MAX_LABEL, true).is_ok());
+        assert!(MplsLabel::new(MAX_LABEL + 1, true).is_err());
+    }
+
+    #[test]
+    fn stack_round_trips_and_fixes_bottom_bits() {
+        let stack = vec![
+            MplsLabel::new(1, true).unwrap(), // wrong bottom bit on purpose
+            MplsLabel::new(2, false).unwrap(),
+            MplsLabel::new(3, false).unwrap(), // wrong again
+        ];
+        let mut buf = Vec::new();
+        MplsLabel::write_stack(&stack, &mut buf);
+        let (parsed, used) = MplsLabel::parse_stack(&buf).unwrap();
+        assert_eq!(used, 3 * MPLS_LABEL_LEN);
+        assert_eq!(parsed.len(), 3);
+        assert!(!parsed[0].bottom && !parsed[1].bottom && parsed[2].bottom);
+        assert_eq!(
+            parsed.iter().map(|l| l.label).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn unterminated_stack_is_truncated_error() {
+        // One entry without the bottom bit, then nothing.
+        let mut buf = Vec::new();
+        MplsLabel::new(9, false).unwrap().write(&mut buf);
+        assert!(matches!(
+            MplsLabel::parse_stack(&buf).unwrap_err(),
+            ParseError::Truncated { layer: "mpls", .. }
+        ));
+    }
+}

@@ -1,0 +1,189 @@
+//! Match results encoded as MPLS labels — §4.2's second delivery option.
+//!
+//! "An option that does not require reordering of service chains relies
+//! on using some flexible pushing and pulling of tags (e.g., MPLS labels
+//! …). The downside of the tagging option is that it might be messy as
+//! each matching result may require several such tags, which in turn must
+//! not collide with other tags used in the system."
+//!
+//! Both caveats are embodied here:
+//!
+//! * each reported pattern consumes one 20-bit label, so only packets
+//!   with at most [`MAX_RESULT_LABELS`] distinct matches can use this
+//!   path ([`encode_matches`] returns `None` otherwise — callers fall
+//!   back to a dedicated result packet);
+//! * match *positions do not fit*: a label carries (middlebox id,
+//!   pattern id) only. Decoded records report position
+//!   [`TAG_POSITION_UNKNOWN`]. Middleboxes that act on positions need one
+//!   of the other two mechanisms;
+//! * result labels are marked with a reserved traffic-class value so they
+//!   cannot be confused with routing labels.
+
+use crate::mpls::MplsLabel;
+use crate::report::{MatchRecord, MiddleboxReport};
+
+/// Traffic-class marker distinguishing result labels from routing labels.
+pub const RESULT_TC: u8 = 0b101;
+
+/// Most matches encodable as labels before falling back.
+pub const MAX_RESULT_LABELS: usize = 8;
+
+/// Position value for tag-delivered matches (positions don't fit a tag).
+pub const TAG_POSITION_UNKNOWN: u16 = u16::MAX;
+
+/// Bits of the label reserved for the middlebox id.
+const MB_BITS: u32 = 6;
+/// Bits for the pattern id.
+const PATTERN_BITS: u32 = 14;
+
+/// Encodes per-middlebox match lists into result labels. Returns `None`
+/// when the reports do not fit: too many distinct matches, a middlebox id
+/// ≥ 2⁶ or a pattern id ≥ 2¹⁴.
+pub fn encode_matches(reports: &[MiddleboxReport]) -> Option<Vec<MplsLabel>> {
+    let mut labels = Vec::new();
+    for r in reports {
+        if u32::from(r.middlebox_id) >= (1 << MB_BITS) {
+            return None;
+        }
+        // One label per *distinct* pattern (occurrences collapse —
+        // another lossy aspect of the tag option).
+        let mut seen = std::collections::BTreeSet::new();
+        for rec in &r.records {
+            seen.insert(rec.pattern_id());
+        }
+        for pid in seen {
+            if u32::from(pid) >= (1 << PATTERN_BITS) {
+                return None;
+            }
+            if labels.len() >= MAX_RESULT_LABELS {
+                return None;
+            }
+            let value = (u32::from(r.middlebox_id) << PATTERN_BITS) | u32::from(pid);
+            let mut label = MplsLabel::new(value, false).expect("20-bit by construction");
+            label.tc = RESULT_TC;
+            labels.push(label);
+        }
+    }
+    Some(labels)
+}
+
+/// Decodes result labels back into per-middlebox reports (skipping
+/// routing labels, i.e. those without [`RESULT_TC`]). Positions are
+/// [`TAG_POSITION_UNKNOWN`].
+pub fn decode_matches(labels: &[MplsLabel]) -> Vec<MiddleboxReport> {
+    let mut by_mb: std::collections::BTreeMap<u16, Vec<MatchRecord>> =
+        std::collections::BTreeMap::new();
+    for l in labels {
+        if l.tc != RESULT_TC {
+            continue;
+        }
+        let mb = (l.label >> PATTERN_BITS) as u16;
+        let pid = (l.label & ((1 << PATTERN_BITS) - 1)) as u16;
+        by_mb.entry(mb).or_default().push(MatchRecord::Single {
+            pattern_id: pid,
+            position: TAG_POSITION_UNKNOWN,
+        });
+    }
+    by_mb
+        .into_iter()
+        .map(|(middlebox_id, records)| MiddleboxReport {
+            middlebox_id,
+            records,
+        })
+        .collect()
+}
+
+/// Strips result labels from a stack, leaving routing labels untouched —
+/// the job of the last middlebox on the chain.
+pub fn strip_result_labels(stack: &mut Vec<MplsLabel>) -> usize {
+    let before = stack.len();
+    stack.retain(|l| l.tc != RESULT_TC);
+    before - stack.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(mb: u16, pids: &[u16]) -> MiddleboxReport {
+        MiddleboxReport {
+            middlebox_id: mb,
+            records: pids
+                .iter()
+                .map(|&p| MatchRecord::Single {
+                    pattern_id: p,
+                    position: 42,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips_pattern_ids() {
+        let reports = vec![report(1, &[7, 9]), report(3, &[7])];
+        let labels = encode_matches(&reports).unwrap();
+        assert_eq!(labels.len(), 3);
+        assert!(labels.iter().all(|l| l.tc == RESULT_TC));
+        let decoded = decode_matches(&labels);
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded[0].middlebox_id, 1);
+        let pids: Vec<u16> = decoded[0].records.iter().map(|r| r.pattern_id()).collect();
+        assert_eq!(pids, vec![7, 9]);
+        // Positions are lost by design.
+        assert!(decoded[0]
+            .records
+            .iter()
+            .all(|r| matches!(r, MatchRecord::Single { position, .. } if *position == TAG_POSITION_UNKNOWN)));
+    }
+
+    #[test]
+    fn occurrences_collapse_to_one_label() {
+        let r = MiddleboxReport {
+            middlebox_id: 2,
+            records: vec![
+                MatchRecord::Single {
+                    pattern_id: 5,
+                    position: 1,
+                },
+                MatchRecord::Single {
+                    pattern_id: 5,
+                    position: 9,
+                },
+                MatchRecord::Range {
+                    pattern_id: 5,
+                    start: 20,
+                    count: 10,
+                },
+            ],
+        };
+        assert_eq!(encode_matches(&[r]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn too_many_matches_fall_back() {
+        let r = report(1, &(0..9).collect::<Vec<u16>>());
+        assert!(encode_matches(&[r]).is_none());
+    }
+
+    #[test]
+    fn oversized_ids_fall_back() {
+        assert!(encode_matches(&[report(64, &[1])]).is_none());
+        assert!(encode_matches(&[report(1, &[1 << 14])]).is_none());
+    }
+
+    #[test]
+    fn routing_labels_are_preserved_and_skipped() {
+        let mut stack = encode_matches(&[report(1, &[2])]).unwrap();
+        let routing = MplsLabel::new(0xbeef, false).unwrap();
+        stack.insert(0, routing);
+        assert_eq!(decode_matches(&stack).len(), 1);
+        assert_eq!(strip_result_labels(&mut stack), 1);
+        assert_eq!(stack, vec![routing]);
+    }
+
+    #[test]
+    fn empty_reports_encode_to_no_labels() {
+        assert_eq!(encode_matches(&[]).unwrap(), Vec::new());
+        assert!(decode_matches(&[]).is_empty());
+    }
+}

@@ -1,0 +1,233 @@
+//! The NSH-like in-band DPI results header.
+//!
+//! Option 1 of §4.2: "Adding match result information as an additional
+//! layer of information prior to the packet's payload … Publicly available
+//! frameworks such as Network Service Header (NSH) and Cisco's vPath may be
+//! used to encapsulate match data." The paper's Mininet/OpenFlow 1.0
+//! prototype could not use NSH; this simulator can, so the header is
+//! implemented as the primary in-band option.
+//!
+//! Layout (lengths in bytes):
+//!
+//! ```text
+//! +---------+---------+---------------+------------+----------+
+//! | ver(1)  | next(1) | length(2)     | chain(2)   | index(1) |
+//! +---------+---------+---------------+------------+----------+
+//! | nblocks(1) | per-middlebox report blocks ...              |
+//! +--------------------------------------------------------------+
+//! ```
+//!
+//! `length` covers the whole header including report blocks, so middleboxes
+//! that are *unaware* of the DPI service can skip the layer wholesale (the
+//! §4.2 requirement that the mechanism be oblivious to legacy elements is
+//! met by the last service-chain middlebox popping the header before the
+//! packet leaves the chain).
+
+use crate::report::MiddleboxReport;
+use crate::{need, ParseError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Fixed portion of the header, before report blocks.
+pub const NSH_FIXED_LEN: usize = 8;
+
+/// Protocol carried after the results header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NshNextProtocol {
+    /// An IPv4 packet follows.
+    Ipv4,
+    /// Unknown, preserved verbatim.
+    Other(u8),
+}
+
+impl NshNextProtocol {
+    fn to_u8(self) -> u8 {
+        match self {
+            NshNextProtocol::Ipv4 => 1,
+            NshNextProtocol::Other(v) => v,
+        }
+    }
+
+    fn from_u8(v: u8) -> NshNextProtocol {
+        match v {
+            1 => NshNextProtocol::Ipv4,
+            other => NshNextProtocol::Other(other),
+        }
+    }
+}
+
+/// The in-band DPI results header.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DpiResultsHeader {
+    /// Protocol of the encapsulated packet.
+    pub next_protocol: NshNextProtocol,
+    /// Policy-chain identifier (mirrors the NSH service path identifier).
+    pub chain_id: u16,
+    /// Position within the service chain (mirrors the NSH service index);
+    /// each middlebox that consumes the results decrements it.
+    pub service_index: u8,
+    /// Per-middlebox match lists, same encoding as in
+    /// [`ResultPacket`](crate::report::ResultPacket).
+    pub reports: Vec<MiddleboxReport>,
+}
+
+impl DpiResultsHeader {
+    /// Wire-format version.
+    pub const VERSION: u8 = 1;
+
+    /// Builds a header from a scanned packet's reports.
+    pub fn new(
+        chain_id: u16,
+        service_index: u8,
+        reports: Vec<MiddleboxReport>,
+    ) -> DpiResultsHeader {
+        DpiResultsHeader {
+            next_protocol: NshNextProtocol::Ipv4,
+            chain_id,
+            service_index,
+            reports,
+        }
+    }
+
+    /// Total size on the wire.
+    pub fn wire_size(&self) -> usize {
+        NSH_FIXED_LEN
+            + self
+                .reports
+                .iter()
+                .map(MiddleboxReport::wire_size)
+                .sum::<usize>()
+    }
+
+    /// Serializes the header.
+    pub fn write(&self, out: &mut Vec<u8>) {
+        out.push(Self::VERSION);
+        out.push(self.next_protocol.to_u8());
+        out.extend_from_slice(&(self.wire_size() as u16).to_be_bytes());
+        out.extend_from_slice(&self.chain_id.to_be_bytes());
+        out.push(self.service_index);
+        out.push(self.reports.len() as u8);
+        for r in &self.reports {
+            // Same block encoding as the result packet's body.
+            r.write(out);
+        }
+    }
+
+    /// Parses the header, returning it and the bytes consumed.
+    pub fn parse(buf: &[u8]) -> Result<(DpiResultsHeader, usize)> {
+        need("dpi-results", buf, NSH_FIXED_LEN)?;
+        if buf[0] != Self::VERSION {
+            return Err(ParseError::Unsupported {
+                layer: "dpi-results",
+                what: "version",
+                value: u64::from(buf[0]),
+            });
+        }
+        let next_protocol = NshNextProtocol::from_u8(buf[1]);
+        let length = usize::from(u16::from_be_bytes([buf[2], buf[3]]));
+        if length < NSH_FIXED_LEN || length > buf.len() {
+            return Err(ParseError::BadLength {
+                layer: "dpi-results",
+                claimed: length,
+                max: buf.len(),
+            });
+        }
+        let chain_id = u16::from_be_bytes([buf[4], buf[5]]);
+        let service_index = buf[6];
+        let n = usize::from(buf[7]);
+        let mut off = NSH_FIXED_LEN;
+        let mut reports = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (r, used) = MiddleboxReport::parse(&buf[off..length])?;
+            off += used;
+            reports.push(r);
+        }
+        if off != length {
+            return Err(ParseError::BadLength {
+                layer: "dpi-results",
+                claimed: length,
+                max: off,
+            });
+        }
+        Ok((
+            DpiResultsHeader {
+                next_protocol,
+                chain_id,
+                service_index,
+                reports,
+            },
+            length,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::MatchRecord;
+
+    fn sample() -> DpiResultsHeader {
+        DpiResultsHeader::new(
+            42,
+            3,
+            vec![
+                MiddleboxReport {
+                    middlebox_id: 1,
+                    records: vec![MatchRecord::Single {
+                        pattern_id: 5,
+                        position: 10,
+                    }],
+                },
+                MiddleboxReport {
+                    middlebox_id: 2,
+                    records: vec![MatchRecord::Range {
+                        pattern_id: 6,
+                        start: 20,
+                        count: 4,
+                    }],
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let h = sample();
+        let mut buf = Vec::new();
+        h.write(&mut buf);
+        assert_eq!(buf.len(), h.wire_size());
+        // Parsing must work with trailing bytes present (the IP packet).
+        buf.extend_from_slice(b"IPPACKETFOLLOWS");
+        let (parsed, used) = DpiResultsHeader::parse(&buf).unwrap();
+        assert_eq!(used, h.wire_size());
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn empty_reports_are_legal() {
+        let h = DpiResultsHeader::new(1, 0, vec![]);
+        let mut buf = Vec::new();
+        h.write(&mut buf);
+        assert_eq!(buf.len(), NSH_FIXED_LEN);
+        let (parsed, _) = DpiResultsHeader::parse(&buf).unwrap();
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn length_field_shorter_than_blocks_is_rejected() {
+        let h = sample();
+        let mut buf = Vec::new();
+        h.write(&mut buf);
+        // Claim the header ends mid-block.
+        let bogus = (NSH_FIXED_LEN + 2) as u16;
+        buf[2..4].copy_from_slice(&bogus.to_be_bytes());
+        assert!(DpiResultsHeader::parse(&buf).is_err());
+    }
+
+    #[test]
+    fn truncated_fixed_part_is_rejected() {
+        assert!(matches!(
+            DpiResultsHeader::parse(&[1, 1, 0]).unwrap_err(),
+            ParseError::Truncated { .. }
+        ));
+    }
+}

@@ -1,0 +1,130 @@
+//! 802.1Q VLAN tags.
+//!
+//! The Traffic Steering Application pushes a VLAN tag whose VID encodes the
+//! packet's *policy chain identifier*, so DPI service instances can select
+//! the right pattern sets without keeping per-flow state (§4.1). Tags are
+//! also one of the three options for carrying match results (§4.2).
+
+use crate::ethernet::EtherType;
+use crate::{need, ParseError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Length of one 802.1Q tag (TCI + inner EtherType).
+pub const VLAN_TAG_LEN: usize = 4;
+
+/// Maximum valid VLAN identifier (12 bits; 0xFFF is reserved).
+pub const MAX_VLAN_ID: u16 = 0xffe;
+
+/// One 802.1Q tag.
+///
+/// The EtherType of the layer *following* the tag is not stored here: it is
+/// derived from the packet's actual layer stack at serialization time, so
+/// struct and wire can never disagree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VlanTag {
+    /// Priority code point (3 bits).
+    pub pcp: u8,
+    /// Drop eligible indicator.
+    pub dei: bool,
+    /// VLAN identifier (12 bits). The TSA maps policy-chain ids into this
+    /// field.
+    pub vid: u16,
+}
+
+impl VlanTag {
+    /// Builds a tag carrying a policy-chain identifier.
+    ///
+    /// # Errors
+    /// Returns an error if `vid` exceeds the 12-bit space — the paper notes
+    /// tags "must not collide with other tags used in the system", and the
+    /// first step is not to overflow them.
+    pub fn for_chain(vid: u16) -> Result<VlanTag> {
+        if vid > MAX_VLAN_ID {
+            return Err(ParseError::Unsupported {
+                layer: "vlan",
+                what: "vid out of 12-bit range",
+                value: u64::from(vid),
+            });
+        }
+        Ok(VlanTag {
+            pcp: 0,
+            dei: false,
+            vid,
+        })
+    }
+
+    /// Parses one tag (the caller has already consumed the 0x8100
+    /// EtherType), returning the tag, the inner EtherType and the bytes
+    /// consumed.
+    pub fn parse(buf: &[u8]) -> Result<(VlanTag, EtherType, usize)> {
+        need("vlan", buf, VLAN_TAG_LEN)?;
+        let tci = u16::from_be_bytes([buf[0], buf[1]]);
+        let inner = EtherType::from_u16(u16::from_be_bytes([buf[2], buf[3]]));
+        Ok((
+            VlanTag {
+                pcp: (tci >> 13) as u8,
+                dei: tci & 0x1000 != 0,
+                vid: tci & 0x0fff,
+            },
+            inner,
+            VLAN_TAG_LEN,
+        ))
+    }
+
+    /// Serializes the tag (TCI) followed by the EtherType of the inner
+    /// layer.
+    pub fn write(&self, inner: EtherType, out: &mut Vec<u8>) {
+        let tci =
+            (u16::from(self.pcp & 0x7) << 13) | (u16::from(self.dei) << 12) | (self.vid & 0x0fff);
+        out.extend_from_slice(&tci.to_be_bytes());
+        out.extend_from_slice(&inner.to_u16().to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_round_trips() {
+        let t = VlanTag {
+            pcp: 5,
+            dei: true,
+            vid: 0x234,
+        };
+        let mut buf = Vec::new();
+        t.write(EtherType::Ipv4, &mut buf);
+        let (parsed, inner, used) = VlanTag::parse(&buf).unwrap();
+        assert_eq!(used, VLAN_TAG_LEN);
+        assert_eq!(parsed, t);
+        assert_eq!(inner, EtherType::Ipv4);
+    }
+
+    #[test]
+    fn for_chain_rejects_oversized_vid() {
+        assert!(VlanTag::for_chain(0xfff).is_err());
+        assert!(VlanTag::for_chain(MAX_VLAN_ID).is_ok());
+    }
+
+    #[test]
+    fn truncated_tag_is_an_error() {
+        assert!(matches!(
+            VlanTag::parse(&[0u8; 3]).unwrap_err(),
+            ParseError::Truncated { layer: "vlan", .. }
+        ));
+    }
+
+    #[test]
+    fn pcp_is_masked_to_three_bits() {
+        let t = VlanTag {
+            pcp: 0xff,
+            dei: false,
+            vid: 1,
+        };
+        let mut buf = Vec::new();
+        t.write(EtherType::Vlan, &mut buf);
+        let (parsed, inner, _) = VlanTag::parse(&buf).unwrap();
+        assert_eq!(parsed.pcp, 0x7);
+        assert_eq!(inner, EtherType::Vlan);
+    }
+}

@@ -1,0 +1,217 @@
+//! The regular-expression abstract syntax tree and byte-class sets.
+
+/// A set of bytes, represented as a 256-bit bitmap.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct ByteSet {
+    bits: [u64; 4],
+}
+
+impl ByteSet {
+    /// The empty set.
+    pub fn empty() -> ByteSet {
+        ByteSet { bits: [0; 4] }
+    }
+
+    /// The full set (any byte).
+    pub fn full() -> ByteSet {
+        ByteSet {
+            bits: [u64::MAX; 4],
+        }
+    }
+
+    /// A singleton set.
+    pub fn single(b: u8) -> ByteSet {
+        let mut s = ByteSet::empty();
+        s.insert(b);
+        s
+    }
+
+    /// Adds one byte.
+    pub fn insert(&mut self, b: u8) {
+        self.bits[usize::from(b) / 64] |= 1u64 << (usize::from(b) % 64);
+    }
+
+    /// Adds an inclusive range.
+    pub fn insert_range(&mut self, lo: u8, hi: u8) {
+        for b in lo..=hi {
+            self.insert(b);
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, b: u8) -> bool {
+        self.bits[usize::from(b) / 64] & (1u64 << (usize::from(b) % 64)) != 0
+    }
+
+    /// The complement set.
+    pub fn negated(&self) -> ByteSet {
+        ByteSet {
+            bits: [!self.bits[0], !self.bits[1], !self.bits[2], !self.bits[3]],
+        }
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &ByteSet) -> ByteSet {
+        ByteSet {
+            bits: [
+                self.bits[0] | other.bits[0],
+                self.bits[1] | other.bits[1],
+                self.bits[2] | other.bits[2],
+                self.bits[3] | other.bits[3],
+            ],
+        }
+    }
+
+    /// Number of bytes in the set.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// If the set holds exactly one byte, that byte.
+    pub fn as_single(&self) -> Option<u8> {
+        if self.len() == 1 {
+            (0..=255).find(|&b| self.contains(b))
+        } else {
+            None
+        }
+    }
+
+    /// Closes the set under ASCII case folding (for `(?i)`).
+    pub fn case_insensitive(&self) -> ByteSet {
+        let mut out = *self;
+        for b in b'a'..=b'z' {
+            if self.contains(b) {
+                out.insert(b - 32);
+            }
+        }
+        for b in b'A'..=b'Z' {
+            if self.contains(b) {
+                out.insert(b + 32);
+            }
+        }
+        out
+    }
+
+    /// `\d`.
+    pub fn digits() -> ByteSet {
+        let mut s = ByteSet::empty();
+        s.insert_range(b'0', b'9');
+        s
+    }
+
+    /// `\s` (Perl semantics: space, tab, newline, carriage return, form
+    /// feed, vertical tab).
+    pub fn whitespace() -> ByteSet {
+        let mut s = ByteSet::empty();
+        for b in [b' ', b'\t', b'\n', b'\r', 0x0c, 0x0b] {
+            s.insert(b);
+        }
+        s
+    }
+
+    /// `\w`.
+    pub fn word() -> ByteSet {
+        let mut s = ByteSet::empty();
+        s.insert_range(b'a', b'z');
+        s.insert_range(b'A', b'Z');
+        s.insert_range(b'0', b'9');
+        s.insert(b'_');
+        s
+    }
+
+    /// `.` without dot-all: any byte except `\n`.
+    pub fn dot() -> ByteSet {
+        let mut s = ByteSet::full();
+        s.bits[usize::from(b'\n') / 64] &= !(1u64 << (usize::from(b'\n') % 64));
+        s
+    }
+}
+
+impl std::fmt::Debug for ByteSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ByteSet({} bytes)", self.len())
+    }
+}
+
+/// An AST node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// One byte from a class (a literal is a singleton class).
+    Class(ByteSet),
+    /// Sequence.
+    Concat(Vec<Ast>),
+    /// Alternation.
+    Alt(Vec<Ast>),
+    /// Repetition `node{min, max}`; `max = None` means unbounded.
+    Repeat {
+        /// The repeated subexpression.
+        node: Box<Ast>,
+        /// Minimum repetitions.
+        min: u32,
+        /// Maximum repetitions (`None` = ∞).
+        max: Option<u32>,
+    },
+    /// `^` — start of input.
+    AnchorStart,
+    /// `$` — end of input.
+    AnchorEnd,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byteset_basics() {
+        let mut s = ByteSet::empty();
+        assert!(s.is_empty());
+        s.insert(b'a');
+        s.insert_range(b'0', b'9');
+        assert!(s.contains(b'a'));
+        assert!(s.contains(b'5'));
+        assert!(!s.contains(b'b'));
+        assert_eq!(s.len(), 11);
+    }
+
+    #[test]
+    fn negation_partitions_the_space() {
+        let s = ByteSet::digits();
+        let n = s.negated();
+        for b in 0..=255u8 {
+            assert_ne!(s.contains(b), n.contains(b));
+        }
+        assert_eq!(s.len() + n.len(), 256);
+    }
+
+    #[test]
+    fn single_extraction() {
+        assert_eq!(ByteSet::single(b'q').as_single(), Some(b'q'));
+        assert_eq!(ByteSet::digits().as_single(), None);
+        assert_eq!(ByteSet::empty().as_single(), None);
+    }
+
+    #[test]
+    fn case_folding_is_symmetric() {
+        let s = ByteSet::single(b'a').case_insensitive();
+        assert!(s.contains(b'a') && s.contains(b'A'));
+        let s = ByteSet::single(b'Z').case_insensitive();
+        assert!(s.contains(b'z') && s.contains(b'Z'));
+        let s = ByteSet::single(b'7').case_insensitive();
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn dot_excludes_newline() {
+        let d = ByteSet::dot();
+        assert!(!d.contains(b'\n'));
+        assert!(d.contains(b'\r'));
+        assert_eq!(d.len(), 255);
+    }
+}

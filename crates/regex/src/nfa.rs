@@ -1,0 +1,450 @@
+//! Thompson NFA construction and simulation.
+//!
+//! The simulation advances a *set* of states per input byte (a Pike-style
+//! VM without capture groups), so matching is O(input × states) in the
+//! worst case with **no** exponential behaviour — a DPI service must not be
+//! DoS-able through its own regex engine (§4.3.1 discusses exactly such
+//! complexity attacks against DPI).
+
+use crate::ast::{Ast, ByteSet};
+
+/// One NFA state.
+#[derive(Debug, Clone)]
+pub(crate) enum State {
+    /// Consume one byte from `set`, go to `next`.
+    Byte {
+        /// Acceptable bytes.
+        set: ByteSet,
+        /// Successor state.
+        next: u32,
+    },
+    /// Epsilon-split to both targets.
+    Split(u32, u32),
+    /// `^` — passes only at input start.
+    AssertStart(u32),
+    /// `$` — passes only at input end.
+    AssertEnd(u32),
+    /// Accept.
+    Match,
+}
+
+/// A compiled NFA.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    states: Vec<State>,
+    start: u32,
+    /// Whether the pattern begins with `^` (disables the implicit
+    /// leading `.*?` of unanchored search).
+    anchored_start: bool,
+}
+
+/// A partially-built fragment: entry state plus dangling exits to patch.
+struct Frag {
+    start: u32,
+    /// (state index, which-slot) pairs whose successor is unset.
+    outs: Vec<(u32, u8)>,
+}
+
+struct Compiler {
+    states: Vec<State>,
+}
+
+impl Compiler {
+    fn push(&mut self, s: State) -> u32 {
+        self.states.push(s);
+        (self.states.len() - 1) as u32
+    }
+
+    fn patch(&mut self, outs: &[(u32, u8)], target: u32) {
+        for &(idx, slot) in outs {
+            match &mut self.states[idx as usize] {
+                State::Byte { next, .. } => *next = target,
+                State::AssertStart(n) | State::AssertEnd(n) => *n = target,
+                State::Split(a, b) => {
+                    if slot == 0 {
+                        *a = target;
+                    } else {
+                        *b = target;
+                    }
+                }
+                State::Match => unreachable!("match states have no exits"),
+            }
+        }
+    }
+
+    fn compile(&mut self, ast: &Ast) -> Frag {
+        match ast {
+            Ast::Empty => {
+                // A split with both slots dangling to the same place acts
+                // as a no-op passthrough.
+                let s = self.push(State::Split(u32::MAX, u32::MAX));
+                Frag {
+                    start: s,
+                    outs: vec![(s, 0), (s, 1)],
+                }
+            }
+            Ast::Class(set) => {
+                let s = self.push(State::Byte {
+                    set: *set,
+                    next: u32::MAX,
+                });
+                Frag {
+                    start: s,
+                    outs: vec![(s, 0)],
+                }
+            }
+            Ast::AnchorStart => {
+                let s = self.push(State::AssertStart(u32::MAX));
+                Frag {
+                    start: s,
+                    outs: vec![(s, 0)],
+                }
+            }
+            Ast::AnchorEnd => {
+                let s = self.push(State::AssertEnd(u32::MAX));
+                Frag {
+                    start: s,
+                    outs: vec![(s, 0)],
+                }
+            }
+            Ast::Concat(items) => {
+                let mut iter = items.iter();
+                let first = iter.next().expect("concat is non-empty");
+                let mut frag = self.compile(first);
+                for item in iter {
+                    let next = self.compile(item);
+                    self.patch(&frag.outs, next.start);
+                    frag.outs = next.outs;
+                }
+                frag
+            }
+            Ast::Alt(branches) => {
+                let frags: Vec<Frag> = branches.iter().map(|b| self.compile(b)).collect();
+                // Chain splits: split(f0, split(f1, split(f2, ...))).
+                let mut outs = Vec::new();
+                let mut entry = u32::MAX;
+                for f in frags.iter().rev() {
+                    outs.extend_from_slice(&f.outs);
+                    entry = if entry == u32::MAX {
+                        f.start
+                    } else {
+                        self.push(State::Split(f.start, entry))
+                    };
+                }
+                Frag { start: entry, outs }
+            }
+            Ast::Repeat { node, min, max } => self.compile_repeat(node, *min, *max),
+        }
+    }
+
+    fn compile_repeat(&mut self, node: &Ast, min: u32, max: Option<u32>) -> Frag {
+        match max {
+            None => {
+                if min == 0 {
+                    // node* : split(loop-body, out); body exits back to split.
+                    let split = self.push(State::Split(u32::MAX, u32::MAX));
+                    let body = self.compile(node);
+                    // split slot 0 -> body, body -> split, slot 1 dangles.
+                    self.patch(&[(split, 0)], body.start);
+                    self.patch(&body.outs, split);
+                    Frag {
+                        start: split,
+                        outs: vec![(split, 1)],
+                    }
+                } else {
+                    // node{min,} = node^(min-1) ++ node+
+                    let mut frag = self.compile(node);
+                    for _ in 1..min {
+                        let next = self.compile(node);
+                        self.patch(&frag.outs, next.start);
+                        frag.outs = next.outs;
+                    }
+                    // Last copy: loop back.
+                    let split = self.push(State::Split(u32::MAX, u32::MAX));
+                    self.patch(&frag.outs, split);
+                    // Loop body is one more copy of node.
+                    let body = self.compile(node);
+                    self.patch(&[(split, 0)], body.start);
+                    self.patch(&body.outs, split);
+                    Frag {
+                        start: frag.start,
+                        outs: vec![(split, 1)],
+                    }
+                }
+            }
+            Some(max) => {
+                // min mandatory copies, then (max-min) optional copies.
+                let mut start = u32::MAX;
+                let mut outs: Vec<(u32, u8)> = Vec::new();
+                for _ in 0..min {
+                    let f = self.compile(node);
+                    if start == u32::MAX {
+                        start = f.start;
+                    } else {
+                        self.patch(&outs, f.start);
+                    }
+                    outs = f.outs;
+                }
+                let mut skip_outs: Vec<(u32, u8)> = Vec::new();
+                for _ in min..max {
+                    let split = self.push(State::Split(u32::MAX, u32::MAX));
+                    if start == u32::MAX {
+                        start = split;
+                    } else {
+                        self.patch(&outs, split);
+                    }
+                    let f = self.compile(node);
+                    self.patch(&[(split, 0)], f.start);
+                    skip_outs.push((split, 1));
+                    outs = f.outs;
+                }
+                outs.extend(skip_outs);
+                if start == u32::MAX {
+                    // {0,0}: matches the empty string.
+                    let s = self.push(State::Split(u32::MAX, u32::MAX));
+                    return Frag {
+                        start: s,
+                        outs: vec![(s, 0), (s, 1)],
+                    };
+                }
+                Frag { start, outs }
+            }
+        }
+    }
+}
+
+impl Nfa {
+    /// Compiles an AST.
+    pub fn compile(ast: &Ast) -> Nfa {
+        let mut c = Compiler { states: Vec::new() };
+        let frag = c.compile(ast);
+        let m = c.push(State::Match);
+        c.patch(&frag.outs, m);
+        let anchored_start = starts_with_anchor(ast);
+        Nfa {
+            states: c.states,
+            start: frag.start,
+            anchored_start,
+        }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether there are no states (never true for compiled patterns).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    pub(crate) fn states(&self) -> &[State] {
+        &self.states
+    }
+
+    pub(crate) fn start_state(&self) -> u32 {
+        self.start
+    }
+
+    pub(crate) fn anchored_start(&self) -> bool {
+        self.anchored_start
+    }
+
+    /// Adds `state` and its epsilon closure to `list`.
+    fn add_state(
+        &self,
+        state: u32,
+        list: &mut Vec<u32>,
+        seen: &mut [bool],
+        at_start: bool,
+        at_end: bool,
+    ) {
+        let mut stack = vec![state];
+        while let Some(s) = stack.pop() {
+            if seen[s as usize] {
+                continue;
+            }
+            seen[s as usize] = true;
+            match &self.states[s as usize] {
+                State::Split(a, b) => {
+                    stack.push(*a);
+                    stack.push(*b);
+                }
+                State::AssertStart(n) => {
+                    if at_start {
+                        stack.push(*n);
+                    }
+                }
+                State::AssertEnd(n) => {
+                    if at_end {
+                        stack.push(*n);
+                    }
+                }
+                State::Byte { .. } | State::Match => list.push(s),
+            }
+        }
+    }
+
+    /// Whether any match exists in `haystack`.
+    pub fn is_match(&self, haystack: &[u8]) -> bool {
+        self.find_end(haystack).is_some()
+    }
+
+    /// The exclusive end offset of the earliest-completing match.
+    pub fn find_end(&self, haystack: &[u8]) -> Option<usize> {
+        let n = self.states.len();
+        let mut current: Vec<u32> = Vec::with_capacity(n);
+        let mut next: Vec<u32> = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+
+        let at_end0 = haystack.is_empty();
+        self.add_state(self.start, &mut current, &mut seen, true, at_end0);
+        if current
+            .iter()
+            .any(|&s| matches!(self.states[s as usize], State::Match))
+        {
+            return Some(0);
+        }
+
+        for (i, &b) in haystack.iter().enumerate() {
+            let at_end = i + 1 == haystack.len();
+            next.clear();
+            for w in seen.iter_mut() {
+                *w = false;
+            }
+            for &s in &current {
+                if let State::Byte { set, next: nx } = &self.states[s as usize] {
+                    if set.contains(b) {
+                        self.add_state(*nx, &mut next, &mut seen, false, at_end);
+                    }
+                }
+            }
+            // Unanchored search: restart attempts at every position.
+            if !self.anchored_start {
+                self.add_state(self.start, &mut next, &mut seen, false, at_end);
+            }
+            std::mem::swap(&mut current, &mut next);
+            if current
+                .iter()
+                .any(|&s| matches!(self.states[s as usize], State::Match))
+            {
+                return Some(i + 1);
+            }
+            if current.is_empty() {
+                return None;
+            }
+        }
+        None
+    }
+}
+
+/// Whether every match attempt must begin at input start (pattern begins
+/// with `^` on every alternation branch).
+fn starts_with_anchor(ast: &Ast) -> bool {
+    match ast {
+        Ast::AnchorStart => true,
+        Ast::Concat(items) => items.first().map(starts_with_anchor).unwrap_or(false),
+        Ast::Alt(branches) => branches.iter().all(starts_with_anchor),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn nfa(p: &str) -> Nfa {
+        Nfa::compile(&parse(p).unwrap())
+    }
+
+    #[test]
+    fn literal_concat() {
+        let n = nfa("abc");
+        assert!(n.is_match(b"xxabcxx"));
+        assert!(!n.is_match(b"ab c"));
+    }
+
+    #[test]
+    fn alternation() {
+        let n = nfa("cat|dog|bird");
+        assert!(n.is_match(b"hotdog"));
+        assert!(n.is_match(b"bird"));
+        assert!(!n.is_match(b"ca t"));
+    }
+
+    #[test]
+    fn star_plus_question() {
+        assert!(nfa("ab*c").is_match(b"ac"));
+        assert!(nfa("ab*c").is_match(b"abbbbc"));
+        assert!(!nfa("ab+c").is_match(b"ac"));
+        assert!(nfa("ab+c").is_match(b"abc"));
+        assert!(nfa("ab?c").is_match(b"ac"));
+        assert!(nfa("ab?c").is_match(b"abc"));
+        assert!(!nfa("ab?c").is_match(b"abbc"));
+    }
+
+    #[test]
+    fn counted_repetitions() {
+        let n = nfa("a{2,4}b");
+        assert!(!n.is_match(b"ab"));
+        assert!(n.is_match(b"aab"));
+        assert!(n.is_match(b"aaaab"));
+        // Five a's still contain a valid four-a suffix.
+        assert!(n.is_match(b"aaaaab"));
+        let exact = nfa("^a{3}$");
+        assert!(exact.is_match(b"aaa"));
+        assert!(!exact.is_match(b"aa"));
+        assert!(!exact.is_match(b"aaaa"));
+        let open = nfa("^a{2,}$");
+        assert!(!open.is_match(b"a"));
+        assert!(open.is_match(b"aaaaaa"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(nfa("^abc").is_match(b"abcdef"));
+        assert!(!nfa("^abc").is_match(b"xabc"));
+        assert!(nfa("abc$").is_match(b"xxabc"));
+        assert!(!nfa("abc$").is_match(b"abcx"));
+        assert!(nfa("^$").is_match(b""));
+        assert!(!nfa("^$").is_match(b"a"));
+    }
+
+    #[test]
+    fn empty_pattern_matches_immediately() {
+        assert_eq!(nfa("").find_end(b"anything"), Some(0));
+        assert_eq!(nfa("a*").find_end(b"bbb"), Some(0));
+    }
+
+    #[test]
+    fn classes_and_escapes() {
+        assert!(nfa(r"\d+").is_match(b"abc123"));
+        assert!(!nfa(r"\d").is_match(b"abc"));
+        assert!(nfa(r"[a-f0-9]{32}").is_match(&[b'a'; 32]));
+        assert!(nfa(r"\w+@\w+\.\w+").is_match(b"mail bob@example.org end"));
+    }
+
+    #[test]
+    fn find_end_earliest() {
+        assert_eq!(nfa("b").find_end(b"abc"), Some(2));
+        assert_eq!(nfa("a|ab").find_end(b"zab"), Some(2));
+    }
+
+    #[test]
+    fn pathological_pattern_terminates_quickly() {
+        // (a|a)* over "aaaa...b" is exponential in backtracking engines;
+        // the NFA simulation is linear.
+        let n = nfa("(a|a)*b");
+        let mut input = vec![b'a'; 2000];
+        assert!(!n.is_match(&input));
+        input.push(b'b');
+        assert!(n.is_match(&input));
+    }
+
+    #[test]
+    fn anchored_alt_detection() {
+        assert!(nfa("^a|^b").anchored_start());
+        assert!(!nfa("^a|b").anchored_start());
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the regex engine.
+//!
+//! Two core invariants:
+//!
+//! 1. NFA simulation and lazy DFA agree on every input (they are two
+//!    executions of the same language).
+//! 2. §5.3 anchor soundness: if a pattern matches an input, every
+//!    extracted anchor appears as a substring of that input. This is the
+//!    property the whole pre-filter architecture rests on — a violation
+//!    would make the DPI service drop real matches.
+
+use dpi_regex::dfa::LazyDfa;
+use dpi_regex::nfa::Nfa;
+use dpi_regex::{extract_anchors, parser, Regex};
+use proptest::prelude::*;
+
+/// A fixed, syntactically diverse pattern corpus; inputs are random.
+const PATTERNS: &[&str] = &[
+    r"abcd",
+    r"ab+cd",
+    r"a(bc)*d",
+    r"cat|dog|mouse",
+    r"^start",
+    r"finish$",
+    r"^whole$",
+    r"\d+\.\d+",
+    r"[a-c]{2,4}x",
+    r"pre(fix|amble)post",
+    r"regular\s*expression\s*\d+",
+    r"a?b?c?d?",
+    r"(?i)mixedcase",
+    r"x[^y]z",
+    r"dead{2,}beef",
+];
+
+fn inputs() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(
+        prop::sample::select(b"abcdefghijklmnop 0123456789.\nxyz".to_vec()),
+        0..120,
+    )
+}
+
+/// Inputs biased to contain fragments of the patterns themselves, so
+/// matches actually happen.
+fn biased_inputs() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(
+        prop::sample::select(vec![
+            b"abcd".to_vec(),
+            b"cat".to_vec(),
+            b"dog".to_vec(),
+            b"start".to_vec(),
+            b"finish".to_vec(),
+            b"12.5".to_vec(),
+            b"regular expression 9".to_vec(),
+            b"deadddbeef".to_vec(),
+            b"prefixpost".to_vec(),
+            b"MixedCase".to_vec(),
+            b" ".to_vec(),
+            b"z".to_vec(),
+        ]),
+        0..8,
+    )
+    .prop_map(|chunks| chunks.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn nfa_and_dfa_agree(idx in 0..PATTERNS.len(), data in inputs()) {
+        let ast = parser::parse(PATTERNS[idx]).unwrap();
+        let nfa = Nfa::compile(&ast);
+        let mut dfa = LazyDfa::new(&nfa);
+        prop_assert_eq!(nfa.find_end(&data), dfa.find_end(&data), "pattern {}", PATTERNS[idx]);
+    }
+
+    #[test]
+    fn nfa_and_dfa_agree_on_biased_inputs(idx in 0..PATTERNS.len(), data in biased_inputs()) {
+        let ast = parser::parse(PATTERNS[idx]).unwrap();
+        let nfa = Nfa::compile(&ast);
+        let mut dfa = LazyDfa::new(&nfa);
+        prop_assert_eq!(nfa.find_end(&data), dfa.find_end(&data), "pattern {}", PATTERNS[idx]);
+    }
+
+    #[test]
+    fn anchors_are_sound(idx in 0..PATTERNS.len(), data in biased_inputs()) {
+        let re = Regex::new(PATTERNS[idx]).unwrap();
+        if re.is_match(&data) {
+            for anchor in re.anchors() {
+                prop_assert!(
+                    data.windows(anchor.len()).any(|w| w == anchor.as_slice()),
+                    "pattern {} matched but anchor {:?} missing in {:?}",
+                    PATTERNS[idx],
+                    String::from_utf8_lossy(anchor),
+                    String::from_utf8_lossy(&data)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn anchor_extraction_is_deterministic(idx in 0..PATTERNS.len()) {
+        let ast = parser::parse(PATTERNS[idx]).unwrap();
+        prop_assert_eq!(extract_anchors(&ast), extract_anchors(&ast));
+    }
+
+    #[test]
+    fn match_end_is_within_input(idx in 0..PATTERNS.len(), data in biased_inputs()) {
+        let re = Regex::new(PATTERNS[idx]).unwrap();
+        if let Some(end) = re.find_end(&data) {
+            prop_assert!(end <= data.len());
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! The SDN controller (the "SDN Ctrl" box of Figure 5).
+//!
+//! The DPI controller "resides at the SDN application layer on top of the
+//! SDN controller" and "collaborate\[s\] with the TSA (and the SDN
+//! controller) to realize the changes" (§4.3). This controller owns the
+//! flow-table handles of every switch in the network and offers the
+//! rule-management API that applications (the TSA, MCA² diversions)
+//! program against — the simulated counterpart of POX.
+
+use crate::flowtable::{FlowRule, FlowTable};
+use crate::switch::Switch;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifier a switch registers under (its datapath id).
+pub type DatapathId = u32;
+
+/// The logically-centralized SDN controller.
+#[derive(Debug, Default)]
+pub struct SdnController {
+    switches: Mutex<HashMap<DatapathId, Arc<Mutex<FlowTable>>>>,
+}
+
+/// Errors from rule management.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SdnError {
+    /// No switch registered under that datapath id.
+    UnknownSwitch(DatapathId),
+    /// A datapath id was registered twice.
+    DuplicateSwitch(DatapathId),
+}
+
+impl std::fmt::Display for SdnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SdnError::UnknownSwitch(d) => write!(f, "unknown switch {d}"),
+            SdnError::DuplicateSwitch(d) => write!(f, "switch {d} already registered"),
+        }
+    }
+}
+
+impl std::error::Error for SdnError {}
+
+impl SdnController {
+    /// A controller with no switches.
+    pub fn new() -> SdnController {
+        SdnController::default()
+    }
+
+    /// Registers a switch (its table handle) under a datapath id — the
+    /// OpenFlow session establishment.
+    pub fn connect(&self, dpid: DatapathId, switch: &Switch) -> Result<(), SdnError> {
+        let mut sw = self.switches.lock();
+        if sw.contains_key(&dpid) {
+            return Err(SdnError::DuplicateSwitch(dpid));
+        }
+        sw.insert(dpid, switch.table());
+        Ok(())
+    }
+
+    /// Installs a rule on one switch (FLOW_MOD ADD).
+    pub fn install(&self, dpid: DatapathId, rule: FlowRule) -> Result<(), SdnError> {
+        let sw = self.switches.lock();
+        let table = sw.get(&dpid).ok_or(SdnError::UnknownSwitch(dpid))?;
+        table.lock().install(rule);
+        Ok(())
+    }
+
+    /// Removes rules matching a predicate on one switch (FLOW_MOD DELETE).
+    pub fn remove_where(
+        &self,
+        dpid: DatapathId,
+        pred: impl Fn(&FlowRule) -> bool,
+    ) -> Result<usize, SdnError> {
+        let sw = self.switches.lock();
+        let table = sw.get(&dpid).ok_or(SdnError::UnknownSwitch(dpid))?;
+        let removed = table.lock().remove_where(pred);
+        Ok(removed)
+    }
+
+    /// Rule count on one switch (table stats).
+    pub fn rule_count(&self, dpid: DatapathId) -> Result<usize, SdnError> {
+        let sw = self.switches.lock();
+        let table = sw.get(&dpid).ok_or(SdnError::UnknownSwitch(dpid))?;
+        let n = table.lock().len();
+        Ok(n)
+    }
+
+    /// The raw table handle of a switch — what applications like the TSA
+    /// program against (see
+    /// [`TrafficSteeringApp::via_controller`](crate::TrafficSteeringApp::via_controller)).
+    pub fn table(&self, dpid: DatapathId) -> Result<Arc<Mutex<FlowTable>>, SdnError> {
+        self.switches
+            .lock()
+            .get(&dpid)
+            .cloned()
+            .ok_or(SdnError::UnknownSwitch(dpid))
+    }
+
+    /// All connected datapath ids, sorted.
+    pub fn switches(&self) -> Vec<DatapathId> {
+        let mut v: Vec<DatapathId> = self.switches.lock().keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flowtable::{Action, FlowMatch};
+    use crate::network::{Network, SinkHost};
+
+    #[test]
+    fn connect_and_program_switches() {
+        let ctrl = SdnController::new();
+        let s1 = Switch::new("s1");
+        let s2 = Switch::new("s2");
+        ctrl.connect(1, &s1).unwrap();
+        ctrl.connect(2, &s2).unwrap();
+        assert_eq!(ctrl.switches(), vec![1, 2]);
+        assert_eq!(
+            ctrl.connect(1, &s1).unwrap_err(),
+            SdnError::DuplicateSwitch(1)
+        );
+
+        ctrl.install(
+            1,
+            FlowRule {
+                priority: 5,
+                m: FlowMatch::any(),
+                actions: vec![Action::Output(1)],
+            },
+        )
+        .unwrap();
+        assert_eq!(ctrl.rule_count(1).unwrap(), 1);
+        assert_eq!(ctrl.rule_count(2).unwrap(), 0);
+        assert_eq!(
+            ctrl.install(
+                9,
+                FlowRule {
+                    priority: 0,
+                    m: FlowMatch::any(),
+                    actions: vec![],
+                }
+            ),
+            Err(SdnError::UnknownSwitch(9))
+        );
+    }
+
+    #[test]
+    fn controller_installed_rules_drive_forwarding() {
+        let ctrl = SdnController::new();
+        let sw = Switch::new("s1");
+        ctrl.connect(7, &sw).unwrap();
+
+        let mut net = Network::new(100);
+        let sw_id = net.add_node(Box::new(sw));
+        let sink = SinkHost::new();
+        let sink_id = net.add_node(Box::new(sink.clone()));
+        net.link(sw_id, 1, sink_id, 0);
+
+        // No rules yet: drop.
+        let f = dpi_packet::packet::flow(
+            [1, 1, 1, 1],
+            1,
+            [2, 2, 2, 2],
+            2,
+            dpi_packet::ipv4::IpProtocol::Tcp,
+        );
+        let pkt = dpi_packet::Packet::tcp(
+            dpi_packet::MacAddr::local(1),
+            dpi_packet::MacAddr::local(2),
+            f,
+            0,
+            b"x".to_vec(),
+        );
+        net.inject(sw_id, 0, pkt.clone());
+        net.run();
+        assert_eq!(sink.count(), 0);
+
+        // Program through the controller: forwarding starts.
+        ctrl.install(
+            7,
+            FlowRule {
+                priority: 1,
+                m: FlowMatch::any().from_port(0),
+                actions: vec![Action::Output(1)],
+            },
+        )
+        .unwrap();
+        net.inject(sw_id, 0, pkt);
+        net.run();
+        assert_eq!(sink.count(), 1);
+
+        // And removal stops it again.
+        assert_eq!(ctrl.remove_where(7, |_| true).unwrap(), 1);
+    }
+}

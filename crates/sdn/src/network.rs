@@ -1,0 +1,225 @@
+//! The simulated network: nodes, links and the event loop.
+
+use crate::flowtable::Port;
+use dpi_packet::Packet;
+use std::collections::{HashMap, VecDeque};
+
+/// Node identifier within a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Port identifier (node-local).
+pub type PortId = Port;
+
+/// Anything attached to the network: a switch, a host, a DPI service
+/// instance, a middlebox.
+pub trait Node {
+    /// Handles a packet arriving on `port`; returns `(out_port, packet)`
+    /// emissions.
+    fn on_packet(&mut self, packet: Packet, port: PortId) -> Vec<(PortId, Packet)>;
+
+    /// Human-readable label for diagnostics.
+    fn label(&self) -> String {
+        "node".to_string()
+    }
+}
+
+/// A simple traffic sink that records everything it receives. Useful as a
+/// destination host. The receive buffer is shared: keep a clone outside
+/// the network to read what arrived (same pattern as
+/// [`crate::Switch::table`]).
+#[derive(Debug, Default, Clone)]
+pub struct SinkHost {
+    received: std::sync::Arc<parking_lot::Mutex<Vec<Packet>>>,
+}
+
+impl SinkHost {
+    /// A fresh sink.
+    pub fn new() -> SinkHost {
+        SinkHost::default()
+    }
+
+    /// All packets received so far, in arrival order.
+    pub fn received(&self) -> Vec<Packet> {
+        self.received.lock().clone()
+    }
+
+    /// Number of packets received.
+    pub fn count(&self) -> usize {
+        self.received.lock().len()
+    }
+}
+
+impl Node for SinkHost {
+    fn on_packet(&mut self, packet: Packet, _port: PortId) -> Vec<(PortId, Packet)> {
+        self.received.lock().push(packet);
+        Vec::new()
+    }
+
+    fn label(&self) -> String {
+        "sink-host".to_string()
+    }
+}
+
+/// The network: nodes plus a link map `(node, port) → (node, port)`.
+///
+/// Delivery is breadth-first FIFO: [`Network::inject`] queues a packet at
+/// a node's port, [`Network::run`] drains the queue to quiescence. There
+/// is no notion of time or loss — links are reliable and ordered, like
+/// Mininet veth pairs.
+pub struct Network {
+    nodes: Vec<Box<dyn Node>>,
+    links: HashMap<(NodeId, PortId), (NodeId, PortId)>,
+    queue: VecDeque<(NodeId, PortId, Packet)>,
+    /// Packets that left through an unconnected port (usually a bug in
+    /// the rule set; kept for inspection).
+    pub dropped_at_edge: Vec<(NodeId, PortId, Packet)>,
+    /// Safety valve against forwarding loops.
+    max_hops: usize,
+}
+
+impl Network {
+    /// An empty network. `max_hops` bounds total deliveries per `run` call
+    /// (forwarding-loop protection).
+    pub fn new(max_hops: usize) -> Network {
+        Network {
+            nodes: Vec::new(),
+            links: HashMap::new(),
+            queue: VecDeque::new(),
+            dropped_at_edge: Vec::new(),
+            max_hops,
+        }
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        self.nodes.push(node);
+        NodeId(self.nodes.len() as u32 - 1)
+    }
+
+    /// Connects two node ports bidirectionally.
+    pub fn link(&mut self, a: NodeId, ap: PortId, b: NodeId, bp: PortId) {
+        self.links.insert((a, ap), (b, bp));
+        self.links.insert((b, bp), (a, ap));
+    }
+
+    /// Queues a packet for delivery *to* `node` on `port` (as if it
+    /// arrived over the wire).
+    pub fn inject(&mut self, node: NodeId, port: PortId, packet: Packet) {
+        self.queue.push_back((node, port, packet));
+    }
+
+    /// Runs until no packets are in flight. Returns the number of
+    /// deliveries performed.
+    pub fn run(&mut self) -> usize {
+        let mut deliveries = 0;
+        while let Some((node, port, packet)) = self.queue.pop_front() {
+            if deliveries >= self.max_hops {
+                // Loop guard: drop the remainder loudly.
+                self.dropped_at_edge.push((node, port, packet));
+                self.queue.clear();
+                break;
+            }
+            deliveries += 1;
+            let emissions = self.nodes[node.0 as usize].on_packet(packet, port);
+            for (out_port, pkt) in emissions {
+                match self.links.get(&(node, out_port)) {
+                    Some(&(dst, dst_port)) => self.queue.push_back((dst, dst_port, pkt)),
+                    None => self.dropped_at_edge.push((node, out_port, pkt)),
+                }
+            }
+        }
+        deliveries
+    }
+
+    /// Mutable access to a node. Nodes that need out-of-band inspection
+    /// (sinks, switches, DPI instances) expose shared handles instead —
+    /// see [`SinkHost`] and [`crate::Switch::table`].
+    pub fn node_mut(&mut self, id: NodeId) -> &mut dyn Node {
+        self.nodes[id.0 as usize].as_mut()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("nodes", &self.nodes.len())
+            .field("links", &(self.links.len() / 2))
+            .field("queued", &self.queue.len())
+            .field("dropped_at_edge", &self.dropped_at_edge.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpi_packet::ipv4::IpProtocol;
+    use dpi_packet::packet::flow;
+    use dpi_packet::MacAddr;
+
+    fn pkt() -> Packet {
+        Packet::tcp(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            flow([1, 1, 1, 1], 1, [2, 2, 2, 2], 2, IpProtocol::Tcp),
+            0,
+            b"x".to_vec(),
+        )
+    }
+
+    /// Forwards everything from port 0 to port 1 and vice versa.
+    struct Pipe;
+    impl Node for Pipe {
+        fn on_packet(&mut self, packet: Packet, port: PortId) -> Vec<(PortId, Packet)> {
+            vec![(1 - port, packet)]
+        }
+    }
+
+    #[test]
+    fn packets_traverse_links() {
+        let mut net = Network::new(100);
+        let a = net.add_node(Box::new(Pipe));
+        let sink = SinkHost::new();
+        let sink_id = net.add_node(Box::new(sink.clone()));
+        net.link(a, 1, sink_id, 0);
+        net.inject(a, 0, pkt());
+        let n = net.run();
+        assert_eq!(n, 2);
+        assert!(net.dropped_at_edge.is_empty());
+        assert_eq!(sink.count(), 1);
+    }
+
+    #[test]
+    fn unconnected_ports_collect_drops() {
+        let mut net = Network::new(100);
+        let a = net.add_node(Box::new(Pipe));
+        net.inject(a, 0, pkt());
+        net.run();
+        assert_eq!(net.dropped_at_edge.len(), 1);
+    }
+
+    #[test]
+    fn loop_guard_terminates() {
+        let mut net = Network::new(50);
+        let a = net.add_node(Box::new(Pipe));
+        let b = net.add_node(Box::new(Pipe));
+        // a<->b on both port pairs: an infinite loop.
+        net.link(a, 0, b, 1);
+        net.link(a, 1, b, 0);
+        net.inject(a, 0, pkt());
+        let n = net.run();
+        assert!(n <= 50);
+        assert!(!net.dropped_at_edge.is_empty());
+    }
+}

@@ -1,0 +1,276 @@
+//! The Traffic Steering Application (SIMPLE-style, §4).
+//!
+//! The paper's experimental topology is a star: "two user hosts, two
+//! middlebox hosts, and a DPI service instance host. All hosts are
+//! connected through a single switch and the TSA, implemented as a POX
+//! module, steering traffic from one user host to the other according to
+//! the defined policy chains" (§6.1). [`StarTopology`] captures that
+//! layout and [`TrafficSteeringApp`] compiles policy chains into the
+//! switch's flow rules:
+//!
+//! * ingress: untagged traffic from the source host is tagged with its
+//!   chain id and sent to the first element (the DPI instance, which the
+//!   controller inserts "prior to any middlebox that requires DPI");
+//! * per element: tagged traffic returning from element *i* goes to
+//!   element *i+1* — data packets and dedicated result packets alike,
+//!   since both carry the tag;
+//! * egress: tagged traffic leaving the last element has its tag popped
+//!   and is delivered to the destination host; result packets are dropped
+//!   at egress (they are meaningless to hosts).
+
+use crate::flowtable::{Action, FlowMatch, FlowRule, FlowTable, Port};
+use crate::switch::Switch;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Port layout of the paper's single-switch star.
+#[derive(Debug, Clone)]
+pub struct StarTopology {
+    /// Port towards the traffic source (user host 1).
+    pub ingress: Port,
+    /// Port towards the traffic sink (user host 2).
+    pub egress: Port,
+    /// Ports of service elements (DPI instances, middleboxes), by name.
+    pub elements: Vec<(String, Port)>,
+}
+
+impl StarTopology {
+    /// Looks up an element's port by name.
+    pub fn port_of(&self, name: &str) -> Option<Port> {
+        self.elements
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, p)| *p)
+    }
+}
+
+/// The TSA: owns a handle to the switch's table and installs steering
+/// rules.
+#[derive(Debug, Clone)]
+pub struct TrafficSteeringApp {
+    table: Arc<Mutex<FlowTable>>,
+}
+
+/// Rule priorities used by the TSA (leaving room above for overrides,
+/// e.g. MCA² heavy-flow diversions).
+const PRIO_CHAIN: u16 = 100;
+const PRIO_EGRESS_RESULT_DROP: u16 = 110;
+
+impl TrafficSteeringApp {
+    /// A TSA controlling `switch` directly.
+    pub fn new(switch: &Switch) -> TrafficSteeringApp {
+        TrafficSteeringApp {
+            table: switch.table(),
+        }
+    }
+
+    /// A TSA programming through the SDN controller — the layering of
+    /// Figure 5, where the TSA is an application on the controller.
+    pub fn via_controller(
+        ctrl: &crate::controller::SdnController,
+        dpid: crate::controller::DatapathId,
+    ) -> Result<TrafficSteeringApp, crate::controller::SdnError> {
+        Ok(TrafficSteeringApp {
+            table: ctrl.table(dpid)?,
+        })
+    }
+
+    /// Installs the rules of one policy chain: traffic entering at
+    /// `ingress` is tagged `chain_id`, visits `via` ports in order, then
+    /// leaves untagged at `egress`.
+    ///
+    /// The first entry of `via` should be the DPI service instance — the
+    /// §4 invariant that the DPI service precedes every middlebox that
+    /// consumes its results.
+    pub fn install_chain(&self, chain_id: u16, ingress: Port, via: &[Port], egress: Port) {
+        let mut t = self.table.lock();
+        // Ingress: tag and go to the first element (or straight to egress
+        // for an empty chain).
+        let first_hop = via.first().copied().unwrap_or(egress);
+        let mut ingress_actions = vec![Action::PushTag(chain_id), Action::Output(first_hop)];
+        if via.is_empty() {
+            ingress_actions = vec![Action::Output(egress)];
+        }
+        t.install(FlowRule {
+            priority: PRIO_CHAIN,
+            m: FlowMatch::any().from_port(ingress).untagged(),
+            actions: ingress_actions,
+        });
+        // Element i → element i+1.
+        for (i, &port) in via.iter().enumerate() {
+            let next = via.get(i + 1).copied();
+            let actions = match next {
+                Some(n) => vec![Action::Output(n)],
+                None => vec![Action::PopTag, Action::Output(egress)],
+            };
+            t.install(FlowRule {
+                priority: PRIO_CHAIN,
+                m: FlowMatch::any().from_port(port).with_tag(chain_id),
+                actions,
+            });
+        }
+        // Result packets must not leak to the destination host: drop any
+        // result body that would leave via the last element's egress rule.
+        if let Some(&last) = via.last() {
+            t.install(FlowRule {
+                priority: PRIO_EGRESS_RESULT_DROP,
+                m: FlowMatch {
+                    in_port: Some(last),
+                    vlan_vid: Some(chain_id),
+                    tagged: Some(true),
+                    body_is_result: Some(true),
+                    ..FlowMatch::default()
+                },
+                actions: vec![Action::Drop],
+            });
+        }
+    }
+
+    /// Removes a chain's rules (chain re-routing, instance migration —
+    /// §4.3's collaboration between DPI controller and TSA).
+    pub fn remove_chain(&self, chain_id: u16) -> usize {
+        self.table.lock().remove_where(|r| {
+            r.m.vlan_vid == Some(chain_id)
+                || r.actions
+                    .iter()
+                    .any(|a| matches!(a, Action::PushTag(id) if *id == chain_id))
+        })
+    }
+
+    /// Diverts a chain's tagged traffic arriving from `from` to a
+    /// different port (e.g. a dedicated MCA² instance) with an
+    /// override-priority rule. Returns a priority that can be removed
+    /// later via [`TrafficSteeringApp::remove_diversions`].
+    pub fn divert(&self, chain_id: u16, from: Port, to: Port) {
+        self.table.lock().install(FlowRule {
+            priority: PRIO_EGRESS_RESULT_DROP + 10,
+            m: FlowMatch::any().from_port(from).with_tag(chain_id),
+            actions: vec![Action::Output(to)],
+        });
+    }
+
+    /// Removes every diversion rule.
+    pub fn remove_diversions(&self) -> usize {
+        self.table
+            .lock()
+            .remove_where(|r| r.priority == PRIO_EGRESS_RESULT_DROP + 10)
+    }
+
+    /// Number of installed rules (diagnostics).
+    pub fn rule_count(&self) -> usize {
+        self.table.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{Network, Node, PortId, SinkHost};
+    use dpi_packet::ipv4::IpProtocol;
+    use dpi_packet::packet::flow;
+    use dpi_packet::{MacAddr, Packet};
+
+    /// A service element that stamps nothing and bounces packets back on
+    /// the port they came from (like a middlebox host with one NIC).
+    struct Bounce;
+    impl Node for Bounce {
+        fn on_packet(&mut self, packet: Packet, port: PortId) -> Vec<(PortId, Packet)> {
+            vec![(port, packet)]
+        }
+    }
+
+    fn pkt() -> Packet {
+        Packet::tcp(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            flow([10, 0, 0, 1], 9999, [10, 0, 0, 2], 80, IpProtocol::Tcp),
+            0,
+            b"through the chain".to_vec(),
+        )
+    }
+
+    /// Builds the paper's star: switch port 0=src host, 1=dst host,
+    /// 2=element A, 3=element B.
+    fn star() -> (
+        Network,
+        crate::network::NodeId,
+        SinkHost,
+        TrafficSteeringApp,
+    ) {
+        let mut net = Network::new(1000);
+        let sw = Switch::new("s1");
+        let tsa = TrafficSteeringApp::new(&sw);
+        let sw_id = net.add_node(Box::new(sw));
+        let sink = SinkHost::new();
+        let dst = net.add_node(Box::new(sink.clone()));
+        let a = net.add_node(Box::new(Bounce));
+        let b = net.add_node(Box::new(Bounce));
+        net.link(sw_id, 1, dst, 0);
+        net.link(sw_id, 2, a, 0);
+        net.link(sw_id, 3, b, 0);
+        (net, sw_id, sink, tsa)
+    }
+
+    #[test]
+    fn chain_traverses_elements_and_arrives_untagged() {
+        let (mut net, sw, sink, tsa) = star();
+        tsa.install_chain(7, 0, &[2, 3], 1);
+        net.inject(sw, 0, pkt());
+        net.run();
+        let received = sink.received();
+        assert_eq!(received.len(), 1);
+        assert!(received[0].vlan.is_empty(), "tag must be popped");
+        assert_eq!(received[0].payload().unwrap(), b"through the chain");
+    }
+
+    #[test]
+    fn empty_chain_goes_straight_to_egress() {
+        let (mut net, sw, _dst, tsa) = star();
+        tsa.install_chain(9, 0, &[], 1);
+        net.inject(sw, 0, pkt());
+        let delivered = net.run();
+        assert!(delivered >= 2);
+        assert!(net.dropped_at_edge.is_empty());
+    }
+
+    #[test]
+    fn remove_chain_uninstalls_rules() {
+        let (_net, _sw, _dst, tsa) = star();
+        tsa.install_chain(7, 0, &[2, 3], 1);
+        let n = tsa.rule_count();
+        assert!(n >= 3);
+        assert_eq!(tsa.remove_chain(7), n);
+        assert_eq!(tsa.rule_count(), 0);
+    }
+
+    #[test]
+    fn diversion_overrides_chain_rules() {
+        let (_net, _sw, _dst, tsa) = star();
+        tsa.install_chain(7, 0, &[2, 3], 1);
+        tsa.divert(7, 2, 3);
+        assert!(tsa.rule_count() > 3);
+        assert_eq!(tsa.remove_diversions(), 1);
+    }
+
+    #[test]
+    fn tsa_via_controller_programs_the_same_table() {
+        let ctrl = crate::controller::SdnController::new();
+        let sw = Switch::new("s1");
+        ctrl.connect(3, &sw).unwrap();
+        let tsa = TrafficSteeringApp::via_controller(&ctrl, 3).unwrap();
+        tsa.install_chain(7, 0, &[2], 1);
+        assert_eq!(ctrl.rule_count(3).unwrap(), tsa.rule_count());
+        assert!(TrafficSteeringApp::via_controller(&ctrl, 99).is_err());
+    }
+
+    #[test]
+    fn topology_port_lookup() {
+        let topo = StarTopology {
+            ingress: 0,
+            egress: 1,
+            elements: vec![("dpi".into(), 2), ("ids".into(), 3)],
+        };
+        assert_eq!(topo.port_of("dpi"), Some(2));
+        assert_eq!(topo.port_of("nope"), None);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the flow table: OpenFlow-like lookup semantics must
+//! hold for arbitrary rule sets.
+
+use dpi_packet::ipv4::IpProtocol;
+use dpi_packet::packet::flow;
+use dpi_packet::{MacAddr, Packet};
+use dpi_sdn::{Action, FlowMatch, FlowRule, FlowTable};
+use proptest::prelude::*;
+
+fn arbitrary_match() -> impl Strategy<Value = FlowMatch> {
+    (
+        prop::option::of(0u16..4),
+        prop::option::of(0u16..8),
+        prop::option::of(any::<bool>()),
+        prop::option::of(1u16..5),
+    )
+        .prop_map(|(in_port, vlan_vid, tagged, l4_dst)| FlowMatch {
+            in_port,
+            vlan_vid,
+            // A vid match implies tagged; keep the strategy consistent.
+            tagged: if vlan_vid.is_some() {
+                Some(true)
+            } else {
+                tagged
+            },
+            l4_dst: l4_dst.map(|p| p * 1000),
+            ..FlowMatch::default()
+        })
+}
+
+fn arbitrary_rules() -> impl Strategy<Value = Vec<FlowRule>> {
+    prop::collection::vec(
+        (0u16..100, arbitrary_match(), 0u16..4).prop_map(|(priority, m, out)| FlowRule {
+            priority,
+            m,
+            actions: vec![Action::Output(out)],
+        }),
+        0..20,
+    )
+}
+
+fn packet(tag: Option<u16>, dst_port: u16) -> Packet {
+    let f = flow(
+        [10, 0, 0, 1],
+        1234,
+        [10, 0, 0, 2],
+        dst_port,
+        IpProtocol::Tcp,
+    );
+    let mut p = Packet::tcp(MacAddr::local(1), MacAddr::local(2), f, 0, b"x".to_vec());
+    if let Some(t) = tag {
+        p.push_chain_tag(t).unwrap();
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn lookup_returns_highest_priority_match(
+        rules in arbitrary_rules(),
+        tag in prop::option::of(0u16..8),
+        dst_port in (1u16..5).prop_map(|p| p * 1000),
+        in_port in 0u16..4,
+    ) {
+        let mut table = FlowTable::new();
+        for r in &rules {
+            table.install(r.clone());
+        }
+        let pkt = packet(tag, dst_port);
+        let hit = table.lookup(&pkt, in_port);
+        // Reference computation: max priority among matching rules.
+        let best = rules
+            .iter()
+            .filter(|r| r.m.matches(&pkt, in_port))
+            .map(|r| r.priority)
+            .max();
+        match (hit, best) {
+            (None, None) => {}
+            (Some(rule), Some(p)) => prop_assert_eq!(rule.priority, p),
+            (got, want) => prop_assert!(false, "lookup {got:?} vs expected priority {want:?}"),
+        }
+    }
+
+    #[test]
+    fn install_remove_is_consistent(rules in arbitrary_rules()) {
+        let mut table = FlowTable::new();
+        for r in &rules {
+            table.install(r.clone());
+        }
+        prop_assert_eq!(table.len(), rules.len());
+        let removed = table.remove_where(|r| r.priority % 2 == 0);
+        let expected_removed = rules.iter().filter(|r| r.priority % 2 == 0).count();
+        prop_assert_eq!(removed, expected_removed);
+        prop_assert_eq!(table.len(), rules.len() - expected_removed);
+    }
+
+    #[test]
+    fn output_only_rules_preserve_packets(
+        tag in prop::option::of(0u16..8),
+        dst_port in (1u16..5).prop_map(|p| p * 1000),
+    ) {
+        let rule = FlowRule {
+            priority: 1,
+            m: FlowMatch::any(),
+            actions: vec![Action::Output(3)],
+        };
+        let pkt = packet(tag, dst_port);
+        let out = FlowTable::apply(&rule, pkt.clone());
+        prop_assert_eq!(out.len(), 1);
+        prop_assert_eq!(&out[0].1, &pkt);
+    }
+
+    #[test]
+    fn push_then_pop_restores_packet(tag in 0u16..0xfff) {
+        let push = FlowRule {
+            priority: 1,
+            m: FlowMatch::any(),
+            actions: vec![Action::PushTag(tag), Action::Output(0)],
+        };
+        let pop = FlowRule {
+            priority: 1,
+            m: FlowMatch::any(),
+            actions: vec![Action::PopTag, Action::Output(0)],
+        };
+        let pkt = packet(None, 2000);
+        let tagged = FlowTable::apply(&push, pkt.clone()).remove(0).1;
+        prop_assert_eq!(tagged.chain_tag(), Some(tag));
+        let restored = FlowTable::apply(&pop, tagged).remove(0).1;
+        prop_assert_eq!(restored, pkt);
+    }
+}

@@ -1,0 +1,127 @@
+//! Flow generation and packetization.
+//!
+//! Turns raw payload byte streams into sequences of [`dpi_packet::Packet`]s
+//! belonging to simulated flows — the unit the stateful DPI scan (§5.2)
+//! and the MCA² flow-migration machinery (§4.3.1) operate on.
+
+use dpi_packet::ipv4::IpProtocol;
+use dpi_packet::{FlowKey, MacAddr, Packet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::net::Ipv4Addr;
+
+/// A deterministic pool of distinct flows.
+#[derive(Debug, Clone)]
+pub struct FlowPool {
+    flows: Vec<FlowKey>,
+}
+
+/// Creates `n` distinct TCP flows between two /16 networks.
+pub fn flow_pool(n: usize, seed: u64) -> FlowPool {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x464c4f57); // "FLOW"
+    let mut flows = Vec::with_capacity(n);
+    let mut seen = std::collections::HashSet::new();
+    while flows.len() < n {
+        let f = FlowKey {
+            src_ip: Ipv4Addr::new(10, 1, rng.gen(), rng.gen_range(1..255)),
+            dst_ip: Ipv4Addr::new(10, 2, rng.gen(), rng.gen_range(1..255)),
+            protocol: IpProtocol::Tcp,
+            src_port: rng.gen_range(1024..65535),
+            dst_port: *[80u16, 443, 8080, 25, 21]
+                .get(rng.gen_range(0..5))
+                .expect("index in range"),
+        };
+        if seen.insert(f) {
+            flows.push(f);
+        }
+    }
+    FlowPool { flows }
+}
+
+impl FlowPool {
+    /// All flows.
+    pub fn flows(&self) -> &[FlowKey] {
+        &self.flows
+    }
+
+    /// The `i`-th flow, wrapping around.
+    pub fn get(&self, i: usize) -> FlowKey {
+        self.flows[i % self.flows.len()]
+    }
+
+    /// Number of flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether the pool is empty (never true for `flow_pool(n ≥ 1)`).
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+}
+
+/// Splits `payload` into TCP segments of at most `mss` bytes on `flow`,
+/// with consistent sequence numbers so a stateful scanner can reassemble
+/// scan state across the boundary.
+pub fn packetize(flow: FlowKey, payload: &[u8], mss: usize, initial_seq: u32) -> Vec<Packet> {
+    assert!(mss > 0, "mss must be positive");
+    let src_mac = MacAddr::local(1);
+    let dst_mac = MacAddr::local(2);
+    let mut out = Vec::with_capacity(payload.len() / mss + 1);
+    let mut seq = initial_seq;
+    if payload.is_empty() {
+        return vec![Packet::tcp(src_mac, dst_mac, flow, seq, Vec::new())];
+    }
+    for chunk in payload.chunks(mss) {
+        out.push(Packet::tcp(src_mac, dst_mac, flow, seq, chunk.to_vec()));
+        seq = seq.wrapping_add(chunk.len() as u32);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_is_deterministic_and_distinct() {
+        let a = flow_pool(100, 5);
+        let b = flow_pool(100, 5);
+        assert_eq!(a.flows(), b.flows());
+        let set: std::collections::HashSet<_> = a.flows().iter().collect();
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn packetize_preserves_payload_and_sequences() {
+        let pool = flow_pool(1, 1);
+        let payload: Vec<u8> = (0..3000u32).map(|i| (i % 251) as u8).collect();
+        let packets = packetize(pool.get(0), &payload, 1460, 100);
+        assert_eq!(packets.len(), 3);
+        let mut rejoined = Vec::new();
+        let mut expect_seq = 100u32;
+        for p in &packets {
+            let pl = p.payload().unwrap();
+            match &p.body {
+                dpi_packet::packet::PacketBody::Ipv4 {
+                    l4: dpi_packet::L4Header::Tcp(t),
+                    ..
+                } => {
+                    assert_eq!(t.seq, expect_seq);
+                }
+                _ => panic!("expected tcp"),
+            }
+            expect_seq = expect_seq.wrapping_add(pl.len() as u32);
+            rejoined.extend_from_slice(pl);
+        }
+        assert_eq!(rejoined, payload);
+    }
+
+    #[test]
+    fn empty_payload_still_yields_a_packet() {
+        let pool = flow_pool(1, 2);
+        let packets = packetize(pool.get(0), &[], 1460, 0);
+        assert_eq!(packets.len(), 1);
+        assert_eq!(packets[0].payload().unwrap().len(), 0);
+    }
+}

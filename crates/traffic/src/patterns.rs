@@ -1,0 +1,262 @@
+//! Synthetic Snort-like and ClamAV-like pattern sets.
+//!
+//! The generators reproduce the structural statistics the paper's
+//! experiments depend on (§6.2: "exact-match patterns of length eight
+//! characters or more from Snort (up to 4,356 patterns) and Clam-AV
+//! (31,827 patterns)"):
+//!
+//! * Snort-like patterns are mostly printable protocol/exploit keywords,
+//!   8–32 bytes, organized in *families* that share 4–10 byte prefixes
+//!   (Snort rules cluster around protocol verbs and exploit stubs, which
+//!   is what gives its AC automaton prefix sharing).
+//! * ClamAV-like patterns are binary signature fragments, 8–64 bytes,
+//!   nearly uniform bytes with little sharing (virus signatures are hashes
+//!   of code sections).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a synthetic pattern set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatternSetSpec {
+    /// Number of patterns to generate.
+    pub count: usize,
+    /// Minimum pattern length (inclusive). The paper filters at 8.
+    pub min_len: usize,
+    /// Maximum pattern length (inclusive).
+    pub max_len: usize,
+    /// RNG seed; equal specs with equal seeds are byte-identical.
+    pub seed: u64,
+}
+
+/// Published size of the full Snort exact-match set the paper uses.
+pub const SNORT_FULL_COUNT: usize = 4356;
+/// Published size of the ClamAV set the paper uses.
+pub const CLAMAV_FULL_COUNT: usize = 31827;
+
+const KEYWORDS: &[&str] = &[
+    "GET /",
+    "POST /",
+    "HEAD /",
+    "Host: ",
+    "User-Agent:",
+    "Content-Type",
+    "cmd.exe",
+    "/bin/sh",
+    "SELECT ",
+    "UNION ALL",
+    "<script>",
+    "javascript:",
+    "powershell",
+    "wget http",
+    "curl -s",
+    "/etc/passwd",
+    "admin.php",
+    "eval(base64",
+    "document.cookie",
+    "xp_cmdshell",
+    "DROP TABLE",
+    "onmouseover=",
+    "%u9090%u6858",
+    "\\x90\\x90\\x90",
+    "shellcode",
+    "Authorization:",
+    "Proxy-Conn",
+    "multipart/",
+    "filename=",
+    ".htaccess",
+];
+
+/// Generates a Snort-like exact-match pattern set.
+///
+/// Patterns are grouped into families of up to eight members sharing a
+/// keyword-derived prefix; suffixes are printable ASCII. Duplicates are
+/// avoided so `count` distinct patterns are always returned.
+pub fn snort_like(count: usize, seed: u64) -> Vec<Vec<u8>> {
+    let spec = PatternSetSpec {
+        count,
+        min_len: 8,
+        max_len: 32,
+        seed,
+    };
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x534e4f5254); // "SNORT"
+    let mut out = Vec::with_capacity(count);
+    let mut seen = std::collections::HashSet::new();
+    while out.len() < count {
+        // Pick a family prefix: a keyword, possibly truncated.
+        let kw = KEYWORDS[rng.gen_range(0..KEYWORDS.len())].as_bytes();
+        let family = rng.gen_range(0..count.max(8) / 4 + 1);
+        let members = rng.gen_range(1..=8usize);
+        for m in 0..members {
+            if out.len() >= count {
+                break;
+            }
+            let target_len = rng.gen_range(spec.min_len..=spec.max_len);
+            // The shared keyword prefix must leave room for the
+            // family/member marker: a pattern that IS a bare protocol
+            // keyword would light up on all benign traffic, which real
+            // Snort signatures (and therefore this generator) avoid.
+            let marker = format!("{family:x}{m:x}");
+            let prefix_cap = target_len.saturating_sub(marker.len()).max(4);
+            let prefix_len = rng.gen_range(4..=kw.len().min(10).min(prefix_cap));
+            let mut p = Vec::with_capacity(target_len);
+            p.extend_from_slice(&kw[..prefix_len]);
+            p.extend_from_slice(marker.as_bytes());
+            while p.len() < target_len {
+                // Printable ASCII body.
+                p.push(rng.gen_range(0x21..=0x7e));
+            }
+            p.truncate(target_len.max(prefix_len + marker.len()));
+            if seen.insert(p.clone()) {
+                out.push(p);
+            }
+        }
+    }
+    out
+}
+
+/// Generates a ClamAV-like binary signature set: near-uniform bytes,
+/// 8–64 long, essentially no prefix sharing.
+pub fn clamav_like(count: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x434c414d); // "CLAM"
+    let mut out = Vec::with_capacity(count);
+    let mut seen = std::collections::HashSet::new();
+    while out.len() < count {
+        let len = rng.gen_range(8..=64usize);
+        let mut p = vec![0u8; len];
+        rng.fill(&mut p[..]);
+        if seen.insert(p.clone()) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Splits a pattern set into two disjoint random halves — the paper's
+/// Snort1/Snort2 construction: "we took the patterns of Snort and randomly
+/// divided them into two sets" (§6.4). The published split is 2,500 and
+/// 1,856 patterns; pass `left` to control the first half's size.
+pub fn split_set(patterns: &[Vec<u8>], left: usize, seed: u64) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x53504c49); // "SPLI"
+    let mut idx: Vec<usize> = (0..patterns.len()).collect();
+    // Fisher-Yates shuffle.
+    for i in (1..idx.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    let left = left.min(patterns.len());
+    let a = idx[..left].iter().map(|&i| patterns[i].clone()).collect();
+    let b = idx[left..].iter().map(|&i| patterns[i].clone()).collect();
+    (a, b)
+}
+
+/// Generates Snort-like regular-expression rules with extractable anchors
+/// (§5.3): `<kw1>\s*<kw2>\d{1,5}` shapes, where the keywords are ≥ 4 bytes.
+pub fn snort_like_regexes(count: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x52454758); // "REGX"
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let k1 = KEYWORDS[rng.gen_range(0..KEYWORDS.len())].replace(
+            ['\\', '/', ' ', ':', '%', '.', '<', '>', '(', ')', '=', '-'],
+            "",
+        );
+        let k2 = KEYWORDS[rng.gen_range(0..KEYWORDS.len())].replace(
+            ['\\', '/', ' ', ':', '%', '.', '<', '>', '(', ')', '=', '-'],
+            "",
+        );
+        let k1 = if k1.len() < 4 {
+            format!("anchor{i:04}")
+        } else {
+            k1
+        };
+        let k2 = if k2.len() < 4 {
+            format!("tail{i:04}")
+        } else {
+            k2
+        };
+        let shape = rng.gen_range(0..3);
+        out.push(match shape {
+            0 => format!(r"{k1}{i:03}\s*{k2}\d+"),
+            1 => format!(r"{k1}{i:03}[a-z]{{1,8}}{k2}"),
+            _ => format!(r"{k1}{i:03}.*{k2}end"),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snort_like_is_deterministic_and_sized() {
+        let a = snort_like(500, 7);
+        let b = snort_like(500, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+        assert!(a.iter().all(|p| p.len() >= 8 && p.len() <= 32));
+        // All distinct.
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), 500);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(snort_like(100, 1), snort_like(100, 2));
+    }
+
+    #[test]
+    fn snort_like_has_prefix_sharing() {
+        // Count patterns sharing their first 4 bytes with another pattern;
+        // families should make this common.
+        let ps = snort_like(1000, 3);
+        let mut prefixes = std::collections::HashMap::new();
+        for p in &ps {
+            *prefixes.entry(&p[..4]).or_insert(0usize) += 1;
+        }
+        let shared: usize = prefixes.values().filter(|&&c| c > 1).sum();
+        assert!(shared > 500, "only {shared} patterns share 4-byte prefixes");
+    }
+
+    #[test]
+    fn clamav_like_is_binaryish_and_unshared() {
+        let ps = clamav_like(1000, 9);
+        assert_eq!(ps.len(), 1000);
+        assert!(ps.iter().all(|p| p.len() >= 8 && p.len() <= 64));
+        // Low prefix sharing: almost all 4-byte prefixes unique.
+        let prefixes: std::collections::HashSet<_> = ps.iter().map(|p| &p[..4]).collect();
+        assert!(prefixes.len() > 990);
+        // Bytes are spread over the whole space, not just ASCII.
+        let non_ascii = ps
+            .iter()
+            .flat_map(|p| p.iter())
+            .filter(|&&b| !(0x20..0x7f).contains(&b))
+            .count();
+        let total: usize = ps.iter().map(|p| p.len()).sum();
+        assert!(non_ascii * 2 > total, "{non_ascii}/{total} non-printable");
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let ps = snort_like(300, 11);
+        let (a, b) = split_set(&ps, 120, 5);
+        assert_eq!(a.len(), 120);
+        assert_eq!(b.len(), 180);
+        let mut rejoined: Vec<_> = a.iter().chain(b.iter()).cloned().collect();
+        rejoined.sort();
+        let mut orig = ps.clone();
+        orig.sort();
+        assert_eq!(rejoined, orig);
+    }
+
+    #[test]
+    fn regex_rules_compile_and_have_anchors() {
+        for r in snort_like_regexes(50, 13) {
+            let re = dpi_regex::Regex::new(&r).unwrap_or_else(|e| panic!("{r}: {e}"));
+            assert!(
+                !re.anchors().is_empty(),
+                "rule {r} should have extractable anchors"
+            );
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Persisting workloads to disk.
+//!
+//! Experiments should be re-runnable bit-for-bit. The generators are
+//! seeded, so persistence is optional — but exporting a workload lets the
+//! same bytes be fed to an external DPI system for cross-validation, and
+//! lets a long-to-generate trace be reused. The format is deliberately
+//! trivial: a magic string, a count, then length-prefixed byte records.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"DPITRC01";
+
+/// Errors while loading a workload file.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a workload file (or an unsupported version).
+    BadMagic,
+    /// A record length exceeds the remaining file or the sanity limit.
+    BadRecord,
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io: {e}"),
+            PersistError::BadMagic => write!(f, "not a dpi-traffic workload file"),
+            PersistError::BadRecord => write!(f, "corrupt record"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> PersistError {
+        PersistError::Io(e)
+    }
+}
+
+/// Largest single record accepted on load (sanity bound against corrupt
+/// files — no packet payload or pattern approaches this).
+const MAX_RECORD: u32 = 16 * 1024 * 1024;
+
+/// Writes a list of byte records (payloads or patterns) to `path`.
+pub fn save_records(path: &Path, records: &[Vec<u8>]) -> Result<(), PersistError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&(records.len() as u32).to_le_bytes())?;
+    for r in records {
+        w.write_all(&(r.len() as u32).to_le_bytes())?;
+        w.write_all(r)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a record list written by [`save_records`].
+pub fn load_records(path: &Path) -> Result<Vec<Vec<u8>>, PersistError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let mut n4 = [0u8; 4];
+    r.read_exact(&mut n4)?;
+    let n = u32::from_le_bytes(n4);
+    let mut out = Vec::with_capacity(n.min(1 << 20) as usize);
+    for _ in 0..n {
+        r.read_exact(&mut n4)?;
+        let len = u32::from_le_bytes(n4);
+        if len > MAX_RECORD {
+            return Err(PersistError::BadRecord);
+        }
+        let mut rec = vec![0u8; len as usize];
+        r.read_exact(&mut rec).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                PersistError::BadRecord
+            } else {
+                PersistError::Io(e)
+            }
+        })?;
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dpi-traffic-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trips_a_trace() {
+        let trace = crate::trace::TraceConfig {
+            packets: 50,
+            ..Default::default()
+        }
+        .generate(&[]);
+        let path = tmp("trace.bin");
+        save_records(&path, &trace).unwrap();
+        let back = load_records(&path).unwrap();
+        assert_eq!(back, trace);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn round_trips_empty_and_binary_records() {
+        let records = vec![Vec::new(), vec![0u8, 255, 1, 254], b"text".to_vec()];
+        let path = tmp("mixed.bin");
+        save_records(&path, &records).unwrap();
+        assert_eq!(load_records(&path).unwrap(), records);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_wrong_magic_and_truncation() {
+        let path = tmp("bad.bin");
+        std::fs::write(&path, b"NOTMAGIC????").unwrap();
+        assert!(matches!(
+            load_records(&path).unwrap_err(),
+            PersistError::BadMagic
+        ));
+        // Valid header, truncated record body.
+        let records = vec![vec![9u8; 100]];
+        save_records(&path, &records).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 10]).unwrap();
+        assert!(matches!(
+            load_records(&path).unwrap_err(),
+            PersistError::BadRecord
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,132 @@
+//! MCA²-style complexity-attack mitigation (§4.3.1, Figure 6).
+//!
+//! A DPI service instance serves benign HTTP-like traffic until an
+//! attacker starts sending *heavy* payloads — near-miss byte streams made
+//! of pattern prefixes that drag the automaton into deep, cache-hostile
+//! states. The instance's telemetry (deep-state ratio) reaches the DPI
+//! controller's stress monitor, which allocates a dedicated instance and
+//! migrates the suspicious flows to it — including their in-progress scan
+//! state, so cross-packet matches survive the migration.
+//!
+//! Run with: `cargo run --example mca2_mitigation`
+
+use dpi_service::ac::MiddleboxId;
+use dpi_service::controller::{DpiController, Mca2Action, StressMonitor, StressPolicy};
+use dpi_service::core::{DpiInstance, InstanceConfig, MiddleboxProfile, RuleSpec};
+use dpi_service::packet::ipv4::IpProtocol;
+use dpi_service::packet::packet::flow;
+use dpi_service::traffic::{heavy_payload, patterns, trace::TraceConfig};
+
+fn main() {
+    const IDS: MiddleboxId = MiddleboxId(1);
+    let signatures = patterns::snort_like(800, 5);
+
+    let cfg = InstanceConfig::new()
+        .with_middlebox(
+            MiddleboxProfile::stateful(IDS).read_only(),
+            RuleSpec::exact_set(&signatures),
+        )
+        .with_chain(1, vec![IDS]);
+
+    let controller = DpiController::new();
+    let regular_id = controller.deploy_instance(vec![1]);
+    let mut regular = DpiInstance::new(cfg.clone()).expect("valid config");
+    let mut dedicated: Option<(dpi_service::controller::InstanceId, DpiInstance)> = None;
+
+    let mut monitor = StressMonitor::new(StressPolicy::default());
+    let benign = TraceConfig {
+        packets: 300,
+        seed: 11,
+        ..TraceConfig::default()
+    }
+    .generate(&signatures);
+    let benign_flow = flow([10, 0, 0, 5], 5555, [10, 0, 0, 9], 80, IpProtocol::Tcp);
+    let attack_flow = flow([66, 6, 6, 6], 6666, [10, 0, 0, 9], 80, IpProtocol::Tcp);
+
+    println!("phase 1: benign traffic only");
+    for p in &benign[..150] {
+        regular.scan_payload(1, Some(benign_flow), p).expect("scan");
+    }
+    let delta = controller
+        .report_telemetry(regular_id, regular.telemetry())
+        .expect("instance deployed");
+    println!(
+        "  deep-state ratio {:.3} → actions: {:?}",
+        delta.deep_ratio(),
+        monitor.evaluate(&[(regular_id, delta)])
+    );
+
+    println!("phase 2: complexity attack begins");
+    let mut migrated = false;
+    for round in 0..4 {
+        for i in 0..50u64 {
+            let hp = heavy_payload(&signatures, 1400, round * 100 + i);
+            regular
+                .scan_payload(1, Some(attack_flow), &hp)
+                .expect("scan");
+        }
+        // A little benign traffic continues alongside.
+        for p in &benign[150 + round as usize * 10..160 + round as usize * 10] {
+            regular.scan_payload(1, Some(benign_flow), p).expect("scan");
+        }
+        let delta = controller
+            .report_telemetry(regular_id, regular.telemetry())
+            .expect("instance deployed");
+        let actions = monitor.evaluate(&[(regular_id, delta)]);
+        println!(
+            "  round {round}: deep-state ratio {:.3} → {:?}",
+            delta.deep_ratio(),
+            actions
+        );
+        for action in actions {
+            match action {
+                Mca2Action::AllocateDedicated { count, .. } => {
+                    let id = controller.deploy_instance(vec![1]);
+                    controller.set_dedicated(id, true).expect("just deployed");
+                    println!("    allocated {count} dedicated instance(s): {id:?}");
+                    dedicated = Some((id, DpiInstance::new(cfg.clone()).expect("valid config")));
+                }
+                Mca2Action::MigrateHeavyFlows { from } => {
+                    let (_, ded) = dedicated.as_mut().expect("allocated first");
+                    if let Some((state, offset)) = regular.export_flow(&attack_flow) {
+                        ded.import_flow(attack_flow, state, offset);
+                        migrated = true;
+                        println!(
+                            "    migrated heavy flow {attack_flow} off {from:?} (offset {offset})"
+                        );
+                    }
+                }
+                Mca2Action::ReleaseDedicated { .. } => unreachable!("attack is ongoing"),
+            }
+        }
+        if migrated {
+            break;
+        }
+    }
+    assert!(migrated, "mitigation must have fired");
+
+    println!("phase 3: heavy flow now served by the dedicated instance");
+    let (_, ded) = dedicated.as_mut().expect("allocated");
+    for i in 0..50u64 {
+        let hp = heavy_payload(&signatures, 1400, 10_000 + i);
+        ded.scan_payload(1, Some(attack_flow), &hp).expect("scan");
+    }
+    for p in &benign[200..300] {
+        regular.scan_payload(1, Some(benign_flow), p).expect("scan");
+    }
+    let regular_delta = controller
+        .report_telemetry(regular_id, regular.telemetry())
+        .expect("instance deployed");
+    println!(
+        "  regular instance deep-state ratio back to {:.3}; dedicated instance absorbs {:.3}",
+        regular_delta.deep_ratio(),
+        ded.telemetry().deep_ratio(),
+    );
+    let actions = monitor.evaluate(&[(regular_id, regular_delta)]);
+    println!("  monitor now says: {actions:?}");
+    assert!(matches!(
+        actions.first(),
+        Some(Mca2Action::ReleaseDedicated { .. })
+    ));
+    println!("\nattack detected, isolated and survived ✓");
+}

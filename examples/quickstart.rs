@@ -1,0 +1,74 @@
+//! Quickstart: DPI as a Service in ~60 lines.
+//!
+//! Builds the paper's Figure 1(b) setup — an IDS and an anti-virus that
+//! share one DPI service — sends a few packets through the simulated
+//! network, and prints what each component saw.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use dpi_service::ac::MiddleboxId;
+use dpi_service::middlebox::{antivirus, ids};
+use dpi_service::packet::ipv4::IpProtocol;
+use dpi_service::packet::packet::flow;
+use dpi_service::SystemBuilder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const IDS_ID: MiddleboxId = MiddleboxId(1);
+    const AV_ID: MiddleboxId = MiddleboxId(2);
+
+    // Two middleboxes with their own signature sets. "exploit-kit-99" is
+    // registered by BOTH — the combined automaton stores it once and
+    // reports it to each (§5.1).
+    let ids_box = ids(
+        IDS_ID,
+        &[b"exploit-kit-99".to_vec(), b"reverse-shell".to_vec()],
+    );
+    let av_box = antivirus(
+        AV_ID,
+        &[b"exploit-kit-99".to_vec(), b"EICAR-TEST-SIGNATURE".to_vec()],
+    );
+
+    // One policy chain: DPI service first, then IDS, then AV (Figure 1b).
+    let mut system = SystemBuilder::new()
+        .with_middlebox(ids_box)
+        .with_middlebox(av_box)
+        .with_chain(&[IDS_ID, AV_ID])
+        .build()?;
+
+    let f = flow([10, 0, 0, 1], 40000, [10, 0, 0, 2], 80, IpProtocol::Tcp);
+    let payloads: [&[u8]; 3] = [
+        b"GET /index.html HTTP/1.1 -- perfectly normal traffic",
+        b"download exploit-kit-99 stage two",
+        b"attachment EICAR-TEST-SIGNATURE inside",
+    ];
+    for (i, payload) in payloads.iter().enumerate() {
+        system.send(f, i as u32 * 1500, payload);
+    }
+
+    let t = system.dpi_telemetry();
+    println!(
+        "DPI service : scanned {} packets / {} bytes, {} packets had matches",
+        t.packets, t.bytes, t.packets_with_matches
+    );
+    let ids_stats = system.stats_of(IDS_ID).expect("ids registered");
+    println!(
+        "IDS         : {} packets, {} matches reported, {} rules fired, scanned {} bytes ITSELF",
+        ids_stats.packets, ids_stats.matches, ids_stats.rules_fired, ids_stats.bytes_self_scanned
+    );
+    let av_stats = system.stats_of(AV_ID).expect("av registered");
+    println!(
+        "AntiVirus   : {} packets, {} matches reported, {} blocked, scanned {} bytes ITSELF",
+        av_stats.packets, av_stats.matches, av_stats.blocked, av_stats.bytes_self_scanned
+    );
+    println!("Destination : received {} packets", system.sink.count());
+
+    // The malware-carrying packets were blocked by the AV; the clean one
+    // arrived; nobody but the DPI service touched payload bytes.
+    assert_eq!(system.sink.count(), 1);
+    assert_eq!(
+        ids_stats.bytes_self_scanned + av_stats.bytes_self_scanned,
+        0
+    );
+    println!("\npackets were scanned once, middleboxes consumed results only ✓");
+    Ok(())
+}

@@ -1,0 +1,206 @@
+//! Controller lifecycle tests over the JSON wire protocol (§4.1):
+//! registration, inheritance, pattern add/remove, deployment planning,
+//! and the resulting live behaviour of rebuilt instances.
+
+use dpi_service::ac::MiddleboxId;
+use dpi_service::controller::deploy::{plan_grouped, scale_decision, ScaleDecision};
+use dpi_service::controller::{ControllerMessage, ControllerReply, DpiController};
+use dpi_service::core::{DpiInstance, RuleSpec};
+
+fn register_json(c: &DpiController, id: u16, name: &str, stateful: bool) {
+    let reply = c.handle_json(
+        &ControllerMessage::Register {
+            middlebox_id: id,
+            name: name.into(),
+            inherit_from: None,
+            stateful,
+            read_only: false,
+            stopping_condition: None,
+        }
+        .to_json(),
+    );
+    assert_eq!(
+        ControllerReply::from_json(&reply).unwrap(),
+        ControllerReply::Registered { middlebox_id: id }
+    );
+}
+
+fn add_json(c: &DpiController, mb: u16, rule_id: u16, rule: RuleSpec) {
+    let reply = c.handle_json(
+        &ControllerMessage::AddPattern {
+            middlebox_id: mb,
+            rule_id,
+            rule,
+        }
+        .to_json(),
+    );
+    assert!(ControllerReply::from_json(&reply).unwrap().is_ok());
+}
+
+#[test]
+fn full_lifecycle_over_the_wire() {
+    let c = DpiController::new();
+    register_json(&c, 1, "snort-ids", true);
+    register_json(&c, 2, "clamav", false);
+    add_json(&c, 1, 0, RuleSpec::exact(b"attack-sig".to_vec()));
+    add_json(&c, 1, 1, RuleSpec::regex(r"evil-header:\s*\d+"));
+    add_json(&c, 2, 0, RuleSpec::exact(b"virus-sig".to_vec()));
+    // Both register the same pattern; the global set stores it once.
+    add_json(&c, 1, 2, RuleSpec::exact(b"shared-sig".to_vec()));
+    add_json(&c, 2, 1, RuleSpec::exact(b"shared-sig".to_vec()));
+
+    let chain = c.register_chain(&[MiddleboxId(1), MiddleboxId(2)]).unwrap();
+    let cfg = c.instance_config(&[chain]).unwrap();
+    let mut dpi = DpiInstance::new(cfg).unwrap();
+
+    let out = dpi
+        .scan_payload(chain, None, b"shared-sig evil-header: 77")
+        .unwrap();
+    assert_eq!(out.reports.len(), 2);
+    // Middlebox 1 got the shared sig (rule 2) and the regex (rule 1).
+    let r1 = out.reports.iter().find(|r| r.middlebox_id == 1).unwrap();
+    let pids: Vec<u16> = r1.records.iter().map(|r| r.pattern_id()).collect();
+    assert!(pids.contains(&2) && pids.contains(&1));
+    // Middlebox 2 got the shared sig under ITS rule id 1.
+    let r2 = out.reports.iter().find(|r| r.middlebox_id == 2).unwrap();
+    assert_eq!(r2.records[0].pattern_id(), 1);
+
+    // Remove middlebox 1's reference to the shared pattern; middlebox 2
+    // keeps matching.
+    let reply = c.handle_json(
+        &ControllerMessage::RemovePattern {
+            middlebox_id: 1,
+            rule_id: 2,
+        }
+        .to_json(),
+    );
+    assert!(ControllerReply::from_json(&reply).unwrap().is_ok());
+    let cfg = c.instance_config(&[chain]).unwrap();
+    let mut dpi = DpiInstance::new(cfg).unwrap();
+    let out = dpi.scan_payload(chain, None, b"shared-sig").unwrap();
+    assert_eq!(out.reports.len(), 1);
+    assert_eq!(out.reports[0].middlebox_id, 2);
+}
+
+#[test]
+fn inheritance_then_divergence() {
+    let c = DpiController::new();
+    register_json(&c, 1, "ids-primary", true);
+    add_json(&c, 1, 0, RuleSpec::exact(b"base-sig".to_vec()));
+    // A second IDS inherits, then adds its own rule.
+    let reply = c.handle_json(
+        &ControllerMessage::Register {
+            middlebox_id: 9,
+            name: "ids-secondary".into(),
+            inherit_from: Some(1),
+            stateful: true,
+            read_only: true,
+            stopping_condition: None,
+        }
+        .to_json(),
+    );
+    assert!(ControllerReply::from_json(&reply).unwrap().is_ok());
+    add_json(&c, 9, 1, RuleSpec::exact(b"extra-sig".to_vec()));
+
+    let chain = c.register_chain(&[MiddleboxId(9)]).unwrap();
+    let mut dpi = DpiInstance::new(c.instance_config(&[chain]).unwrap()).unwrap();
+    let out = dpi
+        .scan_payload(chain, None, b"base-sig and extra-sig")
+        .unwrap();
+    let pids: Vec<u16> = out.reports[0]
+        .records
+        .iter()
+        .map(|r| r.pattern_id())
+        .collect();
+    assert_eq!(pids, vec![0, 1]);
+}
+
+#[test]
+fn pattern_transfer_size_is_compact() {
+    // §4.1: "as opposed to DPI DFAs, which are large, the pattern sets
+    // themselves are compact". Verify the global set's serialized size is
+    // orders of magnitude below the built automaton.
+    let c = DpiController::new();
+    register_json(&c, 1, "snort", false);
+    let pats = dpi_service::traffic::patterns::snort_like(2000, 3);
+    for (i, p) in pats.iter().enumerate() {
+        c.add_pattern(MiddleboxId(1), i as u16, &RuleSpec::exact(p.clone()))
+            .unwrap();
+    }
+    let transfer = c.pattern_transfer_bytes();
+    let chain = c.register_chain(&[MiddleboxId(1)]).unwrap();
+    let dpi = DpiInstance::new(c.instance_config(&[chain]).unwrap()).unwrap();
+    let dfa_bytes = dpi_service::ac::Automaton::memory_bytes(dpi.automaton());
+    assert!(
+        transfer * 20 < dfa_bytes,
+        "transfer {transfer} B should be far below the DFA's {dfa_bytes} B"
+    );
+}
+
+#[test]
+fn deployment_groups_and_scaling() {
+    let c = DpiController::new();
+    for id in 1..=6u16 {
+        register_json(&c, id, &format!("mb{id}"), false);
+        add_json(
+            &c,
+            id,
+            0,
+            RuleSpec::exact(format!("sig-{id:04}").into_bytes()),
+        );
+    }
+    // Two families of similar chains.
+    let c1 = c.register_chain(&[MiddleboxId(1), MiddleboxId(2)]).unwrap();
+    let c2 = c
+        .register_chain(&[MiddleboxId(1), MiddleboxId(2), MiddleboxId(3)])
+        .unwrap();
+    let c3 = c.register_chain(&[MiddleboxId(5), MiddleboxId(6)]).unwrap();
+    let c4 = c
+        .register_chain(&[MiddleboxId(4), MiddleboxId(5), MiddleboxId(6)])
+        .unwrap();
+
+    let chains: std::collections::HashMap<u16, Vec<MiddleboxId>> = [c1, c2, c3, c4]
+        .into_iter()
+        .map(|id| (id, c.chain_members(id).unwrap()))
+        .collect();
+    let plan = plan_grouped(&chains, 2, 0.3);
+    assert_eq!(plan.groups.len(), 2);
+
+    // Each group builds a working instance from the controller state.
+    for group in &plan.groups {
+        let cfg = c.instance_config(group).unwrap();
+        let mut dpi = DpiInstance::new(cfg).unwrap();
+        for chain in group {
+            // The instance serves exactly its group's chains.
+            assert!(dpi.scan_payload(*chain, None, b"x").is_ok());
+        }
+    }
+
+    // Scaling decisions track reported load.
+    assert!(matches!(
+        scale_decision(&[900, 950], 1000),
+        ScaleDecision::Out(_)
+    ));
+    assert!(matches!(
+        scale_decision(&[100, 100, 100, 100], 1000),
+        ScaleDecision::In(_)
+    ));
+}
+
+#[test]
+fn malformed_wire_input_is_rejected_gracefully() {
+    let c = DpiController::new();
+    for bad in [
+        "",
+        "{}",
+        "{\"type\":\"register\"}",
+        "{\"type\":\"add_pattern\",\"middlebox_id\":1}",
+        "garbage",
+    ] {
+        let reply = c.handle_json(bad);
+        assert!(
+            !ControllerReply::from_json(&reply).unwrap().is_ok(),
+            "input {bad:?}"
+        );
+    }
+}

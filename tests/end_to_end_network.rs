@@ -1,0 +1,168 @@
+//! End-to-end tests through the full simulated deployment: controller,
+//! switch + TSA, DPI service instance node, middlebox nodes, sink.
+
+use dpi_service::ac::MiddleboxId;
+use dpi_service::middlebox::{antivirus, ids, ips, traffic_shaper};
+use dpi_service::packet::ipv4::IpProtocol;
+use dpi_service::packet::packet::{flow, PacketBody};
+use dpi_service::packet::FlowKey;
+use dpi_service::SystemBuilder;
+
+const IDS_ID: MiddleboxId = MiddleboxId(1);
+const AV_ID: MiddleboxId = MiddleboxId(2);
+
+fn test_flow(port: u16) -> FlowKey {
+    flow([10, 0, 0, 1], port, [10, 0, 0, 2], 80, IpProtocol::Tcp)
+}
+
+#[derive(Clone, Copy)]
+enum Delivery {
+    Dedicated,
+    InBand,
+    Mpls,
+}
+
+fn build_with(delivery: Delivery) -> dpi_service::SystemHandle {
+    let mut b = SystemBuilder::new()
+        .with_middlebox(ids(IDS_ID, &[b"sig-alpha".to_vec(), b"sig-beta".to_vec()]))
+        .with_middlebox(antivirus(AV_ID, &[b"virus-omega".to_vec()]))
+        .with_chain(&[IDS_ID, AV_ID]);
+    match delivery {
+        Delivery::Dedicated => {}
+        Delivery::InBand => b = b.in_band_results(),
+        Delivery::Mpls => b = b.mpls_results(),
+    }
+    b.build().expect("system builds")
+}
+
+fn build(in_band: bool) -> dpi_service::SystemHandle {
+    build_with(if in_band {
+        Delivery::InBand
+    } else {
+        Delivery::Dedicated
+    })
+}
+
+#[test]
+fn clean_traffic_flows_untouched_to_destination() {
+    let mut sys = build(false);
+    for i in 0..10 {
+        sys.send(test_flow(1000), i * 100, b"nothing interesting at all");
+    }
+    assert_eq!(sys.sink.count(), 10);
+    for p in sys.sink.received() {
+        assert!(p.vlan.is_empty(), "chain tag must be popped at egress");
+        assert!(!p.has_match_mark());
+        assert!(matches!(p.body, PacketBody::Ipv4 { .. }));
+    }
+    // The DPI service scanned everything; the middleboxes scanned nothing.
+    assert_eq!(sys.dpi_telemetry().packets, 10);
+    assert_eq!(sys.stats_of(IDS_ID).unwrap().packets, 10);
+    assert_eq!(sys.stats_of(IDS_ID).unwrap().bytes_self_scanned, 0);
+}
+
+#[test]
+fn matches_reach_the_right_middleboxes_and_results_never_leak() {
+    let mut sys = build(false);
+    sys.send(test_flow(2000), 0, b"carrying sig-alpha here");
+    sys.send(test_flow(2000), 100, b"and virus-omega there");
+    // IDS alerted once; AV blocked one packet.
+    let ids_stats = sys.stats_of(IDS_ID).unwrap();
+    let av_stats = sys.stats_of(AV_ID).unwrap();
+    assert_eq!(ids_stats.rules_fired, 1);
+    assert_eq!(av_stats.blocked, 1);
+    // Only the sig-alpha packet survives (IDS is read-only).
+    assert_eq!(sys.sink.count(), 1);
+    // No dedicated result packet ever reaches the destination host.
+    for p in sys.sink.received() {
+        assert!(matches!(p.body, PacketBody::Ipv4 { .. }));
+    }
+    // Nothing fell off the network unexpectedly.
+    assert!(sys.net.dropped_at_edge.is_empty());
+}
+
+#[test]
+fn all_three_delivery_mechanisms_agree() {
+    let payloads: [&[u8]; 5] = [
+        b"clean",
+        b"sig-alpha",
+        b"virus-omega",
+        b"sig-alpha and sig-beta together",
+        b"sig-beta virus-omega double",
+    ];
+    let mut stats = Vec::new();
+    for delivery in [Delivery::Dedicated, Delivery::InBand, Delivery::Mpls] {
+        let mut sys = build_with(delivery);
+        for (i, p) in payloads.iter().enumerate() {
+            sys.send(test_flow(3000), i as u32 * 100, p);
+        }
+        stats.push((
+            sys.stats_of(IDS_ID).unwrap(),
+            sys.stats_of(AV_ID).unwrap(),
+            sys.sink.count(),
+        ));
+    }
+    assert_eq!(stats[0], stats[1], "in-band must match dedicated");
+    assert_eq!(stats[0], stats[2], "mpls tags must match dedicated");
+    // MPLS result labels are stripped before egress.
+    let mut sys = build_with(Delivery::Mpls);
+    sys.send(test_flow(3002), 0, b"sig-alpha rides on labels");
+    let received = sys.sink.received();
+    assert_eq!(received.len(), 1);
+    assert!(
+        received[0].mpls.is_empty(),
+        "result labels must be stripped"
+    );
+    // And the in-band header was stripped before egress.
+    let mut sys = build(true);
+    sys.send(test_flow(3001), 0, b"sig-alpha travels in band");
+    let received = sys.sink.received();
+    assert_eq!(received.len(), 1);
+    assert!(received[0].dpi_results.is_none());
+}
+
+#[test]
+fn ips_blocks_inline_and_stops_the_chain() {
+    const IPS_ID: MiddleboxId = MiddleboxId(3);
+    let mut sys = SystemBuilder::new()
+        .with_middlebox(ips(IPS_ID, &[b"exploit-sig".to_vec()]))
+        .with_middlebox(antivirus(AV_ID, &[b"virus-omega".to_vec()]))
+        .with_chain(&[IPS_ID, AV_ID])
+        .build()
+        .expect("system builds");
+    sys.send(test_flow(4000), 0, b"an exploit-sig payload");
+    sys.send(test_flow(4000), 100, b"benign");
+    assert_eq!(sys.sink.count(), 1);
+    // The AV behind the IPS never saw the blocked packet.
+    assert_eq!(sys.stats_of(AV_ID).unwrap().packets, 1);
+}
+
+#[test]
+fn shaper_chain_observes_match_positions() {
+    const SH: MiddleboxId = MiddleboxId(5);
+    let mut sys = SystemBuilder::new()
+        .with_middlebox(traffic_shaper(SH, &[(b"video-stream".to_vec(), 3)]))
+        .with_chain(&[SH])
+        .build()
+        .expect("system builds");
+    sys.send(test_flow(5000), 0, b"a video-stream chunk");
+    let st = sys.stats_of(SH).unwrap();
+    assert_eq!(st.matches, 1);
+    assert_eq!(sys.sink.count(), 1);
+}
+
+#[test]
+fn per_flow_state_survives_the_network_path() {
+    // A stateful IDS sees a signature split across two TCP segments that
+    // traverse the whole simulated network.
+    let mut sys = build(false);
+    sys.send(test_flow(6000), 0, b"first half sig-al");
+    sys.send(test_flow(6000), 17, b"pha second half");
+    let ids_stats = sys.stats_of(IDS_ID).unwrap();
+    assert_eq!(
+        ids_stats.rules_fired, 1,
+        "stateful cross-packet match must be detected end-to-end"
+    );
+    // The stateless AV correctly saw nothing.
+    assert_eq!(sys.stats_of(AV_ID).unwrap().matches, 0);
+}

@@ -1,0 +1,114 @@
+//! Failure injection: what happens when pieces of the result-delivery
+//! machinery misbehave. The system's stance is fail-open for data
+//! (packets keep flowing) and fail-closed for decisions that depend on
+//! missing results (no false blocks).
+
+use dpi_service::ac::MiddleboxId;
+use dpi_service::core::{DpiInstance, InstanceConfig, MiddleboxProfile, RuleSpec};
+use dpi_service::middlebox::{
+    DpiServiceNode, MbAction, MiddleboxNode, ResultsDelivery, RuleLogic, ServiceMiddlebox,
+};
+use dpi_service::packet::ipv4::IpProtocol;
+use dpi_service::packet::packet::flow;
+use dpi_service::packet::{MacAddr, Packet};
+use dpi_service::sdn::Node;
+
+const MB: MiddleboxId = MiddleboxId(1);
+
+fn dpi() -> DpiInstance {
+    DpiInstance::new(
+        InstanceConfig::new()
+            .with_middlebox(
+                MiddleboxProfile::stateless(MB),
+                vec![RuleSpec::exact(b"match-me-sig".to_vec())],
+            )
+            .with_chain(5, vec![MB]),
+    )
+    .unwrap()
+}
+
+fn tagged(payload: &[u8], port: u16) -> Packet {
+    let f = flow([1, 1, 1, 1], port, [2, 2, 2, 2], 80, IpProtocol::Tcp);
+    let mut p = Packet::tcp(MacAddr::local(1), MacAddr::local(2), f, 0, payload.to_vec());
+    p.push_chain_tag(5).unwrap();
+    p
+}
+
+#[test]
+fn lost_result_packets_fail_open_at_buffer_capacity() {
+    let (mut dpi_node, _h) =
+        DpiServiceNode::new(dpi(), ResultsDelivery::DedicatedPacket, MacAddr::local(9));
+    let mb = ServiceMiddlebox::new(MB, "ids", RuleLogic::one_per_pattern(1, MbAction::Alert));
+    let (mut mb_node, handle) = MiddleboxNode::with_buffer_capacity(mb, true, 2);
+
+    // Three marked packets whose result packets we "lose" on the way.
+    let mut released = Vec::new();
+    for port in [1000u16, 1001, 1002] {
+        let emitted = dpi_node.on_packet(tagged(b"a match-me-sig b", port), 0);
+        assert_eq!(emitted.len(), 2, "data + result emitted");
+        // Deliver only the data packet; drop the result.
+        released.extend(mb_node.on_packet(emitted[0].1.clone(), 0));
+    }
+    // Capacity 2: the third data packet forces the oldest out, unpaired.
+    assert_eq!(released.len(), 1, "fail-open release at capacity");
+    // The unpaired packet was processed with no matches (fail-closed on
+    // match-dependent decisions): it was forwarded, no rule fired on it.
+    let stats = handle.lock().stats();
+    assert_eq!(stats.packets, 1);
+    assert_eq!(stats.matches, 0);
+}
+
+#[test]
+fn duplicated_result_packets_do_not_double_fire() {
+    let (mut dpi_node, _h) =
+        DpiServiceNode::new(dpi(), ResultsDelivery::DedicatedPacket, MacAddr::local(9));
+    let mb = ServiceMiddlebox::new(MB, "ids", RuleLogic::one_per_pattern(1, MbAction::Alert));
+    let (mut mb_node, handle) = MiddleboxNode::new(mb, true);
+
+    let emitted = dpi_node.on_packet(tagged(b"one match-me-sig", 2000), 0);
+    let data = emitted[0].1.clone();
+    let result = emitted[1].1.clone();
+    // Data, then the result twice (a retransmitting network element).
+    mb_node.on_packet(data, 0);
+    mb_node.on_packet(result.clone(), 0);
+    mb_node.on_packet(result, 0);
+    let stats = handle.lock().stats();
+    // One data packet processed once; the duplicate result waits for a
+    // data packet that never comes (and would age out at capacity).
+    assert_eq!(stats.packets, 1);
+    assert_eq!(stats.rules_fired, 1);
+}
+
+#[test]
+fn unknown_chain_packets_are_dropped_by_the_service_not_crashed_on() {
+    let (mut dpi_node, _h) =
+        DpiServiceNode::new(dpi(), ResultsDelivery::DedicatedPacket, MacAddr::local(9));
+    let mut p = tagged(b"payload", 3000);
+    p.pop_chain_tag();
+    p.push_chain_tag(999).unwrap(); // a chain this instance does not serve
+    assert!(dpi_node.on_packet(p, 0).is_empty());
+    assert_eq!(dpi_node.error_count(), 1);
+}
+
+#[test]
+fn corrupted_result_packet_bytes_do_not_poison_the_middlebox() {
+    use dpi_service::packet::packet::PacketBody;
+    let (mut dpi_node, _h) =
+        DpiServiceNode::new(dpi(), ResultsDelivery::DedicatedPacket, MacAddr::local(9));
+    let emitted = dpi_node.on_packet(tagged(b"xx match-me-sig", 4000), 0);
+    let result = emitted[1].1.clone();
+
+    // Serialize, corrupt a report byte, reparse: the packet layer rejects
+    // it (or yields a different-but-valid report), so the wire path can
+    // never deliver a half-garbage structure to the middlebox.
+    let mut bytes = result.to_bytes();
+    let n = bytes.len();
+    bytes[n - 1] ^= 0xff;
+    match Packet::parse(&bytes) {
+        Err(_) => {}
+        Ok(p) => {
+            // If it still parses, it must be a structurally valid result.
+            assert!(matches!(p.body, PacketBody::Result(_) | PacketBody::Raw(_)));
+        }
+    }
+}

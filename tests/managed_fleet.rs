@@ -1,0 +1,134 @@
+//! Fleet-level operations: deployment planning over live controller
+//! state, managed instances following configuration changes, and the
+//! telemetry → scale-decision loop (§4.3).
+
+use dpi_service::ac::MiddleboxId;
+use dpi_service::controller::deploy::{plan_grouped, scale_decision, ScaleDecision};
+use dpi_service::controller::DpiController;
+use dpi_service::core::{MiddleboxProfile, RuleSpec};
+use dpi_service::traffic::trace::TraceConfig;
+use std::collections::HashMap;
+
+fn setup_controller() -> (DpiController, Vec<u16>) {
+    let c = DpiController::new();
+    for id in 1..=4u16 {
+        c.register(
+            MiddleboxId(id),
+            &format!("mb-{id}"),
+            None,
+            MiddleboxProfile::stateless(MiddleboxId(id)),
+        )
+        .unwrap();
+        c.add_pattern(
+            MiddleboxId(id),
+            0,
+            &RuleSpec::exact(format!("signature-of-{id:02}").into_bytes()),
+        )
+        .unwrap();
+    }
+    let chains = vec![
+        c.register_chain(&[MiddleboxId(1), MiddleboxId(2)]).unwrap(),
+        c.register_chain(&[MiddleboxId(1), MiddleboxId(2), MiddleboxId(3)])
+            .unwrap(),
+        c.register_chain(&[MiddleboxId(4)]).unwrap(),
+    ];
+    (c, chains)
+}
+
+#[test]
+fn planned_fleet_serves_all_chains_and_follows_updates() {
+    let (c, chains) = setup_controller();
+
+    // Group similar chains and spawn one managed instance per group.
+    let chain_members: HashMap<u16, Vec<MiddleboxId>> = chains
+        .iter()
+        .map(|&id| (id, c.chain_members(id).unwrap()))
+        .collect();
+    let plan = plan_grouped(&chain_members, 2, 0.4);
+    assert_eq!(plan.groups.len(), 2);
+
+    let mut fleet: Vec<_> = plan
+        .groups
+        .iter()
+        .map(|g| c.spawn_managed(g.clone()).unwrap())
+        .collect();
+
+    // Every chain is served by exactly one instance in the fleet.
+    for &chain in &chains {
+        let servers = fleet
+            .iter_mut()
+            .filter(|m| m.chains().contains(&chain))
+            .count();
+        assert_eq!(servers, 1, "chain {chain} must have exactly one server");
+    }
+
+    // Traffic scans correctly on the right instance.
+    for m in fleet.iter_mut() {
+        for &chain in m.chains().to_vec().iter() {
+            let members = c.chain_members(chain).unwrap();
+            let sig = format!("signature-of-{:02}", members[0].0);
+            let out = m
+                .instance
+                .scan_payload(chain, None, sig.as_bytes())
+                .unwrap();
+            assert_eq!(out.reports.len(), 1);
+            assert_eq!(out.reports[0].middlebox_id, members[0].0);
+        }
+    }
+
+    // A controller-side update propagates to every refreshed instance.
+    c.add_pattern(
+        MiddleboxId(1),
+        1,
+        &RuleSpec::exact(b"late-addition".to_vec()),
+    )
+    .unwrap();
+    for m in fleet.iter_mut() {
+        assert!(m.refresh(&c).unwrap());
+        if m.chains().contains(&chains[0]) {
+            let out = m
+                .instance
+                .scan_payload(chains[0], None, b"late-addition")
+                .unwrap();
+            assert_eq!(out.reports.len(), 1);
+        }
+    }
+}
+
+#[test]
+fn telemetry_loop_drives_scale_decisions() {
+    let (c, chains) = setup_controller();
+    let mut a = c.spawn_managed(vec![chains[0]]).unwrap();
+    let mut b = c.spawn_managed(vec![chains[2]]).unwrap();
+
+    // Uneven load: instance A gets a heavy trace, B a trickle.
+    let heavy = TraceConfig {
+        packets: 400,
+        seed: 31,
+        ..TraceConfig::default()
+    }
+    .generate(&[]);
+    for p in &heavy {
+        a.instance.scan_payload(chains[0], None, p).unwrap();
+    }
+    for p in &heavy[..10] {
+        b.instance.scan_payload(chains[2], None, p).unwrap();
+    }
+
+    let da = a.report(&c).unwrap();
+    let db = b.report(&c).unwrap();
+    assert!(da.bytes > 10 * db.bytes);
+
+    // Capacity chosen so the fleet is overloaded → scale out.
+    let loads = [da.bytes, db.bytes];
+    let capacity = da.bytes / 2;
+    assert!(matches!(
+        scale_decision(&loads, capacity),
+        ScaleDecision::Out(_)
+    ));
+    // With huge capacity, the underloaded fleet scales in.
+    assert!(matches!(
+        scale_decision(&loads, da.bytes * 10),
+        ScaleDecision::In(_)
+    ));
+}
