@@ -6,6 +6,8 @@
 //! the pattern and what the identifier of the pattern is within the
 //! middlebox pattern set."
 
+use crate::combined::CombinedAc;
+use crate::compact::CompactAc;
 use crate::full::FullAc;
 use crate::sparse::SparseAc;
 use crate::trie::{Trie, TrieError};
@@ -142,6 +144,20 @@ impl CombinedAcBuilder {
         let mut trie = self.trie.clone();
         let order = trie.build_failure_links();
         SparseAc::from_trie(&trie, &order)
+    }
+
+    /// Builds the compact `u16` full-table DFA, or `None` when the
+    /// automaton has too many states for 16-bit ids.
+    pub fn build_compact(&self) -> Option<CompactAc> {
+        CompactAc::from_full(&self.build_full())
+    }
+
+    /// Builds a full-table DFA in the narrowest transition width that
+    /// fits: the `u16` [`CompactAc`] below 2¹⁶ states (half the table
+    /// bytes — the representation the data plane should prefer for cache
+    /// residency), the `u32` [`FullAc`] otherwise.
+    pub fn build_auto(&self) -> CombinedAc {
+        CombinedAc::select(self.build_full())
     }
 }
 

@@ -1,0 +1,157 @@
+//! Representation-selected combined automaton.
+//!
+//! [`CombinedAc`] is what [`crate::CombinedAcBuilder::build_auto`]
+//! returns: the compact `u16` table when the combined automaton is small
+//! enough to index with 16-bit state ids, the `u32` full table otherwise.
+//! Callers scan through the common [`Automaton`] interface either way;
+//! the enum dispatch is one predictable branch per call, and the hot
+//! `scan` loop is monomorphized per arm so the per-byte path is
+//! branch-free.
+
+use crate::compact::CompactAc;
+use crate::full::FullAc;
+use crate::{Automaton, MatchEntry, StateId};
+
+/// A combined automaton in whichever full-table width fits.
+#[derive(Debug, Clone)]
+pub enum CombinedAc {
+    /// `u32` transition entries — needed for ≥ 2¹⁶ states.
+    Full(FullAc),
+    /// `u16` transition entries — half the table bytes, preferred when
+    /// the state count allows (cache residency, §6's space discussion).
+    Compact(CompactAc),
+}
+
+impl CombinedAc {
+    /// Picks the narrowest representation that can hold `full`.
+    pub fn select(full: FullAc) -> CombinedAc {
+        match CompactAc::from_full(&full) {
+            Some(compact) => CombinedAc::Compact(compact),
+            None => CombinedAc::Full(full),
+        }
+    }
+
+    /// Short name of the active representation (telemetry/benches).
+    pub fn repr_name(&self) -> &'static str {
+        match self {
+            CombinedAc::Full(_) => "full-u32",
+            CombinedAc::Compact(_) => "compact-u16",
+        }
+    }
+
+    /// Depth (label length) of a state — used by stress telemetry.
+    pub fn state_depth(&self, state: StateId) -> u16 {
+        match self {
+            CombinedAc::Full(ac) => ac.state_depth(state),
+            CombinedAc::Compact(ac) => ac.state_depth(state),
+        }
+    }
+
+    /// Maximum depth over all states (longest pattern).
+    pub fn max_depth(&self) -> u16 {
+        match self {
+            CombinedAc::Full(ac) => ac.max_depth(),
+            CombinedAc::Compact(ac) => ac.max_depth(),
+        }
+    }
+}
+
+impl Automaton for CombinedAc {
+    fn start(&self) -> StateId {
+        match self {
+            CombinedAc::Full(ac) => ac.start(),
+            CombinedAc::Compact(ac) => ac.start(),
+        }
+    }
+
+    #[inline(always)]
+    fn step(&self, state: StateId, byte: u8) -> StateId {
+        match self {
+            CombinedAc::Full(ac) => ac.step(state, byte),
+            CombinedAc::Compact(ac) => ac.step(state, byte),
+        }
+    }
+
+    #[inline(always)]
+    fn is_accepting(&self, state: StateId) -> bool {
+        match self {
+            CombinedAc::Full(ac) => ac.is_accepting(state),
+            CombinedAc::Compact(ac) => ac.is_accepting(state),
+        }
+    }
+
+    fn bitmap(&self, state: StateId) -> u64 {
+        match self {
+            CombinedAc::Full(ac) => ac.bitmap(state),
+            CombinedAc::Compact(ac) => ac.bitmap(state),
+        }
+    }
+
+    fn entries(&self, state: StateId) -> &[MatchEntry] {
+        match self {
+            CombinedAc::Full(ac) => ac.entries(state),
+            CombinedAc::Compact(ac) => ac.entries(state),
+        }
+    }
+
+    fn state_count(&self) -> usize {
+        match self {
+            CombinedAc::Full(ac) => ac.state_count(),
+            CombinedAc::Compact(ac) => ac.state_count(),
+        }
+    }
+
+    fn accepting_count(&self) -> usize {
+        match self {
+            CombinedAc::Full(ac) => ac.accepting_count(),
+            CombinedAc::Compact(ac) => ac.accepting_count(),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        match self {
+            CombinedAc::Full(ac) => ac.memory_bytes(),
+            CombinedAc::Compact(ac) => ac.memory_bytes(),
+        }
+    }
+
+    fn scan<F: FnMut(usize, StateId)>(&self, state: StateId, data: &[u8], on_match: F) -> StateId {
+        match self {
+            CombinedAc::Full(ac) => ac.scan(state, data, on_match),
+            CombinedAc::Compact(ac) => ac.scan(state, data, on_match),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{CombinedAcBuilder, PatternSet};
+    use crate::MiddleboxId;
+
+    #[test]
+    fn small_automata_select_compact() {
+        let mut b = CombinedAcBuilder::new();
+        b.add_set(PatternSet::from_strs(MiddleboxId(0), &["attack", "virus"]))
+            .unwrap();
+        let ac = b.build_auto();
+        assert!(matches!(ac, CombinedAc::Compact(_)));
+        assert_eq!(ac.repr_name(), "compact-u16");
+        assert_eq!(ac.find_all(b"an attack!").len(), 1);
+    }
+
+    #[test]
+    fn selection_preserves_match_stream() {
+        let mut b = CombinedAcBuilder::new();
+        b.add_set(PatternSet::from_strs(
+            MiddleboxId(0),
+            &["E", "BE", "BD", "BCD", "BCAA", "CDBCAB"],
+        ))
+        .unwrap();
+        let full = b.build_full();
+        let auto = b.build_auto();
+        let data = b"BE BCD CDBCAB xxBCAAxx";
+        assert_eq!(auto.find_all(data), full.find_all(data));
+        assert!(auto.memory_bytes() < full.memory_bytes());
+    }
+}

@@ -1,0 +1,240 @@
+//! The compact full-table DFA: `u16` transition entries.
+//!
+//! Identical structure and scan loop to [`FullAc`], but every transition
+//! cell is a `u16` instead of a `u32`, which halves the dominant table
+//! (1 KiB/state → 512 B/state). The paper's §5.1/§6 memory discussion —
+//! and the Hyperflex/cache-residency argument it cites — is that keeping
+//! the combined automaton small enough to stay cache-resident is worth
+//! real throughput, so the service should prefer this representation
+//! whenever the combined automaton has fewer than 2¹⁶ states.
+//! [`crate::CombinedAcBuilder::build_auto`] does that selection.
+
+use crate::full::FullAc;
+use crate::{Automaton, MatchEntry, StateId};
+
+/// A full-table DFA whose transition entries are `u16`.
+///
+/// Only representable when `state_count() < 65536`; construction from a
+/// larger [`FullAc`] fails. State ids keep the §5.1 renumbering, so the
+/// accepting test is still `state < f` and the match table is still a
+/// direct-access array.
+#[derive(Debug, Clone)]
+pub struct CompactAc {
+    /// `state * 256 + byte -> next state`, each entry a `u16`.
+    transitions: Vec<u16>,
+    /// Number of accepting states; accepting ids are `0..f`.
+    f: u32,
+    /// Root state id (after renumbering).
+    root: u32,
+    /// Per-accepting-state middlebox bitmap, indexed by state id.
+    bitmaps: Vec<u64>,
+    /// Direct-access match table offsets (see [`FullAc`]).
+    offsets: Vec<u32>,
+    /// All match entries, grouped by accepting state, each group sorted.
+    entries: Vec<MatchEntry>,
+    /// Depth (label length) per state, for stress telemetry.
+    depth: Vec<u16>,
+}
+
+impl CompactAc {
+    /// Narrows a [`FullAc`]'s transition table to `u16`.
+    ///
+    /// Returns `None` when the automaton has 2¹⁶ states or more (some id
+    /// would not fit in a `u16`).
+    pub fn from_full(full: &FullAc) -> Option<CompactAc> {
+        if full.state_count() > usize::from(u16::MAX) {
+            return None;
+        }
+        let transitions = full
+            .transitions
+            .iter()
+            .map(|&t| {
+                debug_assert!(t <= u32::from(u16::MAX));
+                t as u16
+            })
+            .collect();
+        Some(CompactAc {
+            transitions,
+            f: full.f,
+            root: full.root,
+            bitmaps: full.bitmaps.clone(),
+            offsets: full.offsets.clone(),
+            entries: full.entries.clone(),
+            depth: full.depth.clone(),
+        })
+    }
+
+    /// Depth (label length) of a state — used by stress telemetry.
+    pub fn state_depth(&self, state: StateId) -> u16 {
+        self.depth[state as usize]
+    }
+
+    /// Maximum depth over all states (longest pattern).
+    pub fn max_depth(&self) -> u16 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+}
+
+impl Automaton for CompactAc {
+    fn start(&self) -> StateId {
+        self.root
+    }
+
+    #[inline(always)]
+    fn step(&self, state: StateId, byte: u8) -> StateId {
+        StateId::from(self.transitions[(state as usize) * 256 + usize::from(byte)])
+    }
+
+    #[inline(always)]
+    fn is_accepting(&self, state: StateId) -> bool {
+        state < self.f
+    }
+
+    fn bitmap(&self, state: StateId) -> u64 {
+        if state < self.f {
+            self.bitmaps[state as usize]
+        } else {
+            0
+        }
+    }
+
+    fn entries(&self, state: StateId) -> &[MatchEntry] {
+        if state < self.f {
+            let lo = self.offsets[state as usize] as usize;
+            let hi = self.offsets[state as usize + 1] as usize;
+            &self.entries[lo..hi]
+        } else {
+            &[]
+        }
+    }
+
+    fn state_count(&self) -> usize {
+        self.transitions.len() / 256
+    }
+
+    fn accepting_count(&self) -> usize {
+        self.f as usize
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.transitions.len() * std::mem::size_of::<u16>()
+            + self.bitmaps.len() * std::mem::size_of::<u64>()
+            + self.offsets.len() * std::mem::size_of::<u32>()
+            + self.entries.len() * std::mem::size_of::<MatchEntry>()
+            + self.depth.len() * std::mem::size_of::<u16>()
+    }
+
+    fn scan<F: FnMut(usize, StateId)>(
+        &self,
+        state: StateId,
+        data: &[u8],
+        mut on_match: F,
+    ) -> StateId {
+        // Same 4-byte unroll as `FullAc::scan`, over the narrow table.
+        let t = &self.transitions[..];
+        let f = self.f as u16;
+        let mut s = state as u16;
+        let mut i = 0;
+        let n4 = data.len() & !3;
+        while i < n4 {
+            s = t[usize::from(s) * 256 + usize::from(data[i])];
+            if s < f {
+                on_match(i, StateId::from(s));
+            }
+            s = t[usize::from(s) * 256 + usize::from(data[i + 1])];
+            if s < f {
+                on_match(i + 1, StateId::from(s));
+            }
+            s = t[usize::from(s) * 256 + usize::from(data[i + 2])];
+            if s < f {
+                on_match(i + 2, StateId::from(s));
+            }
+            s = t[usize::from(s) * 256 + usize::from(data[i + 3])];
+            if s < f {
+                on_match(i + 3, StateId::from(s));
+            }
+            i += 4;
+        }
+        while i < data.len() {
+            s = t[usize::from(s) * 256 + usize::from(data[i])];
+            if s < f {
+                on_match(i, StateId::from(s));
+            }
+            i += 1;
+        }
+        StateId::from(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{CombinedAcBuilder, PatternSet};
+    use crate::MiddleboxId;
+
+    fn paper_builder() -> CombinedAcBuilder {
+        let mut b = CombinedAcBuilder::new();
+        b.add_set(PatternSet::from_strs(
+            MiddleboxId(0),
+            &["E", "BE", "BD", "BCD", "BCAA", "CDBCAB"],
+        ))
+        .unwrap();
+        b.add_set(PatternSet::from_strs(
+            MiddleboxId(1),
+            &["EDAE", "BE", "CDBA", "CBD"],
+        ))
+        .unwrap();
+        b
+    }
+
+    #[test]
+    fn matches_full_on_paper_example() {
+        let b = paper_builder();
+        let full = b.build_full();
+        let compact = CompactAc::from_full(&full).unwrap();
+        for input in [
+            &b"BE"[..],
+            b"CDBCAB",
+            b"EDAE",
+            b"no match here",
+            b"BCD CBD BCAA",
+        ] {
+            assert_eq!(compact.find_all(input), full.find_all(input));
+        }
+        assert_eq!(compact.state_count(), full.state_count());
+        assert_eq!(compact.accepting_count(), full.accepting_count());
+        assert_eq!(compact.start(), full.start());
+        assert_eq!(compact.max_depth(), full.max_depth());
+    }
+
+    #[test]
+    fn halves_transition_table_memory() {
+        let b = paper_builder();
+        let full = b.build_full();
+        let compact = CompactAc::from_full(&full).unwrap();
+        // The transition table dominates; the aux tables are shared, so
+        // the compact form must land at or below 55% of the full form.
+        assert!(
+            compact.memory_bytes() * 100 <= full.memory_bytes() * 55,
+            "compact {} vs full {}",
+            compact.memory_bytes(),
+            full.memory_bytes()
+        );
+    }
+
+    #[test]
+    fn resumable_scan_matches_full() {
+        let b = paper_builder();
+        let full = b.build_full();
+        let compact = CompactAc::from_full(&full).unwrap();
+        let data = b"CDB CAB BCAA EDAE";
+        let (a, b_) = data.split_at(7);
+        let mut hits_full = Vec::new();
+        let mut hits_compact = Vec::new();
+        let sf = full.scan(full.start(), a, |p, s| hits_full.push((p, s)));
+        full.scan(sf, b_, |p, s| hits_full.push((p + a.len(), s)));
+        let sc = compact.scan(compact.start(), a, |p, s| hits_compact.push((p, s)));
+        compact.scan(sc, b_, |p, s| hits_compact.push((p + a.len(), s)));
+        assert_eq!(hits_full, hits_compact);
+    }
+}

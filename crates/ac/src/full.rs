@@ -14,21 +14,21 @@ use crate::{Automaton, MatchEntry, StateId};
 #[derive(Debug, Clone)]
 pub struct FullAc {
     /// `state * 256 + byte -> next state`, in the renumbered id space.
-    transitions: Vec<u32>,
+    pub(crate) transitions: Vec<u32>,
     /// Number of accepting states; accepting ids are `0..f`.
-    f: u32,
+    pub(crate) f: u32,
     /// Root state id (after renumbering).
-    root: u32,
+    pub(crate) root: u32,
     /// Per-accepting-state middlebox bitmap, indexed by state id.
-    bitmaps: Vec<u64>,
+    pub(crate) bitmaps: Vec<u64>,
     /// Direct-access match table: `offsets[i]..offsets[i+1]` indexes
     /// `entries` for accepting state `i` (§5.1's `match` array, flattened).
-    offsets: Vec<u32>,
+    pub(crate) offsets: Vec<u32>,
     /// All match entries, grouped by accepting state, each group sorted.
-    entries: Vec<MatchEntry>,
+    pub(crate) entries: Vec<MatchEntry>,
     /// Depth (label length) per state — exported for the MCA²-style stress
     /// telemetry: complexity attacks drive scans unusually deep (§4.3.1).
-    depth: Vec<u16>,
+    pub(crate) depth: Vec<u16>,
 }
 
 impl FullAc {
@@ -71,8 +71,9 @@ impl FullAc {
             // target's row was completed earlier in BFS order.
             if !depth_is_zero {
                 debug_assert_ne!(fail, u);
-                let src: Vec<u32> = old_table[fail * 256..fail * 256 + 256].to_vec();
-                old_table[u * 256..u * 256 + 256].copy_from_slice(&src);
+                // The rows are disjoint (`fail != u`), so the failure row
+                // copies in place without a temporary allocation.
+                old_table.copy_within(fail * 256..fail * 256 + 256, u * 256);
             }
             for (&b, &c) in &trie.node(u as u32).children {
                 old_table[u * 256 + usize::from(b)] = c;
@@ -187,12 +188,40 @@ impl Automaton for FullAc {
         data: &[u8],
         mut on_match: F,
     ) -> StateId {
+        // Unrolled 4 bytes per iteration: the per-byte work is a single
+        // dependent load plus the `s < f` accepting compare (§5.1), so
+        // unrolling amortizes loop control and exposes the address
+        // computation of later bytes while the current load is in flight.
+        let t = &self.transitions[..];
+        let f = self.f;
         let mut s = state;
-        for (i, &b) in data.iter().enumerate() {
-            s = self.transitions[(s as usize) * 256 + usize::from(b)];
-            if s < self.f {
+        let mut i = 0;
+        let n4 = data.len() & !3;
+        while i < n4 {
+            s = t[(s as usize) * 256 + usize::from(data[i])];
+            if s < f {
                 on_match(i, s);
             }
+            s = t[(s as usize) * 256 + usize::from(data[i + 1])];
+            if s < f {
+                on_match(i + 1, s);
+            }
+            s = t[(s as usize) * 256 + usize::from(data[i + 2])];
+            if s < f {
+                on_match(i + 2, s);
+            }
+            s = t[(s as usize) * 256 + usize::from(data[i + 3])];
+            if s < f {
+                on_match(i + 3, s);
+            }
+            i += 4;
+        }
+        while i < data.len() {
+            s = t[(s as usize) * 256 + usize::from(data[i])];
+            if s < f {
+                on_match(i, s);
+            }
+            i += 1;
         }
         s
     }

@@ -40,12 +40,16 @@
 //! matcher.
 
 pub mod builder;
+pub mod combined;
+pub mod compact;
 pub mod full;
 pub mod naive;
 pub mod sparse;
 pub mod trie;
 
 pub use builder::{CombinedAcBuilder, PatternSet};
+pub use combined::CombinedAc;
+pub use compact::CompactAc;
 pub use full::FullAc;
 pub use sparse::SparseAc;
 

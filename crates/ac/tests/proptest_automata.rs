@@ -149,4 +149,49 @@ proptest! {
         let ac = build(&sets).build_full();
         prop_assert!(ac.state_count() <= total + 1);
     }
+
+    #[test]
+    fn compact_matches_full_everywhere(sets in pattern_sets(), data in input(), cut in 0usize..200) {
+        // The u16 table must produce the exact same scan-event stream as
+        // the u32 table — same positions, same states, same resume state
+        // across a split — since the data plane swaps one for the other
+        // solely on state count.
+        let builder = build(&sets);
+        let full = builder.build_full();
+        let compact = builder.build_compact().expect("tiny automata always fit u16");
+
+        let mut full_events = Vec::new();
+        let fs = full.scan(full.start(), &data, |pos, st| full_events.push((pos, st)));
+        let mut compact_events = Vec::new();
+        let cs = compact.scan(compact.start(), &data, |pos, st| compact_events.push((pos, st)));
+        prop_assert_eq!(&full_events, &compact_events);
+        prop_assert_eq!(fs, cs);
+
+        // Resumed mid-payload scans agree too (§5.2 stateful flows).
+        let cut = cut.min(data.len());
+        let (a, b) = data.split_at(cut);
+        let fm = full.scan(full.start(), a, |_, _| {});
+        let cm = compact.scan(compact.start(), a, |_, _| {});
+        prop_assert_eq!(fm, cm);
+        let mut f2 = Vec::new();
+        full.scan(fm, b, |pos, st| f2.push((pos, st)));
+        let mut c2 = Vec::new();
+        compact.scan(cm, b, |pos, st| c2.push((pos, st)));
+        prop_assert_eq!(f2, c2);
+    }
+
+    #[test]
+    fn auto_selection_is_compact_and_halves_the_table(sets in pattern_sets()) {
+        // Generated automata are tiny, so `build_auto` must always pick
+        // the u16 representation, which must cost at most 55% of the u32
+        // form's bytes while reporting identical structure.
+        let builder = build(&sets);
+        let full = builder.build_full();
+        let auto = builder.build_auto();
+        prop_assert_eq!(auto.repr_name(), "compact-u16");
+        prop_assert!(auto.memory_bytes() * 100 <= full.memory_bytes() * 55);
+        prop_assert_eq!(auto.state_count(), full.state_count());
+        prop_assert_eq!(auto.accepting_count(), full.accepting_count());
+        prop_assert_eq!(auto.max_depth(), full.max_depth());
+    }
 }

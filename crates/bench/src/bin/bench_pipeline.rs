@@ -1,0 +1,168 @@
+//! Data-plane throughput: sequential `DpiInstance` vs `ShardedScanner`
+//! at 1/2/4/8 workers over the same multi-flow tagged trace, plus the
+//! FullAc vs CompactAc footprint/throughput comparison. Writes
+//! `BENCH_pipeline.json` (consumed by the CI bench job as an artifact).
+//!
+//! Set `DPI_BENCH_QUICK=1` for a CI-sized run. Speedup numbers only mean
+//! something when `host_cores` ≥ the worker count — the JSON records the
+//! core count so readers can tell scaling from time-slicing.
+
+use dpi_ac::{Automaton, CombinedAcBuilder, MiddleboxId, PatternSet};
+use dpi_bench::{host_cores, pipeline_batch, pipeline_config, print_row, throughput_mbps};
+use dpi_core::pipeline::ShardedScanner;
+use dpi_core::DpiInstance;
+use dpi_packet::Packet;
+use dpi_traffic::patterns::snort_like;
+use dpi_traffic::trace::TraceConfig;
+use std::time::Instant;
+
+const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Median packets/sec over `runs` passes of `scan` on clones of `batch`.
+fn median_pps(batch: &[Packet], runs: usize, mut scan: impl FnMut(&mut [Packet])) -> f64 {
+    let mut samples: Vec<f64> = (0..runs.max(1))
+        .map(|_| {
+            let mut pkts = batch.to_vec();
+            let t0 = Instant::now();
+            scan(&mut pkts);
+            batch.len() as f64 / t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let quick = std::env::var_os("DPI_BENCH_QUICK").is_some();
+    let (npat, npkt, runs) = if quick {
+        (500, 256, 3)
+    } else {
+        (2000, 2048, 5)
+    };
+
+    let pats = snort_like(npat, 42);
+    let payloads = TraceConfig {
+        packets: npkt,
+        match_density: 0.02,
+        prefix_density: 3.0,
+        seed: 7,
+        ..TraceConfig::default()
+    }
+    .generate(&pats);
+    let batch = pipeline_batch(&payloads, 64, 99);
+    let bytes: usize = payloads.iter().map(|p| p.len()).sum();
+
+    println!(
+        "pipeline bench: {npat} patterns, {npkt} packets ({bytes} bytes), \
+         {} host cores{}",
+        host_cores(),
+        if quick { ", quick mode" } else { "" }
+    );
+    print_row(&[
+        "plane".into(),
+        "workers".into(),
+        "pkts/s".into(),
+        "speedup".into(),
+    ]);
+
+    // Sequential reference: one instance, one thread.
+    let mut instance = DpiInstance::new(pipeline_config(&pats)).expect("valid config");
+    let seq_pps = median_pps(&batch, runs, |pkts| {
+        for p in pkts.iter_mut() {
+            let _ = instance.inspect(p);
+        }
+    });
+    print_row(&[
+        "sequential".into(),
+        "-".into(),
+        format!("{seq_pps:.0}"),
+        "1.00x".into(),
+    ]);
+
+    let mut sharded = Vec::new();
+    for workers in WORKER_SWEEP {
+        let mut scanner =
+            ShardedScanner::from_config(pipeline_config(&pats), workers).expect("valid config");
+        let pps = median_pps(&batch, runs, |pkts| {
+            scanner.inspect_batch(pkts);
+        });
+        let speedup = pps / seq_pps;
+        print_row(&[
+            "sharded".into(),
+            format!("{workers}"),
+            format!("{pps:.0}"),
+            format!("{speedup:.2}x"),
+        ]);
+        sharded.push((workers, pps, speedup));
+    }
+
+    // Automaton representations over the same rule set.
+    let mut builder = CombinedAcBuilder::new();
+    builder
+        .add_set(PatternSet::new(MiddleboxId(0), pats.clone()))
+        .expect("generated patterns are valid");
+    let full = builder.build_full();
+    let compact = builder.build_compact();
+    let auto_repr = builder.build_auto().repr_name();
+    let full_mbps = throughput_mbps(&full, &payloads, runs);
+    println!(
+        "automaton: {} states, auto-selected {auto_repr}",
+        full.state_count()
+    );
+    print_row(&[
+        "repr".into(),
+        "bytes".into(),
+        "Mbit/s".into(),
+        String::new(),
+    ]);
+    print_row(&[
+        "full-u32".into(),
+        format!("{}", full.memory_bytes()),
+        format!("{full_mbps:.0}"),
+        String::new(),
+    ]);
+    let compact_json = match &compact {
+        Some(c) => {
+            let mbps = throughput_mbps(c, &payloads, runs);
+            let pct = c.memory_bytes() as f64 * 100.0 / full.memory_bytes() as f64;
+            print_row(&[
+                "compact-u16".into(),
+                format!("{}", c.memory_bytes()),
+                format!("{mbps:.0}"),
+                format!("{pct:.1}% of full"),
+            ]);
+            format!(
+                "{{\"bytes\": {}, \"mbps\": {:.0}, \"pct_of_full\": {:.1}}}",
+                c.memory_bytes(),
+                mbps,
+                pct
+            )
+        }
+        None => "null".into(),
+    };
+
+    let sharded_json: Vec<String> = sharded
+        .iter()
+        .map(|(w, pps, s)| format!("{{\"workers\": {w}, \"pps\": {pps:.0}, \"speedup\": {s:.2}}}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"host_cores\": {},\n  \"quick\": {},\n  \"patterns\": {},\n  \
+         \"packets\": {},\n  \"bytes\": {},\n  \"sequential_pps\": {:.0},\n  \
+         \"sharded\": [{}],\n  \"automaton\": {{\"states\": {}, \"auto_repr\": \
+         \"{}\", \"full\": {{\"bytes\": {}, \"mbps\": {:.0}}}, \"compact\": {}}}\n}}\n",
+        host_cores(),
+        quick,
+        npat,
+        npkt,
+        bytes,
+        seq_pps,
+        sharded_json.join(", "),
+        full.state_count(),
+        auto_repr,
+        full.memory_bytes(),
+        full_mbps,
+        compact_json,
+    );
+    std::fs::write("BENCH_pipeline.json", &json).expect("writable working directory");
+    println!("wrote BENCH_pipeline.json");
+}

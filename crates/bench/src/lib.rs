@@ -18,8 +18,11 @@
 //! * `exp_patternset_size` — §4.1's pattern-set transfer-size argument.
 //! * `exp_mca2` — §4.3.1: goodput under complexity attack, with and
 //!   without MCA² mitigation.
+//! * `bench_pipeline` — sequential vs sharded data-plane packets/sec and
+//!   FullAc vs CompactAc footprint; writes `BENCH_pipeline.json`.
 
 use dpi_ac::{Automaton, CombinedAcBuilder, MiddleboxId, PatternSet};
+use dpi_packet::{MacAddr, Packet};
 use std::time::Instant;
 
 /// Builds a single-set full-table automaton over `patterns`.
@@ -142,6 +145,51 @@ pub const DEFAULT_CLAMAV_BENCH: usize = 6000;
 pub const SNORT1_COUNT: usize = 2500;
 /// See [`SNORT1_COUNT`].
 pub const SNORT2_COUNT: usize = 1856;
+
+/// Chain id used by the pipeline benches.
+pub const PIPELINE_CHAIN: u16 = 1;
+
+/// One stateless middlebox carrying `patterns` as exact rules on
+/// [`PIPELINE_CHAIN`] — the minimal data-plane config for throughput
+/// benches, where cross-packet state would only add noise.
+pub fn pipeline_config(patterns: &[Vec<u8>]) -> dpi_core::InstanceConfig {
+    dpi_core::InstanceConfig::new()
+        .with_middlebox(
+            dpi_core::MiddleboxProfile::stateless(MiddleboxId(1)),
+            patterns
+                .iter()
+                .map(|p| dpi_core::RuleSpec::exact(p.clone()))
+                .collect(),
+        )
+        .with_chain(PIPELINE_CHAIN, vec![MiddleboxId(1)])
+}
+
+/// Turns trace payloads into chain-tagged TCP packets spread round-robin
+/// over `flows` synthetic flows, with per-flow sequence numbers advancing
+/// in order (so reassembly sees a clean stream).
+pub fn pipeline_batch(payloads: &[Vec<u8>], flows: usize, seed: u64) -> Vec<Packet> {
+    let pool = dpi_traffic::flows::flow_pool(flows.max(1), seed);
+    let fl = pool.flows();
+    let mut seqs = vec![0u32; fl.len()];
+    payloads
+        .iter()
+        .enumerate()
+        .map(|(i, payload)| {
+            let fi = i % fl.len();
+            let mut p = Packet::tcp(
+                MacAddr::local(1),
+                MacAddr::local(2),
+                fl[fi],
+                seqs[fi],
+                payload.clone(),
+            );
+            seqs[fi] = seqs[fi].wrapping_add(payload.len() as u32);
+            p.push_chain_tag(PIPELINE_CHAIN)
+                .expect("fresh packet has tag room");
+            p
+        })
+        .collect()
+}
 
 #[cfg(test)]
 mod tests {

@@ -35,7 +35,7 @@ pub mod stress;
 
 pub use controller::{ControllerError, DpiController, InstanceId};
 pub use deploy::DeploymentPlan;
-pub use managed::ManagedInstance;
+pub use managed::{ManagedInstance, ManagedShardedInstance};
 pub use proto::{ControllerMessage, ControllerReply};
 pub use registry::GlobalPatternSet;
 pub use stress::{Mca2Action, StressMonitor, StressPolicy};

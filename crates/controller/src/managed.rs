@@ -8,7 +8,7 @@
 //! per-instance automatons built from it.
 
 use crate::controller::{ControllerError, DpiController, InstanceId};
-use dpi_core::{DpiInstance, Telemetry};
+use dpi_core::{DpiInstance, ShardedScanner, Telemetry};
 
 /// A deployed instance that tracks controller configuration changes.
 #[derive(Debug)]
@@ -66,6 +66,64 @@ impl ManagedInstance {
     }
 }
 
+/// A deployed *sharded* instance: the parallel data plane of
+/// [`dpi_core::pipeline`] under the same controller-following contract
+/// as [`ManagedInstance`]. The worker count is fixed at deployment and
+/// survives configuration-driven rebuilds.
+#[derive(Debug)]
+pub struct ManagedShardedInstance {
+    id: InstanceId,
+    chains: Vec<u16>,
+    built_at_version: u64,
+    /// The live parallel scanner. Callers feed batches through this
+    /// handle.
+    pub scanner: ShardedScanner,
+}
+
+impl ManagedShardedInstance {
+    /// The controller-side identifier.
+    pub fn id(&self) -> InstanceId {
+        self.id
+    }
+
+    /// The chains this instance serves.
+    pub fn chains(&self) -> &[u16] {
+        &self.chains
+    }
+
+    /// Controller version of the current automaton.
+    pub fn version(&self) -> u64 {
+        self.built_at_version
+    }
+
+    /// Number of worker shards.
+    pub fn workers(&self) -> usize {
+        self.scanner.workers()
+    }
+
+    /// Rebuilds the scanner if the controller configuration changed
+    /// since the last build, keeping the worker count. Returns whether a
+    /// rebuild happened. As with [`ManagedInstance::refresh`], per-flow
+    /// scan state is dropped across the rebuild boundary.
+    pub fn refresh(&mut self, controller: &DpiController) -> Result<bool, ControllerError> {
+        let v = controller.version();
+        if v == self.built_at_version {
+            return Ok(false);
+        }
+        let cfg = controller.instance_config(&self.chains)?;
+        self.scanner = ShardedScanner::from_config(cfg, self.scanner.workers())
+            .map_err(|e| ControllerError::InconsistentConfig(e.to_string()))?;
+        self.built_at_version = v;
+        Ok(true)
+    }
+
+    /// Reports merged telemetry to the controller, returning the delta
+    /// the stress monitor consumes.
+    pub fn report(&self, controller: &DpiController) -> Result<Telemetry, ControllerError> {
+        controller.report_telemetry(self.id, self.scanner.telemetry())
+    }
+}
+
 impl DpiController {
     /// Deploys a managed instance serving `chains`, built from the
     /// current configuration.
@@ -79,6 +137,25 @@ impl DpiController {
             chains,
             built_at_version: self.version(),
             instance,
+        })
+    }
+
+    /// Deploys a managed sharded instance with `workers` parallel scan
+    /// shards serving `chains`.
+    pub fn spawn_managed_sharded(
+        &self,
+        chains: Vec<u16>,
+        workers: usize,
+    ) -> Result<ManagedShardedInstance, ControllerError> {
+        let cfg = self.instance_config(&chains)?;
+        let scanner = ShardedScanner::from_config(cfg, workers)
+            .map_err(|e| ControllerError::InconsistentConfig(e.to_string()))?;
+        let id = self.deploy_instance(chains.clone());
+        Ok(ManagedShardedInstance {
+            id,
+            chains,
+            built_at_version: self.version(),
+            scanner,
         })
     }
 }
@@ -138,6 +215,43 @@ mod tests {
         assert!(m.refresh(&c).unwrap());
         let out = m.instance.scan_payload(chain, None, b"first-sig").unwrap();
         assert!(out.reports.is_empty());
+    }
+
+    #[test]
+    fn managed_sharded_instance_scans_and_follows_updates() {
+        use dpi_packet::ipv4::IpProtocol;
+        use dpi_packet::packet::flow;
+        use dpi_packet::{MacAddr, Packet};
+
+        let c = controller_with_mb();
+        let chain = c.register_chain(&[MiddleboxId(1)]).unwrap();
+        let mut m = c.spawn_managed_sharded(vec![chain], 4).unwrap();
+        assert_eq!(m.workers(), 4);
+
+        let mut batch: Vec<Packet> = (0..8)
+            .map(|i| {
+                let f = flow([10, 0, 0, 1], 100 + i, [10, 0, 0, 2], 80, IpProtocol::Tcp);
+                let mut p = Packet::tcp(
+                    MacAddr::local(1),
+                    MacAddr::local(2),
+                    f,
+                    0,
+                    b"first-sig here".to_vec(),
+                );
+                p.push_chain_tag(chain).unwrap();
+                p
+            })
+            .collect();
+        let results = m.scanner.inspect_batch(&mut batch);
+        assert_eq!(results.len(), 8);
+        assert_eq!(m.report(&c).unwrap().packets, 8);
+
+        // A pattern update rebuilds the scanner at the same worker count.
+        c.add_pattern(MiddleboxId(1), 1, &RuleSpec::exact(b"second-sig".to_vec()))
+            .unwrap();
+        assert!(m.refresh(&c).unwrap());
+        assert_eq!(m.workers(), 4);
+        assert!(!m.refresh(&c).unwrap());
     }
 
     #[test]

@@ -1,4 +1,21 @@
 //! The DPI service instance (§5).
+//!
+//! The scan machinery is split into two halves so the sharded parallel
+//! pipeline ([`crate::pipeline`]) can share one compiled engine across
+//! worker threads without any locking on the per-packet path:
+//!
+//! * [`ScanEngine`] — everything *immutable* after construction: the
+//!   combined automaton (in the narrowest table width that fits, see
+//!   [`dpi_ac::CombinedAc`]), middlebox profiles, chain metadata and
+//!   compiled regex rules. It is `Send + Sync` and is shared between
+//!   workers behind an `Arc`.
+//! * [`ShardState`] — everything *mutable* per packet: the flow table,
+//!   TCP reassembly buffers, per-flow stress samples, telemetry and the
+//!   per-shard lazy-DFA caches for anchor-less regex rules. Each worker
+//!   owns exactly one, privately.
+//!
+//! [`DpiInstance`] is the sequential composition of the two (one engine,
+//! one shard) and keeps the public API the rest of the system uses.
 
 use crate::config::{InstanceConfig, MiddleboxProfile, NumberedRule};
 use crate::flowstate::FlowTable;
@@ -6,12 +23,13 @@ use crate::report::compress_matches;
 use crate::rules::RuleKind;
 use crate::telemetry::Telemetry;
 use dpi_ac::trie::TrieError;
-use dpi_ac::{Automaton, CombinedAcBuilder, FullAc, MiddleboxId, PatternId};
+use dpi_ac::{Automaton, CombinedAc, CombinedAcBuilder, MiddleboxId, PatternId};
 use dpi_packet::nsh::DpiResultsHeader;
 use dpi_packet::report::{MiddleboxReport, ResultPacket};
 use dpi_packet::{FlowKey, Packet};
 use dpi_regex::{Regex, RegexError};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Errors from instance construction or packet inspection.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -99,8 +117,9 @@ struct RegexRule {
     anchor_count: usize,
     /// Anchor-less rules run on *every* packet, so they get a lazy DFA
     /// (O(1)/byte steady state); anchor-gated rules run rarely and keep
-    /// the NFA simulation.
-    dfa: Option<parking_lot::Mutex<dpi_regex::dfa::LazyDfa<dpi_regex::nfa::Nfa>>>,
+    /// the NFA simulation. The DFA itself is cached per shard (the cache
+    /// mutates during scans) so the shared engine stays lock-free.
+    use_lazy_dfa: bool,
 }
 
 /// Per-middlebox compiled rule metadata.
@@ -149,16 +168,34 @@ impl ScanOutput {
     }
 }
 
-/// The virtual DPI service instance.
+/// The immutable, shareable half of a DPI instance: compiled automaton,
+/// profiles, chains and regex rules. Build once, share behind an `Arc`
+/// across any number of worker shards.
 #[derive(Debug)]
-pub struct DpiInstance {
-    ac: FullAc,
+pub struct ScanEngine {
+    ac: CombinedAc,
     profiles: HashMap<MiddleboxId, MiddleboxProfile>,
     chains: HashMap<u16, ChainInfo>,
     rules: HashMap<MiddleboxId, MbRules>,
+    max_flows: usize,
+}
+
+// The engine is shared by reference across scan workers; this must hold
+// (and does, because nothing in it has interior mutability).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ScanEngine>();
+};
+
+/// The mutable, per-worker half of a DPI instance: flow table, TCP
+/// reassembly, stress samples, telemetry and lazy-DFA caches. Every
+/// worker of a [`crate::pipeline::ShardedScanner`] owns one privately, so
+/// the per-packet path takes no locks.
+#[derive(Debug)]
+pub struct ShardState {
     flows: FlowTable,
     /// Per-flow TCP reassembly state, created lazily by
-    /// [`DpiInstance::scan_tcp_segment`] (session reconstruction as a
+    /// [`ScanEngine::scan_tcp_segment`] (session reconstruction as a
     /// service — the paper's named future work).
     reassemblers: HashMap<FlowKey, crate::reassembly::StreamReassembler>,
     /// Per-flow deep-state sampling, feeding MCA² heavy-flow selection
@@ -166,12 +203,90 @@ pub struct DpiInstance {
     /// suspected to be malicious").
     flow_stress: HashMap<FlowKey, (u64, u64)>,
     telemetry: Telemetry,
-    packet_counter: u32,
+    /// Per-shard lazy DFAs for anchor-less regex rules, keyed by
+    /// (middlebox, rule index) and built on first use. The cache only
+    /// memoizes NFA-derived states, so match results are identical across
+    /// shards regardless of cache contents.
+    dfa_cache: HashMap<(MiddleboxId, usize), dpi_regex::dfa::LazyDfa<dpi_regex::nfa::Nfa>>,
 }
 
-impl DpiInstance {
-    /// Builds an instance from a configuration (§5.1's initialization).
-    pub fn new(config: InstanceConfig) -> Result<DpiInstance, InstanceError> {
+impl ShardState {
+    /// A fresh shard sized for `engine`'s flow-table capacity.
+    pub fn new(engine: &ScanEngine) -> ShardState {
+        ShardState {
+            flows: FlowTable::new(engine.max_flows),
+            reassemblers: HashMap::new(),
+            flow_stress: HashMap::new(),
+            telemetry: Telemetry::default(),
+            dfa_cache: HashMap::new(),
+        }
+    }
+
+    /// Telemetry snapshot of this shard.
+    pub fn telemetry(&self) -> Telemetry {
+        self.telemetry
+    }
+
+    /// Number of flows currently tracked by this shard.
+    pub fn tracked_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Exports a flow's scan state for migration (§4.3.1). Returns `None`
+    /// for untracked flows.
+    pub fn export_flow(&mut self, key: &FlowKey) -> Option<(u32, u64)> {
+        let exported = self.flows.export(key);
+        if exported.is_some() {
+            self.flows.remove(key);
+        }
+        exported
+    }
+
+    /// Imports a migrated flow's scan state.
+    pub fn import_flow(&mut self, key: FlowKey, state: u32, offset: u64) {
+        self.flows.import(key, state, offset);
+    }
+
+    /// Declares a new TCP stream with its initial sequence number.
+    pub fn open_tcp_flow(&mut self, flow: FlowKey, initial_seq: u32) {
+        self.reassemblers.insert(
+            flow,
+            crate::reassembly::StreamReassembler::new(initial_seq, 1 << 20),
+        );
+    }
+
+    /// Tears down a flow's reassembly and scan state (RST/FIN/timeout).
+    pub fn close_tcp_flow(&mut self, flow: &FlowKey) {
+        self.reassemblers.remove(flow);
+        self.flows.remove(flow);
+        self.flow_stress.remove(flow);
+    }
+
+    /// Per-flow deep-state ratios observed since the last
+    /// [`ShardState::reset_flow_stress`] — the input to heavy-flow
+    /// selection (§4.3.1). Flows with fewer than two samples are omitted
+    /// (no signal).
+    pub fn flow_deep_ratios(&self) -> Vec<(FlowKey, f64)> {
+        let mut v: Vec<(FlowKey, f64)> = self
+            .flow_stress
+            .iter()
+            .filter(|(_, (_, samples))| *samples >= 2)
+            .map(|(k, (deep, samples))| (*k, *deep as f64 / *samples as f64))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("ratios are finite"));
+        v
+    }
+
+    /// Clears the per-flow stress window (after the controller consumed
+    /// it).
+    pub fn reset_flow_stress(&mut self) {
+        self.flow_stress.clear();
+    }
+}
+
+impl ScanEngine {
+    /// Compiles a configuration into an engine (§5.1's initialization).
+    pub fn new(config: InstanceConfig) -> Result<ScanEngine, InstanceError> {
         let mut profiles = HashMap::new();
         for p in &config.profiles {
             profiles.insert(p.id, *p);
@@ -222,65 +337,40 @@ impl DpiInstance {
             );
         }
 
-        Ok(DpiInstance {
-            ac: builder.build_full(),
+        Ok(ScanEngine {
+            ac: builder.build_auto(),
             profiles,
             chains,
             rules,
-            flows: FlowTable::new(
-                config
-                    .max_flows
-                    .unwrap_or(InstanceConfig::DEFAULT_MAX_FLOWS),
-            ),
-            reassemblers: HashMap::new(),
-            flow_stress: HashMap::new(),
-            telemetry: Telemetry::default(),
-            packet_counter: 0,
+            max_flows: config
+                .max_flows
+                .unwrap_or(InstanceConfig::DEFAULT_MAX_FLOWS),
         })
     }
 
     /// The combined automaton (size/stat introspection for experiments).
-    pub fn automaton(&self) -> &FullAc {
+    pub fn automaton(&self) -> &CombinedAc {
         &self.ac
     }
 
-    /// Telemetry snapshot.
-    pub fn telemetry(&self) -> Telemetry {
-        self.telemetry
-    }
-
-    /// The policy chains this instance serves.
+    /// The policy chains this engine serves.
     pub fn chain_ids(&self) -> Vec<u16> {
         let mut v: Vec<u16> = self.chains.keys().copied().collect();
         v.sort_unstable();
         v
     }
 
-    /// Exports a flow's scan state for migration to another instance
-    /// (§4.3.1). Returns `None` for untracked flows.
-    pub fn export_flow(&mut self, key: &FlowKey) -> Option<(u32, u64)> {
-        let exported = self.flows.export(key);
-        if exported.is_some() {
-            self.flows.remove(key);
-        }
-        exported
+    /// Members of one chain (`None` for unknown chains).
+    pub(crate) fn chain_member_count(&self, chain_id: u16) -> Option<usize> {
+        self.chains.get(&chain_id).map(|c| c.members.len())
     }
 
-    /// Imports a migrated flow's scan state.
-    pub fn import_flow(&mut self, key: FlowKey, state: u32, offset: u64) {
-        self.flows.import(key, state, offset);
-    }
-
-    /// Number of flows currently tracked.
-    pub fn tracked_flows(&self) -> usize {
-        self.flows.len()
-    }
-
-    /// Scans a raw payload for `chain_id` (§5.2's algorithm). `flow` must
-    /// be given when the chain has stateful members and the caller wants
-    /// cross-packet state.
+    /// Scans a raw payload for `chain_id` (§5.2's algorithm) against
+    /// `shard`'s flow state. `flow` must be given when the chain has
+    /// stateful members and the caller wants cross-packet state.
     pub fn scan_payload(
-        &mut self,
+        &self,
+        shard: &mut ShardState,
         chain_id: u16,
         flow: Option<FlowKey>,
         payload: &[u8],
@@ -288,12 +378,11 @@ impl DpiInstance {
         let chain = self
             .chains
             .get(&chain_id)
-            .ok_or(InstanceError::UnknownChain(chain_id))?
-            .clone();
+            .ok_or(InstanceError::UnknownChain(chain_id))?;
 
         // Restore per-flow DFA state for stateful chains.
         let (start_state, offset) = match (chain.any_stateful, flow) {
-            (true, Some(key)) => self
+            (true, Some(key)) => shard
                 .flows
                 .get(&key)
                 .map(|fs| (fs.state, fs.offset))
@@ -304,7 +393,7 @@ impl DpiInstance {
 
         // The most conservative stopping condition: scan as deep as the
         // hungriest active middlebox needs (§5.2).
-        let scan_len = self.required_scan_len(&chain, offset, payload.len());
+        let scan_len = self.required_scan_len(chain, offset, payload.len());
 
         // Per-member raw hits: (pattern id, end pos, pattern len).
         let mut hits: Vec<Vec<(u16, u16, u16)>> = vec![Vec::new(); chain.members.len()];
@@ -390,7 +479,7 @@ impl DpiInstance {
             for (ri, rr) in mb_rules.regex_rules.iter().enumerate() {
                 let on_parallel_path = rr.anchor_count == 0;
                 let triggered = if on_parallel_path {
-                    self.telemetry.parallel_regex_evaluations += 1;
+                    shard.telemetry.parallel_regex_evaluations += 1;
                     true
                 } else {
                     let seen = anchors_seen[mi].iter().filter(|(r, _)| *r == ri).count();
@@ -400,11 +489,16 @@ impl DpiInstance {
                     continue;
                 }
                 if !on_parallel_path {
-                    self.telemetry.regex_invocations += 1;
+                    shard.telemetry.regex_invocations += 1;
                 }
-                let found = match &rr.dfa {
-                    Some(dfa) => dfa.lock().find_end(&payload[..scan_len]),
-                    None => rr.regex.find_end(&payload[..scan_len]),
+                let found = if rr.use_lazy_dfa {
+                    shard
+                        .dfa_cache
+                        .entry((*member, ri))
+                        .or_insert_with(|| rr.regex.to_lazy_dfa())
+                        .find_end(&payload[..scan_len])
+                } else {
+                    rr.regex.find_end(&payload[..scan_len])
                 };
                 if let Some(end) = found {
                     let pos = end.saturating_sub(1) as u16;
@@ -444,28 +538,28 @@ impl DpiInstance {
         // matches would be filtered anyway.
         if chain.any_stateful {
             if let Some(key) = flow {
-                self.flows.put(key, state, offset + payload.len() as u64);
+                shard.flows.put(key, state, offset + payload.len() as u64);
             }
         }
 
         // Telemetry, including the per-flow stress samples that MCA²
         // heavy-flow selection reads.
         if let Some(key) = flow {
-            if self.flow_stress.len() >= 4 * InstanceConfig::DEFAULT_MAX_FLOWS {
-                self.flow_stress.clear(); // bounded, coarse reset
+            if shard.flow_stress.len() >= 4 * InstanceConfig::DEFAULT_MAX_FLOWS {
+                shard.flow_stress.clear(); // bounded, coarse reset
             }
-            let e = self.flow_stress.entry(key).or_insert((0, 0));
+            let e = shard.flow_stress.entry(key).or_insert((0, 0));
             e.0 += deep;
             e.1 += samples;
         }
-        self.telemetry.packets += 1;
-        self.telemetry.bytes += scan_len as u64;
-        self.telemetry.matches += total_matches;
+        shard.telemetry.packets += 1;
+        shard.telemetry.bytes += scan_len as u64;
+        shard.telemetry.matches += total_matches;
         if !reports.is_empty() {
-            self.telemetry.packets_with_matches += 1;
+            shard.telemetry.packets_with_matches += 1;
         }
-        self.telemetry.deep_samples += deep;
-        self.telemetry.depth_samples += samples;
+        shard.telemetry.deep_samples += deep;
+        shard.telemetry.depth_samples += samples;
 
         Ok(ScanOutput {
             reports,
@@ -475,127 +569,68 @@ impl DpiInstance {
         })
     }
 
-    /// Scans a packet using its chain tag, marks it via ECN when matches
-    /// exist (§6.1), and returns the dedicated result packet to send right
-    /// after it (§4.2 option 3, the prototype's method).
-    pub fn inspect(&mut self, packet: &mut Packet) -> Result<Option<ResultPacket>, InstanceError> {
+    /// Scans a packet against `shard`, marks it via ECN when matches
+    /// exist (§6.1), and returns the result packet *without* a packet id
+    /// (`packet_id` is 0): id assignment is the caller's job, so the
+    /// sharded pipeline can number results in arrival order and stay
+    /// byte-identical to a sequential instance.
+    pub fn inspect_unnumbered(
+        &self,
+        shard: &mut ShardState,
+        packet: &mut Packet,
+    ) -> Result<Option<ResultPacket>, InstanceError> {
         let chain_id = packet.chain_tag().ok_or(InstanceError::Untagged)?;
         let flow = packet.flow_key();
         let payload: Vec<u8> = packet.payload().ok_or(InstanceError::NoPayload)?.to_vec();
-        let out = self.scan_payload(chain_id, flow, &payload)?;
+        let out = self.scan_payload(shard, chain_id, flow, &payload)?;
         if !out.has_matches() {
             return Ok(None);
         }
         packet.mark_matches();
-        self.packet_counter = self.packet_counter.wrapping_add(1);
         Ok(Some(ResultPacket {
-            packet_id: self.packet_counter,
+            packet_id: 0,
             flow: flow.expect("ipv4 payload implies flow key"),
             flow_offset: out.flow_offset,
             reports: out.reports,
         }))
     }
 
-    /// Scans a packet and attaches the results as an in-band NSH-like
-    /// header (§4.2 option 1). Returns whether any matches were attached.
-    pub fn inspect_inband(&mut self, packet: &mut Packet) -> Result<bool, InstanceError> {
-        let chain_id = packet.chain_tag().ok_or(InstanceError::Untagged)?;
-        let flow = packet.flow_key();
-        let payload: Vec<u8> = packet.payload().ok_or(InstanceError::NoPayload)?.to_vec();
-        let out = self.scan_payload(chain_id, flow, &payload)?;
-        if !out.has_matches() {
-            return Ok(false);
-        }
-        packet.mark_matches();
-        let n_members = self
-            .chains
-            .get(&chain_id)
-            .map(|c| c.members.len() as u8)
-            .unwrap_or(0);
-        packet.attach_results(DpiResultsHeader::new(chain_id, n_members, out.reports));
-        Ok(true)
-    }
-
-    /// Declares a new TCP stream with its initial sequence number (what a
-    /// SYN carries). Without this, [`DpiInstance::scan_tcp_segment`]
-    /// initializes from the first segment seen — correct only when that
-    /// segment is the true stream start; under reordering of the opening
-    /// packets, declare the ISN explicitly.
-    pub fn open_tcp_flow(&mut self, flow: FlowKey, initial_seq: u32) {
-        self.reassemblers.insert(
-            flow,
-            crate::reassembly::StreamReassembler::new(initial_seq, 1 << 20),
-        );
-    }
-
-    /// Feeds one TCP segment through per-flow stream reassembly, then
-    /// scans every in-order byte run that becomes available. Out-of-order
-    /// segments return an empty vector and are scanned when the gap
-    /// fills; stateful middleboxes therefore see a *correct, in-order*
-    /// byte stream even under reordering — session reconstruction as a
-    /// service, done once instead of once per middlebox.
+    /// Feeds one TCP segment through `shard`'s per-flow reassembly, then
+    /// scans every in-order byte run that becomes available.
     pub fn scan_tcp_segment(
-        &mut self,
+        &self,
+        shard: &mut ShardState,
         chain_id: u16,
         flow: FlowKey,
         seq: u32,
         payload: &[u8],
     ) -> Result<Vec<ScanOutput>, InstanceError> {
         // Bound the reassembler map alongside the flow table.
-        if self.reassemblers.len() > InstanceConfig::DEFAULT_MAX_FLOWS
-            && !self.reassemblers.contains_key(&flow)
+        if shard.reassemblers.len() > InstanceConfig::DEFAULT_MAX_FLOWS
+            && !shard.reassemblers.contains_key(&flow)
         {
             // Fail-open on pressure: drop an arbitrary old stream.
-            if let Some(k) = self.reassemblers.keys().next().copied() {
-                self.reassemblers.remove(&k);
+            if let Some(k) = shard.reassemblers.keys().next().copied() {
+                shard.reassemblers.remove(&k);
             }
         }
-        let r = self
+        let r = shard
             .reassemblers
             .entry(flow)
             .or_insert_with(|| crate::reassembly::StreamReassembler::new(seq, 1 << 20));
         let runs = r.push(seq, payload);
         runs.iter()
-            .map(|run| self.scan_payload(chain_id, Some(flow), run))
+            .map(|run| self.scan_payload(shard, chain_id, Some(flow), run))
             .collect()
     }
 
-    /// Tears down a flow's reassembly state (RST/FIN/timeout).
-    pub fn close_tcp_flow(&mut self, flow: &FlowKey) {
-        self.reassemblers.remove(flow);
-        self.flows.remove(flow);
-        self.flow_stress.remove(flow);
-    }
-
-    /// Per-flow deep-state ratios observed since the last
-    /// [`DpiInstance::reset_flow_stress`] — the input to
-    /// [`dpi_ac`]-independent heavy-flow selection (§4.3.1). Flows with
-    /// fewer than two samples are omitted (no signal).
-    pub fn flow_deep_ratios(&self) -> Vec<(FlowKey, f64)> {
-        let mut v: Vec<(FlowKey, f64)> = self
-            .flow_stress
-            .iter()
-            .filter(|(_, (_, samples))| *samples >= 2)
-            .map(|(k, (deep, samples))| (*k, *deep as f64 / *samples as f64))
-            .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("ratios are finite"));
-        v
-    }
-
-    /// Clears the per-flow stress window (after the controller consumed
-    /// it).
-    pub fn reset_flow_stress(&mut self) {
-        self.flow_stress.clear();
-    }
-
     /// Scans a DEFLATE-compressed payload: inflates **once** and scans the
-    /// decompressed bytes for every active middlebox (§1: "the effect of
-    /// decompression … may be reduced significantly, as these heavy
-    /// processes are executed only once for each packet"). `max_inflated`
+    /// decompressed bytes for every active middlebox (§1). `max_inflated`
     /// bounds the decompressed size — the zip-bomb guard a shared service
     /// needs even more than a single middlebox does.
     pub fn scan_payload_deflated(
-        &mut self,
+        &self,
+        shard: &mut ShardState,
         chain_id: u16,
         flow: Option<FlowKey>,
         compressed: &[u8],
@@ -603,15 +638,16 @@ impl DpiInstance {
     ) -> Result<ScanOutput, InstanceError> {
         let inflated = crate::decompress::inflate(compressed, max_inflated)
             .map_err(InstanceError::BadCompressedPayload)?;
-        self.telemetry.decompressions += 1;
-        self.telemetry.decompressed_bytes += inflated.len() as u64;
-        self.scan_payload(chain_id, flow, &inflated)
+        shard.telemetry.decompressions += 1;
+        shard.telemetry.decompressed_bytes += inflated.len() as u64;
+        self.scan_payload(shard, chain_id, flow, &inflated)
     }
 
-    /// Like [`DpiInstance::scan_payload_deflated`] for gzip-framed bodies
+    /// Like [`ScanEngine::scan_payload_deflated`] for gzip-framed bodies
     /// (HTTP `Content-Encoding: gzip`), with CRC/length verification.
     pub fn scan_payload_gzip(
-        &mut self,
+        &self,
+        shard: &mut ShardState,
         chain_id: u16,
         flow: Option<FlowKey>,
         gz: &[u8],
@@ -619,9 +655,9 @@ impl DpiInstance {
     ) -> Result<ScanOutput, InstanceError> {
         let inflated =
             crate::decompress::gunzip(gz, max_inflated).map_err(InstanceError::BadGzipPayload)?;
-        self.telemetry.decompressions += 1;
-        self.telemetry.decompressed_bytes += inflated.len() as u64;
-        self.scan_payload(chain_id, flow, &inflated)
+        shard.telemetry.decompressions += 1;
+        shard.telemetry.decompressed_bytes += inflated.len() as u64;
+        self.scan_payload(shard, chain_id, flow, &inflated)
     }
 
     fn required_scan_len(&self, chain: &ChainInfo, offset: u64, payload_len: usize) -> usize {
@@ -641,6 +677,193 @@ impl DpiInstance {
             }
         }
         payload_len.min(needed as usize)
+    }
+}
+
+/// The virtual DPI service instance: one [`ScanEngine`] paired with one
+/// [`ShardState`], scanned sequentially. For the parallel data plane see
+/// [`crate::pipeline::ShardedScanner`], which shares the same engine
+/// across worker shards.
+#[derive(Debug)]
+pub struct DpiInstance {
+    engine: Arc<ScanEngine>,
+    shard: ShardState,
+    packet_counter: u32,
+}
+
+impl DpiInstance {
+    /// Builds an instance from a configuration (§5.1's initialization).
+    pub fn new(config: InstanceConfig) -> Result<DpiInstance, InstanceError> {
+        Ok(DpiInstance::from_engine(Arc::new(ScanEngine::new(config)?)))
+    }
+
+    /// Builds an instance around an existing engine, sharing its
+    /// compiled automaton (no rebuild).
+    pub fn from_engine(engine: Arc<ScanEngine>) -> DpiInstance {
+        let shard = ShardState::new(&engine);
+        DpiInstance {
+            engine,
+            shard,
+            packet_counter: 0,
+        }
+    }
+
+    /// The shared engine handle (pass to a
+    /// [`crate::pipeline::ShardedScanner`] to parallelize without
+    /// recompiling).
+    pub fn engine(&self) -> &Arc<ScanEngine> {
+        &self.engine
+    }
+
+    /// The combined automaton (size/stat introspection for experiments).
+    pub fn automaton(&self) -> &CombinedAc {
+        self.engine.automaton()
+    }
+
+    /// Telemetry snapshot.
+    pub fn telemetry(&self) -> Telemetry {
+        self.shard.telemetry()
+    }
+
+    /// The policy chains this instance serves.
+    pub fn chain_ids(&self) -> Vec<u16> {
+        self.engine.chain_ids()
+    }
+
+    /// Exports a flow's scan state for migration to another instance
+    /// (§4.3.1). Returns `None` for untracked flows.
+    pub fn export_flow(&mut self, key: &FlowKey) -> Option<(u32, u64)> {
+        self.shard.export_flow(key)
+    }
+
+    /// Imports a migrated flow's scan state.
+    pub fn import_flow(&mut self, key: FlowKey, state: u32, offset: u64) {
+        self.shard.import_flow(key, state, offset);
+    }
+
+    /// Number of flows currently tracked.
+    pub fn tracked_flows(&self) -> usize {
+        self.shard.tracked_flows()
+    }
+
+    /// Scans a raw payload for `chain_id` (§5.2's algorithm). `flow` must
+    /// be given when the chain has stateful members and the caller wants
+    /// cross-packet state.
+    pub fn scan_payload(
+        &mut self,
+        chain_id: u16,
+        flow: Option<FlowKey>,
+        payload: &[u8],
+    ) -> Result<ScanOutput, InstanceError> {
+        self.engine
+            .scan_payload(&mut self.shard, chain_id, flow, payload)
+    }
+
+    /// Scans a packet using its chain tag, marks it via ECN when matches
+    /// exist (§6.1), and returns the dedicated result packet to send right
+    /// after it (§4.2 option 3, the prototype's method).
+    pub fn inspect(&mut self, packet: &mut Packet) -> Result<Option<ResultPacket>, InstanceError> {
+        match self.engine.inspect_unnumbered(&mut self.shard, packet)? {
+            None => Ok(None),
+            Some(mut result) => {
+                self.packet_counter = self.packet_counter.wrapping_add(1);
+                result.packet_id = self.packet_counter;
+                Ok(Some(result))
+            }
+        }
+    }
+
+    /// Scans a packet and attaches the results as an in-band NSH-like
+    /// header (§4.2 option 1). Returns whether any matches were attached.
+    pub fn inspect_inband(&mut self, packet: &mut Packet) -> Result<bool, InstanceError> {
+        let chain_id = packet.chain_tag().ok_or(InstanceError::Untagged)?;
+        let flow = packet.flow_key();
+        let payload: Vec<u8> = packet.payload().ok_or(InstanceError::NoPayload)?.to_vec();
+        let out = self
+            .engine
+            .scan_payload(&mut self.shard, chain_id, flow, &payload)?;
+        if !out.has_matches() {
+            return Ok(false);
+        }
+        packet.mark_matches();
+        let n_members = self.engine.chain_member_count(chain_id).unwrap_or(0) as u8;
+        packet.attach_results(DpiResultsHeader::new(chain_id, n_members, out.reports));
+        Ok(true)
+    }
+
+    /// Declares a new TCP stream with its initial sequence number (what a
+    /// SYN carries). Without this, [`DpiInstance::scan_tcp_segment`]
+    /// initializes from the first segment seen — correct only when that
+    /// segment is the true stream start; under reordering of the opening
+    /// packets, declare the ISN explicitly.
+    pub fn open_tcp_flow(&mut self, flow: FlowKey, initial_seq: u32) {
+        self.shard.open_tcp_flow(flow, initial_seq);
+    }
+
+    /// Feeds one TCP segment through per-flow stream reassembly, then
+    /// scans every in-order byte run that becomes available. Out-of-order
+    /// segments return an empty vector and are scanned when the gap
+    /// fills; stateful middleboxes therefore see a *correct, in-order*
+    /// byte stream even under reordering — session reconstruction as a
+    /// service, done once instead of once per middlebox.
+    pub fn scan_tcp_segment(
+        &mut self,
+        chain_id: u16,
+        flow: FlowKey,
+        seq: u32,
+        payload: &[u8],
+    ) -> Result<Vec<ScanOutput>, InstanceError> {
+        self.engine
+            .scan_tcp_segment(&mut self.shard, chain_id, flow, seq, payload)
+    }
+
+    /// Tears down a flow's reassembly state (RST/FIN/timeout).
+    pub fn close_tcp_flow(&mut self, flow: &FlowKey) {
+        self.shard.close_tcp_flow(flow);
+    }
+
+    /// Per-flow deep-state ratios observed since the last
+    /// [`DpiInstance::reset_flow_stress`] — the input to
+    /// [`dpi_ac`]-independent heavy-flow selection (§4.3.1). Flows with
+    /// fewer than two samples are omitted (no signal).
+    pub fn flow_deep_ratios(&self) -> Vec<(FlowKey, f64)> {
+        self.shard.flow_deep_ratios()
+    }
+
+    /// Clears the per-flow stress window (after the controller consumed
+    /// it).
+    pub fn reset_flow_stress(&mut self) {
+        self.shard.reset_flow_stress();
+    }
+
+    /// Scans a DEFLATE-compressed payload: inflates **once** and scans the
+    /// decompressed bytes for every active middlebox (§1: "the effect of
+    /// decompression … may be reduced significantly, as these heavy
+    /// processes are executed only once for each packet"). `max_inflated`
+    /// bounds the decompressed size — the zip-bomb guard a shared service
+    /// needs even more than a single middlebox does.
+    pub fn scan_payload_deflated(
+        &mut self,
+        chain_id: u16,
+        flow: Option<FlowKey>,
+        compressed: &[u8],
+        max_inflated: usize,
+    ) -> Result<ScanOutput, InstanceError> {
+        self.engine
+            .scan_payload_deflated(&mut self.shard, chain_id, flow, compressed, max_inflated)
+    }
+
+    /// Like [`DpiInstance::scan_payload_deflated`] for gzip-framed bodies
+    /// (HTTP `Content-Encoding: gzip`), with CRC/length verification.
+    pub fn scan_payload_gzip(
+        &mut self,
+        chain_id: u16,
+        flow: Option<FlowKey>,
+        gz: &[u8],
+        max_inflated: usize,
+    ) -> Result<ScanOutput, InstanceError> {
+        self.engine
+            .scan_payload_gzip(&mut self.shard, chain_id, flow, gz, max_inflated)
     }
 }
 
@@ -709,14 +932,11 @@ fn compile_rules(
                         out.anchor_owner.entry(pid).or_default().push((ri, ai));
                     }
                 }
-                let dfa = anchors
-                    .is_empty()
-                    .then(|| parking_lot::Mutex::new(regex.to_lazy_dfa()));
                 out.regex_rules.push(RegexRule {
                     rule_id: i,
                     regex,
                     anchor_count: anchors.len(),
-                    dfa,
+                    use_lazy_dfa: anchors.is_empty(),
                 });
             }
         }

@@ -28,12 +28,18 @@
 //! * §6.5's match-report encoding, including range compression of
 //!   repeated-character match runs;
 //! * telemetry (packets, bytes, matches, and a deep-state ratio) — the
-//!   signals the MCA²-style stress monitor consumes (§4.3.1).
+//!   signals the MCA²-style stress monitor consumes (§4.3.1);
+//! * a sharded parallel data plane ([`pipeline::ShardedScanner`]): one
+//!   shared, immutable [`instance::ScanEngine`] behind an `Arc`, N worker
+//!   threads each owning a private flow-table shard, packets routed by a
+//!   stable flow hash so per-flow order and cross-packet state are
+//!   preserved with zero locks on the per-packet path.
 
 pub mod config;
 pub mod decompress;
 pub mod flowstate;
 pub mod instance;
+pub mod pipeline;
 pub mod reassembly;
 pub mod report;
 pub mod rules;
@@ -44,11 +50,12 @@ pub use decompress::{
     deflate_fixed, deflate_stored, gunzip, gzip, inflate, GzipError, InflateError,
 };
 pub use flowstate::{FlowState, FlowTable};
-pub use instance::{DpiInstance, InstanceError, ScanOutput};
+pub use instance::{DpiInstance, InstanceError, ScanEngine, ScanOutput, ShardState};
+pub use pipeline::ShardedScanner;
 pub use reassembly::StreamReassembler;
 pub use report::compress_matches;
 pub use rules::{RuleKind, RuleSpec};
-pub use telemetry::Telemetry;
+pub use telemetry::{ShardTelemetry, Telemetry};
 
 // Re-export the identifier types shared across the system.
 pub use dpi_ac::{MiddleboxId, PatternId};

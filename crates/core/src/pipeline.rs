@@ -1,0 +1,347 @@
+//! The sharded parallel data plane.
+//!
+//! §4.2 requires the service to preserve per-flow scan state across
+//! packet boundaries, which makes naive packet-level parallelism wrong:
+//! two packets of one flow scanned concurrently would race on the flow's
+//! DFA state. [`ShardedScanner`] parallelizes the way hardware DPI
+//! appliances do — by *flow*: each packet is routed to the worker that
+//! owns its flow's shard (a stable hash of the 5-tuple), so every flow's
+//! packets are scanned by one worker, in arrival order.
+//!
+//! Per-packet work takes **no locks**: each worker owns a private
+//! [`ShardState`] (flow table, stress samples, telemetry, lazy-DFA
+//! caches) and shares only the immutable [`ScanEngine`] behind an `Arc`.
+//! The crossbeam channels at the batch boundary are the only
+//! synchronization, and their high-water mark is exported as queue-depth
+//! telemetry.
+//!
+//! Output is *byte-identical* to a sequential [`crate::DpiInstance`] fed
+//! the same packets in the same order: per-flow ordering is preserved by
+//! the FIFO shard queues, and result packet ids are assigned centrally
+//! in batch order after the workers finish.
+
+use crate::config::InstanceConfig;
+use crate::instance::{InstanceError, ScanEngine, ShardState};
+use crate::telemetry::{ShardTelemetry, Telemetry};
+use crossbeam::channel;
+use dpi_packet::report::ResultPacket;
+use dpi_packet::Packet;
+use std::sync::Arc;
+
+/// Per-shard ingress queue capacity. Bounded so a slow shard applies
+/// backpressure to the feeder instead of buffering a whole batch.
+const SHARD_QUEUE_CAPACITY: usize = 256;
+
+/// A parallel DPI scanner: one shared [`ScanEngine`], N private worker
+/// shards, flow-affine packet routing.
+///
+/// ```
+/// use dpi_core::pipeline::ShardedScanner;
+/// use dpi_core::{InstanceConfig, MiddleboxProfile, RuleSpec};
+/// use dpi_core::MiddleboxId;
+/// use dpi_packet::packet::flow;
+/// use dpi_packet::ipv4::IpProtocol;
+/// use dpi_packet::{MacAddr, Packet};
+///
+/// let cfg = InstanceConfig::new()
+///     .with_middlebox(
+///         MiddleboxProfile::stateless(MiddleboxId(1)),
+///         vec![RuleSpec::exact(b"evil".to_vec())],
+///     )
+///     .with_chain(7, vec![MiddleboxId(1)]);
+/// let mut scanner = ShardedScanner::from_config(cfg, 4).unwrap();
+/// let f = flow([10, 0, 0, 1], 1000, [10, 0, 0, 2], 80, IpProtocol::Tcp);
+/// let mut pkt = Packet::tcp(MacAddr::local(1), MacAddr::local(2), f, 0, b"an evil payload".to_vec());
+/// pkt.push_chain_tag(7).unwrap();
+/// let mut batch = vec![pkt];
+/// let results = scanner.inspect_batch(&mut batch);
+/// assert_eq!(results.len(), 1);
+/// assert_eq!(results[0].packet_id, 1);
+/// ```
+#[derive(Debug)]
+pub struct ShardedScanner {
+    engine: Arc<ScanEngine>,
+    shards: Vec<ShardState>,
+    /// Per-shard high-water mark of the ingress queue, across batches.
+    queue_peaks: Vec<usize>,
+    /// Per-shard count of packets whose inspection errored (untagged,
+    /// no payload, unknown chain); errored packets produce no result.
+    errors: Vec<u64>,
+    packet_counter: u32,
+}
+
+impl ShardedScanner {
+    /// A scanner with `workers` shards over an existing engine (clamped
+    /// to at least one worker).
+    pub fn new(engine: Arc<ScanEngine>, workers: usize) -> ShardedScanner {
+        let n = workers.max(1);
+        let shards = (0..n).map(|_| ShardState::new(&engine)).collect();
+        ShardedScanner {
+            engine,
+            shards,
+            queue_peaks: vec![0; n],
+            errors: vec![0; n],
+            packet_counter: 0,
+        }
+    }
+
+    /// Compiles `config` and builds a scanner with `workers` shards.
+    pub fn from_config(
+        config: InstanceConfig,
+        workers: usize,
+    ) -> Result<ShardedScanner, InstanceError> {
+        Ok(ShardedScanner::new(
+            Arc::new(ScanEngine::new(config)?),
+            workers,
+        ))
+    }
+
+    /// Number of worker shards.
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shared engine handle.
+    pub fn engine(&self) -> &Arc<ScanEngine> {
+        &self.engine
+    }
+
+    /// The shard a flow is pinned to.
+    pub fn shard_of(&self, flow: &dpi_packet::FlowKey) -> usize {
+        (flow.stable_hash() % self.shards.len() as u64) as usize
+    }
+
+    /// Scans a batch of packets in parallel, preserving per-flow order.
+    ///
+    /// Packets are routed to shards by a stable hash of their flow key;
+    /// each worker scans its share against its private flow state while
+    /// the feeder is still distributing the rest of the batch. Matched
+    /// packets are ECN-marked in place; their [`ResultPacket`]s are
+    /// returned in batch order with sequential packet ids — exactly the
+    /// stream a sequential [`crate::DpiInstance`] would produce.
+    /// Packets that fail inspection (no tag, no payload, unknown chain)
+    /// are counted per shard and yield no result.
+    pub fn inspect_batch(&mut self, packets: &mut [Packet]) -> Vec<ResultPacket> {
+        let n = self.shards.len();
+        let engine = &self.engine;
+        let (mut numbered, stats) = std::thread::scope(|scope| {
+            let (result_tx, result_rx) = channel::unbounded::<(usize, ResultPacket)>();
+            let mut feeds = Vec::with_capacity(n);
+            let mut handles = Vec::with_capacity(n);
+            for shard in self.shards.iter_mut() {
+                let (tx, rx) = channel::bounded::<(usize, &mut Packet)>(SHARD_QUEUE_CAPACITY);
+                let result_tx = result_tx.clone();
+                let engine = &**engine;
+                feeds.push(tx);
+                handles.push(scope.spawn(move || {
+                    let mut errors = 0u64;
+                    for (idx, pkt) in rx.iter() {
+                        match engine.inspect_unnumbered(shard, pkt) {
+                            Ok(Some(result)) => {
+                                // The collector outlives every worker, so
+                                // the send cannot fail.
+                                let _ = result_tx.send((idx, result));
+                            }
+                            Ok(None) => {}
+                            Err(_) => errors += 1,
+                        }
+                    }
+                    (rx.peak_len(), errors)
+                }));
+            }
+            drop(result_tx);
+
+            for (idx, pkt) in packets.iter_mut().enumerate() {
+                let shard = match pkt.flow_key() {
+                    Some(flow) => (flow.stable_hash() % n as u64) as usize,
+                    // Flow-less packets fail inspection anyway; spread
+                    // them deterministically.
+                    None => idx % n,
+                };
+                feeds[shard]
+                    .send((idx, pkt))
+                    .expect("worker holds the receiver until senders drop");
+            }
+            drop(feeds);
+
+            let collected: Vec<(usize, ResultPacket)> = result_rx.iter().collect();
+            let stats: Vec<(usize, u64)> = handles
+                .into_iter()
+                .map(|h| h.join().expect("scan worker panicked"))
+                .collect();
+            (collected, stats)
+        });
+
+        for (shard, (peak, errors)) in stats.into_iter().enumerate() {
+            self.queue_peaks[shard] = self.queue_peaks[shard].max(peak);
+            self.errors[shard] += errors;
+        }
+
+        // Batch order, then sequential ids — identical to a sequential
+        // instance numbering matches as it encounters them.
+        numbered.sort_unstable_by_key(|(idx, _)| *idx);
+        numbered
+            .into_iter()
+            .map(|(_, mut result)| {
+                self.packet_counter = self.packet_counter.wrapping_add(1);
+                result.packet_id = self.packet_counter;
+                result
+            })
+            .collect()
+    }
+
+    /// Merged telemetry across all shards.
+    pub fn telemetry(&self) -> Telemetry {
+        let mut total = Telemetry::default();
+        for shard in &self.shards {
+            total.merge(&shard.telemetry());
+        }
+        total
+    }
+
+    /// Per-shard counters: packets, bytes, matches, ingress-queue peak
+    /// depth and inspection errors.
+    pub fn shard_telemetry(&self) -> Vec<ShardTelemetry> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let t = shard.telemetry();
+                ShardTelemetry {
+                    shard: i as u32,
+                    packets: t.packets,
+                    bytes: t.bytes,
+                    matches: t.matches,
+                    peak_queue_depth: self.queue_peaks[i] as u64,
+                    errors: self.errors[i],
+                }
+            })
+            .collect()
+    }
+
+    /// Flows tracked across all shards.
+    pub fn tracked_flows(&self) -> usize {
+        self.shards.iter().map(|s| s.tracked_flows()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MiddleboxProfile;
+    use crate::rules::RuleSpec;
+    use dpi_ac::MiddleboxId;
+    use dpi_packet::ipv4::IpProtocol;
+    use dpi_packet::packet::flow;
+    use dpi_packet::MacAddr;
+
+    fn config() -> InstanceConfig {
+        InstanceConfig::new()
+            .with_middlebox(
+                MiddleboxProfile::stateless(MiddleboxId(1)),
+                vec![
+                    RuleSpec::exact(b"attack".to_vec()),
+                    RuleSpec::exact(b"virus".to_vec()),
+                ],
+            )
+            .with_chain(3, vec![MiddleboxId(1)])
+    }
+
+    fn tagged_packet(port: u16, payload: &[u8]) -> Packet {
+        let f = flow([10, 0, 0, 1], port, [10, 0, 0, 2], 80, IpProtocol::Tcp);
+        let mut p = Packet::tcp(MacAddr::local(1), MacAddr::local(2), f, 0, payload.to_vec());
+        p.push_chain_tag(3).unwrap();
+        p
+    }
+
+    #[test]
+    fn batch_results_are_in_batch_order_with_sequential_ids() {
+        let mut scanner = ShardedScanner::from_config(config(), 4).unwrap();
+        let mut batch: Vec<Packet> = (0..32)
+            .map(|i| {
+                let payload = if i % 2 == 0 {
+                    format!("packet {i} has an attack inside")
+                } else {
+                    format!("packet {i} is clean")
+                };
+                tagged_packet(1000 + i, payload.as_bytes())
+            })
+            .collect();
+        let results = scanner.inspect_batch(&mut batch);
+        assert_eq!(results.len(), 16);
+        for (k, r) in results.iter().enumerate() {
+            assert_eq!(r.packet_id, k as u32 + 1);
+            // Batch order: even-indexed packets matched, so source ports
+            // ascend two apart.
+            assert_eq!(r.flow.src_port, 1000 + 2 * k as u16);
+        }
+        // Ids continue across batches.
+        let mut more = vec![tagged_packet(5000, b"another virus here")];
+        let results = scanner.inspect_batch(&mut more);
+        assert_eq!(results[0].packet_id, 17);
+        assert!(more[0].has_match_mark());
+    }
+
+    #[test]
+    fn per_shard_telemetry_sums_to_merged() {
+        let mut scanner = ShardedScanner::from_config(config(), 3).unwrap();
+        let mut batch: Vec<Packet> = (0..24)
+            .map(|i| tagged_packet(2000 + i, b"one virus payload"))
+            .collect();
+        scanner.inspect_batch(&mut batch);
+        let merged = scanner.telemetry();
+        assert_eq!(merged.packets, 24);
+        assert_eq!(merged.packets_with_matches, 24);
+        let shards = scanner.shard_telemetry();
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards.iter().map(|s| s.packets).sum::<u64>(), 24);
+        assert_eq!(shards.iter().map(|s| s.bytes).sum::<u64>(), merged.bytes);
+        // Every scanned packet passed through a shard queue.
+        assert!(shards.iter().any(|s| s.peak_queue_depth > 0));
+        assert!(shards.iter().all(|s| s.errors == 0));
+    }
+
+    #[test]
+    fn flowless_and_untagged_packets_count_as_errors() {
+        let mut scanner = ShardedScanner::from_config(config(), 2).unwrap();
+        // A tag for a chain this engine does not serve.
+        let mut p = tagged_packet(1, b"attack");
+        p.pop_chain_tag();
+        p.push_chain_tag(99).unwrap();
+        let mut untagged = tagged_packet(9, b"attack");
+        untagged.pop_chain_tag();
+        let mut batch = vec![p, untagged];
+        let results = scanner.inspect_batch(&mut batch);
+        assert!(results.is_empty());
+        let errors: u64 = scanner.shard_telemetry().iter().map(|s| s.errors).sum();
+        assert_eq!(errors, 2);
+    }
+
+    #[test]
+    fn flows_stay_pinned_to_one_shard() {
+        let mut scanner = ShardedScanner::from_config(config(), 4).unwrap();
+        let f = flow([10, 0, 0, 9], 777, [10, 0, 0, 2], 80, IpProtocol::Tcp);
+        let shard = scanner.shard_of(&f);
+        let mut batch: Vec<Packet> = (0..10)
+            .map(|i| {
+                let mut p = Packet::tcp(
+                    MacAddr::local(1),
+                    MacAddr::local(2),
+                    f,
+                    i * 8,
+                    b"harmless".to_vec(),
+                );
+                p.push_chain_tag(3).unwrap();
+                p
+            })
+            .collect();
+        scanner.inspect_batch(&mut batch);
+        let shards = scanner.shard_telemetry();
+        assert_eq!(shards[shard].packets, 10);
+        assert_eq!(
+            shards.iter().map(|s| s.packets).sum::<u64>(),
+            10,
+            "all packets of one flow must land on its shard"
+        );
+    }
+}

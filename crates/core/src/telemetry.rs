@@ -97,6 +97,30 @@ impl Telemetry {
     }
 }
 
+/// Per-shard counters exported by the sharded pipeline
+/// ([`crate::pipeline::ShardedScanner`]): one worker's share of the
+/// traffic plus the ingress-queue pressure it saw. The controller can
+/// read shard skew from these (a hot shard means an elephant flow —
+/// flow-affine sharding cannot split a single flow).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardTelemetry {
+    /// Shard index within the scanner.
+    pub shard: u32,
+    /// Packets scanned by this shard.
+    pub packets: u64,
+    /// Payload bytes scanned by this shard.
+    pub bytes: u64,
+    /// Individual pattern matches reported by this shard.
+    pub matches: u64,
+    /// High-water mark of this shard's ingress queue (batch-boundary
+    /// backlog; a persistently deep queue means the shard is the
+    /// bottleneck).
+    pub peak_queue_depth: u64,
+    /// Packets whose inspection errored (untagged, no payload, unknown
+    /// chain).
+    pub errors: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -28,7 +28,7 @@ pub fn flow_pool(n: usize, seed: u64) -> FlowPool {
             protocol: IpProtocol::Tcp,
             src_port: rng.gen_range(1024..65535),
             dst_port: *[80u16, 443, 8080, 25, 21]
-                .get(rng.gen_range(0..5))
+                .get(rng.gen_range(0usize..5))
                 .expect("index in range"),
         };
         if seen.insert(f) {

@@ -37,4 +37,5 @@ pub use dpi_traffic as traffic;
 
 pub mod system;
 
+pub use dpi_core::{ScanEngine, ShardedScanner};
 pub use system::{SystemBuilder, SystemHandle};

@@ -9,9 +9,12 @@
 
 use dpi_ac::MiddleboxId;
 use dpi_controller::DpiController;
+use dpi_core::instance::ScanEngine;
+use dpi_core::pipeline::ShardedScanner;
 use dpi_core::DpiInstance;
 use dpi_middlebox::boxes::MiddleboxTemplate;
 use dpi_middlebox::{DpiServiceNode, MiddleboxNode, ResultsDelivery, ServiceMiddlebox};
+use dpi_packet::report::ResultPacket;
 use dpi_packet::{FlowKey, MacAddr, Packet};
 use dpi_sdn::{Network, NodeId, Switch, TrafficSteeringApp};
 use parking_lot::Mutex;
@@ -80,6 +83,7 @@ pub struct SystemBuilder {
     templates: Vec<MiddleboxTemplate>,
     chains: Vec<Vec<MiddleboxId>>,
     delivery: ResultsDelivery,
+    dpi_workers: usize,
 }
 
 impl Default for SystemBuilder {
@@ -96,7 +100,17 @@ impl SystemBuilder {
             templates: Vec::new(),
             chains: Vec::new(),
             delivery: ResultsDelivery::DedicatedPacket,
+            dpi_workers: 1,
         }
+    }
+
+    /// Sets the worker count of the batched scan pipeline exposed as
+    /// [`SystemHandle::scanner`] (default 1). The pipeline shares the
+    /// compiled automaton with the in-network DPI node, so raising the
+    /// worker count costs per-shard flow tables, not another engine.
+    pub fn with_dpi_workers(mut self, workers: usize) -> SystemBuilder {
+        self.dpi_workers = workers.max(1);
+        self
     }
 
     /// Switches result delivery to the in-band NSH-like header.
@@ -144,10 +158,13 @@ impl SystemBuilder {
             chain_ids.push(controller.register_chain(members)?);
         }
 
-        // One instance serving every chain (deployment grouping is
-        // exercised separately in dpi-controller).
+        // One engine serving every chain (deployment grouping is
+        // exercised separately in dpi-controller), compiled once and
+        // shared between the in-network node and the batch pipeline.
         let cfg = controller.instance_config(&chain_ids)?;
-        let instance = DpiInstance::new(cfg)?;
+        let engine = Arc::new(ScanEngine::new(cfg)?);
+        let instance = DpiInstance::from_engine(engine.clone());
+        let scanner = ShardedScanner::new(engine, self.dpi_workers);
         let _instance_id = controller.deploy_instance(chain_ids.clone());
 
         // Build the star network.
@@ -193,6 +210,7 @@ impl SystemBuilder {
             switch_id: sw,
             sink,
             dpi: dpi_handle,
+            scanner,
             middleboxes: mb_handles,
             chain_ids,
             tsa,
@@ -212,6 +230,12 @@ pub struct SystemHandle {
     pub sink: dpi_sdn::network::SinkHost,
     /// The DPI service instance.
     pub dpi: Arc<Mutex<DpiInstance>>,
+    /// The batched scan pipeline: shares the in-network instance's
+    /// compiled automaton, fans packets out across
+    /// [`SystemBuilder::with_dpi_workers`] flow-affine shards. Drive it
+    /// with [`SystemHandle::inspect_batch`] for bulk (out-of-network)
+    /// inspection.
+    pub scanner: ShardedScanner,
     /// Per-middlebox engine handles.
     pub middleboxes: HashMap<MiddleboxId, Arc<Mutex<ServiceMiddlebox>>>,
     /// Chain ids in the order chains were added to the builder.
@@ -243,5 +267,14 @@ impl SystemHandle {
     /// The DPI instance's telemetry.
     pub fn dpi_telemetry(&self) -> dpi_core::Telemetry {
         self.dpi.lock().telemetry()
+    }
+
+    /// Scans a batch of chain-tagged packets through the parallel
+    /// pipeline, bypassing the simulated network. Matched packets are
+    /// ECN-marked in place; results come back in batch order with
+    /// sequential packet ids, byte-identical to feeding a sequential
+    /// instance the same batch.
+    pub fn inspect_batch(&mut self, packets: &mut [Packet]) -> Vec<ResultPacket> {
+        self.scanner.inspect_batch(packets)
     }
 }

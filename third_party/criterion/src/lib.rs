@@ -1,0 +1,254 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the macro/method surface the `dpi-bench` benches use:
+//! `criterion_group!` / `criterion_main!`, benchmark groups with
+//! `throughput`, `sample_size`, `bench_function` / `bench_with_input`,
+//! and `Bencher::iter`. Measurement is a simple warmup + timed-samples
+//! loop reporting median time and derived throughput to stdout — enough
+//! to compare variants and feed the quick-mode CI job, without the real
+//! crate's statistical machinery.
+//!
+//! Quick mode: set `DPI_BENCH_QUICK=1` (or pass `--quick`) to cut samples
+//! to 3 and the per-sample time budget to ~20 ms.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the optimizer barrier benches use.
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let quick = std::env::var_os("DPI_BENCH_QUICK").is_some()
+            || std::env::args().any(|a| a == "--quick");
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        let quick = self.quick;
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            throughput: None,
+            sample_size: 10,
+            quick,
+        }
+    }
+
+    /// Runs a standalone benchmark (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, mut f: F) {
+        let quick = self.quick;
+        run_one(&format!("{id}"), None, 10, quick, &mut f);
+    }
+}
+
+/// Throughput annotation: converts per-iteration time into a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier of a parameterized benchmark.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from a parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{parameter}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    quick: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the group's throughput annotation.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Sets the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = n.max(2);
+    }
+
+    /// Benches a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(
+            &label,
+            self.throughput,
+            self.sample_size,
+            self.quick,
+            &mut f,
+        );
+        self
+    }
+
+    /// Benches a closure against an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(
+            &label,
+            self.throughput,
+            self.sample_size,
+            self.quick,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (report spacing only).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; times the measured routine.
+pub struct Bencher {
+    /// Median seconds per iteration of the measured closure, filled by
+    /// [`Bencher::iter`].
+    secs_per_iter: f64,
+    quick: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the per-iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit the per-sample budget?
+        let budget = if self.quick {
+            Duration::from_millis(20)
+        } else {
+            Duration::from_millis(100)
+        };
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let iters = (budget.as_secs_f64() / once.as_secs_f64()).clamp(1.0, 1e6) as u64;
+
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.secs_per_iter = t0.elapsed().as_secs_f64() / iters as f64;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    quick: bool,
+    f: &mut F,
+) {
+    let samples = if quick { 3 } else { sample_size.min(20) };
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            secs_per_iter: 0.0,
+            quick,
+        };
+        f(&mut b);
+        if b.secs_per_iter > 0.0 {
+            times.push(b.secs_per_iter);
+        }
+    }
+    if times.is_empty() {
+        println!("  {label}: no measurement (closure never called iter)");
+        return;
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let median = times[times.len() / 2];
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:10.1} MiB/s", n as f64 / median / (1 << 20) as f64)
+        }
+        Some(Throughput::Elements(n)) => format!("  {:10.0} elem/s", n as f64 / median),
+        None => String::new(),
+    };
+    println!("  {label}: {:.3} ms/iter{rate}", median * 1e3);
+}
+
+/// Declares a benchmark group function, compatible with criterion 0.5.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, compatible with criterion 0.5.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        std::env::set_var("DPI_BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Bytes(1024));
+        g.sample_size(3);
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+}

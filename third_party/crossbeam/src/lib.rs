@@ -1,0 +1,346 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the [`channel`] module's MPMC channels (the only crossbeam
+//! API this workspace uses), implemented over `Mutex<VecDeque>` +
+//! `Condvar`. Semantics match crossbeam where it matters to the DPI
+//! pipeline: cloneable senders *and* receivers, FIFO per channel,
+//! `recv` unblocking with `Err` once every sender is dropped, and
+//! `bounded(n)` applying backpressure to senders.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner<T> {
+        queue: Mutex<Shared<T>>,
+        /// Signalled when an item arrives or the last sender leaves.
+        recv_cv: Condvar,
+        /// Signalled when space frees up in a bounded channel.
+        send_cv: Condvar,
+        capacity: Option<usize>,
+    }
+
+    struct Shared<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+        /// High-water mark of queued items — exported as pipeline
+        /// queue-depth telemetry.
+        peak_len: usize,
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender has been dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty but senders remain.
+        Empty,
+        /// The channel is empty and all senders are gone.
+        Disconnected,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+    /// The sending half; cloneable (multi-producer).
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half; cloneable (multi-consumer).
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// A bounded FIFO channel: `send` blocks while `cap` items are queued.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap.max(1)))
+    }
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(Shared {
+                items: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+                peak_len: 0,
+            }),
+            recv_cv: Condvar::new(),
+            send_cv: Condvar::new(),
+            capacity,
+        });
+        (
+            Sender {
+                inner: inner.clone(),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`, blocking while a bounded channel is full.
+        /// Fails only when every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(cap) = self.inner.capacity {
+                while q.items.len() >= cap && q.receivers > 0 {
+                    q = self
+                        .inner
+                        .send_cv
+                        .wait(q)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            }
+            if q.receivers == 0 {
+                return Err(SendError(value));
+            }
+            q.items.push_back(value);
+            q.peak_len = q.peak_len.max(q.items.len());
+            drop(q);
+            self.inner.recv_cv.notify_one();
+            Ok(())
+        }
+
+        /// Items currently queued (snapshot).
+        pub fn len(&self) -> usize {
+            self.inner
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .items
+                .len()
+        }
+
+        /// Whether the queue is currently empty (snapshot).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.inner
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .senders += 1;
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.senders -= 1;
+            if q.senders == 0 {
+                drop(q);
+                self.inner.recv_cv.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues the next item, blocking until one arrives. Fails once
+        /// the channel is empty and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = q.items.pop_front() {
+                    drop(q);
+                    self.inner.send_cv.notify_one();
+                    return Ok(v);
+                }
+                if q.senders == 0 {
+                    return Err(RecvError);
+                }
+                q = self
+                    .inner
+                    .recv_cv
+                    .wait(q)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Dequeues without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            match q.items.pop_front() {
+                Some(v) => {
+                    drop(q);
+                    self.inner.send_cv.notify_one();
+                    Ok(v)
+                }
+                None if q.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Items currently queued (snapshot).
+        pub fn len(&self) -> usize {
+            self.inner
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .items
+                .len()
+        }
+
+        /// Whether the queue is currently empty (snapshot).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// High-water mark of queued items over the channel's lifetime.
+        pub fn peak_len(&self) -> usize {
+            self.inner
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .peak_len
+        }
+
+        /// A blocking iterator that ends when all senders are gone.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.inner
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .receivers += 1;
+            Receiver {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.receivers -= 1;
+            if q.receivers == 0 {
+                drop(q);
+                self.inner.send_cv.notify_all();
+            }
+        }
+    }
+
+    /// Blocking iterator over received items.
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn fifo_and_disconnect() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn multi_producer_multi_consumer() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(t * 100 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let rx2 = rx.clone();
+        let consumer = std::thread::spawn(move || rx2.iter().count());
+        let mut local = 0;
+        for _ in rx.iter() {
+            local += 1;
+        }
+        let other = consumer.join().unwrap();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(local + other, 400);
+    }
+
+    #[test]
+    fn bounded_applies_backpressure() {
+        let (tx, rx) = channel::bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let t = {
+            let tx = tx.clone();
+            std::thread::spawn(move || tx.send(3).unwrap())
+        };
+        // The queued pair must drain before the third send lands.
+        assert_eq!(rx.recv(), Ok(1));
+        t.join().unwrap();
+        assert!(rx.len() <= 2);
+        assert_eq!(rx.peak_len(), 2);
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = channel::unbounded();
+        drop(rx);
+        assert!(tx.send(9).is_err());
+    }
+}

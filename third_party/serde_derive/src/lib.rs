@@ -1,0 +1,628 @@
+//! Offline stand-in for the `serde_derive` crate.
+//!
+//! Derives the vendored serde's [`Serialize`]/[`Deserialize`] traits
+//! (which convert through an explicit `serde::Value` tree rather than
+//! the real crate's visitor machinery). With no crates.io access there
+//! is no `syn`/`quote`, so this macro parses the item out of the raw
+//! `proc_macro::TokenStream` by hand and emits the impl as a string.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//! named structs, unit structs, tuple structs (single-field newtypes
+//! serialize transparently, wider ones as arrays), and enums with unit
+//! / tuple / struct variants. Enums are externally tagged by default;
+//! the container attributes `#[serde(tag = "...")]` (internal tagging)
+//! and `#[serde(rename_all = "snake_case")]` (variant renaming) match
+//! real serde's wire format for those cases. Generic items are not
+//! supported and fail with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a non-generic struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` for a non-generic struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---- item model ------------------------------------------------------
+
+struct Item {
+    name: String,
+    /// `#[serde(tag = "...")]`: internally-tagged enum representation.
+    tag: Option<String>,
+    /// `#[serde(rename_all = "...")]`: only `snake_case` is supported.
+    rename_all: Option<String>,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+impl Item {
+    fn variant_wire_name(&self, variant: &str) -> String {
+        match self.rename_all.as_deref() {
+            Some("snake_case") => to_snake_case(variant),
+            Some(other) => panic!("serde_derive stand-in: unsupported rename_all = {other:?}"),
+            None => variant.to_string(),
+        }
+    }
+}
+
+fn to_snake_case(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+// ---- token parsing ---------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut tag = None;
+    let mut rename_all = None;
+
+    // Leading attributes (doc comments arrive as `#[doc = ...]`) and the
+    // container-level `#[serde(...)]` attributes we honor.
+    while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+            parse_container_attr(&g.stream(), &mut tag, &mut rename_all);
+        }
+        i += 2;
+    }
+
+    // Visibility.
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+
+    let is_enum = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => false,
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => true,
+        other => panic!("serde_derive stand-in: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stand-in: expected item name, found {other:?}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stand-in: generic type `{name}` is not supported");
+    }
+
+    let kind = if is_enum {
+        let body = match &tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("serde_derive stand-in: expected enum body, found {other:?}"),
+        };
+        ItemKind::Enum(parse_variants(&body))
+    } else {
+        match &tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_tuple_fields(&g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+            other => panic!("serde_derive stand-in: expected struct body, found {other:?}"),
+        }
+    };
+
+    Item {
+        name,
+        tag,
+        rename_all,
+        kind,
+    }
+}
+
+/// Extracts `tag` / `rename_all` out of one attribute's bracket content,
+/// if it is a `serde(...)` attribute; ignores everything else.
+fn parse_container_attr(
+    bracket: &TokenStream,
+    tag: &mut Option<String>,
+    rename_all: &mut Option<String>,
+) {
+    let tokens: Vec<TokenTree> = bracket.clone().into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            let args: Vec<TokenTree> = args.stream().into_iter().collect();
+            let mut j = 0;
+            while j < args.len() {
+                if let (
+                    Some(TokenTree::Ident(key)),
+                    Some(TokenTree::Punct(eq)),
+                    Some(TokenTree::Literal(lit)),
+                ) = (args.get(j), args.get(j + 1), args.get(j + 2))
+                {
+                    if eq.as_char() == '=' {
+                        let value = lit.to_string().trim_matches('"').to_string();
+                        match key.to_string().as_str() {
+                            "tag" => *tag = Some(value),
+                            "rename_all" => *rename_all = Some(value),
+                            other => panic!(
+                                "serde_derive stand-in: unsupported serde attribute `{other}`"
+                            ),
+                        }
+                        j += 3;
+                        if matches!(args.get(j), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                            j += 1;
+                        }
+                        continue;
+                    }
+                }
+                panic!("serde_derive stand-in: unsupported serde attribute syntax");
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Skips any `#[...]` attributes starting at `i`, returning the new index.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        i += 2;
+    }
+    i
+}
+
+/// Advances past a type (or any expression) to the next comma at
+/// angle-bracket depth zero. Bracketed groups are single tokens, so only
+/// `<`/`>` need explicit depth tracking.
+fn skip_to_top_level_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth = 0usize;
+    while let Some(t) = tokens.get(i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(body: &TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let Some(TokenTree::Ident(field)) = tokens.get(i) else {
+            break; // trailing comma
+        };
+        fields.push(field.to_string());
+        i += 1;
+        assert!(
+            matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "serde_derive stand-in: expected `:` after field name"
+        );
+        i = skip_to_top_level_comma(&tokens, i + 1);
+        i += 1; // past the comma (or end)
+    }
+    fields
+}
+
+fn count_tuple_fields(body: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        count += 1;
+        i = skip_to_top_level_comma(&tokens, i) + 1;
+    }
+    count
+}
+
+fn parse_variants(body: &TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break; // trailing comma
+        };
+        let name = name.to_string();
+        i += 1;
+        let fields = match &tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(count_tuple_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_named_fields(&g.stream()))
+            }
+            _ => VariantFields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Skip any discriminant and land past the separating comma.
+        i = skip_to_top_level_comma(&tokens, i) + 1;
+    }
+    variants
+}
+
+// ---- code generation -------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        ItemKind::TupleStruct(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", entries.join(", "))
+        }
+        ItemKind::UnitStruct => "::serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| gen_serialize_variant(item, v))
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         }}\n"
+    )
+}
+
+fn gen_serialize_variant(item: &Item, v: &Variant) -> String {
+    let enum_name = &item.name;
+    let vname = &v.name;
+    let wire = item.variant_wire_name(vname);
+    if let Some(tag) = &item.tag {
+        // Internally tagged: the tag entry is inlined into the variant's
+        // own map, matching serde's `#[serde(tag = "...")]` layout.
+        let tag_entry = format!(
+            "(::std::string::String::from(\"{tag}\"), \
+             ::serde::Value::Str(::std::string::String::from(\"{wire}\")))"
+        );
+        return match &v.fields {
+            VariantFields::Unit => {
+                format!("{enum_name}::{vname} => ::serde::Value::Map(::std::vec![{tag_entry}]),")
+            }
+            VariantFields::Named(fields) => {
+                let binders = fields.join(", ");
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::serialize({f}))"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{enum_name}::{vname} {{ {binders} }} => \
+                     ::serde::Value::Map(::std::vec![{tag_entry}, {}]),",
+                    entries.join(", ")
+                )
+            }
+            VariantFields::Tuple(_) => {
+                panic!("serde_derive stand-in: tuple variant `{vname}` in internally-tagged enum")
+            }
+        };
+    }
+    // Externally tagged (serde's default).
+    match &v.fields {
+        VariantFields::Unit => format!(
+            "{enum_name}::{vname} => \
+             ::serde::Value::Str(::std::string::String::from(\"{wire}\")),"
+        ),
+        VariantFields::Tuple(1) => format!(
+            "{enum_name}::{vname}(__x0) => ::serde::Value::Map(::std::vec![\
+             (::std::string::String::from(\"{wire}\"), \
+             ::serde::Serialize::serialize(__x0))]),"
+        ),
+        VariantFields::Tuple(n) => {
+            let binders: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+            let entries: Vec<String> = binders
+                .iter()
+                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                .collect();
+            format!(
+                "{enum_name}::{vname}({}) => ::serde::Value::Map(::std::vec![\
+                 (::std::string::String::from(\"{wire}\"), \
+                 ::serde::Value::Seq(::std::vec![{}]))]),",
+                binders.join(", "),
+                entries.join(", ")
+            )
+        }
+        VariantFields::Named(fields) => {
+            let binders = fields.join(", ");
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{vname} {{ {binders} }} => ::serde::Value::Map(::std::vec![\
+                 (::std::string::String::from(\"{wire}\"), \
+                 ::serde::Value::Map(::std::vec![{}]))]),",
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+/// One named field's deserialization, looking the key up in the value
+/// `source` (an expression of type `&serde::Value`). Missing keys fall
+/// back to deserializing `Null`, which succeeds exactly for `Option`
+/// fields — mirroring serde's treatment of absent optional fields.
+fn gen_field_de(container: &str, source: &str, field: &str) -> String {
+    format!(
+        "{field}: match {source}.get(\"{field}\") {{\n\
+             ::std::option::Option::Some(__x) => ::serde::Deserialize::deserialize(__x)\n\
+                 .map_err(|__e| ::serde::DeError::new(\
+                     ::std::format!(\"{container}.{field}: {{}}\", __e)))?,\n\
+             ::std::option::Option::None => \
+                 ::serde::Deserialize::deserialize(&::serde::Value::Null)\n\
+                 .map_err(|_| ::serde::DeError::new(\
+                     \"missing field `{field}` in {container}\"))?,\n\
+         }},"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let field_code: Vec<String> = fields
+                .iter()
+                .map(|f| gen_field_de(name, "__v", f))
+                .collect();
+            format!(
+                "if __v.as_map().is_none() {{\n\
+                     return ::std::result::Result::Err(\
+                         ::serde::DeError::expected(\"object for {name}\", __v));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                field_code.join("\n")
+            )
+        }
+        ItemKind::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)\
+             .map_err(|__e| ::serde::DeError::new(\
+                 ::std::format!(\"{name}: {{}}\", __e)))?))"
+        ),
+        ItemKind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = __v.as_seq()\
+                     .ok_or_else(|| ::serde::DeError::expected(\"array for {name}\", __v))?;\n\
+                 if __s.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::new(\
+                         ::std::format!(\"expected {n} elements for {name}, found {{}}\", \
+                         __s.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        ItemKind::UnitStruct => format!(
+            "match __v {{\n\
+                 ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                 __other => ::std::result::Result::Err(\
+                     ::serde::DeError::expected(\"null for {name}\", __other)),\n\
+             }}"
+        ),
+        ItemKind::Enum(variants) => gen_deserialize_enum(item, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize_enum(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    if let Some(tag) = &item.tag {
+        let arms: Vec<String> = variants
+            .iter()
+            .map(|v| {
+                let wire = item.variant_wire_name(&v.name);
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {
+                        format!("\"{wire}\" => ::std::result::Result::Ok({name}::{vname}),")
+                    }
+                    VariantFields::Named(fields) => {
+                        let field_code: Vec<String> = fields
+                            .iter()
+                            .map(|f| gen_field_de(&format!("{name}::{vname}"), "__v", f))
+                            .collect();
+                        format!(
+                            "\"{wire}\" => ::std::result::Result::Ok({name}::{vname} {{ {} }}),",
+                            field_code.join("\n")
+                        )
+                    }
+                    VariantFields::Tuple(_) => panic!(
+                        "serde_derive stand-in: tuple variant `{vname}` in internally-tagged enum"
+                    ),
+                }
+            })
+            .collect();
+        return format!(
+            "let __tag = __v.get(\"{tag}\")\
+                 .ok_or_else(|| ::serde::DeError::new(\"missing `{tag}` tag for {name}\"))?;\n\
+             let ::serde::Value::Str(__tag) = __tag else {{\n\
+                 return ::std::result::Result::Err(\
+                     ::serde::DeError::expected(\"string `{tag}` tag for {name}\", __tag));\n\
+             }};\n\
+             match __tag.as_str() {{\n\
+                 {}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::new(\
+                     ::std::format!(\"unknown {name} variant {{:?}}\", __other))),\n\
+             }}",
+            arms.join("\n")
+        );
+    }
+
+    // Externally tagged: unit variants are bare strings; data-carrying
+    // variants are single-entry maps keyed by the variant name.
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, VariantFields::Unit))
+        .map(|v| {
+            let wire = item.variant_wire_name(&v.name);
+            format!(
+                "\"{wire}\" => ::std::result::Result::Ok({name}::{vn}),",
+                vn = v.name
+            )
+        })
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let wire = item.variant_wire_name(&v.name);
+            let vname = &v.name;
+            match &v.fields {
+                VariantFields::Unit => None,
+                VariantFields::Tuple(1) => Some(format!(
+                    "\"{wire}\" => ::std::result::Result::Ok({name}::{vname}(\
+                     ::serde::Deserialize::deserialize(__inner)\
+                     .map_err(|__e| ::serde::DeError::new(\
+                         ::std::format!(\"{name}::{vname}: {{}}\", __e)))?)),"
+                )),
+                VariantFields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::deserialize(&__s[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "\"{wire}\" => {{\n\
+                             let __s = __inner.as_seq().ok_or_else(|| \
+                                 ::serde::DeError::expected(\
+                                     \"array for {name}::{vname}\", __inner))?;\n\
+                             if __s.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::DeError::new(\
+                                     ::std::format!(\
+                                         \"expected {n} elements for {name}::{vname}, \
+                                          found {{}}\", __s.len())));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({name}::{vname}({}))\n\
+                         }},",
+                        elems.join(", ")
+                    ))
+                }
+                VariantFields::Named(fields) => {
+                    let field_code: Vec<String> = fields
+                        .iter()
+                        .map(|f| gen_field_de(&format!("{name}::{vname}"), "__inner", f))
+                        .collect();
+                    Some(format!(
+                        "\"{wire}\" => ::std::result::Result::Ok({name}::{vname} {{ {} }}),",
+                        field_code.join("\n")
+                    ))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "match __v {{\n\
+             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::new(\
+                     ::std::format!(\"unknown {name} variant {{:?}}\", __other))),\n\
+             }},\n\
+             ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__key, __inner) = &__m[0];\n\
+                 match __key.as_str() {{\n\
+                     {data}\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::new(\
+                         ::std::format!(\"unknown {name} variant {{:?}}\", __other))),\n\
+                 }}\n\
+             }},\n\
+             __other => ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"{name} variant\", __other)),\n\
+         }}",
+        unit = unit_arms.join("\n"),
+        data = data_arms.join("\n"),
+    )
+}
