@@ -1,5 +1,6 @@
 //! The DPI controller proper.
 
+use crate::health::{HealthEvent, HealthMonitor, HealthPolicy, InstanceHealth};
 use crate::proto::{ControllerMessage, ControllerReply};
 use crate::registry::GlobalPatternSet;
 use dpi_ac::MiddleboxId;
@@ -91,6 +92,8 @@ struct Inner {
     next_chain_id: u16,
     instances: HashMap<InstanceId, InstanceRecord>,
     next_instance_id: u32,
+    /// Heartbeat-driven liveness of deployed instances.
+    health: HealthMonitor,
     /// Monotonic version, bumped on every pattern/registration change so
     /// deployed instances know when their configuration is stale.
     version: u64,
@@ -155,6 +158,13 @@ impl DpiController {
                 .map(|_| ControllerReply::Ok),
             ControllerMessage::Deregister { middlebox_id } => self
                 .deregister(MiddleboxId(middlebox_id))
+                .map(|_| ControllerReply::Ok),
+            ControllerMessage::Heartbeat {
+                instance_id,
+                seq,
+                load,
+            } => self
+                .heartbeat(InstanceId(instance_id), seq, load)
                 .map(|_| ControllerReply::Ok),
         };
         match result {
@@ -324,7 +334,8 @@ impl DpiController {
         Ok(cfg)
     }
 
-    /// Registers a deployed instance serving `chain_ids`.
+    /// Registers a deployed instance serving `chain_ids`. The instance
+    /// starts health-tracked as `Healthy`.
     pub fn deploy_instance(&self, chain_ids: Vec<u16>) -> InstanceId {
         let mut g = self.inner.lock();
         let id = InstanceId(g.next_instance_id);
@@ -336,17 +347,65 @@ impl DpiController {
                 ..InstanceRecord::default()
             },
         );
+        g.health.register(id);
         id
     }
 
-    /// Removes a deployed instance.
+    /// Removes a deployed instance (and stops health-tracking it).
     pub fn remove_instance(&self, id: InstanceId) -> Result<(), ControllerError> {
-        self.inner
-            .lock()
-            .instances
+        let mut g = self.inner.lock();
+        g.health.unregister(id);
+        g.instances
             .remove(&id)
             .map(|_| ())
             .ok_or(ControllerError::UnknownInstance(id))
+    }
+
+    /// Replaces the health thresholds (existing instance states and miss
+    /// counts are kept only if re-registered; call before deploying).
+    pub fn set_health_policy(&self, policy: HealthPolicy) {
+        let mut g = self.inner.lock();
+        let tracked: Vec<InstanceId> = g.instances.keys().copied().collect();
+        g.health = HealthMonitor::new(policy);
+        for id in tracked {
+            g.health.register(id);
+        }
+    }
+
+    /// Records a liveness beacon from a deployed instance. Stale beats
+    /// (non-zero `seq` not beyond the last seen) are accepted but ignored
+    /// by the monitor.
+    pub fn heartbeat(&self, id: InstanceId, seq: u64, load: u64) -> Result<(), ControllerError> {
+        let mut g = self.inner.lock();
+        if !g.instances.contains_key(&id) {
+            return Err(ControllerError::UnknownInstance(id));
+        }
+        g.health.heartbeat(id, seq, load);
+        Ok(())
+    }
+
+    /// Closes the current heartbeat window for every deployed instance
+    /// and returns the resulting health transitions in instance-id order.
+    /// The caller (the failover driver) reacts to
+    /// [`HealthEvent::BecameDead`] by re-steering flows.
+    pub fn health_tick(&self) -> Vec<HealthEvent> {
+        self.inner.lock().health.tick()
+    }
+
+    /// Current health of a deployed instance.
+    pub fn instance_health(&self, id: InstanceId) -> Option<InstanceHealth> {
+        self.inner.lock().health.state(id)
+    }
+
+    /// Deployed instances currently `Healthy`, in id order — the steering
+    /// candidates.
+    pub fn healthy_instances(&self) -> Vec<InstanceId> {
+        self.inner.lock().health.healthy()
+    }
+
+    /// Last self-reported load of an instance.
+    pub fn instance_load(&self, id: InstanceId) -> Option<u64> {
+        self.inner.lock().health.load(id)
     }
 
     /// Records a telemetry report from an instance and returns the delta
@@ -564,6 +623,51 @@ mod tests {
         let d2 = c.report_telemetry(inst, t2).unwrap();
         assert_eq!(d2.packets, 15);
         assert_eq!(d2.bytes, 1500);
+    }
+
+    #[test]
+    fn heartbeats_drive_instance_health() {
+        let c = DpiController::new();
+        c.set_health_policy(HealthPolicy {
+            suspect_after: 1,
+            dead_after: 2,
+        });
+        let a = c.deploy_instance(vec![]);
+        let b = c.deploy_instance(vec![]);
+        assert_eq!(c.healthy_instances(), vec![a, b]);
+        // Deployment grants one grace window; close it.
+        assert!(c.health_tick().is_empty());
+        // b goes silent: suspect after 1 missed window, dead after 2.
+        c.heartbeat(a, 1, 100).unwrap();
+        assert_eq!(c.health_tick(), vec![HealthEvent::BecameSuspect(b)]);
+        c.heartbeat(a, 2, 100).unwrap();
+        assert_eq!(c.health_tick(), vec![HealthEvent::BecameDead(b)]);
+        assert_eq!(c.instance_health(b), Some(InstanceHealth::Dead));
+        assert_eq!(c.healthy_instances(), vec![a]);
+        assert_eq!(c.instance_load(a), Some(100));
+        // Heartbeats to unknown instances are errors.
+        assert!(c.heartbeat(InstanceId(99), 1, 0).is_err());
+        // The JSON channel carries heartbeats too.
+        let reply = c.handle_json(
+            &ControllerMessage::Heartbeat {
+                instance_id: b.0,
+                seq: 3,
+                load: 7,
+            }
+            .to_json(),
+        );
+        assert!(ControllerReply::from_json(&reply).unwrap().is_ok());
+        c.heartbeat(a, 3, 100).unwrap();
+        assert_eq!(c.health_tick(), vec![HealthEvent::Recovered(b)]);
+    }
+
+    #[test]
+    fn removed_instances_stop_being_health_tracked() {
+        let c = DpiController::new();
+        let a = c.deploy_instance(vec![]);
+        c.remove_instance(a).unwrap();
+        assert_eq!(c.instance_health(a), None);
+        assert!(c.health_tick().is_empty());
     }
 
     #[test]

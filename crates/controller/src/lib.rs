@@ -25,9 +25,13 @@
 //!   telemetry, detecting complexity attacks via the deep-state ratio, and
 //!   orchestrating dedicated instances plus heavy-flow migration
 //!   (§4.3.1, Figure 6).
+//! * **Health monitoring** ([`health`]): per-instance heartbeat windows
+//!   driving the `Healthy → Suspect → Dead` state machine the failover
+//!   path acts on (§4's resiliency responsibility).
 
 pub mod controller;
 pub mod deploy;
+pub mod health;
 pub mod managed;
 pub mod proto;
 pub mod registry;
@@ -35,6 +39,7 @@ pub mod stress;
 
 pub use controller::{ControllerError, DpiController, InstanceId};
 pub use deploy::DeploymentPlan;
+pub use health::{HealthEvent, HealthMonitor, HealthPolicy, InstanceHealth};
 pub use managed::{ManagedInstance, ManagedShardedInstance};
 pub use proto::{ControllerMessage, ControllerReply};
 pub use registry::GlobalPatternSet;

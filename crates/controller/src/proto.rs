@@ -57,6 +57,21 @@ pub enum ControllerMessage {
         /// The middlebox to remove.
         middlebox_id: u16,
     },
+    /// A deployed DPI instance's liveness beacon. Instances send one per
+    /// heartbeat window; the controller's health monitor walks silent
+    /// instances down `Healthy → Suspect → Dead` and re-steers a dead
+    /// instance's flows to survivors (§4's resiliency responsibility).
+    Heartbeat {
+        /// The deployed instance reporting in.
+        instance_id: u32,
+        /// Monotonic per-instance sequence number; a delayed duplicate
+        /// (seq ≤ last seen) is ignored so it cannot resurrect a dead
+        /// instance. Zero means "unsequenced" and is always accepted.
+        seq: u64,
+        /// Packets scanned since the previous beat — the load signal a
+        /// steering policy may balance on.
+        load: u64,
+    },
 }
 
 /// A controller-to-middlebox reply.
@@ -169,6 +184,18 @@ mod tests {
         }
         assert!(ControllerReply::Ok.is_ok());
         assert!(!ControllerReply::Error { reason: "x".into() }.is_ok());
+    }
+
+    #[test]
+    fn heartbeat_round_trips_as_json() {
+        let m = ControllerMessage::Heartbeat {
+            instance_id: 4,
+            seq: 17,
+            load: 1234,
+        };
+        let j = m.to_json();
+        assert!(j.contains("\"type\":\"heartbeat\""));
+        assert_eq!(ControllerMessage::from_json(&j).unwrap(), m);
     }
 
     #[test]

@@ -35,6 +35,7 @@
 //!   stable flow hash so per-flow order and cross-packet state are
 //!   preserved with zero locks on the per-packet path.
 
+pub mod chaos;
 pub mod config;
 pub mod decompress;
 pub mod flowstate;
@@ -45,6 +46,7 @@ pub mod report;
 pub mod rules;
 pub mod telemetry;
 
+pub use chaos::{ChaosEngine, FaultPlan, RetryOutcome, RetryPolicy, ShardFault, ShardFaultSpec};
 pub use config::{ChainSpec, InstanceConfig, MiddleboxProfile};
 pub use decompress::{
     deflate_fixed, deflate_stored, gunzip, gzip, inflate, GzipError, InflateError,

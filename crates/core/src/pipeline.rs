@@ -20,17 +20,41 @@
 //! the FIFO shard queues, and result packet ids are assigned centrally
 //! in batch order after the workers finish.
 
+use crate::chaos::{ChaosEngine, ShardFault, ShardFaultSpec};
 use crate::config::InstanceConfig;
 use crate::instance::{InstanceError, ScanEngine, ShardState};
 use crate::telemetry::{ShardTelemetry, Telemetry};
 use crossbeam::channel;
 use dpi_packet::report::ResultPacket;
 use dpi_packet::Packet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Per-shard ingress queue capacity. Bounded so a slow shard applies
 /// backpressure to the feeder instead of buffering a whole batch.
 const SHARD_QUEUE_CAPACITY: usize = 256;
+
+/// What a surviving worker hands back to the supervisor at the batch
+/// boundary. A panicked worker hands back nothing — its join result is
+/// `Err` and the supervisor reconstructs the damage from the feeder's
+/// routing counts and the shard's completion counter.
+struct WorkerReport {
+    /// Ingress-queue high-water mark this batch.
+    peak: usize,
+    /// Packets whose inspection errored.
+    errors: u64,
+    /// Packets pulled off the ingress queue.
+    received: u64,
+    /// Packets actually handled (scanned or counted as an error).
+    processed: u64,
+    /// Whether the watchdog deadline was blown; set after the slow
+    /// packet completes, at which point the worker drains its queue
+    /// without scanning and waits to be condemned.
+    tripped: bool,
+    /// Injected stalls that fired: `(shard-local ordinal, millis)`.
+    stalls: Vec<(u64, u64)>,
+}
 
 /// A parallel DPI scanner: one shared [`ScanEngine`], N private worker
 /// shards, flow-affine packet routing.
@@ -67,6 +91,25 @@ pub struct ShardedScanner {
     /// Per-shard count of packets whose inspection errored (untagged,
     /// no payload, unknown chain); errored packets produce no result.
     errors: Vec<u64>,
+    /// Per-shard supervisor restarts (panic or watchdog).
+    restarts: Vec<u64>,
+    /// Per-shard watchdog deadline violations.
+    watchdog_trips: Vec<u64>,
+    /// Per-shard packets routed but never scanned (worker died first).
+    lost_scans: Vec<u64>,
+    /// Per-shard lifetime packet ordinals (drives shard-fault triggers).
+    shard_seen: Vec<u64>,
+    /// Telemetry inherited from restarted shard incarnations, so a
+    /// restart never makes the merged counters go backwards.
+    retired: Telemetry,
+    /// Per-packet scan deadline; exceeding it condemns the worker at the
+    /// batch boundary (the shard restarts with a fresh flow table).
+    watchdog: Option<Duration>,
+    /// Scheduled shard faults (chaos); ordinals are shard-local and
+    /// lifetime-absolute, so each fires at most once.
+    faults: Vec<ShardFaultSpec>,
+    /// Chaos engine to receive deterministic fault-log entries.
+    chaos: Option<Arc<ChaosEngine>>,
     packet_counter: u32,
 }
 
@@ -81,8 +124,47 @@ impl ShardedScanner {
             shards,
             queue_peaks: vec![0; n],
             errors: vec![0; n],
+            restarts: vec![0; n],
+            watchdog_trips: vec![0; n],
+            lost_scans: vec![0; n],
+            shard_seen: vec![0; n],
+            retired: Telemetry::default(),
+            watchdog: None,
+            faults: Vec::new(),
+            chaos: None,
             packet_counter: 0,
         }
+    }
+
+    /// Arms the per-packet watchdog: any single scan taking longer than
+    /// `deadline` marks the worker as stalled, and the supervisor
+    /// condemns it at the batch boundary — remaining packets on its
+    /// queue are counted as lost scans and the shard restarts with a
+    /// fresh flow table.
+    pub fn with_watchdog(mut self, deadline: Duration) -> ShardedScanner {
+        self.watchdog = Some(deadline);
+        self
+    }
+
+    /// Setter form of [`ShardedScanner::with_watchdog`].
+    pub fn set_watchdog(&mut self, deadline: Option<Duration>) {
+        self.watchdog = deadline;
+    }
+
+    /// Schedules chaos faults against worker shards. Ordinals count each
+    /// shard's received packets over the scanner's lifetime.
+    pub fn inject_shard_faults(&mut self, faults: &[ShardFaultSpec]) {
+        self.faults.extend_from_slice(faults);
+    }
+
+    /// Attaches a running chaos engine: its planned shard faults are
+    /// scheduled, and supervisor actions (stalls observed, trips,
+    /// restarts) are appended to its fault log in deterministic shard
+    /// order.
+    pub fn attach_chaos(&mut self, chaos: Arc<ChaosEngine>) {
+        let faults = chaos.shard_faults();
+        self.inject_shard_faults(&faults);
+        self.chaos = Some(chaos);
     }
 
     /// Compiles `config` and builds a scanner with `workers` shards.
@@ -124,18 +206,65 @@ impl ShardedScanner {
     pub fn inspect_batch(&mut self, packets: &mut [Packet]) -> Vec<ResultPacket> {
         let n = self.shards.len();
         let engine = &self.engine;
-        let (mut numbered, stats) = std::thread::scope(|scope| {
+        let watchdog = self.watchdog;
+        // Scheduled faults, bucketed per shard as (ordinal, fault).
+        let mut shard_faults: Vec<Vec<(u64, ShardFault)>> = vec![Vec::new(); n];
+        for f in &self.faults {
+            if f.shard < n {
+                shard_faults[f.shard].push((f.at_packet, f.fault));
+            }
+        }
+        // Packets routed / failed-to-route per shard (feeder side) and
+        // packets completed per shard (worker side, panic-proof because
+        // the counter lives out here, not in the worker).
+        let mut routed = vec![0u64; n];
+        let mut send_lost = vec![0u64; n];
+        let completed: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+
+        let (mut numbered, reports) = std::thread::scope(|scope| {
             let (result_tx, result_rx) = channel::unbounded::<(usize, ResultPacket)>();
             let mut feeds = Vec::with_capacity(n);
             let mut handles = Vec::with_capacity(n);
-            for shard in self.shards.iter_mut() {
+            for (s, shard) in self.shards.iter_mut().enumerate() {
                 let (tx, rx) = channel::bounded::<(usize, &mut Packet)>(SHARD_QUEUE_CAPACITY);
                 let result_tx = result_tx.clone();
                 let engine = &**engine;
+                let faults = std::mem::take(&mut shard_faults[s]);
+                let base = self.shard_seen[s];
+                let completed = &completed[s];
                 feeds.push(tx);
                 handles.push(scope.spawn(move || {
-                    let mut errors = 0u64;
+                    let mut report = WorkerReport {
+                        peak: 0,
+                        errors: 0,
+                        received: 0,
+                        processed: 0,
+                        tripped: false,
+                        stalls: Vec::new(),
+                    };
                     for (idx, pkt) in rx.iter() {
+                        let ordinal = base + report.received;
+                        report.received += 1;
+                        if report.tripped {
+                            // Condemned by the watchdog: drain without
+                            // scanning so the feeder never blocks on a
+                            // wedged queue. These are lost scans.
+                            continue;
+                        }
+                        let started = Instant::now();
+                        for &(at, fault) in &faults {
+                            if at == ordinal {
+                                match fault {
+                                    ShardFault::Stall(ms) => {
+                                        std::thread::sleep(Duration::from_millis(ms));
+                                        report.stalls.push((ordinal, ms));
+                                    }
+                                    ShardFault::Panic => {
+                                        panic!("chaos: injected worker panic at shard packet {ordinal}")
+                                    }
+                                }
+                            }
+                        }
                         match engine.inspect_unnumbered(shard, pkt) {
                             Ok(Some(result)) => {
                                 // The collector outlives every worker, so
@@ -143,10 +272,18 @@ impl ShardedScanner {
                                 let _ = result_tx.send((idx, result));
                             }
                             Ok(None) => {}
-                            Err(_) => errors += 1,
+                            Err(_) => report.errors += 1,
+                        }
+                        report.processed += 1;
+                        completed.fetch_add(1, Ordering::Relaxed);
+                        if let Some(deadline) = watchdog {
+                            if started.elapsed() > deadline {
+                                report.tripped = true;
+                            }
                         }
                     }
-                    (rx.peak_len(), errors)
+                    report.peak = rx.peak_len();
+                    report
                 }));
             }
             drop(result_tx);
@@ -158,23 +295,57 @@ impl ShardedScanner {
                     // them deterministically.
                     None => idx % n,
                 };
-                feeds[shard]
-                    .send((idx, pkt))
-                    .expect("worker holds the receiver until senders drop");
+                // A send fails only when the worker panicked and dropped
+                // its receiver; the batch continues — that packet simply
+                // goes unscanned (fail-open) and is counted lost.
+                match feeds[shard].send((idx, pkt)) {
+                    Ok(()) => routed[shard] += 1,
+                    Err(_) => send_lost[shard] += 1,
+                }
             }
             drop(feeds);
 
             let collected: Vec<(usize, ResultPacket)> = result_rx.iter().collect();
-            let stats: Vec<(usize, u64)> = handles
-                .into_iter()
-                .map(|h| h.join().expect("scan worker panicked"))
-                .collect();
-            (collected, stats)
+            // A panicked worker yields Err here — captured, not
+            // propagated: the supervisor restarts the shard below.
+            let reports: Vec<Option<WorkerReport>> =
+                handles.into_iter().map(|h| h.join().ok()).collect();
+            (collected, reports)
         });
 
-        for (shard, (peak, errors)) in stats.into_iter().enumerate() {
-            self.queue_peaks[shard] = self.queue_peaks[shard].max(peak);
-            self.errors[shard] += errors;
+        // Supervision pass, in shard order so fault-log entries are
+        // deterministic across runs of the same seed.
+        for s in 0..n {
+            match &reports[s] {
+                Some(report) => {
+                    self.queue_peaks[s] = self.queue_peaks[s].max(report.peak);
+                    self.errors[s] += report.errors;
+                    self.shard_seen[s] += report.received;
+                    for &(ordinal, ms) in &report.stalls {
+                        self.note(format!("shard {s} stalled {ms}ms at packet {ordinal}"));
+                    }
+                    if report.tripped {
+                        self.watchdog_trips[s] += 1;
+                        self.lost_scans[s] += report.received - report.processed;
+                        self.note(format!(
+                            "shard {s} blew its watchdog deadline; {} scans lost",
+                            report.received - report.processed
+                        ));
+                        self.restart_shard(s);
+                    }
+                }
+                None => {
+                    // Panic: everything routed past the completion point
+                    // was lost, plus anything the feeder could not hand
+                    // over once the receiver died.
+                    let done = completed[s].load(Ordering::Relaxed);
+                    let lost = routed[s] + send_lost[s] - done;
+                    self.lost_scans[s] += lost;
+                    self.shard_seen[s] += routed[s];
+                    self.note(format!("shard {s} worker panicked; {lost} scans lost"));
+                    self.restart_shard(s);
+                }
+            }
         }
 
         // Batch order, then sequential ids — identical to a sequential
@@ -190,9 +361,29 @@ impl ShardedScanner {
             .collect()
     }
 
-    /// Merged telemetry across all shards.
+    /// Condemns shard `s`: its telemetry is folded into the retired
+    /// accumulator (merged counters never go backwards) and a fresh
+    /// [`ShardState`] is built from the shared engine — the flow-table
+    /// rebuild. Mid-flow automaton state is deliberately dropped; by the
+    /// stateless-deletion rule a fresh flow can only *miss* matches that
+    /// straddled the restart, never fabricate one.
+    fn restart_shard(&mut self, s: usize) {
+        self.retired.merge(&self.shards[s].telemetry());
+        self.shards[s] = ShardState::new(&self.engine);
+        self.restarts[s] += 1;
+        self.note(format!("shard {s} restarted; flow table rebuilt"));
+    }
+
+    fn note(&self, event: String) {
+        if let Some(chaos) = &self.chaos {
+            chaos.note(event);
+        }
+    }
+
+    /// Merged telemetry across all shards, including counters inherited
+    /// from shard incarnations retired by the supervisor.
     pub fn telemetry(&self) -> Telemetry {
-        let mut total = Telemetry::default();
+        let mut total = self.retired;
         for shard in &self.shards {
             total.merge(&shard.telemetry());
         }
@@ -200,7 +391,9 @@ impl ShardedScanner {
     }
 
     /// Per-shard counters: packets, bytes, matches, ingress-queue peak
-    /// depth and inspection errors.
+    /// depth, inspection errors, and the supervisor's restart / watchdog
+    /// / lost-scan counts. The scan counters cover the shard's current
+    /// incarnation; the supervisor counters survive restarts.
     pub fn shard_telemetry(&self) -> Vec<ShardTelemetry> {
         self.shards
             .iter()
@@ -214,9 +407,22 @@ impl ShardedScanner {
                     matches: t.matches,
                     peak_queue_depth: self.queue_peaks[i] as u64,
                     errors: self.errors[i],
+                    restarts: self.restarts[i],
+                    watchdog_trips: self.watchdog_trips[i],
+                    lost_scans: self.lost_scans[i],
                 }
             })
             .collect()
+    }
+
+    /// Total supervisor restarts across shards.
+    pub fn total_restarts(&self) -> u64 {
+        self.restarts.iter().sum()
+    }
+
+    /// Total packets lost to worker deaths across shards.
+    pub fn total_lost_scans(&self) -> u64 {
+        self.lost_scans.iter().sum()
     }
 
     /// Flows tracked across all shards.
@@ -315,6 +521,110 @@ mod tests {
         assert!(results.is_empty());
         let errors: u64 = scanner.shard_telemetry().iter().map(|s| s.errors).sum();
         assert_eq!(errors, 2);
+    }
+
+    #[test]
+    fn injected_panic_is_captured_and_shard_restarts() {
+        let mut scanner = ShardedScanner::from_config(config(), 2).unwrap();
+        let f = flow([10, 0, 0, 9], 777, [10, 0, 0, 2], 80, IpProtocol::Tcp);
+        let shard = scanner.shard_of(&f);
+        // The shard's 3rd packet panics the worker.
+        scanner.inject_shard_faults(&[ShardFaultSpec {
+            shard,
+            at_packet: 2,
+            fault: ShardFault::Panic,
+        }]);
+        let mut batch: Vec<Packet> = (0..8)
+            .map(|i| {
+                let mut p = Packet::tcp(
+                    MacAddr::local(1),
+                    MacAddr::local(2),
+                    f,
+                    i * 8,
+                    b"carries a virus today".to_vec(),
+                );
+                p.push_chain_tag(3).unwrap();
+                p
+            })
+            .collect();
+        let results = scanner.inspect_batch(&mut batch);
+        // The two packets before the panic were scanned and delivered.
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].packet_id, 1);
+        let t = &scanner.shard_telemetry()[shard];
+        assert_eq!(t.restarts, 1);
+        assert_eq!(t.lost_scans, 6);
+        assert_eq!(scanner.total_lost_scans(), 6);
+        // The restarted shard scans the next batch normally.
+        let mut more: Vec<Packet> = (0..4)
+            .map(|i| {
+                let mut p = Packet::tcp(
+                    MacAddr::local(1),
+                    MacAddr::local(2),
+                    f,
+                    100 + i * 8,
+                    b"carries a virus today".to_vec(),
+                );
+                p.push_chain_tag(3).unwrap();
+                p
+            })
+            .collect();
+        let results = scanner.inspect_batch(&mut more);
+        assert_eq!(results.len(), 4);
+        // Merged telemetry kept the pre-restart packets via the retired
+        // accumulator: 2 scanned before the panic + 4 after.
+        assert_eq!(scanner.telemetry().packets, 6);
+    }
+
+    #[test]
+    fn watchdog_condemns_a_stalled_shard() {
+        let mut scanner = ShardedScanner::from_config(config(), 2)
+            .unwrap()
+            .with_watchdog(std::time::Duration::from_millis(10));
+        let f = flow([10, 0, 0, 9], 777, [10, 0, 0, 2], 80, IpProtocol::Tcp);
+        let shard = scanner.shard_of(&f);
+        scanner.inject_shard_faults(&[ShardFaultSpec {
+            shard,
+            at_packet: 1,
+            fault: ShardFault::Stall(50),
+        }]);
+        let mut batch: Vec<Packet> = (0..6)
+            .map(|i| {
+                let mut p = Packet::tcp(
+                    MacAddr::local(1),
+                    MacAddr::local(2),
+                    f,
+                    i * 4,
+                    b"attack".to_vec(),
+                );
+                p.push_chain_tag(3).unwrap();
+                p
+            })
+            .collect();
+        let results = scanner.inspect_batch(&mut batch);
+        // Packets 0 and 1 were scanned (the stalled one completes, then
+        // the watchdog fires); 2..6 were drained unscanned.
+        assert_eq!(results.len(), 2);
+        let t = &scanner.shard_telemetry()[shard];
+        assert_eq!(t.watchdog_trips, 1);
+        assert_eq!(t.restarts, 1);
+        assert_eq!(t.lost_scans, 4);
+    }
+
+    #[test]
+    fn chaos_fault_log_records_supervision_deterministically() {
+        let run = || {
+            let chaos = crate::chaos::FaultPlan::new(11).panic_shard(0, 1).start();
+            let mut scanner = ShardedScanner::from_config(config(), 1).unwrap();
+            scanner.attach_chaos(chaos.clone());
+            let mut batch: Vec<Packet> = (0..5).map(|i| tagged_packet(100 + i, b"clean")).collect();
+            scanner.inspect_batch(&mut batch);
+            chaos.fault_log()
+        };
+        let log = run();
+        assert!(log.iter().any(|e| e.contains("panicked")));
+        assert!(log.iter().any(|e| e.contains("restarted")));
+        assert_eq!(log, run());
     }
 
     #[test]

@@ -119,6 +119,18 @@ pub struct ShardTelemetry {
     /// Packets whose inspection errored (untagged, no payload, unknown
     /// chain).
     pub errors: u64,
+    /// Times this shard's worker was restarted by the supervisor (after
+    /// a panic or a watchdog trip). Each restart rebuilds the shard's
+    /// flow table from scratch; the supervisor owns this counter, so it
+    /// survives the rebuild.
+    pub restarts: u64,
+    /// Watchdog deadline violations observed on this shard.
+    pub watchdog_trips: u64,
+    /// Packets routed to this shard that were never scanned because the
+    /// worker panicked, or was condemned by the watchdog, before
+    /// reaching them. Lost scans are fail-open: the packets themselves
+    /// still flow, they just produce no match results.
+    pub lost_scans: u64,
 }
 
 #[cfg(test)]

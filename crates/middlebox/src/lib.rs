@@ -28,9 +28,13 @@
 //!   network analytics.
 //! * [`nodes`] — [`dpi_sdn::Node`] adapters so DPI instances and
 //!   middleboxes plug into the simulated network.
+//! * [`fleet`] — the fault-tolerant variant of the DPI node:
+//!   chaos-driven instance death and retried result-packet delivery
+//!   (fail-open for data, fail-closed for verdicts).
 
 pub mod boxes;
 pub mod engine;
+pub mod fleet;
 pub mod logic;
 pub mod nodes;
 pub mod reorder;
@@ -39,6 +43,7 @@ pub use boxes::{
     antivirus, dlp, ids, ips, l7_firewall, l7_load_balancer, network_analytics, traffic_shaper,
 };
 pub use engine::{MiddleboxStats, SelfScanMiddlebox, ServiceMiddlebox};
+pub use fleet::{FleetDpiNode, FleetDpiStats};
 pub use logic::{Condition, MbAction, MbRule, RuleLogic, Verdict};
 pub use nodes::{DpiServiceNode, MiddleboxNode, ResultsDelivery, SelfScanNode};
 pub use reorder::ReorderBuffer;

@@ -24,6 +24,8 @@ pub struct FlowMatch {
     pub ip_src: Option<std::net::Ipv4Addr>,
     /// IPv4 destination.
     pub ip_dst: Option<std::net::Ipv4Addr>,
+    /// L4 source port.
+    pub l4_src: Option<u16>,
     /// L4 destination port.
     pub l4_dst: Option<u16>,
     /// ECN codepoint — how middlebox-bound rules recognize the DPI
@@ -56,6 +58,16 @@ impl FlowMatch {
     /// Restricts to untagged packets.
     pub fn untagged(mut self) -> FlowMatch {
         self.tagged = Some(false);
+        self
+    }
+
+    /// Restricts to one directional flow (source/destination IPs and L4
+    /// ports) — the match per-flow steering rules use.
+    pub fn for_flow(mut self, flow: &dpi_packet::FlowKey) -> FlowMatch {
+        self.ip_src = Some(flow.src_ip);
+        self.ip_dst = Some(flow.dst_ip);
+        self.l4_src = Some(flow.src_port);
+        self.l4_dst = Some(flow.dst_port);
         self
     }
 
@@ -98,6 +110,7 @@ impl FlowMatch {
         }
         if self.ip_src.is_some()
             || self.ip_dst.is_some()
+            || self.l4_src.is_some()
             || self.l4_dst.is_some()
             || self.ecn.is_some()
         {
@@ -110,6 +123,11 @@ impl FlowMatch {
                     }
                     if let Some(d) = self.ip_dst {
                         if header.dst != d {
+                            return false;
+                        }
+                    }
+                    if let Some(p) = self.l4_src {
+                        if l4.src_port() != p {
                             return false;
                         }
                     }
@@ -180,6 +198,20 @@ impl FlowTable {
         let before = self.rules.len();
         self.rules.retain(|r| !pred(r));
         before - self.rules.len()
+    }
+
+    /// The installed rules, highest priority first.
+    pub fn rules(&self) -> &[FlowRule] {
+        &self.rules
+    }
+
+    /// Mutates every rule in place (e.g. re-steering: rewriting output
+    /// ports after an instance dies). The callback must not change
+    /// priorities — the table's sort order is not re-derived.
+    pub fn map_rules<F: FnMut(&mut FlowRule)>(&mut self, mut f: F) {
+        for r in &mut self.rules {
+            f(r);
+        }
     }
 
     /// Number of rules.

@@ -74,6 +74,8 @@ pub struct Network {
     /// Packets that left through an unconnected port (usually a bug in
     /// the rule set; kept for inspection).
     pub dropped_at_edge: Vec<(NodeId, PortId, Packet)>,
+    /// Packets discarded by the loop guard across all `run` calls.
+    dropped: u64,
     /// Safety valve against forwarding loops.
     max_hops: usize,
 }
@@ -87,6 +89,7 @@ impl Network {
             links: HashMap::new(),
             queue: VecDeque::new(),
             dropped_at_edge: Vec::new(),
+            dropped: 0,
             max_hops,
         }
     }
@@ -111,11 +114,26 @@ impl Network {
 
     /// Runs until no packets are in flight. Returns the number of
     /// deliveries performed.
+    ///
+    /// If the `max_hops` loop guard fires, every still-queued packet is
+    /// *counted* as dropped (see [`Network::dropped`]) and the first one
+    /// is kept in [`Network::dropped_at_edge`] for inspection; one
+    /// warning per run goes to stderr.
     pub fn run(&mut self) -> usize {
         let mut deliveries = 0;
         while let Some((node, port, packet)) = self.queue.pop_front() {
             if deliveries >= self.max_hops {
-                // Loop guard: drop the remainder loudly.
+                // Loop guard: drop the remainder loudly — the packet in
+                // hand plus everything still queued.
+                let discarded = 1 + self.queue.len() as u64;
+                self.dropped += discarded;
+                eprintln!(
+                    "network: max_hops={} exhausted at {} ({}); discarding {} in-flight packet(s)",
+                    self.max_hops,
+                    self.nodes[node.0 as usize].label(),
+                    node.0,
+                    discarded,
+                );
                 self.dropped_at_edge.push((node, port, packet));
                 self.queue.clear();
                 break;
@@ -130,6 +148,13 @@ impl Network {
             }
         }
         deliveries
+    }
+
+    /// Packets silently discarded by the `max_hops` loop guard, across
+    /// all [`Network::run`] calls. Zero in any healthy run — assert on it
+    /// in end-to-end tests.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Mutable access to a node. Nodes that need out-of-band inspection
@@ -221,5 +246,22 @@ mod tests {
         let n = net.run();
         assert!(n <= 50);
         assert!(!net.dropped_at_edge.is_empty());
+        assert_eq!(net.dropped(), 1, "the looping packet is counted");
+        // The counter accumulates across runs.
+        net.inject(a, 0, pkt());
+        net.run();
+        assert_eq!(net.dropped(), 2);
+    }
+
+    #[test]
+    fn healthy_runs_count_zero_drops() {
+        let mut net = Network::new(100);
+        let a = net.add_node(Box::new(Pipe));
+        let sink = SinkHost::new();
+        let sink_id = net.add_node(Box::new(sink.clone()));
+        net.link(a, 1, sink_id, 0);
+        net.inject(a, 0, pkt());
+        net.run();
+        assert_eq!(net.dropped(), 0);
     }
 }

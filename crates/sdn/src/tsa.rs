@@ -54,6 +54,10 @@ pub struct TrafficSteeringApp {
 /// Rule priorities used by the TSA (leaving room above for overrides,
 /// e.g. MCA² heavy-flow diversions).
 const PRIO_CHAIN: u16 = 100;
+/// Per-flow steering rules sit between the chain defaults and the
+/// result-drop guard: specific enough to override the chain's default
+/// DPI instance, never able to leak result packets to hosts.
+const PRIO_STEER: u16 = 105;
 const PRIO_EGRESS_RESULT_DROP: u16 = 110;
 
 impl TrafficSteeringApp {
@@ -124,6 +128,139 @@ impl TrafficSteeringApp {
                 actions: vec![Action::Drop],
             });
         }
+    }
+
+    /// Installs the rules of one policy chain served by a *fleet* of DPI
+    /// instances: traffic entering at `ingress` is tagged `chain_id` and
+    /// sent to `dpi_ports[0]` by default (per-flow
+    /// [`TrafficSteeringApp::steer_flow`] rules override the choice of
+    /// instance), tagged traffic returning from *any* instance port
+    /// proceeds to the first middlebox in `middleboxes` (or straight to
+    /// `egress`), and the middlebox path and result-packet guard match
+    /// [`TrafficSteeringApp::install_chain`].
+    pub fn install_chain_fleet(
+        &self,
+        chain_id: u16,
+        ingress: Port,
+        dpi_ports: &[Port],
+        middleboxes: &[Port],
+        egress: Port,
+    ) {
+        assert!(
+            !dpi_ports.is_empty(),
+            "a fleet chain needs at least one DPI instance"
+        );
+        let mut t = self.table.lock();
+        // Ingress default: tag and go to the first instance.
+        t.install(FlowRule {
+            priority: PRIO_CHAIN,
+            m: FlowMatch::any().from_port(ingress).untagged(),
+            actions: vec![Action::PushTag(chain_id), Action::Output(dpi_ports[0])],
+        });
+        // Any instance → first middlebox (or egress for an empty chain).
+        let after_dpi = middleboxes.first().copied();
+        for &dp in dpi_ports {
+            let actions = match after_dpi {
+                Some(mb) => vec![Action::Output(mb)],
+                None => vec![Action::PopTag, Action::Output(egress)],
+            };
+            t.install(FlowRule {
+                priority: PRIO_CHAIN,
+                m: FlowMatch::any().from_port(dp).with_tag(chain_id),
+                actions,
+            });
+        }
+        // Middlebox i → middlebox i+1, last → egress untagged.
+        for (i, &port) in middleboxes.iter().enumerate() {
+            let next = middleboxes.get(i + 1).copied();
+            let actions = match next {
+                Some(n) => vec![Action::Output(n)],
+                None => vec![Action::PopTag, Action::Output(egress)],
+            };
+            t.install(FlowRule {
+                priority: PRIO_CHAIN,
+                m: FlowMatch::any().from_port(port).with_tag(chain_id),
+                actions,
+            });
+        }
+        // Result packets never reach hosts: guard the ports whose chain
+        // rules point at the egress.
+        let result_guard_ports: Vec<Port> = match middleboxes.last() {
+            Some(&last) => vec![last],
+            None => dpi_ports.to_vec(),
+        };
+        for port in result_guard_ports {
+            t.install(FlowRule {
+                priority: PRIO_EGRESS_RESULT_DROP,
+                m: FlowMatch {
+                    in_port: Some(port),
+                    vlan_vid: Some(chain_id),
+                    tagged: Some(true),
+                    body_is_result: Some(true),
+                    ..FlowMatch::default()
+                },
+                actions: vec![Action::Drop],
+            });
+        }
+    }
+
+    /// Pins one flow of a chain to a specific DPI instance port: an
+    /// override rule matching the flow's 4-tuple at ingress. Replaces any
+    /// previous steering rule for the same flow, so re-steering a single
+    /// flow is this same call with a new port.
+    pub fn steer_flow(
+        &self,
+        chain_id: u16,
+        ingress: Port,
+        flow: &dpi_packet::FlowKey,
+        dpi_port: Port,
+    ) {
+        let m = FlowMatch::any()
+            .from_port(ingress)
+            .untagged()
+            .for_flow(flow);
+        let mut t = self.table.lock();
+        t.remove_where(|r| r.priority == PRIO_STEER && r.m == m);
+        t.install(FlowRule {
+            priority: PRIO_STEER,
+            m,
+            actions: vec![Action::PushTag(chain_id), Action::Output(dpi_port)],
+        });
+    }
+
+    /// Re-steers every ingress-side rule (per-flow steering rules and
+    /// chain defaults) that currently sends traffic to `from_dpi`, so it
+    /// sends to `to_dpi` instead — the failover action the controller
+    /// takes when an instance is declared dead (§4: "re-steers its flows
+    /// to surviving instances"). Returns how many rules were rewritten.
+    pub fn resteer(&self, from_dpi: Port, to_dpi: Port) -> usize {
+        let mut rewritten = 0;
+        self.table.lock().map_rules(|r| {
+            // Only ingress-side rules (they match untagged traffic);
+            // rules *from* the dead instance's port are left alone — no
+            // traffic will arrive from it.
+            if r.m.tagged != Some(false) {
+                return;
+            }
+            for a in &mut r.actions {
+                if *a == Action::Output(from_dpi) {
+                    *a = Action::Output(to_dpi);
+                    rewritten += 1;
+                }
+            }
+        });
+        rewritten
+    }
+
+    /// Number of per-flow steering rules currently directing traffic to
+    /// `dpi_port` (diagnostics for failover tests).
+    pub fn steered_to(&self, dpi_port: Port) -> usize {
+        self.table
+            .lock()
+            .rules()
+            .iter()
+            .filter(|r| r.priority == PRIO_STEER && r.actions.contains(&Action::Output(dpi_port)))
+            .count()
     }
 
     /// Removes a chain's rules (chain re-routing, instance migration —
@@ -250,6 +387,61 @@ mod tests {
         tsa.divert(7, 2, 3);
         assert!(tsa.rule_count() > 3);
         assert_eq!(tsa.remove_diversions(), 1);
+    }
+
+    #[test]
+    fn fleet_chain_accepts_traffic_from_any_instance_port() {
+        // Star with two "DPI instances" (Bounce at ports 2 and 3) and no
+        // middleboxes; both paths must deliver untagged to the sink.
+        let (mut net, sw, sink, tsa) = star();
+        tsa.install_chain_fleet(7, 0, &[2, 3], &[], 1);
+        // Default path goes via port 2.
+        net.inject(sw, 0, pkt());
+        net.run();
+        assert_eq!(sink.received().len(), 1);
+        // Steer the flow to instance at port 3: still delivered.
+        let f = pkt().flow_key().unwrap();
+        tsa.steer_flow(7, 0, &f, 3);
+        assert_eq!(tsa.steered_to(3), 1);
+        net.inject(sw, 0, pkt());
+        net.run();
+        assert_eq!(sink.received().len(), 2);
+        assert!(sink.received().iter().all(|p| p.vlan.is_empty()));
+    }
+
+    #[test]
+    fn steer_flow_replaces_previous_rule_and_resteer_rewrites() {
+        let (_net, _sw, _dst, tsa) = star();
+        tsa.install_chain_fleet(7, 0, &[2, 3], &[], 1);
+        let f = pkt().flow_key().unwrap();
+        tsa.steer_flow(7, 0, &f, 2);
+        tsa.steer_flow(7, 0, &f, 2);
+        assert_eq!(tsa.steered_to(2), 1, "same flow must not stack rules");
+        // Failover: everything aimed at port 2 (the steer rule and the
+        // chain's default ingress rule) moves to port 3.
+        let rewritten = tsa.resteer(2, 3);
+        assert_eq!(rewritten, 2);
+        assert_eq!(tsa.steered_to(2), 0);
+        assert_eq!(tsa.steered_to(3), 1);
+    }
+
+    #[test]
+    fn fleet_result_packets_do_not_reach_hosts_without_middleboxes() {
+        let (mut net, sw, sink, tsa) = star();
+        tsa.install_chain_fleet(7, 0, &[2], &[], 1);
+        // Hand-craft a tagged result packet coming back from the
+        // instance port, as a DPI node would emit it.
+        let report = dpi_packet::report::ResultPacket {
+            packet_id: 1,
+            flow: pkt().flow_key().unwrap(),
+            flow_offset: 0,
+            reports: Vec::new(),
+        };
+        let mut rp = Packet::result(MacAddr::local(9), MacAddr::local(2), report);
+        rp.push_chain_tag(7).unwrap();
+        net.inject(sw, 2, rp);
+        net.run();
+        assert!(sink.received().is_empty(), "result packet must be dropped");
     }
 
     #[test]

@@ -1,21 +1,43 @@
 //! End-to-end system assembly: the paper's Figure 5 in one builder.
 //!
 //! [`SystemBuilder`] wires together a DPI controller, a simulated
-//! single-switch star network (the §6.1 experimental topology), one DPI
-//! service instance node and any number of service-consuming middlebox
-//! nodes, installs the Traffic Steering Application's chain rules, and
-//! returns a [`SystemHandle`] to drive traffic through and observe every
-//! component.
+//! single-switch star network (the §6.1 experimental topology), a fleet
+//! of one or more DPI service instance nodes and any number of
+//! service-consuming middlebox nodes, installs the Traffic Steering
+//! Application's chain rules, and returns a [`SystemHandle`] to drive
+//! traffic through and observe every component.
+//!
+//! # Fault tolerance
+//!
+//! With [`SystemBuilder::with_dpi_instances`] > 1 the builder deploys a
+//! fleet: every instance shares the one compiled automaton, each flow is
+//! pinned to an instance by a per-flow steering rule on first sight, and
+//! the controller tracks liveness through the heartbeat protocol
+//! ([`SystemHandle::heartbeat_round`]). When an instance is declared
+//! `Dead`, its flows are re-steered to a survivor. Mid-flow automaton
+//! state on the dead instance is lost — the survivor restarts each
+//! re-steered flow's scan from a fresh DFA state, which can *miss* a
+//! pattern straddling the failover point but can never *fabricate* a
+//! match (the paper's accepted failover semantics; see DESIGN.md §8).
+//!
+//! [`SystemBuilder::with_chaos`] attaches a deterministic
+//! [`FaultPlan`]: instance kills, shard stalls/panics and result-packet
+//! loss all replay identically from one seed.
 
 use dpi_ac::MiddleboxId;
-use dpi_controller::DpiController;
+use dpi_controller::{DpiController, HealthEvent, HealthPolicy, InstanceId};
+use dpi_core::chaos::{ChaosEngine, FaultPlan, RetryPolicy};
 use dpi_core::instance::ScanEngine;
 use dpi_core::pipeline::ShardedScanner;
+use dpi_core::telemetry::ShardTelemetry;
 use dpi_core::DpiInstance;
 use dpi_middlebox::boxes::MiddleboxTemplate;
-use dpi_middlebox::{DpiServiceNode, MiddleboxNode, ResultsDelivery, ServiceMiddlebox};
+use dpi_middlebox::{
+    FleetDpiNode, FleetDpiStats, MiddleboxNode, ResultsDelivery, ServiceMiddlebox,
+};
 use dpi_packet::report::ResultPacket;
 use dpi_packet::{FlowKey, MacAddr, Packet};
+use dpi_sdn::flowtable::Port;
 use dpi_sdn::{Network, NodeId, Switch, TrafficSteeringApp};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -84,6 +106,10 @@ pub struct SystemBuilder {
     chains: Vec<Vec<MiddleboxId>>,
     delivery: ResultsDelivery,
     dpi_workers: usize,
+    dpi_instances: usize,
+    chaos: Option<FaultPlan>,
+    health_policy: HealthPolicy,
+    retry: RetryPolicy,
 }
 
 impl Default for SystemBuilder {
@@ -101,6 +127,10 @@ impl SystemBuilder {
             chains: Vec::new(),
             delivery: ResultsDelivery::DedicatedPacket,
             dpi_workers: 1,
+            dpi_instances: 1,
+            chaos: None,
+            health_policy: HealthPolicy::default(),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -110,6 +140,34 @@ impl SystemBuilder {
     /// worker count costs per-shard flow tables, not another engine.
     pub fn with_dpi_workers(mut self, workers: usize) -> SystemBuilder {
         self.dpi_workers = workers.max(1);
+        self
+    }
+
+    /// Sets the number of in-network DPI service instances (default 1).
+    /// All instances share the one compiled automaton; flows are pinned
+    /// to instances by per-flow steering rules.
+    pub fn with_dpi_instances(mut self, instances: usize) -> SystemBuilder {
+        self.dpi_instances = instances.max(1);
+        self
+    }
+
+    /// Attaches a deterministic fault plan. Instance kills apply to the
+    /// in-network fleet, shard faults to the batch pipeline, result drop
+    /// and duplication to every instance's result delivery.
+    pub fn with_chaos(mut self, plan: FaultPlan) -> SystemBuilder {
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Sets the controller's heartbeat miss thresholds.
+    pub fn with_health_policy(mut self, policy: HealthPolicy) -> SystemBuilder {
+        self.health_policy = policy;
+        self
+    }
+
+    /// Sets the result-packet delivery retry policy.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> SystemBuilder {
+        self.retry = retry;
         self
     }
 
@@ -139,10 +197,11 @@ impl SystemBuilder {
     }
 
     /// Assembles the network. Port map on the single switch: 0 = traffic
-    /// source, 1 = destination host, 2 = DPI service instance, 3+ = one
-    /// port per middlebox in insertion order.
+    /// source, 1 = destination host, 2..2+N-1 = one port per DPI service
+    /// instance, then one port per middlebox in insertion order.
     pub fn build(self) -> Result<SystemHandle, SystemError> {
         let controller = DpiController::new();
+        controller.set_health_policy(self.health_policy);
 
         // Register every middlebox and its rules with the controller.
         for t in &self.templates {
@@ -160,12 +219,16 @@ impl SystemBuilder {
 
         // One engine serving every chain (deployment grouping is
         // exercised separately in dpi-controller), compiled once and
-        // shared between the in-network node and the batch pipeline.
+        // shared between every in-network instance and the batch
+        // pipeline.
         let cfg = controller.instance_config(&chain_ids)?;
         let engine = Arc::new(ScanEngine::new(cfg)?);
-        let instance = DpiInstance::from_engine(engine.clone());
-        let scanner = ShardedScanner::new(engine, self.dpi_workers);
-        let _instance_id = controller.deploy_instance(chain_ids.clone());
+        let mut scanner = ShardedScanner::new(engine.clone(), self.dpi_workers);
+
+        let chaos = self.chaos.map(FaultPlan::start);
+        if let Some(c) = &chaos {
+            scanner.attach_chaos(Arc::clone(c));
+        }
 
         // Build the star network.
         let mut net = Network::new(1_000_000);
@@ -177,15 +240,34 @@ impl SystemBuilder {
         let sink_id = net.add_node(Box::new(sink.clone()));
         net.link(sw, 1, sink_id, 0);
 
-        let (dpi_node, dpi_handle) =
-            DpiServiceNode::new(instance, self.delivery, MacAddr::local(100));
-        let dpi_id = net.add_node(Box::new(dpi_node));
-        net.link(sw, 2, dpi_id, 0);
+        // The DPI fleet: ports 2..2+N-1.
+        let mut dpi_handles = Vec::new();
+        let mut fleet_stats = Vec::new();
+        let mut dpi_ports = Vec::new();
+        let mut instance_ids = Vec::new();
+        for i in 0..self.dpi_instances {
+            let port = 2 + i as Port;
+            let instance = DpiInstance::from_engine(engine.clone());
+            let (node, handle, stats) = FleetDpiNode::new(
+                instance,
+                self.delivery,
+                MacAddr::local(100 + i as u32),
+                i,
+                chaos.clone(),
+                self.retry,
+            );
+            let id = net.add_node(Box::new(node));
+            net.link(sw, port, id, 0);
+            dpi_handles.push(handle);
+            fleet_stats.push(stats);
+            dpi_ports.push(port);
+            instance_ids.push(controller.deploy_instance(chain_ids.clone()));
+        }
 
         let mut mb_handles = HashMap::new();
         let mut mb_port = HashMap::new();
         for (i, t) in self.templates.iter().enumerate() {
-            let port = 3 + i as u16;
+            let port = 2 + self.dpi_instances as Port + i as Port;
             let last_on_any_chain = self.chains.iter().any(|c| c.last() == Some(&t.profile.id));
             let mb = ServiceMiddlebox::new(t.profile.id, &t.name, t.logic.clone());
             let (node, handle) = MiddleboxNode::new(mb, last_on_any_chain);
@@ -195,13 +277,13 @@ impl SystemBuilder {
             mb_port.insert(t.profile.id, port);
         }
 
-        // TSA rules: ingress 0 → DPI (port 2) → members' ports → egress 1.
+        // TSA rules: ingress 0 → fleet → members' ports → egress 1.
         for (members, chain_id) in self.chains.iter().zip(&chain_ids) {
-            let mut via = vec![2u16];
+            let mut via = Vec::new();
             for m in members {
                 via.push(*mb_port.get(m).ok_or(SystemError::UnknownMiddlebox(m.0))?);
             }
-            tsa.install_chain(*chain_id, 0, &via, 1);
+            tsa.install_chain_fleet(*chain_id, 0, &dpi_ports, &via, 1);
         }
 
         Ok(SystemHandle {
@@ -209,7 +291,15 @@ impl SystemBuilder {
             net,
             switch_id: sw,
             sink,
-            dpi: dpi_handle,
+            dpi: dpi_handles[0].clone(),
+            dpi_instances: dpi_handles,
+            fleet_stats,
+            dpi_ports,
+            instance_ids,
+            chaos,
+            heartbeat_seq: vec![0; self.dpi_instances],
+            steered: HashMap::new(),
+            next_instance: 0,
             scanner,
             middleboxes: mb_handles,
             chain_ids,
@@ -228,9 +318,24 @@ pub struct SystemHandle {
     pub switch_id: NodeId,
     /// The destination host (inspect received traffic here).
     pub sink: dpi_sdn::network::SinkHost,
-    /// The DPI service instance.
+    /// The first DPI service instance (kept for single-instance callers).
     pub dpi: Arc<Mutex<DpiInstance>>,
-    /// The batched scan pipeline: shares the in-network instance's
+    /// Every DPI service instance, fleet order.
+    pub dpi_instances: Vec<Arc<Mutex<DpiInstance>>>,
+    /// Per-instance fault-handling counters (swallowed packets, result
+    /// retries/losses/duplicates).
+    pub fleet_stats: Vec<Arc<Mutex<FleetDpiStats>>>,
+    /// Switch port of each instance, fleet order.
+    pub dpi_ports: Vec<Port>,
+    /// Controller id of each instance, fleet order.
+    pub instance_ids: Vec<InstanceId>,
+    /// The chaos engine, when a fault plan was attached.
+    pub chaos: Option<Arc<ChaosEngine>>,
+    heartbeat_seq: Vec<u64>,
+    /// Flow → instance port pinning installed so far.
+    steered: HashMap<FlowKey, Port>,
+    next_instance: usize,
+    /// The batched scan pipeline: shares the in-network instances'
     /// compiled automaton, fans packets out across
     /// [`SystemBuilder::with_dpi_workers`] flow-affine shards. Drive it
     /// with [`SystemHandle::inspect_batch`] for bulk (out-of-network)
@@ -247,7 +352,16 @@ pub struct SystemHandle {
 impl SystemHandle {
     /// Sends one TCP payload from the source host into the network and
     /// runs it to quiescence. Returns the number of deliveries.
+    ///
+    /// In a fleet deployment the first packet of each flow installs a
+    /// per-flow steering rule pinning the flow to a live instance
+    /// (round-robin), so cross-packet scan state stays on one instance.
     pub fn send(&mut self, flow: FlowKey, seq: u32, payload: &[u8]) -> usize {
+        if self.dpi_ports.len() > 1 && !self.steered.contains_key(&flow) {
+            let port = self.pick_instance_port();
+            self.tsa.steer_flow(self.chain_ids[0], 0, &flow, port);
+            self.steered.insert(flow, port);
+        }
         let pkt = Packet::tcp(
             MacAddr::local(1),
             MacAddr::local(2),
@@ -259,14 +373,121 @@ impl SystemHandle {
         self.net.run()
     }
 
+    /// Round-robin over instances the controller still considers usable
+    /// (not `Dead`). Falls back to the first instance if the controller
+    /// has written off the whole fleet.
+    fn pick_instance_port(&mut self) -> Port {
+        let usable: Vec<usize> = (0..self.dpi_ports.len())
+            .filter(|&i| {
+                self.controller.instance_health(self.instance_ids[i])
+                    != Some(dpi_controller::InstanceHealth::Dead)
+            })
+            .collect();
+        if usable.is_empty() {
+            return self.dpi_ports[0];
+        }
+        let pick = usable[self.next_instance % usable.len()];
+        self.next_instance += 1;
+        self.dpi_ports[pick]
+    }
+
+    /// Runs one heartbeat window: every chaos-alive instance beats, the
+    /// controller closes the window, and each `BecameDead` transition
+    /// triggers failover — the dead instance's ingress steering rules are
+    /// rewritten to a surviving instance. Returns the health events.
+    ///
+    /// Failover restarts mid-flow scan state: the survivor sees
+    /// re-steered flows as fresh, which may miss a pattern straddling the
+    /// failover point but can never produce a false match.
+    pub fn heartbeat_round(&mut self) -> Vec<HealthEvent> {
+        for i in 0..self.dpi_instances.len() {
+            let alive = self
+                .chaos
+                .as_ref()
+                .map(|c| c.instance_alive(i))
+                .unwrap_or(true);
+            if alive {
+                self.heartbeat_seq[i] += 1;
+                let load = self.dpi_instances[i].lock().telemetry().packets;
+                let _ =
+                    self.controller
+                        .heartbeat(self.instance_ids[i], self.heartbeat_seq[i], load);
+            }
+        }
+        let events = self.controller.health_tick();
+        for ev in &events {
+            if let HealthEvent::BecameDead(id) = ev {
+                self.fail_over(*id);
+            }
+        }
+        events
+    }
+
+    /// Re-steers a dead instance's flows to the first surviving instance.
+    fn fail_over(&mut self, dead: InstanceId) {
+        let Some(dead_idx) = self.instance_ids.iter().position(|&i| i == dead) else {
+            return;
+        };
+        let dead_port = self.dpi_ports[dead_idx];
+        let survivor = (0..self.dpi_ports.len()).find(|&i| {
+            i != dead_idx
+                && self.controller.instance_health(self.instance_ids[i])
+                    != Some(dpi_controller::InstanceHealth::Dead)
+        });
+        let Some(survivor_idx) = survivor else {
+            if let Some(c) = &self.chaos {
+                c.note(format!(
+                    "controller: instance {dead_idx} dead, no survivor to re-steer to"
+                ));
+            }
+            return;
+        };
+        let survivor_port = self.dpi_ports[survivor_idx];
+        let rewritten = self.tsa.resteer(dead_port, survivor_port);
+        for port in self.steered.values_mut() {
+            if *port == dead_port {
+                *port = survivor_port;
+            }
+        }
+        if let Some(c) = &self.chaos {
+            c.note(format!(
+                "controller: instance {dead_idx} dead; re-steered {rewritten} rule(s) to instance {survivor_idx}"
+            ));
+        }
+    }
+
     /// Stats of one middlebox.
     pub fn stats_of(&self, id: MiddleboxId) -> Option<MiddleboxStats> {
         self.middleboxes.get(&id).map(|h| h.lock().stats())
     }
 
-    /// The DPI instance's telemetry.
+    /// The first DPI instance's telemetry (see
+    /// [`SystemHandle::fleet_telemetry`] for the whole fleet).
     pub fn dpi_telemetry(&self) -> dpi_core::Telemetry {
         self.dpi.lock().telemetry()
+    }
+
+    /// Telemetry of every instance, fleet order.
+    pub fn fleet_telemetry(&self) -> Vec<dpi_core::Telemetry> {
+        self.dpi_instances
+            .iter()
+            .map(|d| d.lock().telemetry())
+            .collect()
+    }
+
+    /// Per-shard telemetry of the batch pipeline, including error
+    /// counters, peak queue depth and supervision counters (restarts,
+    /// watchdog trips, lost scans).
+    pub fn shard_telemetry(&self) -> Vec<ShardTelemetry> {
+        self.scanner.shard_telemetry()
+    }
+
+    /// The chaos fault log (empty without an attached plan).
+    pub fn fault_log(&self) -> Vec<String> {
+        self.chaos
+            .as_ref()
+            .map(|c| c.fault_log())
+            .unwrap_or_default()
     }
 
     /// Scans a batch of chain-tagged packets through the parallel

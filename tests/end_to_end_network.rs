@@ -59,6 +59,7 @@ fn clean_traffic_flows_untouched_to_destination() {
     assert_eq!(sys.dpi_telemetry().packets, 10);
     assert_eq!(sys.stats_of(IDS_ID).unwrap().packets, 10);
     assert_eq!(sys.stats_of(IDS_ID).unwrap().bytes_self_scanned, 0);
+    assert_eq!(sys.net.dropped(), 0, "healthy run loses nothing");
 }
 
 #[test]
@@ -79,6 +80,7 @@ fn matches_reach_the_right_middleboxes_and_results_never_leak() {
     }
     // Nothing fell off the network unexpectedly.
     assert!(sys.net.dropped_at_edge.is_empty());
+    assert_eq!(sys.net.dropped(), 0, "loop guard never fires end-to-end");
 }
 
 #[test]
@@ -165,4 +167,5 @@ fn per_flow_state_survives_the_network_path() {
     );
     // The stateless AV correctly saw nothing.
     assert_eq!(sys.stats_of(AV_ID).unwrap().matches, 0);
+    assert_eq!(sys.net.dropped(), 0, "healthy run loses nothing");
 }
