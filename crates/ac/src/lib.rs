@@ -47,7 +47,7 @@ pub mod naive;
 pub mod sparse;
 pub mod trie;
 
-pub use builder::{CombinedAcBuilder, PatternSet};
+pub use builder::{CombinedAcBuilder, PatternSet, PatternSetDelta};
 pub use combined::CombinedAc;
 pub use compact::CompactAc;
 pub use full::FullAc;

@@ -170,6 +170,7 @@ fn bench_result_encodings(c: &mut Criterion) {
         b.iter(|| {
             ResultPacket {
                 packet_id: 1,
+                generation: 0,
                 flow,
                 flow_offset: 0,
                 reports: reports.clone(),

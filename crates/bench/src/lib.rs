@@ -20,6 +20,9 @@
 //!   without MCA² mitigation.
 //! * `bench_pipeline` — sequential vs sharded data-plane packets/sec and
 //!   FullAc vs CompactAc footprint; writes `BENCH_pipeline.json`.
+//! * `bench_update` — live rule-update cost: off-hot-path compile time,
+//!   drain-barrier swap pause and per-update transfer bytes; writes
+//!   `BENCH_update.json`.
 
 use dpi_ac::{Automaton, CombinedAcBuilder, MiddleboxId, PatternSet};
 use dpi_packet::{MacAddr, Packet};

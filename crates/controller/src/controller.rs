@@ -70,6 +70,42 @@ struct InstanceRecord {
     last_report: Telemetry,
     total: Telemetry,
     dedicated: bool,
+    /// The rule generation the instance last acked (0 = initial build).
+    generation: u32,
+    /// Set when a pattern mutation touched a middlebox on one of this
+    /// instance's chains after its last acked generation — the instance
+    /// is serving stale rules until an update rolls out.
+    pending_update: bool,
+}
+
+/// One deployed instance's controller-side status
+/// ([`DpiController::instances`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstanceStatus {
+    /// The instance.
+    pub id: InstanceId,
+    /// The chains it serves.
+    pub chains: Vec<u16>,
+    /// Whether it is MCA²-dedicated.
+    pub dedicated: bool,
+    /// The rule generation it last acked.
+    pub generation: u32,
+    /// Whether its configuration is stale (a pattern affecting its
+    /// chains changed since that generation).
+    pub pending_update: bool,
+}
+
+/// One pattern-set mutation's transfer-size record — the per-update
+/// series behind the paper's Fig. 11 (bytes shipped per pattern-set
+/// update, as opposed to the cumulative total).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferRecord {
+    /// Controller version after the mutation.
+    pub version: u64,
+    /// Signed change in serialized pattern bytes (negative for removals).
+    pub delta_bytes: i64,
+    /// Cumulative serialized pattern bytes after the mutation.
+    pub total_bytes: usize,
 }
 
 /// The logically-centralized DPI controller. Thread-safe: the paper's
@@ -97,6 +133,33 @@ struct Inner {
     /// Monotonic version, bumped on every pattern/registration change so
     /// deployed instances know when their configuration is stale.
     version: u64,
+    /// Per-mutation transfer-size log ([`TransferRecord`]).
+    transfer_log: Vec<TransferRecord>,
+}
+
+impl Inner {
+    /// Records a pattern-set mutation: logs the transfer delta against
+    /// the just-bumped version and flags every instance whose chains
+    /// include `mb` as pending an update.
+    fn note_pattern_change(&mut self, mb: MiddleboxId, bytes_before: usize) {
+        let total = self.patterns.transfer_bytes();
+        self.transfer_log.push(TransferRecord {
+            version: self.version,
+            delta_bytes: total as i64 - bytes_before as i64,
+            total_bytes: total,
+        });
+        let affected: Vec<u16> = self
+            .chains
+            .iter()
+            .filter(|(_, members)| members.contains(&mb))
+            .map(|(cid, _)| *cid)
+            .collect();
+        for rec in self.instances.values_mut() {
+            if rec.chains.iter().any(|c| affected.contains(c)) {
+                rec.pending_update = true;
+            }
+        }
+    }
 }
 
 impl DpiController {
@@ -159,6 +222,18 @@ impl DpiController {
             ControllerMessage::Deregister { middlebox_id } => self
                 .deregister(MiddleboxId(middlebox_id))
                 .map(|_| ControllerReply::Ok),
+            ControllerMessage::AckGeneration {
+                instance_id,
+                generation,
+            } => self
+                .mark_instance_current(InstanceId(instance_id), generation)
+                .map(|_| ControllerReply::Ok),
+            // BeginUpdate/Rollback travel controller → instance; one
+            // arriving *at* the controller is a misrouted message.
+            ControllerMessage::BeginUpdate { instance_id, .. }
+            | ControllerMessage::Rollback { instance_id, .. } => Ok(ControllerReply::Error {
+                reason: format!("message for instance {instance_id} routed to the controller"),
+            }),
             ControllerMessage::Heartbeat {
                 instance_id,
                 seq,
@@ -203,10 +278,15 @@ impl DpiController {
                 profile,
             },
         );
+        let before = g.patterns.transfer_bytes();
+        let inherited_any = !inherited.is_empty();
         for (rid, rule) in inherited {
             g.patterns.add(id, rid, &rule);
         }
         g.version += 1;
+        if inherited_any {
+            g.note_pattern_change(id, before);
+        }
         Ok(())
     }
 
@@ -221,8 +301,10 @@ impl DpiController {
         if !g.middleboxes.contains_key(&id) {
             return Err(ControllerError::UnknownMiddlebox(id.0));
         }
+        let before = g.patterns.transfer_bytes();
         g.patterns.add(id, rule_id, rule);
         g.version += 1;
+        g.note_pattern_change(id, before);
         Ok(())
     }
 
@@ -232,8 +314,10 @@ impl DpiController {
         if !g.middleboxes.contains_key(&id) {
             return Err(ControllerError::UnknownMiddlebox(id.0));
         }
+        let before = g.patterns.transfer_bytes();
         g.patterns.remove(id, rule_id);
         g.version += 1;
+        g.note_pattern_change(id, before);
         Ok(())
     }
 
@@ -243,10 +327,13 @@ impl DpiController {
         if g.middleboxes.remove(&id).is_none() {
             return Err(ControllerError::UnknownMiddlebox(id.0));
         }
+        let before = g.patterns.transfer_bytes();
         g.patterns.remove_middlebox(id);
+        g.version += 1;
+        // Flag affected instances before the chains themselves go away.
+        g.note_pattern_change(id, before);
         g.chains.retain(|_, members| !members.contains(&id));
         g.chain_ids.retain(|members, _| !members.contains(&id));
-        g.version += 1;
         Ok(())
     }
 
@@ -435,21 +522,66 @@ impl DpiController {
             .ok_or(ControllerError::UnknownInstance(id))
     }
 
-    /// Deployed instances with their chains and dedicated flag.
-    pub fn instances(&self) -> Vec<(InstanceId, Vec<u16>, bool)> {
+    /// Deployed instances with their chains, dedicated flag, acked rule
+    /// generation and pending-update status, in id order.
+    pub fn instances(&self) -> Vec<InstanceStatus> {
         let g = self.inner.lock();
-        let mut v: Vec<_> = g
+        let mut v: Vec<InstanceStatus> = g
             .instances
             .iter()
-            .map(|(id, r)| (*id, r.chains.clone(), r.dedicated))
+            .map(|(id, r)| InstanceStatus {
+                id: *id,
+                chains: r.chains.clone(),
+                dedicated: r.dedicated,
+                generation: r.generation,
+                pending_update: r.pending_update,
+            })
             .collect();
-        v.sort_by_key(|(id, _, _)| *id);
+        v.sort_by_key(|s| s.id);
         v
+    }
+
+    /// The rule generation an instance last acked.
+    pub fn instance_generation(&self, id: InstanceId) -> Option<u32> {
+        self.inner.lock().instances.get(&id).map(|r| r.generation)
+    }
+
+    /// Whether an instance is flagged as serving stale rules.
+    pub fn instance_pending_update(&self, id: InstanceId) -> Option<bool> {
+        self.inner
+            .lock()
+            .instances
+            .get(&id)
+            .map(|r| r.pending_update)
+    }
+
+    /// Records that an instance now serves `generation` (its
+    /// `AckGeneration`): stores the generation and clears the
+    /// pending-update flag.
+    pub fn mark_instance_current(
+        &self,
+        id: InstanceId,
+        generation: u32,
+    ) -> Result<(), ControllerError> {
+        let mut g = self.inner.lock();
+        let rec = g
+            .instances
+            .get_mut(&id)
+            .ok_or(ControllerError::UnknownInstance(id))?;
+        rec.generation = generation;
+        rec.pending_update = false;
+        Ok(())
     }
 
     /// Total serialized pattern bytes (§4.1's transfer-size argument).
     pub fn pattern_transfer_bytes(&self) -> usize {
         self.inner.lock().patterns.transfer_bytes()
+    }
+
+    /// Per-mutation transfer-size history — the paper's Fig. 11 series
+    /// (bytes shipped per pattern-set update).
+    pub fn pattern_transfer_deltas(&self) -> Vec<TransferRecord> {
+        self.inner.lock().transfer_log.clone()
     }
 }
 
@@ -668,6 +800,92 @@ mod tests {
         c.remove_instance(a).unwrap();
         assert_eq!(c.instance_health(a), None);
         assert!(c.health_tick().is_empty());
+    }
+
+    #[test]
+    fn pattern_mutations_flag_affected_instances_pending() {
+        let c = DpiController::new();
+        register(&c, 1, "ids");
+        register(&c, 2, "av");
+        let chain_a = c.register_chain(&[MiddleboxId(1)]).unwrap();
+        let chain_b = c.register_chain(&[MiddleboxId(2)]).unwrap();
+        let on_a = c.deploy_instance(vec![chain_a]);
+        let on_b = c.deploy_instance(vec![chain_b]);
+        // Mutating middlebox 2's rules stales only the instance whose
+        // chain contains middlebox 2.
+        c.add_pattern(MiddleboxId(2), 0, &RuleSpec::exact(b"new-sig".to_vec()))
+            .unwrap();
+        assert_eq!(c.instance_pending_update(on_a), Some(false));
+        assert_eq!(c.instance_pending_update(on_b), Some(true));
+        let statuses = c.instances();
+        assert_eq!(statuses.len(), 2);
+        assert!(!statuses[0].pending_update);
+        assert!(statuses[1].pending_update);
+        assert_eq!(statuses[1].generation, 0);
+        // An acked generation clears the flag and records the generation.
+        c.mark_instance_current(on_b, 1).unwrap();
+        assert_eq!(c.instance_pending_update(on_b), Some(false));
+        assert_eq!(c.instance_generation(on_b), Some(1));
+        // Removal stales it again (satellite: remove_pattern bumps the
+        // version and re-flags).
+        let v = c.version();
+        c.remove_pattern(MiddleboxId(2), 0).unwrap();
+        assert!(c.version() > v);
+        assert_eq!(c.instance_pending_update(on_b), Some(true));
+        assert_eq!(c.instance_pending_update(on_a), Some(false));
+        // The ack flows over the JSON channel too.
+        let reply = c.handle_json(
+            &ControllerMessage::AckGeneration {
+                instance_id: on_b.0,
+                generation: 2,
+            }
+            .to_json(),
+        );
+        assert!(ControllerReply::from_json(&reply).unwrap().is_ok());
+        assert_eq!(c.instance_generation(on_b), Some(2));
+        assert_eq!(c.instance_pending_update(on_b), Some(false));
+        // BeginUpdate/Rollback are controller→instance messages; the
+        // controller rejects ones misrouted to itself.
+        let cfg = c.instance_config(&[chain_b]).unwrap();
+        let artifact = dpi_core::UpdateArtifact::build(3, &cfg);
+        let reply = c.handle_json(&crate::proto::begin_update(on_b.0, &artifact).to_json());
+        assert!(!ControllerReply::from_json(&reply).unwrap().is_ok());
+    }
+
+    #[test]
+    fn transfer_deltas_record_per_update_bytes() {
+        let c = DpiController::new();
+        register(&c, 1, "ids");
+        assert!(c.pattern_transfer_deltas().is_empty());
+        c.add_pattern(MiddleboxId(1), 0, &RuleSpec::exact(b"12345678".to_vec()))
+            .unwrap();
+        c.add_pattern(MiddleboxId(1), 1, &RuleSpec::exact(b"abcd".to_vec()))
+            .unwrap();
+        c.remove_pattern(MiddleboxId(1), 0).unwrap();
+        let log = c.pattern_transfer_deltas();
+        assert_eq!(log.len(), 3);
+        // Adds are positive, the removal negative, and each total matches
+        // the cumulative count at that version.
+        assert!(log[0].delta_bytes > 0);
+        assert!(log[1].delta_bytes > 0);
+        assert!(log[2].delta_bytes < 0);
+        assert_eq!(log[2].delta_bytes, -log[0].delta_bytes);
+        assert_eq!(log[2].total_bytes, c.pattern_transfer_bytes());
+        // Versions are strictly increasing across mutations.
+        assert!(log[0].version < log[1].version && log[1].version < log[2].version);
+        // Inheritance is logged, but the global store dedups by content,
+        // so inheriting an already-stored pattern ships zero new bytes —
+        // §4.1's shared-pattern argument.
+        c.register(
+            MiddleboxId(9),
+            "clone",
+            Some(MiddleboxId(1)),
+            MiddleboxProfile::stateless(MiddleboxId(9)),
+        )
+        .unwrap();
+        let log = c.pattern_transfer_deltas();
+        assert_eq!(log.len(), 4);
+        assert_eq!(log[3].delta_bytes, 0);
     }
 
     #[test]

@@ -36,11 +36,13 @@ pub mod managed;
 pub mod proto;
 pub mod registry;
 pub mod stress;
+pub mod update;
 
-pub use controller::{ControllerError, DpiController, InstanceId};
+pub use controller::{ControllerError, DpiController, InstanceId, InstanceStatus, TransferRecord};
 pub use deploy::DeploymentPlan;
 pub use health::{HealthEvent, HealthMonitor, HealthPolicy, InstanceHealth};
 pub use managed::{ManagedInstance, ManagedShardedInstance};
 pub use proto::{ControllerMessage, ControllerReply};
 pub use registry::GlobalPatternSet;
 pub use stress::{Mca2Action, StressMonitor, StressPolicy};
+pub use update::{PreparedUpdate, RolloutOutcome, RolloutReport, UpdateOrchestrator, UpdateTarget};

@@ -8,7 +8,8 @@
 //! per-instance automatons built from it.
 
 use crate::controller::{ControllerError, DpiController, InstanceId};
-use dpi_core::{DpiInstance, ShardedScanner, Telemetry};
+use dpi_core::{DpiInstance, ScanEngine, ShardedScanner, Telemetry};
+use std::sync::Arc;
 
 /// A deployed instance that tracks controller configuration changes.
 #[derive(Debug)]
@@ -36,25 +37,31 @@ impl ManagedInstance {
         self.built_at_version
     }
 
-    /// Rebuilds the instance if the controller configuration changed
-    /// since the last build. Returns whether a rebuild happened.
+    /// Follows the controller onto its current configuration by
+    /// compiling the next rule generation off the hot path and
+    /// hot-swapping it in ([`DpiInstance::swap_engine`]). Returns whether
+    /// a swap happened.
     ///
-    /// Rebuilding replaces the automaton, so state identifiers stored for
-    /// stateful flows become meaningless: flow state is dropped and
-    /// affected flows rescan from the automaton root — matches in flight
-    /// across the rebuild boundary may be missed once, exactly as when a
-    /// middlebox reloads its rule set today.
+    /// Unlike a rebuild, the swap preserves telemetry, reassembly buffers
+    /// and the flow table. Stored flow state is generation-tagged:
+    /// mid-flow scans re-anchor at the new automaton's root, which can
+    /// only *miss* a match straddling the swap, never fabricate one
+    /// (DESIGN.md §9).
     pub fn refresh(&mut self, controller: &DpiController) -> Result<bool, ControllerError> {
         let v = controller.version();
         if v == self.built_at_version {
             return Ok(false);
         }
         let cfg = controller.instance_config(&self.chains)?;
-        self.instance = DpiInstance::new(cfg).map_err(|e| {
-            // Configuration came from the controller's own state; a build
-            // failure means the stored rules are inconsistent.
-            ControllerError::InconsistentConfig(e.to_string())
-        })?;
+        let next = self.instance.engine().generation() + 1;
+        let engine = ScanEngine::with_generation(cfg, next)
+            .map(Arc::new)
+            .map_err(|e| {
+                // Configuration came from the controller's own state; a build
+                // failure means the stored rules are inconsistent.
+                ControllerError::InconsistentConfig(e.to_string())
+            })?;
+        self.instance.swap_engine(engine);
         self.built_at_version = v;
         Ok(true)
     }
@@ -101,17 +108,24 @@ impl ManagedShardedInstance {
         self.scanner.workers()
     }
 
-    /// Rebuilds the scanner if the controller configuration changed
-    /// since the last build, keeping the worker count. Returns whether a
-    /// rebuild happened. As with [`ManagedInstance::refresh`], per-flow
-    /// scan state is dropped across the rebuild boundary.
+    /// Follows the controller onto its current configuration by
+    /// compiling the next rule generation off the hot path and
+    /// hot-swapping it across all shards at the batch boundary
+    /// ([`ShardedScanner::swap_engine`]). Returns whether a swap
+    /// happened. Worker count, shard flow tables and telemetry survive;
+    /// mid-flow scans re-anchor as in [`ManagedInstance::refresh`].
     pub fn refresh(&mut self, controller: &DpiController) -> Result<bool, ControllerError> {
         let v = controller.version();
         if v == self.built_at_version {
             return Ok(false);
         }
         let cfg = controller.instance_config(&self.chains)?;
-        self.scanner = ShardedScanner::from_config(cfg, self.scanner.workers())
+        let next = self.scanner.generation() + 1;
+        let engine = ScanEngine::with_generation(cfg, next)
+            .map(Arc::new)
+            .map_err(|e| ControllerError::InconsistentConfig(e.to_string()))?;
+        self.scanner
+            .swap_engine(engine)
             .map_err(|e| ControllerError::InconsistentConfig(e.to_string()))?;
         self.built_at_version = v;
         Ok(true)
@@ -252,6 +266,31 @@ mod tests {
         assert!(m.refresh(&c).unwrap());
         assert_eq!(m.workers(), 4);
         assert!(!m.refresh(&c).unwrap());
+    }
+
+    #[test]
+    fn refresh_is_a_hot_swap_preserving_state() {
+        let c = controller_with_mb();
+        let chain = c.register_chain(&[MiddleboxId(1)]).unwrap();
+        let mut m = c.spawn_managed(vec![chain]).unwrap();
+        assert_eq!(m.instance.engine().generation(), 0);
+        m.instance.scan_payload(chain, None, b"first-sig").unwrap();
+        let packets_before = m.instance.telemetry().packets;
+        c.add_pattern(MiddleboxId(1), 1, &RuleSpec::exact(b"second-sig".to_vec()))
+            .unwrap();
+        assert!(m.refresh(&c).unwrap());
+        // The generation advanced and telemetry survived the swap —
+        // refresh replaced the engine, not the instance.
+        assert_eq!(m.instance.engine().generation(), 1);
+        assert_eq!(m.instance.telemetry().packets, packets_before);
+
+        let mut s = c.spawn_managed_sharded(vec![chain], 2).unwrap();
+        assert_eq!(s.scanner.generation(), 0);
+        c.add_pattern(MiddleboxId(1), 2, &RuleSpec::exact(b"third-sig".to_vec()))
+            .unwrap();
+        assert!(s.refresh(&c).unwrap());
+        assert_eq!(s.scanner.generation(), 1);
+        assert_eq!(s.workers(), 2);
     }
 
     #[test]

@@ -97,7 +97,7 @@ pub struct ChainSpec {
 }
 
 /// Everything a DPI service instance is initialized with (§5.1).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct InstanceConfig {
     /// Scanning profiles for every registered middlebox.
     pub profiles: Vec<MiddleboxProfile>,

@@ -18,6 +18,11 @@ pub struct FlowState {
     pub state: StateId,
     /// Bytes of the flow scanned so far (`offset` in §5.2).
     pub offset: u64,
+    /// Rule generation whose automaton `state` belongs to. A state id is
+    /// only meaningful inside the automaton that produced it, so after a
+    /// hot swap the mid-flow state of older generations must not be fed
+    /// to the new automaton (DESIGN.md §9).
+    pub generation: u32,
     /// Logical timestamp of the last access (for eviction).
     last_used: u64,
 }
@@ -66,14 +71,39 @@ impl FlowTable {
         })
     }
 
-    /// Stores a flow's state after a scan.
+    /// Looks up a flow's state, but only if it was written under
+    /// `generation`. A mismatch behaves exactly like a fresh flow: the
+    /// caller re-anchors at the new automaton's root. Like eviction, this
+    /// can only *miss* matches straddling the swap, never fabricate one
+    /// (the stateless-deletion argument, DESIGN.md §8/§9). Stale entries
+    /// are dropped so they don't linger until eviction.
+    pub fn get_if_generation(&mut self, key: &FlowKey, generation: u32) -> Option<FlowState> {
+        match self.get(key) {
+            Some(fs) if fs.generation == generation => Some(fs),
+            Some(_) => {
+                self.flows.remove(key);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Stores a flow's state after a scan, tagged generation 0 (the
+    /// pre-update world; generation-aware callers use [`FlowTable::put_gen`]).
     pub fn put(&mut self, key: FlowKey, state: StateId, offset: u64) {
+        self.put_gen(key, state, offset, 0);
+    }
+
+    /// Stores a flow's state tagged with the generation of the automaton
+    /// that produced it.
+    pub fn put_gen(&mut self, key: FlowKey, state: StateId, offset: u64, generation: u32) {
         self.clock += 1;
         self.flows.insert(
             key,
             FlowState {
                 state,
                 offset,
+                generation,
                 last_used: self.clock,
             },
         );
@@ -161,6 +191,19 @@ mod tests {
         dst.import(key(5), state, offset);
         let fs = dst.get(&key(5)).unwrap();
         assert_eq!((fs.state, fs.offset), (7, 512));
+    }
+
+    #[test]
+    fn generation_mismatch_reads_as_a_fresh_flow() {
+        let mut t = FlowTable::new(8);
+        t.put_gen(key(1), 42, 1000, 3);
+        // Same generation: state restored.
+        let fs = t.get_if_generation(&key(1), 3).unwrap();
+        assert_eq!((fs.state, fs.offset, fs.generation), (42, 1000, 3));
+        // After a swap to generation 4, the old state is unusable — the
+        // flow re-anchors as if new, and the stale entry is dropped.
+        assert!(t.get_if_generation(&key(1), 4).is_none());
+        assert!(t.get(&key(1)).is_none());
     }
 
     #[test]

@@ -178,6 +178,11 @@ pub struct ScanEngine {
     chains: HashMap<u16, ChainInfo>,
     rules: HashMap<MiddleboxId, MbRules>,
     max_flows: usize,
+    /// The rule generation this engine was compiled from (0 for the
+    /// initial configuration). Stamped into every result packet and every
+    /// stored flow state, so each match is attributable to exactly one
+    /// generation and no state crosses automatons (DESIGN.md §9).
+    generation: u32,
 }
 
 // The engine is shared by reference across scan workers; this must hold
@@ -242,9 +247,21 @@ impl ShardState {
         exported
     }
 
-    /// Imports a migrated flow's scan state.
-    pub fn import_flow(&mut self, key: FlowKey, state: u32, offset: u64) {
-        self.flows.import(key, state, offset);
+    /// Imports a migrated flow's scan state, tagged with the generation
+    /// of the automaton the state id belongs to (migration is only valid
+    /// between engines of the same generation).
+    pub fn import_flow(&mut self, key: FlowKey, state: u32, offset: u64, generation: u32) {
+        self.flows.put_gen(key, state, offset, generation);
+    }
+
+    /// Prepares this shard for a hot engine swap. The lazy-DFA cache is
+    /// keyed by (middlebox, rule index) *within one generation's rule
+    /// list* — a cached DFA surviving the swap could fabricate matches
+    /// for a changed rule, so it must go. Flow state needs no sweep: it
+    /// is generation-tagged and lazily re-anchored on next access.
+    /// Reassembly buffers carry raw bytes, which are generation-free.
+    pub fn on_generation_swap(&mut self) {
+        self.dfa_cache.clear();
     }
 
     /// Declares a new TCP stream with its initial sequence number.
@@ -285,8 +302,19 @@ impl ShardState {
 }
 
 impl ScanEngine {
-    /// Compiles a configuration into an engine (§5.1's initialization).
+    /// Compiles a configuration into an engine (§5.1's initialization),
+    /// at generation 0.
     pub fn new(config: InstanceConfig) -> Result<ScanEngine, InstanceError> {
+        ScanEngine::with_generation(config, 0)
+    }
+
+    /// Compiles a configuration as rule generation `generation` — the
+    /// off-hot-path build step of a live update
+    /// ([`crate::update::UpdateArtifact::compile`]).
+    pub fn with_generation(
+        config: InstanceConfig,
+        generation: u32,
+    ) -> Result<ScanEngine, InstanceError> {
         let mut profiles = HashMap::new();
         for p in &config.profiles {
             profiles.insert(p.id, *p);
@@ -345,7 +373,13 @@ impl ScanEngine {
             max_flows: config
                 .max_flows
                 .unwrap_or(InstanceConfig::DEFAULT_MAX_FLOWS),
+            generation,
         })
+    }
+
+    /// The rule generation this engine was compiled from.
+    pub fn generation(&self) -> u32 {
+        self.generation
     }
 
     /// The combined automaton (size/stat introspection for experiments).
@@ -380,11 +414,15 @@ impl ScanEngine {
             .get(&chain_id)
             .ok_or(InstanceError::UnknownChain(chain_id))?;
 
-        // Restore per-flow DFA state for stateful chains.
+        // Restore per-flow DFA state for stateful chains — but only state
+        // written by *this* engine's generation: after a hot swap, a state
+        // id from the old automaton is meaningless in the new one, so the
+        // flow deterministically re-anchors at the root (miss-only,
+        // DESIGN.md §9).
         let (start_state, offset) = match (chain.any_stateful, flow) {
             (true, Some(key)) => shard
                 .flows
-                .get(&key)
+                .get_if_generation(&key, self.generation)
                 .map(|fs| (fs.state, fs.offset))
                 .unwrap_or((self.ac.start(), 0)),
             _ => (self.ac.start(), 0),
@@ -538,7 +576,9 @@ impl ScanEngine {
         // matches would be filtered anyway.
         if chain.any_stateful {
             if let Some(key) = flow {
-                shard.flows.put(key, state, offset + payload.len() as u64);
+                shard
+                    .flows
+                    .put_gen(key, state, offset + payload.len() as u64, self.generation);
             }
         }
 
@@ -589,6 +629,7 @@ impl ScanEngine {
         packet.mark_matches();
         Ok(Some(ResultPacket {
             packet_id: 0,
+            generation: self.generation,
             flow: flow.expect("ipv4 payload implies flow key"),
             flow_offset: out.flow_offset,
             reports: out.reports,
@@ -736,9 +777,22 @@ impl DpiInstance {
         self.shard.export_flow(key)
     }
 
-    /// Imports a migrated flow's scan state.
+    /// Imports a migrated flow's scan state (migration is only valid
+    /// between instances running the same rule generation; the state is
+    /// tagged with this engine's generation).
     pub fn import_flow(&mut self, key: FlowKey, state: u32, offset: u64) {
-        self.shard.import_flow(key, state, offset);
+        let generation = self.engine.generation();
+        self.shard.import_flow(key, state, offset, generation);
+    }
+
+    /// Hot-swaps this instance onto a new rule generation. The swap is a
+    /// pointer exchange plus a lazy-DFA cache drop — compilation already
+    /// happened off the hot path ([`crate::update::UpdateArtifact`]).
+    /// Flow table, reassembly buffers and telemetry survive; mid-flow
+    /// scans re-anchor on the new automaton (miss-only, DESIGN.md §9).
+    pub fn swap_engine(&mut self, engine: Arc<ScanEngine>) {
+        self.shard.on_generation_swap();
+        self.engine = engine;
     }
 
     /// Number of flows currently tracked.

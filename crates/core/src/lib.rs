@@ -45,6 +45,7 @@ pub mod reassembly;
 pub mod report;
 pub mod rules;
 pub mod telemetry;
+pub mod update;
 
 pub use chaos::{ChaosEngine, FaultPlan, RetryOutcome, RetryPolicy, ShardFault, ShardFaultSpec};
 pub use config::{ChainSpec, InstanceConfig, MiddleboxProfile};
@@ -58,6 +59,7 @@ pub use reassembly::StreamReassembler;
 pub use report::compress_matches;
 pub use rules::{RuleKind, RuleSpec};
 pub use telemetry::{ShardTelemetry, Telemetry};
+pub use update::{EngineSlot, GenerationId, UpdateArtifact, UpdateError, UpdateStats};
 
 // Re-export the identifier types shared across the system.
 pub use dpi_ac::{MiddleboxId, PatternId};

@@ -24,6 +24,7 @@ use crate::chaos::{ChaosEngine, ShardFault, ShardFaultSpec};
 use crate::config::InstanceConfig;
 use crate::instance::{InstanceError, ScanEngine, ShardState};
 use crate::telemetry::{ShardTelemetry, Telemetry};
+use crate::update::{EngineSlot, UpdateError, UpdateStats};
 use crossbeam::channel;
 use dpi_packet::report::ResultPacket;
 use dpi_packet::Packet;
@@ -110,6 +111,12 @@ pub struct ShardedScanner {
     faults: Vec<ShardFaultSpec>,
     /// Chaos engine to receive deterministic fault-log entries.
     chaos: Option<Arc<ChaosEngine>>,
+    /// Optional shared generation slot: polled at every batch boundary,
+    /// so a controller can publish a new generation without holding a
+    /// reference to the scanner itself.
+    slot: Option<Arc<EngineSlot>>,
+    /// Hot-swap telemetry (swaps applied, rejections, last pause).
+    update_stats: UpdateStats,
     packet_counter: u32,
 }
 
@@ -119,6 +126,10 @@ impl ShardedScanner {
     pub fn new(engine: Arc<ScanEngine>, workers: usize) -> ShardedScanner {
         let n = workers.max(1);
         let shards = (0..n).map(|_| ShardState::new(&engine)).collect();
+        let update_stats = UpdateStats {
+            generation: engine.generation(),
+            ..UpdateStats::default()
+        };
         ShardedScanner {
             engine,
             shards,
@@ -132,6 +143,8 @@ impl ShardedScanner {
             watchdog: None,
             faults: Vec::new(),
             chaos: None,
+            slot: None,
+            update_stats,
             packet_counter: 0,
         }
     }
@@ -188,6 +201,87 @@ impl ShardedScanner {
         &self.engine
     }
 
+    /// The rule generation currently serving.
+    pub fn generation(&self) -> u32 {
+        self.engine.generation()
+    }
+
+    /// Hot-swap telemetry: swaps applied, artifacts rejected, the last
+    /// swap's pause and transfer bytes.
+    pub fn update_stats(&self) -> UpdateStats {
+        self.update_stats
+    }
+
+    /// Records the transfer size of the update that produced the current
+    /// generation (the controller knows it; the scanner only reports it).
+    pub fn note_update_transfer(&mut self, bytes: u64) {
+        self.update_stats.last_transfer_bytes = bytes;
+    }
+
+    /// Attaches a shared generation slot. Before each batch the scanner
+    /// adopts whatever generation the slot publishes — newer (a rollout
+    /// reaching this instance) or older (an explicit rollback) — so a
+    /// controller can drive updates without a direct scanner reference.
+    pub fn attach_slot(&mut self, slot: Arc<EngineSlot>) {
+        self.slot = Some(slot);
+    }
+
+    /// Hot-swaps the scanner onto a new rule generation. Callable only
+    /// between batches (`&mut self`, and `inspect_batch` joins every
+    /// worker before returning), so the swap can never interleave with an
+    /// in-flight scan: that join is the drain barrier, and the returned
+    /// pause — shard cache sweep plus pointer exchange, *not*
+    /// compilation — is the entire packet-path cost of the update.
+    /// Refuses to move backward; rollbacks go through
+    /// [`ShardedScanner::rollback_engine`].
+    pub fn swap_engine(&mut self, engine: Arc<ScanEngine>) -> Result<Duration, UpdateError> {
+        let current = self.engine.generation();
+        let offered = engine.generation();
+        if offered <= current {
+            self.update_stats.rejected += 1;
+            return Err(UpdateError::StaleGeneration { current, offered });
+        }
+        Ok(self.adopt_engine(engine))
+    }
+
+    /// Swaps back to a previous generation (the rollback path; generation
+    /// monotonicity deliberately not enforced).
+    pub fn rollback_engine(&mut self, engine: Arc<ScanEngine>) -> Duration {
+        self.adopt_engine(engine)
+    }
+
+    fn adopt_engine(&mut self, engine: Arc<ScanEngine>) -> Duration {
+        let started = Instant::now();
+        // Per-shard lazy-DFA caches index into the outgoing generation's
+        // rule lists and must not survive it; generation-tagged flow
+        // state re-anchors lazily and needs no sweep.
+        for shard in &mut self.shards {
+            shard.on_generation_swap();
+        }
+        self.engine = engine;
+        let pause = started.elapsed();
+        self.update_stats.generation = self.engine.generation();
+        self.update_stats.swaps += 1;
+        self.update_stats.last_swap_pause = pause;
+        pause
+    }
+
+    /// Adopts a generation published to the attached slot, if it differs
+    /// from the one serving. Called at the batch boundary (the drain
+    /// barrier), never mid-batch.
+    fn poll_slot(&mut self) {
+        let Some(slot) = &self.slot else {
+            return;
+        };
+        let published = slot.load();
+        let current = self.engine.generation();
+        if published.generation() > current {
+            let _ = self.swap_engine(published);
+        } else if published.generation() < current {
+            self.rollback_engine(published);
+        }
+    }
+
     /// The shard a flow is pinned to.
     pub fn shard_of(&self, flow: &dpi_packet::FlowKey) -> usize {
         (flow.stable_hash() % self.shards.len() as u64) as usize
@@ -204,6 +298,7 @@ impl ShardedScanner {
     /// Packets that fail inspection (no tag, no payload, unknown chain)
     /// are counted per shard and yield no result.
     pub fn inspect_batch(&mut self, packets: &mut [Packet]) -> Vec<ResultPacket> {
+        self.poll_slot();
         let n = self.shards.len();
         let engine = &self.engine;
         let watchdog = self.watchdog;
@@ -625,6 +720,77 @@ mod tests {
         assert!(log.iter().any(|e| e.contains("panicked")));
         assert!(log.iter().any(|e| e.contains("restarted")));
         assert_eq!(log, run());
+    }
+
+    #[test]
+    fn hot_swap_changes_the_rule_set_at_the_batch_boundary() {
+        let mut scanner = ShardedScanner::from_config(config(), 2).unwrap();
+        let mut batch = vec![tagged_packet(1, b"an attack and a worm")];
+        let results = scanner.inspect_batch(&mut batch);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].generation, 0);
+
+        // Generation 1 drops "attack"/"virus" and adds "worm".
+        let next = InstanceConfig::new()
+            .with_middlebox(
+                MiddleboxProfile::stateless(MiddleboxId(1)),
+                vec![RuleSpec::exact(b"worm".to_vec())],
+            )
+            .with_chain(3, vec![MiddleboxId(1)]);
+        let engine = Arc::new(crate::instance::ScanEngine::with_generation(next, 1).unwrap());
+        let pause = scanner.swap_engine(engine).unwrap();
+        assert_eq!(scanner.generation(), 1);
+        assert!(pause < Duration::from_millis(100));
+
+        let mut batch = vec![
+            tagged_packet(2, b"an attack and a worm"),
+            tagged_packet(3, b"attack only"),
+        ];
+        let results = scanner.inspect_batch(&mut batch);
+        // Removed pattern never matches after the swap; the new one does,
+        // and the result is attributed to generation 1.
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].generation, 1);
+        assert_eq!(results[0].reports[0].records.len(), 1);
+        assert_eq!(scanner.update_stats().swaps, 1);
+    }
+
+    #[test]
+    fn stale_generation_swap_is_rejected() {
+        let mut scanner = ShardedScanner::from_config(config(), 1).unwrap();
+        let same_gen = Arc::new(crate::instance::ScanEngine::new(config()).unwrap());
+        assert!(matches!(
+            scanner.swap_engine(same_gen),
+            Err(UpdateError::StaleGeneration {
+                current: 0,
+                offered: 0
+            })
+        ));
+        assert_eq!(scanner.update_stats().rejected, 1);
+        assert_eq!(scanner.generation(), 0);
+    }
+
+    #[test]
+    fn attached_slot_is_adopted_at_the_next_batch() {
+        let mut scanner = ShardedScanner::from_config(config(), 2).unwrap();
+        let slot = Arc::new(EngineSlot::new(scanner.engine().clone()));
+        scanner.attach_slot(slot.clone());
+
+        let next = InstanceConfig::new()
+            .with_middlebox(
+                MiddleboxProfile::stateless(MiddleboxId(1)),
+                vec![RuleSpec::exact(b"worm".to_vec())],
+            )
+            .with_chain(3, vec![MiddleboxId(1)]);
+        let engine = Arc::new(crate::instance::ScanEngine::with_generation(next, 1).unwrap());
+        slot.publish(engine).unwrap();
+        // The scanner adopts the published generation at the batch
+        // boundary, with no direct swap call.
+        let mut batch = vec![tagged_packet(4, b"a worm arrives")];
+        let results = scanner.inspect_batch(&mut batch);
+        assert_eq!(scanner.generation(), 1);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].generation, 1);
     }
 
     #[test]

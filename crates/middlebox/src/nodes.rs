@@ -139,6 +139,15 @@ pub struct MiddleboxNode {
     /// the one that strips the in-band header before the packet leaves
     /// the service chain (§4.2).
     last_on_chain: bool,
+    /// Highest rule generation seen per flow. During a staged rollout two
+    /// DPI instances may briefly serve different generations; once a flow
+    /// has consumed results from generation `g`, results stamped `< g`
+    /// (a retried delivery from a not-yet-updated instance, or a
+    /// duplicate from before a rollback) are discarded rather than mixed
+    /// into the newer rule set's verdicts.
+    flow_generations: std::collections::HashMap<dpi_packet::FlowKey, u32>,
+    /// Result packets discarded for carrying an outdated generation.
+    stale_generation_drops: u64,
 }
 
 impl MiddleboxNode {
@@ -165,9 +174,36 @@ impl MiddleboxNode {
                 mb: Arc::clone(&mb),
                 buffer: ReorderBuffer::new(capacity),
                 last_on_chain,
+                flow_generations: std::collections::HashMap::new(),
+                stale_generation_drops: 0,
             },
             mb,
         )
+    }
+
+    /// Result packets discarded because they carried a rule generation
+    /// older than one this node already consumed for the same flow.
+    pub fn stale_generation_drops(&self) -> u64 {
+        self.stale_generation_drops
+    }
+
+    /// Applies the per-flow generation monotonicity check to a paired
+    /// result. Returns `None` (process as unmatched) for stale results.
+    fn admit_result(
+        &mut self,
+        results: Option<dpi_packet::report::ResultPacket>,
+    ) -> Option<dpi_packet::report::ResultPacket> {
+        let r = results?;
+        if self.flow_generations.len() > 65536 {
+            self.flow_generations.clear(); // bounded, coarse reset
+        }
+        let seen = self.flow_generations.entry(r.flow).or_insert(r.generation);
+        if r.generation < *seen {
+            self.stale_generation_drops += 1;
+            return None;
+        }
+        *seen = r.generation;
+        Some(r)
     }
 }
 
@@ -218,11 +254,8 @@ impl Node for MiddleboxNode {
         let mut out = Vec::new();
         for paired in self.buffer.push(packet) {
             let mb_id = self.mb.lock().id().0;
-            let my_report = paired
-                .results
-                .as_ref()
-                .and_then(|r| r.report_for(mb_id))
-                .cloned();
+            let results = self.admit_result(paired.results);
+            let my_report = results.as_ref().and_then(|r| r.report_for(mb_id)).cloned();
             let verdict = self.mb.lock().process(my_report.as_ref());
             if !verdict.forwards() {
                 continue; // blocked: neither data nor results go on
@@ -231,7 +264,7 @@ impl Node for MiddleboxNode {
             let src_mac = paired.packet.eth.src;
             let dst_mac = paired.packet.eth.dst;
             out.push((port, paired.packet));
-            if let Some(results) = paired.results {
+            if let Some(results) = results {
                 // Re-emit the result packet so downstream middleboxes can
                 // read their own sections.
                 let mut rp = Packet::result(src_mac, dst_mac, results);
@@ -393,6 +426,58 @@ mod tests {
         }
         assert!(forwarded.is_empty());
         assert_eq!(handle.lock().stats().blocked, 1);
+    }
+
+    #[test]
+    fn stale_generation_results_are_rejected_per_flow() {
+        use dpi_packet::report::{MatchRecord, MiddleboxReport, ResultPacket};
+        let mb = ServiceMiddlebox::new(
+            MiddleboxId(1),
+            "ids",
+            RuleLogic::one_per_pattern(1, MbAction::Alert),
+        );
+        let (mut node, handle) = MiddleboxNode::new(mb, true);
+        let fk = flow([1, 1, 1, 1], 9, [2, 2, 2, 2], 80, IpProtocol::Tcp);
+        let result_of = |generation: u32, id: u32| {
+            Packet::result(
+                MacAddr::local(9),
+                MacAddr::local(2),
+                ResultPacket {
+                    packet_id: id,
+                    generation,
+                    flow: fk,
+                    flow_offset: 0,
+                    reports: vec![MiddleboxReport {
+                        middlebox_id: 1,
+                        records: vec![MatchRecord::Single {
+                            pattern_id: 0,
+                            position: 3,
+                        }],
+                    }],
+                },
+            )
+        };
+        let marked = || {
+            let mut p = tagged_pkt(b"payload", 5);
+            p.mark_matches();
+            p
+        };
+
+        // A generation-2 result is consumed normally…
+        let mut out = node.on_packet(marked(), 0);
+        out.extend(node.on_packet(result_of(2, 1), 0));
+        assert_eq!(out.len(), 2); // data + re-emitted result
+        assert_eq!(handle.lock().stats().matches, 1);
+
+        // …then a generation-1 straggler for the same flow (a retried
+        // delivery from a not-yet-updated instance) is discarded: the
+        // data forwards unpaired, the stale result is not re-emitted and
+        // fires no rules.
+        let mut out = node.on_packet(marked(), 0);
+        out.extend(node.on_packet(result_of(1, 2), 0));
+        assert_eq!(out.len(), 1);
+        assert_eq!(node.stale_generation_drops(), 1);
+        assert_eq!(handle.lock().stats().matches, 1);
     }
 
     #[test]

@@ -183,6 +183,7 @@ mod tests {
             MacAddr::local(2),
             ResultPacket {
                 packet_id: id,
+                generation: 0,
                 flow: fk(port),
                 flow_offset: 0,
                 reports: vec![MiddleboxReport::default()],

@@ -504,6 +504,7 @@ mod tests {
     fn result_packet_body_round_trips() {
         let rp = ResultPacket {
             packet_id: 7,
+            generation: 1,
             flow: tcp_flow(),
             flow_offset: 0,
             reports: vec![],

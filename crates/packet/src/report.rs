@@ -190,6 +190,11 @@ pub struct ResultPacket {
     /// copies the data packet's IPv4 identification plus an internal
     /// sequence; uniqueness only matters per flow, per small window).
     pub packet_id: u32,
+    /// The rule generation of the automaton that produced these matches.
+    /// Every match result is attributable to exactly one generation, so a
+    /// consumer can reject results from an instance that has not yet
+    /// picked up (or has already moved past) a rule update.
+    pub generation: u32,
     /// Flow the scanned packet belongs to.
     pub flow: FlowKey,
     /// The flow-relative byte offset of the scanned packet's first payload
@@ -203,10 +208,10 @@ pub struct ResultPacket {
 
 impl ResultPacket {
     /// Fixed header length: magic(2) version(1) count(1) packet_id(4)
-    /// flow_offset(8) flow key(13).
-    pub const HEADER_LEN: usize = 2 + 1 + 1 + 4 + 8 + 13;
-    /// Wire-format version.
-    pub const VERSION: u8 = 1;
+    /// generation(4) flow_offset(8) flow key(13).
+    pub const HEADER_LEN: usize = 2 + 1 + 1 + 4 + 4 + 8 + 13;
+    /// Wire-format version (v2 added the rule-generation word).
+    pub const VERSION: u8 = 2;
 
     /// Total size on the wire.
     pub fn wire_size(&self) -> usize {
@@ -238,6 +243,7 @@ impl ResultPacket {
         out.push(Self::VERSION);
         out.push(self.reports.len() as u8);
         out.extend_from_slice(&self.packet_id.to_be_bytes());
+        out.extend_from_slice(&self.generation.to_be_bytes());
         out.extend_from_slice(&self.flow_offset.to_be_bytes());
         out.extend_from_slice(&self.flow.src_ip.octets());
         out.extend_from_slice(&self.flow.dst_ip.octets());
@@ -276,15 +282,16 @@ impl ResultPacket {
         }
         let n_reports = usize::from(buf[3]);
         let packet_id = u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]);
+        let generation = u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]);
         let flow_offset = u64::from_be_bytes([
-            buf[8], buf[9], buf[10], buf[11], buf[12], buf[13], buf[14], buf[15],
+            buf[12], buf[13], buf[14], buf[15], buf[16], buf[17], buf[18], buf[19],
         ]);
         let flow = FlowKey {
-            src_ip: Ipv4Addr::new(buf[16], buf[17], buf[18], buf[19]),
-            dst_ip: Ipv4Addr::new(buf[20], buf[21], buf[22], buf[23]),
-            protocol: IpProtocol::from_u8(buf[24]),
-            src_port: u16::from_be_bytes([buf[25], buf[26]]),
-            dst_port: u16::from_be_bytes([buf[27], buf[28]]),
+            src_ip: Ipv4Addr::new(buf[20], buf[21], buf[22], buf[23]),
+            dst_ip: Ipv4Addr::new(buf[24], buf[25], buf[26], buf[27]),
+            protocol: IpProtocol::from_u8(buf[28]),
+            src_port: u16::from_be_bytes([buf[29], buf[30]]),
+            dst_port: u16::from_be_bytes([buf[31], buf[32]]),
         };
         let mut off = Self::HEADER_LEN;
         let mut reports = Vec::with_capacity(n_reports);
@@ -296,6 +303,7 @@ impl ResultPacket {
         Ok((
             ResultPacket {
                 packet_id,
+                generation,
                 flow,
                 flow_offset,
                 reports,
@@ -322,6 +330,7 @@ mod tests {
     fn sample() -> ResultPacket {
         ResultPacket {
             packet_id: 0xfeed0001,
+            generation: 3,
             flow: flow(),
             flow_offset: 1 << 33,
             reports: vec![
@@ -400,6 +409,27 @@ mod tests {
         assert!(matches!(
             ResultPacket::parse(&bytes).unwrap_err(),
             ParseError::Unsupported { what: "magic", .. }
+        ));
+    }
+
+    #[test]
+    fn generation_survives_the_wire() {
+        let mut rp = sample();
+        rp.generation = 0xdead_beef;
+        let (parsed, _) = ResultPacket::parse(&rp.to_bytes()).unwrap();
+        assert_eq!(parsed.generation, 0xdead_beef);
+    }
+
+    #[test]
+    fn v1_packets_without_generation_are_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[2] = 1; // pre-generation wire format
+        assert!(matches!(
+            ResultPacket::parse(&bytes).unwrap_err(),
+            ParseError::Unsupported {
+                what: "version",
+                ..
+            }
         ));
     }
 

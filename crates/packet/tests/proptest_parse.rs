@@ -94,9 +94,11 @@ proptest! {
     }
 
     #[test]
-    fn result_packet_round_trips(reports in arbitrary_reports(), packet_id in any::<u32>(), off in any::<u64>()) {
+    fn result_packet_round_trips(reports in arbitrary_reports(), packet_id in any::<u32>(),
+                                 generation in any::<u32>(), off in any::<u64>()) {
         let rp = ResultPacket {
             packet_id,
+            generation,
             flow: flow([1, 1, 1, 1], 1, [2, 2, 2, 2], 2, IpProtocol::Tcp),
             flow_offset: off,
             reports,

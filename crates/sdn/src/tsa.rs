@@ -433,6 +433,7 @@ mod tests {
         // instance port, as a DPI node would emit it.
         let report = dpi_packet::report::ResultPacket {
             packet_id: 1,
+            generation: 0,
             flow: pkt().flow_key().unwrap(),
             flow_offset: 0,
             reports: Vec::new(),

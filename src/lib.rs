@@ -38,4 +38,4 @@ pub use dpi_traffic as traffic;
 pub mod system;
 
 pub use dpi_core::{ScanEngine, ShardedScanner};
-pub use system::{SystemBuilder, SystemHandle};
+pub use system::{SystemBuilder, SystemHandle, UpdateOutcome};

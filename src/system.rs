@@ -25,12 +25,14 @@
 //! loss all replay identically from one seed.
 
 use dpi_ac::MiddleboxId;
-use dpi_controller::{DpiController, HealthEvent, HealthPolicy, InstanceId};
+use dpi_controller::{
+    DpiController, HealthEvent, HealthPolicy, InstanceId, UpdateOrchestrator, UpdateTarget,
+};
 use dpi_core::chaos::{ChaosEngine, FaultPlan, RetryPolicy};
 use dpi_core::instance::ScanEngine;
 use dpi_core::pipeline::ShardedScanner;
 use dpi_core::telemetry::ShardTelemetry;
-use dpi_core::DpiInstance;
+use dpi_core::{DpiInstance, GenerationId, UpdateArtifact, UpdateError};
 use dpi_middlebox::boxes::MiddleboxTemplate;
 use dpi_middlebox::{
     FleetDpiNode, FleetDpiStats, MiddleboxNode, ResultsDelivery, ServiceMiddlebox,
@@ -42,6 +44,7 @@ use dpi_sdn::{Network, NodeId, Switch, TrafficSteeringApp};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 // `parking_lot` is pulled transitively; re-exported types below keep the
 // facade's public API self-contained.
@@ -222,6 +225,7 @@ impl SystemBuilder {
         // shared between every in-network instance and the batch
         // pipeline.
         let cfg = controller.instance_config(&chain_ids)?;
+        let orchestrator = UpdateOrchestrator::new(&cfg);
         let engine = Arc::new(ScanEngine::new(cfg)?);
         let mut scanner = ShardedScanner::new(engine.clone(), self.dpi_workers);
 
@@ -304,7 +308,64 @@ impl SystemBuilder {
             middleboxes: mb_handles,
             chain_ids,
             tsa,
+            orchestrator,
         })
+    }
+}
+
+/// What one [`SystemHandle::apply_update`] did.
+#[derive(Debug, Clone)]
+pub struct UpdateOutcome {
+    /// The generation that was rolled out (or attempted).
+    pub generation: GenerationId,
+    /// Whether the whole fleet committed to it.
+    pub committed: bool,
+    /// Bytes shipped per instance for this update (Fig. 11's unit).
+    pub transfer_bytes: u64,
+    /// Longest observed swap pause across the fleet and the batch
+    /// pipeline — the drain-barrier cost; compilation happens off the
+    /// packet path and is excluded by construction.
+    pub swap_pause: Duration,
+    /// Why the update rolled back, if it did.
+    pub failure: Option<String>,
+}
+
+/// Adapter: one in-network fleet instance as a staged-rollout target.
+struct FleetTarget {
+    id: InstanceId,
+    instance: Arc<Mutex<DpiInstance>>,
+    pause: Duration,
+}
+
+impl UpdateTarget for FleetTarget {
+    fn instance_id(&self) -> InstanceId {
+        self.id
+    }
+
+    fn begin_update(&mut self, artifact: &UpdateArtifact) -> Result<GenerationId, UpdateError> {
+        // Validation and compilation happen here, outside the instance
+        // lock — the packet path never waits on them.
+        let engine = artifact.compile()?;
+        let mut g = self.instance.lock();
+        let current = g.engine().generation();
+        if engine.generation() <= current {
+            return Err(UpdateError::StaleGeneration {
+                current,
+                offered: engine.generation(),
+            });
+        }
+        let t = Instant::now();
+        g.swap_engine(engine);
+        self.pause = self.pause.max(t.elapsed());
+        Ok(artifact.generation)
+    }
+
+    fn rollback(&mut self, artifact: &UpdateArtifact) -> Result<GenerationId, UpdateError> {
+        let engine = artifact.compile()?;
+        let t = Instant::now();
+        self.instance.lock().swap_engine(engine);
+        self.pause = self.pause.max(t.elapsed());
+        Ok(artifact.generation)
     }
 }
 
@@ -347,6 +408,8 @@ pub struct SystemHandle {
     pub chain_ids: Vec<u16>,
     /// The traffic steering application.
     pub tsa: TrafficSteeringApp,
+    /// Generation-versioned rule-update orchestrator (DESIGN.md §9).
+    orchestrator: UpdateOrchestrator,
 }
 
 impl SystemHandle {
@@ -497,5 +560,114 @@ impl SystemHandle {
     /// instance the same batch.
     pub fn inspect_batch(&mut self, packets: &mut [Packet]) -> Vec<ResultPacket> {
         self.scanner.inspect_batch(packets)
+    }
+
+    /// The rule generation the whole deployment last committed to.
+    pub fn rule_generation(&self) -> GenerationId {
+        self.orchestrator.committed_generation()
+    }
+
+    /// The generation a committed controller version maps to.
+    pub fn generation_of_version(&self, version: u64) -> Option<GenerationId> {
+        self.orchestrator.generation_of_version(version)
+    }
+
+    /// Rolls the controller's *current* configuration out to the running
+    /// deployment as a new rule generation — the live-update pipeline
+    /// (DESIGN.md §9). Mutate rules first
+    /// (`controller.add_pattern`/`remove_pattern`), then call this.
+    ///
+    /// Staged: the artifact is compiled and swapped into a canary (fleet
+    /// instance 0), the canary is verified (it must actually serve the
+    /// new generation and keep its telemetry intact), then the remaining
+    /// instances and the batch pipeline follow. A failure anywhere — in
+    /// particular a chaos-corrupted artifact, which fails checksum
+    /// validation *before* compilation — rolls every updated instance
+    /// back to the previous committed generation; the fleet never serves
+    /// a generation mix and never goes down over a bad update.
+    pub fn apply_update(&mut self) -> Result<UpdateOutcome, SystemError> {
+        let version = self.controller.version();
+        let cfg = self.controller.instance_config(&self.chain_ids)?;
+        let mut prepared = self.orchestrator.prepare(version, &cfg);
+        let transfer_bytes = prepared.transfer_bytes;
+
+        // The artifact is now "in transit" — chaos may garble it.
+        if let Some(c) = &self.chaos {
+            if c.next_rule_update_corrupted() {
+                prepared.artifact.corrupt();
+            }
+        }
+
+        let mut targets: Vec<FleetTarget> = self
+            .dpi_instances
+            .iter()
+            .zip(&self.instance_ids)
+            .map(|(instance, id)| FleetTarget {
+                id: *id,
+                instance: Arc::clone(instance),
+                pause: Duration::ZERO,
+            })
+            .collect();
+        let canary = Arc::clone(&self.dpi_instances[0]);
+        let canary_packets = canary.lock().telemetry().packets;
+        let want = prepared.generation;
+        let mut verify = move |_: &mut dyn UpdateTarget| {
+            let g = canary.lock();
+            // The canary must serve the new generation with its history
+            // intact — a swap that lost telemetry (or didn't happen)
+            // vetoes the fleet stage.
+            g.engine().generation() == want && g.telemetry().packets >= canary_packets
+        };
+        let mut refs: Vec<&mut dyn UpdateTarget> = targets
+            .iter_mut()
+            .map(|t| t as &mut dyn UpdateTarget)
+            .collect();
+        let report = self.orchestrator.rollout(&prepared, &mut refs, &mut verify);
+
+        let mut swap_pause = targets.iter().map(|t| t.pause).max().unwrap_or_default();
+        let failure = report
+            .failure
+            .as_ref()
+            .map(|(id, reason)| format!("instance {}: {reason}", id.0));
+
+        if report.committed() {
+            // The batch pipeline swaps at its next batch boundary; its
+            // generation is published through the same artifact.
+            let engine = prepared.artifact.compile().map_err(|e| {
+                SystemError::Controller(dpi_controller::ControllerError::InconsistentConfig(
+                    e.to_string(),
+                ))
+            })?;
+            if let Ok(pause) = self.scanner.swap_engine(engine) {
+                swap_pause = swap_pause.max(pause);
+            }
+            self.scanner.note_update_transfer(transfer_bytes);
+            for id in &self.instance_ids {
+                let _ = self
+                    .controller
+                    .mark_instance_current(*id, prepared.generation);
+            }
+            if let Some(c) = &self.chaos {
+                c.note(format!(
+                    "controller: rule update committed as generation {}",
+                    prepared.generation
+                ));
+            }
+        } else if let Some(c) = &self.chaos {
+            c.note(format!(
+                "controller: rule update {} rejected, rolled back to generation {} ({})",
+                prepared.generation,
+                self.orchestrator.committed_generation(),
+                failure.as_deref().unwrap_or("unknown failure"),
+            ));
+        }
+
+        Ok(UpdateOutcome {
+            generation: prepared.generation,
+            committed: report.committed(),
+            transfer_bytes,
+            swap_pause,
+            failure,
+        })
     }
 }
