@@ -135,6 +135,9 @@ struct Inner {
     version: u64,
     /// Per-mutation transfer-size log ([`TransferRecord`]).
     transfer_log: Vec<TransferRecord>,
+    /// Optional structured-event tracer; health transitions are recorded
+    /// as [`dpi_core::trace::TraceSource::Controller`] events.
+    tracer: Option<std::sync::Arc<dpi_core::trace::Tracer>>,
 }
 
 impl Inner {
@@ -471,12 +474,32 @@ impl DpiController {
         Ok(())
     }
 
+    /// Attaches a structured-event tracer: every health transition the
+    /// monitor reports becomes a trace event, giving post-mortems the
+    /// controller's view of the failure timeline.
+    pub fn attach_tracer(&self, tracer: std::sync::Arc<dpi_core::trace::Tracer>) {
+        self.inner.lock().tracer = Some(tracer);
+    }
+
     /// Closes the current heartbeat window for every deployed instance
     /// and returns the resulting health transitions in instance-id order.
     /// The caller (the failover driver) reacts to
     /// [`HealthEvent::BecameDead`] by re-steering flows.
     pub fn health_tick(&self) -> Vec<HealthEvent> {
-        self.inner.lock().health.tick()
+        let mut g = self.inner.lock();
+        let events = g.health.tick();
+        if let Some(t) = &g.tracer {
+            use dpi_core::trace::{TraceKind, TraceSource};
+            for ev in &events {
+                let kind = match ev {
+                    HealthEvent::BecameSuspect(id) => TraceKind::HealthSuspect { instance: id.0 },
+                    HealthEvent::BecameDead(id) => TraceKind::HealthDead { instance: id.0 },
+                    HealthEvent::Recovered(id) => TraceKind::HealthRecovered { instance: id.0 },
+                };
+                t.record(TraceSource::Controller, kind);
+            }
+        }
+        events
     }
 
     /// Current health of a deployed instance.

@@ -103,6 +103,10 @@ pub struct UpdateOrchestrator {
     artifacts: HashMap<GenerationId, UpdateArtifact>,
     /// Committed (controller version, generation) pairs, in commit order.
     version_map: Vec<(u64, GenerationId)>,
+    /// Optional structured-event tracer; the update lifecycle (prepare,
+    /// canary pass, commit, rollback) is recorded against
+    /// [`dpi_core::trace::TraceSource::Controller`].
+    tracer: Option<std::sync::Arc<dpi_core::trace::Tracer>>,
 }
 
 impl UpdateOrchestrator {
@@ -117,6 +121,18 @@ impl UpdateOrchestrator {
             committed: 0,
             artifacts,
             version_map: vec![(0, 0)],
+            tracer: None,
+        }
+    }
+
+    /// Attaches a structured-event tracer for update-lifecycle events.
+    pub fn attach_tracer(&mut self, tracer: std::sync::Arc<dpi_core::trace::Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    fn trace(&self, kind: dpi_core::trace::TraceKind) {
+        if let Some(t) = &self.tracer {
+            t.record(dpi_core::trace::TraceSource::Controller, kind);
         }
     }
 
@@ -128,6 +144,11 @@ impl UpdateOrchestrator {
         let artifact = UpdateArtifact::build(generation, config);
         let transfer_bytes = artifact.transfer_bytes() as u64;
         self.artifacts.insert(generation, artifact.clone());
+        self.trace(dpi_core::trace::TraceKind::UpdatePrepared {
+            generation,
+            version,
+            transfer_bytes,
+        });
         PreparedUpdate {
             generation,
             version,
@@ -187,12 +208,18 @@ impl UpdateOrchestrator {
             }
             // Stage boundary: the canary must prove itself before the
             // rest of the fleet is touched.
-            if i == 0 && !verify_canary(*target) {
-                failure = Some((
-                    target.instance_id(),
-                    "canary verification failed".to_string(),
-                ));
-                break;
+            if i == 0 {
+                if !verify_canary(*target) {
+                    failure = Some((
+                        target.instance_id(),
+                        "canary verification failed".to_string(),
+                    ));
+                    break;
+                }
+                self.trace(dpi_core::trace::TraceKind::UpdateCanaryPassed {
+                    generation: prepared.generation,
+                    instance: target.instance_id().0,
+                });
             }
         }
 
@@ -201,6 +228,10 @@ impl UpdateOrchestrator {
                 self.committed = prepared.generation;
                 self.version_map
                     .push((prepared.version, prepared.generation));
+                self.trace(dpi_core::trace::TraceKind::UpdateCommitted {
+                    generation: prepared.generation,
+                    instances: targets.len() as u64,
+                });
                 RolloutReport {
                     generation: prepared.generation,
                     outcome: RolloutOutcome::Committed,
@@ -223,6 +254,10 @@ impl UpdateOrchestrator {
                         rolled_back.push(targets[i].instance_id());
                     }
                 }
+                self.trace(dpi_core::trace::TraceKind::UpdateRolledBack {
+                    generation: prepared.generation,
+                    to_generation: self.committed,
+                });
                 RolloutReport {
                     generation: prepared.generation,
                     outcome: RolloutOutcome::RolledBack,

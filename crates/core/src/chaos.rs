@@ -155,6 +155,7 @@ impl FaultPlan {
                 instance_packets: Vec::new(),
                 update_ordinal: 0,
                 log: Vec::new(),
+                tracer: None,
             }),
             plan: self,
         })
@@ -170,6 +171,10 @@ struct ChaosInner {
     update_ordinal: u64,
     /// Ordered human-readable fault events.
     log: Vec<String>,
+    /// Optional structured-event tracer: injected faults become trace
+    /// events, so a post-mortem can correlate each injection with the
+    /// effects other components recorded.
+    tracer: Option<Arc<crate::trace::Tracer>>,
 }
 
 /// The running side of a [`FaultPlan`]: consulted by the system at each
@@ -187,6 +192,13 @@ impl ChaosEngine {
         &self.plan
     }
 
+    /// Attaches a structured-event tracer: every fault injection is
+    /// recorded as a [`crate::trace::TraceSource::Chaos`] event alongside
+    /// the human-readable fault log.
+    pub fn attach_tracer(&self, tracer: Arc<crate::trace::Tracer>) {
+        self.lock().tracer = Some(tracer);
+    }
+
     /// Records a packet arriving at DPI instance `instance` and returns
     /// whether the instance is still alive to process it. The K-th packet
     /// (0-based ordinal K) is the first one lost.
@@ -201,6 +213,15 @@ impl ChaosEngine {
         if !alive && self.alive_at(instance, ordinal.saturating_sub(1)) {
             g.log
                 .push(format!("instance {instance} died at packet {ordinal}"));
+            if let Some(t) = &g.tracer {
+                t.record(
+                    crate::trace::TraceSource::Chaos,
+                    crate::trace::TraceKind::FaultInstanceKilled {
+                        instance: instance as u32,
+                        at_packet: ordinal,
+                    },
+                );
+            }
         }
         alive
     }
@@ -265,6 +286,12 @@ impl ChaosEngine {
         let corrupted = self.plan.corrupt_updates.contains(&n);
         if corrupted {
             g.log.push(format!("rule update {n} corrupted"));
+            if let Some(t) = &g.tracer {
+                t.record(
+                    crate::trace::TraceSource::Chaos,
+                    crate::trace::TraceKind::FaultUpdateCorrupted { ordinal: n },
+                );
+            }
         }
         corrupted
     }

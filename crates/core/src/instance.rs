@@ -213,6 +213,10 @@ pub struct ShardState {
     /// memoizes NFA-derived states, so match results are identical across
     /// shards regardless of cache contents.
     dfa_cache: HashMap<(MiddleboxId, usize), dpi_regex::dfa::LazyDfa<dpi_regex::nfa::Nfa>>,
+    /// Optional structured-event writer (attached by the sharded
+    /// pipeline or the system facade). `None` — the default — keeps the
+    /// hot path's tracing cost to a single branch per packet.
+    trace: Option<crate::trace::TraceWriter>,
 }
 
 impl ShardState {
@@ -224,7 +228,27 @@ impl ShardState {
             flow_stress: HashMap::new(),
             telemetry: Telemetry::default(),
             dfa_cache: HashMap::new(),
+            trace: None,
         }
+    }
+
+    /// Attaches a structured-event writer; subsequent scans record
+    /// sampled [`crate::trace::TraceKind::PacketSample`] events and
+    /// reassembly evictions into it.
+    pub fn attach_trace_writer(&mut self, writer: crate::trace::TraceWriter) {
+        self.trace = Some(writer);
+    }
+
+    /// The attached trace writer, if any (the pipeline absorbs it into
+    /// the global tracer at batch boundaries).
+    pub fn trace_writer_mut(&mut self) -> Option<&mut crate::trace::TraceWriter> {
+        self.trace.as_mut()
+    }
+
+    /// Detaches and returns the trace writer (e.g. before a shard is
+    /// torn down, so its buffered events survive the restart).
+    pub fn take_trace_writer(&mut self) -> Option<crate::trace::TraceWriter> {
+        self.trace.take()
     }
 
     /// Telemetry snapshot of this shard.
@@ -592,6 +616,20 @@ impl ScanEngine {
             e.0 += deep;
             e.1 += samples;
         }
+        // Sampled trace event (1 in PACKET_SAMPLE_EVERY packets): on the
+        // non-sampled packets tracing costs one branch.
+        if let Some(w) = shard.trace.as_mut() {
+            if shard
+                .telemetry
+                .packets
+                .is_multiple_of(crate::trace::PACKET_SAMPLE_EVERY)
+            {
+                w.record(crate::trace::TraceKind::PacketSample {
+                    bytes: scan_len as u64,
+                    matches: total_matches,
+                });
+            }
+        }
         shard.telemetry.packets += 1;
         shard.telemetry.bytes += scan_len as u64;
         shard.telemetry.matches += total_matches;
@@ -659,7 +697,14 @@ impl ScanEngine {
             .reassemblers
             .entry(flow)
             .or_insert_with(|| crate::reassembly::StreamReassembler::new(seq, 1 << 20));
+        let evicted_before = r.evicted_bytes();
         let runs = r.push(seq, payload);
+        let evicted = r.evicted_bytes() - evicted_before;
+        if evicted > 0 {
+            if let Some(w) = shard.trace.as_mut() {
+                w.record(crate::trace::TraceKind::ReassemblyEvicted { bytes: evicted });
+            }
+        }
         runs.iter()
             .map(|run| self.scan_payload(shard, chain_id, Some(flow), run))
             .collect()

@@ -40,11 +40,13 @@ pub mod config;
 pub mod decompress;
 pub mod flowstate;
 pub mod instance;
+pub mod metrics;
 pub mod pipeline;
 pub mod reassembly;
 pub mod report;
 pub mod rules;
 pub mod telemetry;
+pub mod trace;
 pub mod update;
 
 pub use chaos::{ChaosEngine, FaultPlan, RetryOutcome, RetryPolicy, ShardFault, ShardFaultSpec};
@@ -54,11 +56,13 @@ pub use decompress::{
 };
 pub use flowstate::{FlowState, FlowTable};
 pub use instance::{DpiInstance, InstanceError, ScanEngine, ScanOutput, ShardState};
+pub use metrics::{MetricKind, MetricsText};
 pub use pipeline::ShardedScanner;
 pub use reassembly::StreamReassembler;
 pub use report::compress_matches;
 pub use rules::{RuleKind, RuleSpec};
 pub use telemetry::{ShardTelemetry, Telemetry};
+pub use trace::{to_jsonl, TraceEvent, TraceKind, TraceSource, TraceWriter, Tracer};
 pub use update::{EngineSlot, GenerationId, UpdateArtifact, UpdateError, UpdateStats};
 
 // Re-export the identifier types shared across the system.

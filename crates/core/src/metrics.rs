@@ -1,0 +1,170 @@
+//! Prometheus-style text exposition for the DPI service's counters.
+//!
+//! [`MetricsText`] is a tiny builder for the [Prometheus text
+//! format](https://prometheus.io/docs/instrumenting/exposition_formats/):
+//! `# HELP` / `# TYPE` headers followed by `name{label="v"} value`
+//! samples. It exists so `SystemHandle::metrics_text()` (the facade) and
+//! any standalone component can render their counters in one
+//! machine-readable page without pulling in an HTTP stack — the paper's
+//! operator-visibility story (§4.3.1) needs the numbers, not a server.
+//!
+//! The builder escapes label values, keeps families in insertion order,
+//! and emits each family header exactly once even if samples are added
+//! across multiple calls.
+
+use std::fmt::Write as _;
+
+/// Metric family kind, mirroring Prometheus `# TYPE` values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing count.
+    Counter,
+    /// Value that can go up and down (depths, states).
+    Gauge,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// Builder for a Prometheus-style text page.
+///
+/// ```
+/// use dpi_core::metrics::{MetricKind, MetricsText};
+///
+/// let mut m = MetricsText::new();
+/// m.family(
+///     "dpi_packets_total",
+///     "Packets scanned by the DPI service.",
+///     MetricKind::Counter,
+/// );
+/// m.sample("dpi_packets_total", &[("instance", "0")], 1234);
+/// let page = m.finish();
+/// assert!(page.contains("# TYPE dpi_packets_total counter"));
+/// assert!(page.contains("dpi_packets_total{instance=\"0\"} 1234"));
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsText {
+    out: String,
+    /// Families whose HELP/TYPE headers were already written.
+    declared: Vec<String>,
+}
+
+impl MetricsText {
+    /// An empty page.
+    pub fn new() -> MetricsText {
+        MetricsText::default()
+    }
+
+    /// Declares a metric family (`# HELP` + `# TYPE`). Redeclaring an
+    /// already-declared family is a no-op, so callers can declare
+    /// defensively before each batch of samples.
+    pub fn family(&mut self, name: &str, help: &str, kind: MetricKind) {
+        if self.declared.iter().any(|n| n == name) {
+            return;
+        }
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {}", kind.as_str());
+        self.declared.push(name.to_string());
+    }
+
+    /// Appends one sample line. `labels` render as
+    /// `{k1="v1",k2="v2"}`; an empty slice renders no braces.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.sample_f64(name, labels, value as f64);
+    }
+
+    /// [`MetricsText::sample`] for non-integer values.
+    pub fn sample_f64(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                let _ = write!(self.out, "{k}=\"{}\"", escape_label(v));
+            }
+            self.out.push('}');
+        }
+        if value.fract() == 0.0 && value.abs() < 9_007_199_254_740_992.0 {
+            let _ = writeln!(self.out, " {}", value as i64);
+        } else {
+            let _ = writeln!(self.out, " {value}");
+        }
+    }
+
+    /// The finished page.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Escapes a label value per the exposition format: backslash, quote,
+/// and newline.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_headers_once_and_samples_in_order() {
+        let mut m = MetricsText::new();
+        m.family("dpi_packets_total", "Packets scanned.", MetricKind::Counter);
+        m.sample("dpi_packets_total", &[("shard", "0")], 10);
+        m.family("dpi_packets_total", "Packets scanned.", MetricKind::Counter);
+        m.sample("dpi_packets_total", &[("shard", "1")], 20);
+        let page = m.finish();
+        assert_eq!(page.matches("# HELP dpi_packets_total").count(), 1);
+        assert_eq!(page.matches("# TYPE dpi_packets_total counter").count(), 1);
+        let shard0 = page.find("dpi_packets_total{shard=\"0\"} 10").unwrap();
+        let shard1 = page.find("dpi_packets_total{shard=\"1\"} 20").unwrap();
+        assert!(shard0 < shard1);
+    }
+
+    #[test]
+    fn unlabeled_samples_have_no_braces() {
+        let mut m = MetricsText::new();
+        m.family(
+            "dpi_rule_generation",
+            "Committed generation.",
+            MetricKind::Gauge,
+        );
+        m.sample("dpi_rule_generation", &[], 3);
+        assert!(m.finish().contains("dpi_rule_generation 3\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut m = MetricsText::new();
+        m.sample("x", &[("name", "a\"b\\c\nd")], 1);
+        assert!(m.finish().contains("x{name=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+
+    #[test]
+    fn float_values_render_precisely() {
+        let mut m = MetricsText::new();
+        m.sample_f64("ratio", &[], 0.25);
+        m.sample_f64("whole", &[], 4.0);
+        let page = m.finish();
+        assert!(page.contains("ratio 0.25\n"));
+        assert!(page.contains("whole 4\n"));
+    }
+}

@@ -24,6 +24,7 @@ use crate::chaos::{ChaosEngine, ShardFault, ShardFaultSpec};
 use crate::config::InstanceConfig;
 use crate::instance::{InstanceError, ScanEngine, ShardState};
 use crate::telemetry::{ShardTelemetry, Telemetry};
+use crate::trace::{TraceKind, TraceSource, Tracer};
 use crate::update::{EngineSlot, UpdateError, UpdateStats};
 use crossbeam::channel;
 use dpi_packet::report::ResultPacket;
@@ -117,6 +118,10 @@ pub struct ShardedScanner {
     slot: Option<Arc<EngineSlot>>,
     /// Hot-swap telemetry (swaps applied, rejections, last pause).
     update_stats: UpdateStats,
+    /// Optional structured-event tracer. Batch/supervision events are
+    /// recorded directly; per-packet samples go through each shard's
+    /// private writer and are absorbed at the batch boundary.
+    tracer: Option<Arc<Tracer>>,
     packet_counter: u32,
 }
 
@@ -145,7 +150,30 @@ impl ShardedScanner {
             chaos: None,
             slot: None,
             update_stats,
+            tracer: None,
             packet_counter: 0,
+        }
+    }
+
+    /// Attaches a structured-event tracer: batch boundaries, supervision
+    /// actions (stalls, trips, panics, restarts) and engine swaps are
+    /// recorded, and each shard gets a private lock-free writer for
+    /// sampled per-packet events, absorbed at every batch boundary.
+    pub fn attach_tracer(&mut self, tracer: Arc<Tracer>) {
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            shard.attach_trace_writer(tracer.writer(TraceSource::Shard(s as u32)));
+        }
+        self.tracer = Some(tracer);
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
+    }
+
+    fn trace(&self, kind: TraceKind) {
+        if let Some(t) = &self.tracer {
+            t.record(TraceSource::Scanner, kind);
         }
     }
 
@@ -239,6 +267,10 @@ impl ShardedScanner {
         let offered = engine.generation();
         if offered <= current {
             self.update_stats.rejected += 1;
+            self.trace(TraceKind::SwapRejected {
+                current_generation: current,
+                offered_generation: offered,
+            });
             return Err(UpdateError::StaleGeneration { current, offered });
         }
         Ok(self.adopt_engine(engine))
@@ -251,6 +283,7 @@ impl ShardedScanner {
     }
 
     fn adopt_engine(&mut self, engine: Arc<ScanEngine>) -> Duration {
+        let from_generation = self.engine.generation();
         let started = Instant::now();
         // Per-shard lazy-DFA caches index into the outgoing generation's
         // rule lists and must not survive it; generation-tagged flow
@@ -263,6 +296,11 @@ impl ShardedScanner {
         self.update_stats.generation = self.engine.generation();
         self.update_stats.swaps += 1;
         self.update_stats.last_swap_pause = pause;
+        self.trace(TraceKind::EngineSwapped {
+            from_generation,
+            to_generation: self.update_stats.generation,
+            pause_us: pause.as_micros() as u64,
+        });
         pause
     }
 
@@ -299,6 +337,10 @@ impl ShardedScanner {
     /// are counted per shard and yield no result.
     pub fn inspect_batch(&mut self, packets: &mut [Packet]) -> Vec<ResultPacket> {
         self.poll_slot();
+        let batch_started = Instant::now();
+        self.trace(TraceKind::BatchStart {
+            packets: packets.len() as u64,
+        });
         let n = self.shards.len();
         let engine = &self.engine;
         let watchdog = self.watchdog;
@@ -418,14 +460,22 @@ impl ShardedScanner {
                     self.shard_seen[s] += report.received;
                     for &(ordinal, ms) in &report.stalls {
                         self.note(format!("shard {s} stalled {ms}ms at packet {ordinal}"));
+                        self.trace_shard(
+                            s,
+                            TraceKind::ShardStalled {
+                                ordinal,
+                                millis: ms,
+                            },
+                        );
                     }
                     if report.tripped {
+                        let lost = report.received - report.processed;
                         self.watchdog_trips[s] += 1;
-                        self.lost_scans[s] += report.received - report.processed;
+                        self.lost_scans[s] += lost;
                         self.note(format!(
-                            "shard {s} blew its watchdog deadline; {} scans lost",
-                            report.received - report.processed
+                            "shard {s} blew its watchdog deadline; {lost} scans lost"
                         ));
+                        self.trace_shard(s, TraceKind::WatchdogTripped { lost_scans: lost });
                         self.restart_shard(s);
                     }
                 }
@@ -438,9 +488,27 @@ impl ShardedScanner {
                     self.lost_scans[s] += lost;
                     self.shard_seen[s] += routed[s];
                     self.note(format!("shard {s} worker panicked; {lost} scans lost"));
+                    self.trace_shard(s, TraceKind::WorkerPanicked { lost_scans: lost });
                     self.restart_shard(s);
                 }
             }
+        }
+
+        // Batch boundary: fold each shard's locally buffered events into
+        // the global ring, then close the batch span.
+        if let Some(tracer) = self.tracer.clone() {
+            for shard in &mut self.shards {
+                if let Some(w) = shard.trace_writer_mut() {
+                    tracer.absorb(w);
+                }
+            }
+            tracer.record(
+                TraceSource::Scanner,
+                TraceKind::BatchEnd {
+                    results: numbered.len() as u64,
+                    duration_us: batch_started.elapsed().as_micros() as u64,
+                },
+            );
         }
 
         // Batch order, then sequential ids — identical to a sequential
@@ -464,14 +532,40 @@ impl ShardedScanner {
     /// straddled the restart, never fabricate one.
     fn restart_shard(&mut self, s: usize) {
         self.retired.merge(&self.shards[s].telemetry());
+        // The condemned incarnation's buffered trace events survive the
+        // restart: absorb them before the shard (and its writer) is
+        // dropped, then give the fresh incarnation a new writer.
+        if let Some(tracer) = self.tracer.clone() {
+            if let Some(mut w) = self.shards[s].take_trace_writer() {
+                tracer.absorb(&mut w);
+            }
+        }
         self.shards[s] = ShardState::new(&self.engine);
+        if let Some(tracer) = &self.tracer {
+            self.shards[s].attach_trace_writer(tracer.writer(TraceSource::Shard(s as u32)));
+        }
         self.restarts[s] += 1;
         self.note(format!("shard {s} restarted; flow table rebuilt"));
+        self.trace_shard(
+            s,
+            TraceKind::ShardRestarted {
+                restarts: self.restarts[s],
+            },
+        );
     }
 
     fn note(&self, event: String) {
         if let Some(chaos) = &self.chaos {
             chaos.note(event);
+        }
+    }
+
+    /// Records a supervision event attributed to shard `s` (directly into
+    /// the global ring — the supervisor runs single-threaded between
+    /// batches, so there is no contention to avoid).
+    fn trace_shard(&self, s: usize, kind: TraceKind) {
+        if let Some(t) = &self.tracer {
+            t.record(TraceSource::Shard(s as u32), kind);
         }
     }
 
@@ -819,5 +913,74 @@ mod tests {
             10,
             "all packets of one flow must land on its shard"
         );
+    }
+
+    #[test]
+    fn tracer_sees_batch_lifecycle_and_shard_samples() {
+        use crate::trace::{TraceKind, TraceSource, Tracer};
+
+        let mut scanner = ShardedScanner::from_config(config(), 2).unwrap();
+        let tracer = Arc::new(Tracer::new());
+        scanner.attach_tracer(Arc::clone(&tracer));
+
+        let mut batch: Vec<Packet> = (0..8)
+            .map(|i| tagged_packet(4000 + i, b"one attack payload"))
+            .collect();
+        let results = scanner.inspect_batch(&mut batch);
+        assert_eq!(results.len(), 8);
+
+        let events = tracer.drain();
+        let starts: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::BatchStart { packets: 8 }))
+            .collect();
+        assert_eq!(starts.len(), 1);
+        assert_eq!(starts[0].source, TraceSource::Scanner);
+        let ends: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::BatchEnd { results: 8, .. }))
+            .collect();
+        assert_eq!(ends.len(), 1);
+        // Each shard samples its first packet (ordinal 0), and the
+        // per-shard writer buffers are absorbed at the batch boundary.
+        let samples: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::PacketSample { .. }))
+            .collect();
+        assert!(!samples.is_empty(), "first packet per shard is sampled");
+        for s in &samples {
+            assert!(matches!(s.source, TraceSource::Shard(_)));
+        }
+        // BatchStart precedes every shard sample which precedes BatchEnd
+        // in the merged seq order.
+        let start_seq = starts[0].seq;
+        let end_seq = ends[0].seq;
+        for s in &samples {
+            assert!(start_seq < s.seq && s.seq < end_seq);
+        }
+    }
+
+    #[test]
+    fn tracer_records_supervision_and_restart() {
+        use crate::trace::{TraceKind, Tracer};
+
+        let mut scanner = ShardedScanner::from_config(config(), 1).unwrap();
+        let tracer = Arc::new(Tracer::new());
+        scanner.attach_tracer(Arc::clone(&tracer));
+        scanner.inject_shard_faults(&[ShardFaultSpec {
+            shard: 0,
+            at_packet: 1,
+            fault: ShardFault::Panic,
+        }]);
+        let mut batch: Vec<Packet> = (0..4).map(|i| tagged_packet(100 + i, b"clean")).collect();
+        scanner.inspect_batch(&mut batch);
+
+        let events = tracer.drain();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::WorkerPanicked { lost_scans: 3 })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::ShardRestarted { restarts: 1 })));
     }
 }

@@ -35,14 +35,20 @@ pub struct StreamReassembler {
     pending: BTreeMap<u32, Vec<u8>>,
     /// Bytes currently buffered out of order.
     buffered: usize,
-    /// Buffering bound; beyond it, the oldest pending data is dropped
-    /// (the scanner then sees a gap, exactly as a middlebox behind a
-    /// lossy tap would).
+    /// Buffering bound; beyond it, the *oldest* pending data (serially
+    /// closest to `next_seq`) is evicted to make room — the scanner then
+    /// sees a gap there, exactly as a middlebox behind a lossy tap
+    /// would, while the freshest data stays buffered for gap recovery.
     capacity: usize,
     /// Total bytes delivered in order.
     delivered: u64,
-    /// Segments dropped by the capacity bound.
+    /// Incoming segments discarded outright (larger than the whole
+    /// buffer).
     dropped_segments: u64,
+    /// Buffered bytes evicted by the capacity bound.
+    evicted_bytes: u64,
+    /// Buffered segments evicted by the capacity bound.
+    evicted_segments: u64,
 }
 
 impl StreamReassembler {
@@ -56,6 +62,8 @@ impl StreamReassembler {
             capacity: capacity.max(1),
             delivered: 0,
             dropped_segments: 0,
+            evicted_bytes: 0,
+            evicted_segments: 0,
         }
     }
 
@@ -69,9 +77,19 @@ impl StreamReassembler {
         self.buffered
     }
 
-    /// Segments discarded because the buffer was full.
+    /// Incoming segments discarded outright (larger than the buffer).
     pub fn dropped_segments(&self) -> u64 {
         self.dropped_segments
+    }
+
+    /// Buffered bytes evicted to make room under the capacity bound.
+    pub fn evicted_bytes(&self) -> u64 {
+        self.evicted_bytes
+    }
+
+    /// Buffered segments evicted under the capacity bound.
+    pub fn evicted_segments(&self) -> u64 {
+        self.evicted_segments
     }
 
     /// The sequence number of the next byte the consumer will get.
@@ -110,13 +128,32 @@ impl StreamReassembler {
         } else {
             // Out of order: buffer (trimming overlap with already-pending
             // segments is handled at drain time by the first-copy rule).
-            if self.buffered + payload.len() > self.capacity {
+            if self.pending.contains_key(&seq) {
+                // Exact-duplicate start: the first copy wins and the
+                // buffered accounting must not move.
+                return Vec::new();
+            }
+            if payload.len() > self.capacity {
+                // Can never fit, even with an empty buffer.
                 self.dropped_segments += 1;
                 return Vec::new();
             }
+            while self.buffered + payload.len() > self.capacity {
+                // Evict the oldest pending data: serially closest to
+                // `next_seq`, i.e. the earliest bytes in stream order.
+                let oldest = self
+                    .pending
+                    .keys()
+                    .copied()
+                    .min_by_key(|&s| s.wrapping_sub(self.next_seq))
+                    .expect("buffered > 0 implies pending segments exist");
+                let data = self.pending.remove(&oldest).expect("key just found");
+                self.buffered -= data.len();
+                self.evicted_bytes += data.len() as u64;
+                self.evicted_segments += 1;
+            }
             self.buffered += payload.len();
-            // Keep the first copy on exact-duplicate starts.
-            self.pending.entry(seq).or_insert(payload);
+            self.pending.insert(seq, payload);
             Vec::new()
         }
     }
@@ -133,14 +170,16 @@ impl StreamReassembler {
     fn drain_pending(&mut self) -> Vec<Vec<u8>> {
         let mut out = Vec::new();
         loop {
-            // Find a pending segment covering next_seq. BTreeMap ordering
-            // is by wrapped u32, so search both the exact key and any
-            // earlier segment that overlaps.
+            // Find the pending segment serially closest at-or-behind
+            // next_seq. BTreeMap ordering is by wrapped u32, which is
+            // wrong across the 2³² boundary, so compare in RFC 1982
+            // serial order: smallest wrapping distance behind next_seq.
             let candidate = self
                 .pending
                 .keys()
                 .copied()
-                .find(|&s| !seq_lt(self.next_seq, s));
+                .filter(|&s| !seq_lt(self.next_seq, s))
+                .min_by_key(|&s| self.next_seq.wrapping_sub(s));
             let Some(start) = candidate else { break };
             let data = self.pending.remove(&start).expect("key just found");
             self.buffered -= data.len();
@@ -217,12 +256,85 @@ mod tests {
     }
 
     #[test]
-    fn capacity_bound_drops_segments() {
+    fn capacity_bound_evicts_oldest_pending_data() {
         let mut r = StreamReassembler::new(0, 8);
         assert!(r.push(100, b"12345678").is_empty());
+        // A second full-size segment evicts the first (oldest in stream
+        // order), keeping the freshest data buffered.
         assert!(r.push(200, b"overflow").is_empty());
-        assert_eq!(r.dropped_segments(), 1);
+        assert_eq!(r.dropped_segments(), 0);
+        assert_eq!(r.evicted_segments(), 1);
+        assert_eq!(r.evicted_bytes(), 8);
         assert_eq!(r.buffered(), 8);
+        assert!(r.pending.contains_key(&200));
+        assert!(!r.pending.contains_key(&100));
+    }
+
+    #[test]
+    fn segment_larger_than_buffer_is_dropped_outright() {
+        let mut r = StreamReassembler::new(0, 4);
+        assert!(r.push(10, b"12").is_empty());
+        assert!(r.push(100, b"too big to ever fit").is_empty());
+        assert_eq!(r.dropped_segments(), 1);
+        assert_eq!(r.evicted_segments(), 0);
+        // The earlier pending segment survives untouched.
+        assert_eq!(r.buffered(), 2);
+    }
+
+    #[test]
+    fn duplicate_out_of_order_segment_keeps_buffered_flat() {
+        let mut r = StreamReassembler::new(0, 1 << 16);
+        assert!(r.push(100, b"payload").is_empty());
+        let baseline = r.buffered();
+        for _ in 0..1000 {
+            assert!(r.push(100, b"payload").is_empty());
+            assert_eq!(r.buffered(), baseline, "duplicate must not leak accounting");
+        }
+        assert_eq!(r.dropped_segments(), 0);
+        assert_eq!(r.evicted_segments(), 0);
+        // The stream still completes normally once the gap fills.
+        let runs = r.push(0, &[b'x'; 100]);
+        assert_eq!(runs.concat().len(), 107);
+        assert_eq!(r.buffered(), 0);
+    }
+
+    #[test]
+    fn drain_uses_serial_order_across_wrap() {
+        // next_seq sits just before the 2³² wrap; pending segments live on
+        // both sides of it. Unsigned BTreeMap order would visit the
+        // post-wrap key (small u32) first; serial order must not.
+        let start = u32::MAX - 4;
+        let mut r = StreamReassembler::new(start, 1 << 16);
+        // Post-wrap segment (starts at 1): arrives first.
+        assert!(r.push(1, b"ddd").is_empty());
+        // Pre-wrap segment bridging the boundary: covers FFFFFFFD..=0.
+        assert!(r.push(u32::MAX - 2, b"bbcc").is_empty());
+        // The in-order head fills the gap; everything drains in stream
+        // order despite straddling the wrap.
+        let runs = r.push(start, b"aa");
+        assert_eq!(runs.concat(), b"aabbccddd");
+        assert_eq!(r.next_seq(), 4);
+        assert_eq!(r.buffered(), 0);
+    }
+
+    #[test]
+    fn eviction_respects_serial_age_across_wrap() {
+        // Two pending segments straddle the wrap; the serially older one
+        // (pre-wrap, closer to next_seq) must be the eviction victim even
+        // though its u32 key is the larger number.
+        let start = u32::MAX - 10;
+        let mut r = StreamReassembler::new(start, 8);
+        assert!(r.push(u32::MAX - 5, b"old!").is_empty()); // serially first
+        assert!(r.push(3, b"new!").is_empty()); // post-wrap, serially later
+        assert_eq!(r.buffered(), 8);
+        assert!(r.push(7, b"new2").is_empty()); // forces eviction of one segment
+        assert_eq!(r.evicted_segments(), 1);
+        assert!(
+            !r.pending.contains_key(&(u32::MAX - 5)),
+            "serially-oldest segment must be evicted, not the post-wrap one"
+        );
+        assert!(r.pending.contains_key(&3));
+        assert!(r.pending.contains_key(&7));
     }
 
     #[test]

@@ -80,19 +80,31 @@ impl Telemetry {
     }
 
     /// Difference since a previous snapshot (for rate computation).
+    ///
+    /// Saturating: a supervisor shard restart resets worker counters, so
+    /// `self` can legitimately be *behind* `prev` mid-interval; the delta
+    /// clamps to zero instead of underflowing (which panicked in debug
+    /// builds and wrapped to absurd rates in release).
     pub fn delta_since(&self, prev: &Telemetry) -> Telemetry {
         Telemetry {
-            packets: self.packets - prev.packets,
-            bytes: self.bytes - prev.bytes,
-            matches: self.matches - prev.matches,
-            packets_with_matches: self.packets_with_matches - prev.packets_with_matches,
-            regex_invocations: self.regex_invocations - prev.regex_invocations,
-            parallel_regex_evaluations: self.parallel_regex_evaluations
-                - prev.parallel_regex_evaluations,
-            deep_samples: self.deep_samples - prev.deep_samples,
-            depth_samples: self.depth_samples - prev.depth_samples,
-            decompressions: self.decompressions - prev.decompressions,
-            decompressed_bytes: self.decompressed_bytes - prev.decompressed_bytes,
+            packets: self.packets.saturating_sub(prev.packets),
+            bytes: self.bytes.saturating_sub(prev.bytes),
+            matches: self.matches.saturating_sub(prev.matches),
+            packets_with_matches: self
+                .packets_with_matches
+                .saturating_sub(prev.packets_with_matches),
+            regex_invocations: self
+                .regex_invocations
+                .saturating_sub(prev.regex_invocations),
+            parallel_regex_evaluations: self
+                .parallel_regex_evaluations
+                .saturating_sub(prev.parallel_regex_evaluations),
+            deep_samples: self.deep_samples.saturating_sub(prev.deep_samples),
+            depth_samples: self.depth_samples.saturating_sub(prev.depth_samples),
+            decompressions: self.decompressions.saturating_sub(prev.decompressions),
+            decompressed_bytes: self
+                .decompressed_bytes
+                .saturating_sub(prev.decompressed_bytes),
         }
     }
 }
@@ -175,5 +187,49 @@ mod tests {
             ..Telemetry::default()
         };
         assert_eq!(now.delta_since(&prev).packets, 15);
+    }
+
+    #[test]
+    fn delta_saturates_after_counter_reset() {
+        // A shard restart rebuilds worker state, so the live counters can
+        // fall below the previous snapshot. The delta must clamp to zero,
+        // not panic (debug) or wrap (release).
+        let prev = Telemetry {
+            packets: 1_000,
+            bytes: 1 << 20,
+            matches: 40,
+            packets_with_matches: 30,
+            regex_invocations: 12,
+            parallel_regex_evaluations: 3,
+            deep_samples: 9,
+            depth_samples: 900,
+            decompressions: 2,
+            decompressed_bytes: 4_096,
+        };
+        // Restarted: everything reset, a little new traffic since.
+        let now = Telemetry {
+            packets: 5,
+            bytes: 320,
+            ..Telemetry::default()
+        };
+        let d = now.delta_since(&prev);
+        assert_eq!(d.packets, 0);
+        assert_eq!(d.bytes, 0);
+        assert_eq!(d.matches, 0);
+        assert_eq!(d.packets_with_matches, 0);
+        assert_eq!(d.regex_invocations, 0);
+        assert_eq!(d.parallel_regex_evaluations, 0);
+        assert_eq!(d.deep_samples, 0);
+        assert_eq!(d.depth_samples, 0);
+        assert_eq!(d.decompressions, 0);
+        assert_eq!(d.decompressed_bytes, 0);
+        // Forward progress still measures normally.
+        let later = Telemetry {
+            packets: 105,
+            bytes: 2_320,
+            ..Telemetry::default()
+        };
+        assert_eq!(later.delta_since(&now).packets, 100);
+        assert_eq!(later.delta_since(&now).bytes, 2_000);
     }
 }

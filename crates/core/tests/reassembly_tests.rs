@@ -2,10 +2,14 @@
 //! streams once and scans in order, regardless of segment arrival order.
 
 use dpi_core::report::expand_records;
+use dpi_core::StreamReassembler;
 use dpi_core::{DpiInstance, InstanceConfig, MiddleboxId, MiddleboxProfile, RuleSpec};
 use dpi_packet::ipv4::IpProtocol;
 use dpi_packet::packet::flow;
 use dpi_packet::FlowKey;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 const IDS: MiddleboxId = MiddleboxId(1);
 
@@ -110,4 +114,105 @@ fn close_flow_drops_all_state() {
     // above must not combine with the rest.
     let o = dpi.scan_tcp_segment(1, fk, 100, b"-SIG").unwrap();
     assert!(all_hits(&o).is_empty());
+}
+
+#[test]
+fn repeated_out_of_order_segment_never_exhausts_buffer() {
+    // Regression: `push` used to count `buffered` bytes for duplicate
+    // out-of-order segments whose payload was then discarded by the
+    // first-copy rule, so retransmitting one unfilled gap eventually made
+    // the reassembler reject *every* out-of-order segment as over
+    // capacity.
+    let mut r = StreamReassembler::new(0, 64);
+    assert!(r.push(32, b"tail-data").is_empty());
+    // Far more duplicate bytes than the whole capacity.
+    for _ in 0..100 {
+        assert!(r.push(32, b"tail-data").is_empty());
+    }
+    assert_eq!(r.buffered(), 9, "accounting leaked on duplicates");
+    // A fresh out-of-order segment still fits: no spurious eviction.
+    assert!(r.push(50, b"more").is_empty());
+    assert_eq!(r.evicted_segments(), 0);
+    assert_eq!(r.dropped_segments(), 0);
+    // The gap fills and the whole stream (with its hole at 41..50
+    // unfilled) drains what is contiguous.
+    let runs = r.push(0, &[b'a'; 32]);
+    assert_eq!(runs.concat().len(), 32 + 9);
+}
+
+/// Splits `stream` (which starts at sequence `initial_seq`) into random
+/// segments, shuffles their arrival order, duplicates some, and feeds
+/// them all through a reassembler. Returns the concatenated delivered
+/// runs.
+fn reassemble_shuffled(initial_seq: u32, stream: &[u8], seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Cut the stream into segments of 1..=32 bytes.
+    let mut segments = Vec::new();
+    let mut off = 0usize;
+    while off < stream.len() {
+        let len = rng.gen_range(1usize..=32).min(stream.len() - off);
+        segments.push((
+            initial_seq.wrapping_add(off as u32),
+            stream[off..off + len].to_vec(),
+        ));
+        off += len;
+    }
+    // Duplicate ~25% of segments (retransmissions).
+    for i in 0..segments.len() {
+        if rng.gen_bool(0.25) {
+            segments.push(segments[i].clone());
+        }
+    }
+    // Fisher-Yates shuffle of arrival order.
+    for i in (1..segments.len()).rev() {
+        let j = rng.gen_range(0usize..=i);
+        segments.swap(i, j);
+    }
+    let mut r = StreamReassembler::new(initial_seq, 1 << 20);
+    let mut delivered = Vec::new();
+    for (seq, payload) in &segments {
+        for run in r.push(*seq, payload) {
+            delivered.extend_from_slice(&run);
+        }
+    }
+    assert_eq!(r.buffered(), 0, "every gap must eventually fill");
+    assert_eq!(r.delivered(), stream.len() as u64);
+    delivered
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Regression for the serial-order drain bug: segments shuffled
+    /// across the 2³² sequence wrap must still reassemble into exactly
+    /// the in-order reference stream.
+    #[test]
+    fn shuffled_segments_across_wrap_equal_in_order_reference(
+        // Start close enough to the wrap that the stream crosses it.
+        back_off in 0u32..256,
+        stream_len in 1usize..600,
+        seed in any::<u64>(),
+    ) {
+        let initial_seq = u32::MAX.wrapping_sub(back_off);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let mut stream = vec![0u8; stream_len];
+        rng.fill(&mut stream[..]);
+        let delivered = reassemble_shuffled(initial_seq, &stream, seed);
+        prop_assert_eq!(delivered, stream);
+    }
+
+    /// The same invariant away from the wrap (guards the general case
+    /// against regressions from the serial-order fix).
+    #[test]
+    fn shuffled_segments_anywhere_equal_in_order_reference(
+        initial_seq in any::<u32>(),
+        stream_len in 1usize..600,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed);
+        let mut stream = vec![0u8; stream_len];
+        rng.fill(&mut stream[..]);
+        let delivered = reassemble_shuffled(initial_seq, &stream, seed);
+        prop_assert_eq!(delivered, stream);
+    }
 }

@@ -61,6 +61,10 @@ pub struct FleetDpiNode {
     /// the fault plan's seed and the instance index.
     rng: StdRng,
     stats: Arc<Mutex<FleetDpiStats>>,
+    /// Optional structured-event tracer; delivery anomalies (retried,
+    /// lost, duplicated results) are recorded against
+    /// [`dpi_core::trace::TraceSource::Instance`].
+    tracer: Option<Arc<dpi_core::trace::Tracer>>,
 }
 
 impl FleetDpiNode {
@@ -93,10 +97,27 @@ impl FleetDpiNode {
                 retry,
                 rng: StdRng::seed_from_u64(seed),
                 stats: Arc::clone(&stats),
+                tracer: None,
             },
             handle,
             stats,
         )
+    }
+
+    /// Attaches a structured-event tracer: retried, lost, and duplicated
+    /// result deliveries become trace events attributed to this
+    /// instance's index.
+    pub fn attach_tracer(&mut self, tracer: Arc<dpi_core::trace::Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    fn trace(&self, kind: dpi_core::trace::TraceKind) {
+        if let Some(t) = &self.tracer {
+            t.record(
+                dpi_core::trace::TraceSource::Instance(self.instance_index as u32),
+                kind,
+            );
+        }
     }
 
     /// Whether the chaos plan still considers this instance alive. Always
@@ -157,10 +178,15 @@ impl Node for FleetDpiNode {
                         "{ctx}: result delivered on attempt {} (backoffs {:?}µs)",
                         outcome.attempts, outcome.backoffs_us
                     ));
+                    self.trace(dpi_core::trace::TraceKind::ResultRetried {
+                        attempts: outcome.attempts,
+                        backoff_us: outcome.backoffs_us.iter().sum(),
+                    });
                 }
                 stats.results_emitted += 1;
                 if chaos.duplicate_result(&ctx) {
                     stats.results_duplicated += 1;
+                    self.trace(dpi_core::trace::TraceKind::ResultDuplicated);
                     out.push((p, pkt.clone()));
                 }
                 out.push((p, pkt));
@@ -173,6 +199,9 @@ impl Node for FleetDpiNode {
                     "{ctx}: result lost after {} attempts",
                     outcome.attempts
                 ));
+                self.trace(dpi_core::trace::TraceKind::ResultLost {
+                    attempts: outcome.attempts,
+                });
             }
         }
         out

@@ -30,8 +30,10 @@ use dpi_controller::{
 };
 use dpi_core::chaos::{ChaosEngine, FaultPlan, RetryPolicy};
 use dpi_core::instance::ScanEngine;
+use dpi_core::metrics::{MetricKind, MetricsText};
 use dpi_core::pipeline::ShardedScanner;
 use dpi_core::telemetry::ShardTelemetry;
+use dpi_core::trace::{to_jsonl, TraceEvent, TraceKind, TraceSource, Tracer};
 use dpi_core::{DpiInstance, GenerationId, UpdateArtifact, UpdateError};
 use dpi_middlebox::boxes::MiddleboxTemplate;
 use dpi_middlebox::{
@@ -225,12 +227,21 @@ impl SystemBuilder {
         // shared between every in-network instance and the batch
         // pipeline.
         let cfg = controller.instance_config(&chain_ids)?;
-        let orchestrator = UpdateOrchestrator::new(&cfg);
+        let mut orchestrator = UpdateOrchestrator::new(&cfg);
         let engine = Arc::new(ScanEngine::new(cfg)?);
         let mut scanner = ShardedScanner::new(engine.clone(), self.dpi_workers);
 
+        // One tracer for the whole deployment: every layer appends to the
+        // same ring so a post-mortem reads one merged, seq-ordered
+        // timeline (DESIGN.md §10).
+        let tracer = Arc::new(Tracer::new());
+        controller.attach_tracer(Arc::clone(&tracer));
+        orchestrator.attach_tracer(Arc::clone(&tracer));
+        scanner.attach_tracer(Arc::clone(&tracer));
+
         let chaos = self.chaos.map(FaultPlan::start);
         if let Some(c) = &chaos {
+            c.attach_tracer(Arc::clone(&tracer));
             scanner.attach_chaos(Arc::clone(c));
         }
 
@@ -252,7 +263,7 @@ impl SystemBuilder {
         for i in 0..self.dpi_instances {
             let port = 2 + i as Port;
             let instance = DpiInstance::from_engine(engine.clone());
-            let (node, handle, stats) = FleetDpiNode::new(
+            let (mut node, handle, stats) = FleetDpiNode::new(
                 instance,
                 self.delivery,
                 MacAddr::local(100 + i as u32),
@@ -260,6 +271,7 @@ impl SystemBuilder {
                 chaos.clone(),
                 self.retry,
             );
+            node.attach_tracer(Arc::clone(&tracer));
             let id = net.add_node(Box::new(node));
             net.link(sw, port, id, 0);
             dpi_handles.push(handle);
@@ -309,6 +321,7 @@ impl SystemBuilder {
             chain_ids,
             tsa,
             orchestrator,
+            tracer,
         })
     }
 }
@@ -410,6 +423,8 @@ pub struct SystemHandle {
     pub tsa: TrafficSteeringApp,
     /// Generation-versioned rule-update orchestrator (DESIGN.md §9).
     orchestrator: UpdateOrchestrator,
+    /// Deployment-wide structured-event tracer (DESIGN.md §10).
+    tracer: Arc<Tracer>,
 }
 
 impl SystemHandle {
@@ -512,6 +527,14 @@ impl SystemHandle {
                 *port = survivor_port;
             }
         }
+        self.tracer.record(
+            TraceSource::Controller,
+            TraceKind::Resteered {
+                dead_instance: dead_idx as u32,
+                survivor: survivor_idx as u32,
+                rules: rewritten as u64,
+            },
+        );
         if let Some(c) = &self.chaos {
             c.note(format!(
                 "controller: instance {dead_idx} dead; re-steered {rewritten} rule(s) to instance {survivor_idx}"
@@ -551,6 +574,141 @@ impl SystemHandle {
             .as_ref()
             .map(|c| c.fault_log())
             .unwrap_or_default()
+    }
+
+    /// The deployment-wide tracer. Hand clones of this to external
+    /// components, or use [`SystemHandle::trace_events`] /
+    /// [`SystemHandle::trace_jsonl`] to read what the system recorded.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// A seq-ordered snapshot of the buffered trace events (the ring is
+    /// left intact; use [`Tracer::drain`] via [`SystemHandle::tracer`] to
+    /// consume them).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.tracer.snapshot()
+    }
+
+    /// The buffered trace as JSON Lines — one event object per line,
+    /// ready to archive next to a chaos fault log for post-mortems.
+    pub fn trace_jsonl(&self) -> String {
+        to_jsonl(&self.tracer.snapshot())
+    }
+
+    /// The deployment's state as a Prometheus text-format scrape:
+    /// per-instance packet/byte/match counters, per-shard pipeline
+    /// counters and peak queue depth, fleet health-state counts, the
+    /// committed rule generation, and the tracer's own buffering health.
+    pub fn metrics_text(&self) -> String {
+        let mut m = MetricsText::new();
+
+        m.family(
+            "dpi_instance_packets_total",
+            "Packets scanned per fleet instance",
+            MetricKind::Counter,
+        );
+        m.family(
+            "dpi_instance_bytes_total",
+            "Payload bytes scanned per fleet instance",
+            MetricKind::Counter,
+        );
+        m.family(
+            "dpi_instance_matches_total",
+            "Pattern matches reported per fleet instance",
+            MetricKind::Counter,
+        );
+        for (i, t) in self.fleet_telemetry().iter().enumerate() {
+            let i = i.to_string();
+            let l = [("instance", i.as_str())];
+            m.sample("dpi_instance_packets_total", &l, t.packets);
+            m.sample("dpi_instance_bytes_total", &l, t.bytes);
+            m.sample("dpi_instance_matches_total", &l, t.matches);
+        }
+
+        m.family(
+            "dpi_shard_packets_total",
+            "Packets scanned per pipeline shard",
+            MetricKind::Counter,
+        );
+        m.family(
+            "dpi_shard_bytes_total",
+            "Payload bytes scanned per pipeline shard",
+            MetricKind::Counter,
+        );
+        m.family(
+            "dpi_shard_matches_total",
+            "Pattern matches reported per pipeline shard",
+            MetricKind::Counter,
+        );
+        m.family(
+            "dpi_shard_queue_depth_peak",
+            "High-water mark of the shard ingress queue",
+            MetricKind::Gauge,
+        );
+        m.family(
+            "dpi_shard_restarts_total",
+            "Supervisor restarts of the shard worker",
+            MetricKind::Counter,
+        );
+        m.family(
+            "dpi_shard_lost_scans_total",
+            "Packets never scanned because the shard worker died",
+            MetricKind::Counter,
+        );
+        for t in self.shard_telemetry() {
+            let s = t.shard.to_string();
+            let l = [("shard", s.as_str())];
+            m.sample("dpi_shard_packets_total", &l, t.packets);
+            m.sample("dpi_shard_bytes_total", &l, t.bytes);
+            m.sample("dpi_shard_matches_total", &l, t.matches);
+            m.sample("dpi_shard_queue_depth_peak", &l, t.peak_queue_depth);
+            m.sample("dpi_shard_restarts_total", &l, t.restarts);
+            m.sample("dpi_shard_lost_scans_total", &l, t.lost_scans);
+        }
+
+        m.family(
+            "dpi_fleet_health",
+            "Fleet instances currently in each health state",
+            MetricKind::Gauge,
+        );
+        let (mut healthy, mut suspect, mut dead) = (0u64, 0u64, 0u64);
+        for id in &self.instance_ids {
+            match self.controller.instance_health(*id) {
+                Some(dpi_controller::InstanceHealth::Suspect) => suspect += 1,
+                Some(dpi_controller::InstanceHealth::Dead) => dead += 1,
+                _ => healthy += 1,
+            }
+        }
+        m.sample("dpi_fleet_health", &[("state", "healthy")], healthy);
+        m.sample("dpi_fleet_health", &[("state", "suspect")], suspect);
+        m.sample("dpi_fleet_health", &[("state", "dead")], dead);
+
+        m.family(
+            "dpi_rule_generation",
+            "Rule generation the whole deployment last committed to",
+            MetricKind::Gauge,
+        );
+        m.sample(
+            "dpi_rule_generation",
+            &[],
+            u64::from(self.orchestrator.committed_generation()),
+        );
+
+        m.family(
+            "dpi_trace_events_buffered",
+            "Trace events currently buffered in the global ring",
+            MetricKind::Gauge,
+        );
+        m.sample("dpi_trace_events_buffered", &[], self.tracer.len() as u64);
+        m.family(
+            "dpi_trace_events_dropped_total",
+            "Trace events overwritten before they were drained",
+            MetricKind::Counter,
+        );
+        m.sample("dpi_trace_events_dropped_total", &[], self.tracer.dropped());
+
+        m.finish()
     }
 
     /// Scans a batch of chain-tagged packets through the parallel
