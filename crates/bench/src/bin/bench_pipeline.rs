@@ -2,6 +2,9 @@
 //! at 1/2/4/8 workers over the same multi-flow tagged trace, plus the
 //! FullAc vs CompactAc footprint/throughput comparison. Writes
 //! `BENCH_pipeline.json` (consumed by the CI bench job as an artifact).
+//! Each `sharded[]` entry also records `peak_queue_depths`: shard i's
+//! ingress-queue high-water mark across the passes at that worker count
+//! (backlog skew = an elephant flow pinned to one shard).
 //!
 //! Set `DPI_BENCH_QUICK=1` for a CI-sized run. Speedup numbers only mean
 //! something when `host_cores` ≥ the worker count — the JSON records the
@@ -87,13 +90,20 @@ fn main() {
             scanner.inspect_batch(pkts);
         });
         let speedup = pps / seq_pps;
+        // Lifetime high-water mark of each shard's ingress queue across
+        // the bench passes: how far behind the slowest shard got.
+        let peaks: Vec<u64> = scanner
+            .shard_telemetry()
+            .iter()
+            .map(|t| t.peak_queue_depth)
+            .collect();
         print_row(&[
             "sharded".into(),
             format!("{workers}"),
             format!("{pps:.0}"),
             format!("{speedup:.2}x"),
         ]);
-        sharded.push((workers, pps, speedup));
+        sharded.push((workers, pps, speedup, peaks));
     }
 
     // Automaton representations over the same rule set.
@@ -141,9 +151,18 @@ fn main() {
         None => "null".into(),
     };
 
+    // Per entry: `peak_queue_depths[i]` is shard i's ingress-queue
+    // high-water mark over every pass at that worker count.
     let sharded_json: Vec<String> = sharded
         .iter()
-        .map(|(w, pps, s)| format!("{{\"workers\": {w}, \"pps\": {pps:.0}, \"speedup\": {s:.2}}}"))
+        .map(|(w, pps, s, peaks)| {
+            let peaks: Vec<String> = peaks.iter().map(u64::to_string).collect();
+            format!(
+                "{{\"workers\": {w}, \"pps\": {pps:.0}, \"speedup\": {s:.2}, \
+                 \"peak_queue_depths\": [{}]}}",
+                peaks.join(", ")
+            )
+        })
         .collect();
     let json = format!(
         "{{\n  \"host_cores\": {},\n  \"quick\": {},\n  \"patterns\": {},\n  \

@@ -206,6 +206,7 @@ impl DpiController {
                         stateful,
                         read_only,
                         stopping_condition,
+                        fail_closed: false,
                     },
                 )
                 .map(|_| ControllerReply::Registered { middlebox_id }),

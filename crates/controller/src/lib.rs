@@ -28,7 +28,12 @@
 //! * **Health monitoring** ([`health`]): per-instance heartbeat windows
 //!   driving the `Healthy → Suspect → Dead` state machine the failover
 //!   path acts on (§4's resiliency responsibility).
+//! * **Load balancing** ([`balancer`]): per-round telemetry deltas drive
+//!   bounded whole-flow migrations from the hottest to the coldest
+//!   instance, with anti-flap hysteresis (§4.3's load-balancing
+//!   responsibility).
 
+pub mod balancer;
 pub mod controller;
 pub mod deploy;
 pub mod health;
@@ -38,6 +43,7 @@ pub mod registry;
 pub mod stress;
 pub mod update;
 
+pub use balancer::{BalancePolicy, LoadBalancer, RebalancePlan};
 pub use controller::{ControllerError, DpiController, InstanceId, InstanceStatus, TransferRecord};
 pub use deploy::DeploymentPlan;
 pub use health::{HealthEvent, HealthMonitor, HealthPolicy, InstanceHealth};

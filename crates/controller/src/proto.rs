@@ -196,6 +196,9 @@ pub fn profile_of_register(msg: &ControllerMessage) -> Option<dpi_core::Middlebo
             stateful: *stateful,
             read_only: *read_only,
             stopping_condition: *stopping_condition,
+            // The wire registration does not carry overload semantics;
+            // fail-closed is an operator-side deployment property.
+            fail_closed: false,
         }),
         _ => None,
     }

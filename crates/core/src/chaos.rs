@@ -85,6 +85,13 @@ pub struct FaultPlan {
     pub duplicate_result_p: f64,
     /// 0-based ordinals of rule updates that arrive corrupted.
     pub corrupt_updates: Vec<u64>,
+    /// Traffic amplification during burst windows: each source send is
+    /// repeated this many times while a burst is active (1 = no burst).
+    pub burst_factor: u32,
+    /// Source-packet period of the burst cycle (0 = bursts disabled).
+    pub burst_period: u64,
+    /// How many source packets at the start of each period burst.
+    pub burst_len: u64,
 }
 
 impl FaultPlan {
@@ -145,6 +152,19 @@ impl FaultPlan {
         self
     }
 
+    /// Amplifies source traffic in periodic bursts: for every `period`
+    /// source packets, the first `len` are each sent `factor` times.
+    /// Drives the overload control path with a seeded, reproducible
+    /// 10×-style traffic spike.
+    pub fn burst_traffic(mut self, factor: u32, period: u64, len: u64) -> FaultPlan {
+        assert!(factor >= 1, "burst factor must be ≥ 1");
+        assert!(len <= period, "burst length cannot exceed the burst period");
+        self.burst_factor = factor;
+        self.burst_period = period;
+        self.burst_len = len;
+        self
+    }
+
     /// Starts the scenario: a shareable engine that makes every runtime
     /// fault decision deterministically from the plan's seed.
     pub fn start(self) -> Arc<ChaosEngine> {
@@ -154,6 +174,7 @@ impl FaultPlan {
                 rng,
                 instance_packets: Vec::new(),
                 update_ordinal: 0,
+                source_ordinal: 0,
                 log: Vec::new(),
                 tracer: None,
             }),
@@ -169,6 +190,8 @@ struct ChaosInner {
     instance_packets: Vec<u64>,
     /// Rule updates delivered so far.
     update_ordinal: u64,
+    /// Source packets sent so far (drives the burst cycle).
+    source_ordinal: u64,
     /// Ordered human-readable fault events.
     log: Vec<String>,
     /// Optional structured-event tracer: injected faults become trace
@@ -294,6 +317,38 @@ impl ChaosEngine {
             }
         }
         corrupted
+    }
+
+    /// Records one source packet being sent and returns how many copies
+    /// the source should emit (1 outside burst windows). The first packet
+    /// of each burst window logs and traces the burst start.
+    pub fn send_multiplier(&self) -> u32 {
+        if self.plan.burst_period == 0 || self.plan.burst_len == 0 || self.plan.burst_factor <= 1 {
+            return 1;
+        }
+        let mut g = self.lock();
+        let ordinal = g.source_ordinal;
+        g.source_ordinal += 1;
+        let phase = ordinal % self.plan.burst_period;
+        if phase >= self.plan.burst_len {
+            return 1;
+        }
+        if phase == 0 {
+            let factor = self.plan.burst_factor;
+            g.log.push(format!(
+                "burst x{factor} started at source packet {ordinal}"
+            ));
+            if let Some(t) = &g.tracer {
+                t.record(
+                    crate::trace::TraceSource::Chaos,
+                    crate::trace::TraceKind::FaultBurstStarted {
+                        factor,
+                        at_packet: ordinal,
+                    },
+                );
+            }
+        }
+        self.plan.burst_factor
     }
 
     /// The shard faults to hand a [`crate::pipeline::ShardedScanner`].
@@ -452,6 +507,30 @@ mod tests {
             .start();
         let hits: Vec<bool> = (0..5).map(|_| chaos.next_rule_update_corrupted()).collect();
         assert_eq!(hits, vec![false, true, false, true, false]);
+    }
+
+    #[test]
+    fn burst_traffic_amplifies_a_periodic_window() {
+        let chaos = FaultPlan::new(4).burst_traffic(10, 8, 3).start();
+        let mults: Vec<u32> = (0..16).map(|_| chaos.send_multiplier()).collect();
+        assert_eq!(
+            mults,
+            vec![10, 10, 10, 1, 1, 1, 1, 1, 10, 10, 10, 1, 1, 1, 1, 1]
+        );
+        // Each window entry is logged exactly once.
+        let starts = chaos
+            .fault_log()
+            .iter()
+            .filter(|e| e.contains("burst"))
+            .count();
+        assert_eq!(starts, 2);
+    }
+
+    #[test]
+    fn no_burst_plan_always_multiplies_by_one() {
+        let chaos = FaultPlan::new(4).start();
+        assert!((0..32).all(|_| chaos.send_multiplier() == 1));
+        assert!(chaos.fault_log().is_empty());
     }
 
     #[test]

@@ -52,6 +52,14 @@ pub struct MiddleboxProfile {
     /// middleboxes, of the flow for stateful ones) are not reported.
     /// `None` = unbounded.
     pub stopping_condition: Option<u64>,
+    /// `true` if this middlebox's verdicts are **fail-closed**: traffic on
+    /// its chains must never skip scanning, even when the DPI service is
+    /// overloaded (an IPS that blocks on verdicts, as opposed to an IDS
+    /// that merely observes). Fail-open (`false`, the default) chains may
+    /// have scans shed under overload — the packets still flow, CE-marked,
+    /// they just produce no results (same split as result delivery:
+    /// fail-open for data, fail-closed for verdicts).
+    pub fail_closed: bool,
 }
 
 impl MiddleboxProfile {
@@ -62,6 +70,7 @@ impl MiddleboxProfile {
             stateful: false,
             read_only: false,
             stopping_condition: None,
+            fail_closed: false,
         }
     }
 
@@ -82,6 +91,13 @@ impl MiddleboxProfile {
     /// Sets the stopping condition.
     pub fn with_stop(mut self, bytes: u64) -> MiddleboxProfile {
         self.stopping_condition = Some(bytes);
+        self
+    }
+
+    /// Marks the middlebox fail-closed: its chains' traffic is never
+    /// shed under overload.
+    pub fn fail_closed(mut self) -> MiddleboxProfile {
+        self.fail_closed = true;
         self
     }
 }

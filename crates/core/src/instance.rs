@@ -143,6 +143,9 @@ struct ChainInfo {
     members: Vec<MiddleboxId>,
     bitmap: u64,
     any_stateful: bool,
+    /// Any member is fail-closed: this chain's traffic must never have
+    /// its scan shed under overload.
+    any_fail_closed: bool,
 }
 
 /// The result of scanning one packet.
@@ -379,12 +382,16 @@ impl ScanEngine {
             let any_stateful = members
                 .iter()
                 .any(|m| profiles.get(m).map(|p| p.stateful).unwrap_or(false));
+            let any_fail_closed = members
+                .iter()
+                .any(|m| profiles.get(m).map(|p| p.fail_closed).unwrap_or(false));
             chains.insert(
                 c.chain_id,
                 ChainInfo {
                     members,
                     bitmap,
                     any_stateful,
+                    any_fail_closed,
                 },
             );
         }
@@ -421,6 +428,18 @@ impl ScanEngine {
     /// Members of one chain (`None` for unknown chains).
     pub(crate) fn chain_member_count(&self, chain_id: u16) -> Option<usize> {
         self.chains.get(&chain_id).map(|c| c.members.len())
+    }
+
+    /// Whether any member of `chain_id` registered a fail-closed profile
+    /// — if so, this chain's traffic must be scanned even under overload
+    /// (the shed policy skips it). Unknown chains are conservatively
+    /// fail-closed: they error on inspection anyway, and the error path
+    /// must stay visible rather than be silently shed.
+    pub fn chain_fail_closed(&self, chain_id: u16) -> bool {
+        self.chains
+            .get(&chain_id)
+            .map(|c| c.any_fail_closed)
+            .unwrap_or(true)
     }
 
     /// Scans a raw payload for `chain_id` (§5.2's algorithm) against

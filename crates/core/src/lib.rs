@@ -41,6 +41,7 @@ pub mod decompress;
 pub mod flowstate;
 pub mod instance;
 pub mod metrics;
+pub mod overload;
 pub mod pipeline;
 pub mod reassembly;
 pub mod report;
@@ -57,6 +58,9 @@ pub use decompress::{
 pub use flowstate::{FlowState, FlowTable};
 pub use instance::{DpiInstance, InstanceError, ScanEngine, ScanOutput, ShardState};
 pub use metrics::{MetricKind, MetricsText};
+pub use overload::{
+    InstanceLoadGauge, LoadWindow, OverloadDetector, OverloadPolicy, OverloadTransition, ShedMode,
+};
 pub use pipeline::ShardedScanner;
 pub use reassembly::StreamReassembler;
 pub use report::compress_matches;

@@ -1,0 +1,495 @@
+//! Adaptive overload control: bounded backpressure, ECN-CE marking and
+//! scan shedding.
+//!
+//! §4.1 makes the DPI controller responsible for balancing load across
+//! instances, and §6.1 reserves the IP ECN field for in-band DPI-side
+//! signals. This module closes the data-plane half of that loop: instead
+//! of letting an overloaded shard grow its queue until the watchdog
+//! condemns it, each shard watches its own pressure — ingress-queue depth
+//! plus a scan-latency EWMA — through an [`OverloadDetector`] with
+//! high/low watermarks and hysteresis. While overloaded the pipeline
+//!
+//! * CE-marks forwarded packets ([`dpi_packet::ipv4::Ecn::Ce`], the ECN
+//!   congestion codepoint — distinct from the `Ect0` match mark), and
+//! * under [`ShedMode::FailOpen`] skips scanning for chains whose
+//!   middleboxes are all fail-open — the packets still flow, they just
+//!   produce no results. Chains with a fail-closed member
+//!   ([`crate::MiddleboxProfile::fail_closed`]) are **never** shed: their
+//!   verdict traffic is scanned no matter the pressure, the same
+//!   fail-open-data / fail-closed-verdicts split result delivery uses.
+//!
+//! The control-plane half (the controller's `LoadBalancer` re-steering
+//! whole flows hot→cold) consumes the per-instance view exported here as
+//! [`InstanceLoadGauge`].
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// What an overloaded shard does to traffic it cannot afford to scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShedMode {
+    /// Only CE-mark forwarded packets; every packet is still scanned.
+    /// The signal travels, the work does not shrink.
+    MarkOnly,
+    /// CE-mark *and* skip scanning for fail-open chains. Fail-closed
+    /// chains are always scanned regardless of mode.
+    FailOpen,
+}
+
+/// Watermark configuration for one overload detector.
+///
+/// Overload is **entered** when queue depth reaches `queue_high` *or* the
+/// scan-latency EWMA reaches `latency_high_us`; it is **cleared** only
+/// when depth has fallen to `queue_low` *and* the EWMA to
+/// `latency_low_us` — the hysteresis gap prevents flapping around a
+/// single threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverloadPolicy {
+    /// Queue depth at or above which the shard is overloaded.
+    pub queue_high: usize,
+    /// Queue depth at or below which (jointly with the latency low
+    /// watermark) overload clears.
+    pub queue_low: usize,
+    /// Scan-latency EWMA (µs) at or above which the shard is overloaded.
+    pub latency_high_us: u64,
+    /// Scan-latency EWMA (µs) at or below which overload can clear.
+    pub latency_low_us: u64,
+    /// EWMA smoothing: each observation moves the average by
+    /// `1 / 2^ewma_shift` of the difference (3 ⇒ α = 1/8).
+    pub ewma_shift: u32,
+    /// What to do while overloaded.
+    pub shed: ShedMode,
+}
+
+impl Default for OverloadPolicy {
+    fn default() -> OverloadPolicy {
+        OverloadPolicy {
+            // Three quarters of the shard queue capacity (256).
+            queue_high: 192,
+            queue_low: 64,
+            latency_high_us: 5_000,
+            latency_low_us: 1_000,
+            ewma_shift: 3,
+            shed: ShedMode::FailOpen,
+        }
+    }
+}
+
+impl OverloadPolicy {
+    /// A policy that only watches queue depth — the latency watermarks
+    /// are effectively disabled. Useful in simulations where scan latency
+    /// is microseconds regardless of load.
+    pub fn queue_only(queue_high: usize, queue_low: usize) -> OverloadPolicy {
+        assert!(queue_low <= queue_high, "low watermark above high");
+        OverloadPolicy {
+            queue_high,
+            queue_low,
+            latency_high_us: u64::MAX,
+            latency_low_us: u64::MAX,
+            ..OverloadPolicy::default()
+        }
+    }
+
+    /// Sets the shed mode.
+    pub fn with_shed(mut self, shed: ShedMode) -> OverloadPolicy {
+        self.shed = shed;
+        self
+    }
+}
+
+/// A state transition reported by [`OverloadDetector::observe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadTransition {
+    /// The detector crossed the high watermark and entered overload.
+    Entered,
+    /// The detector fell below both low watermarks and cleared.
+    Cleared,
+}
+
+/// Per-shard overload state machine: latency EWMA + queue watermarks with
+/// hysteresis, plus lifetime counters for everything the shed policy did.
+///
+/// Owned by the pipeline's supervisor (it survives shard restarts) and
+/// lent to the worker for the duration of a batch.
+///
+/// ```
+/// use dpi_core::overload::{OverloadDetector, OverloadPolicy, OverloadTransition};
+///
+/// let mut det = OverloadDetector::new(OverloadPolicy::queue_only(8, 2));
+/// assert!(!det.is_overloaded());
+/// assert_eq!(det.observe(9, 10), Some(OverloadTransition::Entered));
+/// assert!(det.is_overloaded());
+/// // Above the low watermark: still overloaded (hysteresis).
+/// assert_eq!(det.observe(5, 10), None);
+/// assert_eq!(det.observe(1, 10), Some(OverloadTransition::Cleared));
+/// ```
+#[derive(Debug, Clone)]
+pub struct OverloadDetector {
+    policy: OverloadPolicy,
+    /// Scan-latency EWMA in microseconds.
+    ewma_us: u64,
+    /// Last observed queue depth.
+    last_depth: usize,
+    overloaded: bool,
+    /// Lifetime count of overload entries.
+    pub entries: u64,
+    /// Lifetime count of overload exits.
+    pub exits: u64,
+    /// Packets whose scan was shed while overloaded.
+    pub shed_packets: u64,
+    /// Payload bytes of shed packets.
+    pub shed_bytes: u64,
+    /// Packets CE-marked while overloaded.
+    pub ce_marked: u64,
+}
+
+impl OverloadDetector {
+    /// A detector in the not-overloaded state.
+    pub fn new(policy: OverloadPolicy) -> OverloadDetector {
+        OverloadDetector {
+            policy,
+            ewma_us: 0,
+            last_depth: 0,
+            overloaded: false,
+            entries: 0,
+            exits: 0,
+            shed_packets: 0,
+            shed_bytes: 0,
+            ce_marked: 0,
+        }
+    }
+
+    /// The configured watermarks.
+    pub fn policy(&self) -> &OverloadPolicy {
+        &self.policy
+    }
+
+    /// Feeds one observation — the backlog behind the packet just pulled
+    /// off the queue and the wall time its scan took — and steps the
+    /// hysteresis state machine. Returns the transition, if one happened.
+    pub fn observe(
+        &mut self,
+        queue_depth: usize,
+        scan_latency_us: u64,
+    ) -> Option<OverloadTransition> {
+        // Integer EWMA: move 1/2^shift of the signed difference.
+        let shift = self.policy.ewma_shift.min(16);
+        if scan_latency_us >= self.ewma_us {
+            self.ewma_us += (scan_latency_us - self.ewma_us) >> shift;
+        } else {
+            self.ewma_us -= (self.ewma_us - scan_latency_us) >> shift;
+        }
+        self.last_depth = queue_depth;
+
+        if !self.overloaded {
+            if queue_depth >= self.policy.queue_high || self.ewma_us >= self.policy.latency_high_us
+            {
+                self.overloaded = true;
+                self.entries += 1;
+                return Some(OverloadTransition::Entered);
+            }
+        } else if queue_depth <= self.policy.queue_low
+            && (self.ewma_us <= self.policy.latency_low_us
+                || self.policy.latency_high_us == u64::MAX)
+        {
+            self.overloaded = false;
+            self.exits += 1;
+            return Some(OverloadTransition::Cleared);
+        }
+        None
+    }
+
+    /// Whether the shard is currently past the high watermark (and has
+    /// not yet fallen below the low one).
+    pub fn is_overloaded(&self) -> bool {
+        self.overloaded
+    }
+
+    /// The current scan-latency EWMA in microseconds.
+    pub fn ewma_us(&self) -> u64 {
+        self.ewma_us
+    }
+
+    /// Load score in `[0, ∞)`: the worse of queue-depth and latency
+    /// pressure, each normalized to its high watermark (1.0 = at the
+    /// watermark). Exported as a gauge.
+    pub fn load_score(&self) -> f64 {
+        let q = if self.policy.queue_high == 0 {
+            0.0
+        } else {
+            self.last_depth as f64 / self.policy.queue_high as f64
+        };
+        let l = if self.policy.latency_high_us == u64::MAX || self.policy.latency_high_us == 0 {
+            0.0
+        } else {
+            self.ewma_us as f64 / self.policy.latency_high_us as f64
+        };
+        q.max(l)
+    }
+
+    /// Records one shed scan (the packet flowed unscanned).
+    pub fn note_shed(&mut self, bytes: usize) {
+        self.shed_packets += 1;
+        self.shed_bytes += bytes as u64;
+    }
+
+    /// Records one CE-marked packet.
+    pub fn note_ce_mark(&mut self) {
+        self.ce_marked += 1;
+    }
+}
+
+/// Shared per-instance load view: the data-plane node increments it per
+/// packet, the control plane closes windows each heartbeat round and sets
+/// the overload verdict, and the node consults that verdict to CE-mark
+/// and shed. All atomics — the node and the controller never share a
+/// lock.
+#[derive(Debug, Default)]
+pub struct InstanceLoadGauge {
+    /// Data packets seen since the window was last closed.
+    window_packets: AtomicU64,
+    /// Control-plane verdict: the instance is overloaded.
+    overloaded: AtomicBool,
+    /// Load score ×1000 (atomics carry no floats).
+    load_score_milli: AtomicU64,
+    /// Lifetime shed packets.
+    shed_packets: AtomicU64,
+    /// Lifetime shed payload bytes.
+    shed_bytes: AtomicU64,
+    /// Lifetime CE-marked packets.
+    ce_marked: AtomicU64,
+}
+
+impl InstanceLoadGauge {
+    /// A zeroed gauge.
+    pub fn new() -> InstanceLoadGauge {
+        InstanceLoadGauge::default()
+    }
+
+    /// Data-plane: one data packet arrived at the instance.
+    pub fn note_packet(&self) {
+        self.window_packets.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Control-plane: closes the current window, returning the packets
+    /// it saw and zeroing it for the next round.
+    pub fn take_window(&self) -> u64 {
+        self.window_packets.swap(0, Ordering::Relaxed)
+    }
+
+    /// Control-plane: sets the overload verdict the data plane acts on.
+    pub fn set_overloaded(&self, overloaded: bool) {
+        self.overloaded.store(overloaded, Ordering::Relaxed);
+    }
+
+    /// Whether the control plane currently considers the instance
+    /// overloaded.
+    pub fn is_overloaded(&self) -> bool {
+        self.overloaded.load(Ordering::Relaxed)
+    }
+
+    /// Control-plane: publishes the instance's load score.
+    pub fn set_load_score(&self, score: f64) {
+        let milli = (score.max(0.0) * 1000.0).min(u64::MAX as f64) as u64;
+        self.load_score_milli.store(milli, Ordering::Relaxed);
+    }
+
+    /// The last published load score.
+    pub fn load_score(&self) -> f64 {
+        self.load_score_milli.load(Ordering::Relaxed) as f64 / 1000.0
+    }
+
+    /// Data-plane: one scan was shed at this instance.
+    pub fn note_shed(&self, bytes: usize) {
+        self.shed_packets.fetch_add(1, Ordering::Relaxed);
+        self.shed_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Data-plane: one packet was CE-marked at this instance.
+    pub fn note_ce_mark(&self) {
+        self.ce_marked.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lifetime shed packets.
+    pub fn shed_packets(&self) -> u64 {
+        self.shed_packets.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime shed payload bytes.
+    pub fn shed_bytes(&self) -> u64 {
+        self.shed_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime CE-marked packets.
+    pub fn ce_marked(&self) -> u64 {
+        self.ce_marked.load(Ordering::Relaxed)
+    }
+}
+
+/// Control-plane hysteresis over per-round packet windows: the
+/// instance-level analogue of [`OverloadDetector`], driven by
+/// [`InstanceLoadGauge::take_window`] once per heartbeat round.
+#[derive(Debug, Clone)]
+pub struct LoadWindow {
+    /// Window packet count at or above which the instance is overloaded.
+    pub high: u64,
+    /// Window packet count at or below which overload clears.
+    pub low: u64,
+    overloaded: bool,
+}
+
+impl LoadWindow {
+    /// A window watermark pair in the not-overloaded state.
+    pub fn new(high: u64, low: u64) -> LoadWindow {
+        assert!(low <= high, "low watermark above high");
+        LoadWindow {
+            high,
+            low,
+            overloaded: false,
+        }
+    }
+
+    /// Feeds one closed window; returns the transition, if any.
+    pub fn observe(&mut self, window: u64) -> Option<OverloadTransition> {
+        if !self.overloaded {
+            if window >= self.high {
+                self.overloaded = true;
+                return Some(OverloadTransition::Entered);
+            }
+        } else if window <= self.low {
+            self.overloaded = false;
+            return Some(OverloadTransition::Cleared);
+        }
+        None
+    }
+
+    /// Whether the last observation left the instance overloaded.
+    pub fn is_overloaded(&self) -> bool {
+        self.overloaded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detector_enters_on_queue_high_and_clears_with_hysteresis() {
+        let mut det = OverloadDetector::new(OverloadPolicy::queue_only(10, 3));
+        assert_eq!(det.observe(9, 0), None);
+        assert_eq!(det.observe(10, 0), Some(OverloadTransition::Entered));
+        assert!(det.is_overloaded());
+        // Between the watermarks: no flapping either way.
+        for depth in [9, 7, 5, 4] {
+            assert_eq!(det.observe(depth, 0), None);
+            assert!(det.is_overloaded());
+        }
+        assert_eq!(det.observe(3, 0), Some(OverloadTransition::Cleared));
+        assert!(!det.is_overloaded());
+        // Re-entering counts a second entry.
+        assert_eq!(det.observe(11, 0), Some(OverloadTransition::Entered));
+        assert_eq!(det.entries, 2);
+        assert_eq!(det.exits, 1);
+    }
+
+    #[test]
+    fn detector_enters_on_latency_ewma() {
+        let policy = OverloadPolicy {
+            queue_high: usize::MAX,
+            queue_low: usize::MAX,
+            latency_high_us: 1_000,
+            latency_low_us: 100,
+            ewma_shift: 0, // EWMA tracks the observation exactly
+            shed: ShedMode::FailOpen,
+        };
+        let mut det = OverloadDetector::new(policy);
+        assert_eq!(det.observe(0, 500), None);
+        assert_eq!(det.observe(0, 2_000), Some(OverloadTransition::Entered));
+        assert_eq!(det.ewma_us(), 2_000);
+        // Queue is at zero but latency still high: stays overloaded.
+        assert_eq!(det.observe(0, 500), None);
+        assert_eq!(det.observe(0, 50), Some(OverloadTransition::Cleared));
+    }
+
+    #[test]
+    fn ewma_smooths_spikes() {
+        let policy = OverloadPolicy {
+            queue_high: usize::MAX,
+            queue_low: 0,
+            latency_high_us: 10_000,
+            latency_low_us: 1_000,
+            ewma_shift: 3,
+            shed: ShedMode::FailOpen,
+        };
+        let mut det = OverloadDetector::new(policy);
+        // A single 16ms spike moves a zero EWMA by only 1/8th — no entry.
+        assert_eq!(det.observe(0, 16_000), None);
+        assert_eq!(det.ewma_us(), 2_000);
+        // Sustained pressure eventually crosses.
+        let mut entered = false;
+        for _ in 0..32 {
+            if det.observe(0, 16_000) == Some(OverloadTransition::Entered) {
+                entered = true;
+            }
+        }
+        assert!(entered, "sustained latency must enter overload");
+    }
+
+    #[test]
+    fn load_score_tracks_the_worse_pressure() {
+        let mut det = OverloadDetector::new(OverloadPolicy {
+            queue_high: 100,
+            queue_low: 10,
+            latency_high_us: 1_000,
+            latency_low_us: 100,
+            ewma_shift: 0,
+            shed: ShedMode::FailOpen,
+        });
+        det.observe(50, 200);
+        assert!((det.load_score() - 0.5).abs() < 1e-9);
+        det.observe(10, 2_000);
+        assert!(det.load_score() >= 2.0);
+    }
+
+    #[test]
+    fn shed_and_ce_counters_accumulate() {
+        let mut det = OverloadDetector::new(OverloadPolicy::default());
+        det.note_shed(100);
+        det.note_shed(50);
+        det.note_ce_mark();
+        assert_eq!(det.shed_packets, 2);
+        assert_eq!(det.shed_bytes, 150);
+        assert_eq!(det.ce_marked, 1);
+    }
+
+    #[test]
+    fn gauge_windows_reset_on_take() {
+        let g = InstanceLoadGauge::new();
+        for _ in 0..5 {
+            g.note_packet();
+        }
+        assert_eq!(g.take_window(), 5);
+        assert_eq!(g.take_window(), 0);
+        g.note_shed(64);
+        g.note_ce_mark();
+        assert_eq!(g.shed_packets(), 1);
+        assert_eq!(g.shed_bytes(), 64);
+        assert_eq!(g.ce_marked(), 1);
+        g.set_load_score(1.25);
+        assert!((g.load_score() - 1.25).abs() < 1e-9);
+        assert!(!g.is_overloaded());
+        g.set_overloaded(true);
+        assert!(g.is_overloaded());
+    }
+
+    #[test]
+    fn load_window_hysteresis() {
+        let mut w = LoadWindow::new(100, 20);
+        assert_eq!(w.observe(99), None);
+        assert_eq!(w.observe(100), Some(OverloadTransition::Entered));
+        assert_eq!(w.observe(50), None);
+        assert!(w.is_overloaded());
+        assert_eq!(w.observe(20), Some(OverloadTransition::Cleared));
+        assert!(!w.is_overloaded());
+    }
+}

@@ -23,6 +23,7 @@
 use crate::chaos::{ChaosEngine, ShardFault, ShardFaultSpec};
 use crate::config::InstanceConfig;
 use crate::instance::{InstanceError, ScanEngine, ShardState};
+use crate::overload::{OverloadDetector, OverloadPolicy, OverloadTransition, ShedMode};
 use crate::telemetry::{ShardTelemetry, Telemetry};
 use crate::trace::{TraceKind, TraceSource, Tracer};
 use crate::update::{EngineSlot, UpdateError, UpdateStats};
@@ -34,8 +35,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Per-shard ingress queue capacity. Bounded so a slow shard applies
-/// backpressure to the feeder instead of buffering a whole batch.
-const SHARD_QUEUE_CAPACITY: usize = 256;
+/// backpressure to the feeder instead of buffering a whole batch; the
+/// default [`OverloadPolicy`] watermarks are fractions of this bound.
+pub const SHARD_QUEUE_CAPACITY: usize = 256;
 
 /// What a surviving worker hands back to the supervisor at the batch
 /// boundary. A panicked worker hands back nothing — its join result is
@@ -122,6 +124,17 @@ pub struct ShardedScanner {
     /// recorded directly; per-packet samples go through each shard's
     /// private writer and are absorbed at the batch boundary.
     tracer: Option<Arc<Tracer>>,
+    /// Per-shard overload detectors (queue-depth + scan-latency EWMA
+    /// watermarks with hysteresis). `None` — the default — disables
+    /// overload control entirely: no CE marks, no sheds, byte-identical
+    /// output to a scanner built before this subsystem existed. Owned by
+    /// the supervisor so counters and hysteresis state survive shard
+    /// restarts.
+    detectors: Option<Vec<OverloadDetector>>,
+    /// Per-shard ingress-queue peak of the *most recent* batch (the
+    /// across-batches maximum lives in `queue_peaks`). Benches read this
+    /// to build a queue-depth distribution.
+    last_batch_peaks: Vec<usize>,
     packet_counter: u32,
 }
 
@@ -151,8 +164,51 @@ impl ShardedScanner {
             slot: None,
             update_stats,
             tracer: None,
+            detectors: None,
+            last_batch_peaks: vec![0; n],
             packet_counter: 0,
         }
+    }
+
+    /// Arms per-shard overload control: queue-depth and scan-latency
+    /// watermarks with hysteresis. While a shard is overloaded its
+    /// forwarded packets are CE-marked and — under
+    /// [`ShedMode::FailOpen`] — scans of fail-open chains are skipped.
+    /// Chains with a fail-closed member are always scanned.
+    pub fn with_overload_policy(mut self, policy: OverloadPolicy) -> ShardedScanner {
+        self.set_overload_policy(Some(policy));
+        self
+    }
+
+    /// Setter form of [`ShardedScanner::with_overload_policy`]; `None`
+    /// disables overload control.
+    pub fn set_overload_policy(&mut self, policy: Option<OverloadPolicy>) {
+        self.detectors = policy.map(|p| {
+            (0..self.shards.len())
+                .map(|_| OverloadDetector::new(p))
+                .collect()
+        });
+    }
+
+    /// The configured overload policy, if any.
+    pub fn overload_policy(&self) -> Option<OverloadPolicy> {
+        self.detectors
+            .as_ref()
+            .and_then(|d| d.first())
+            .map(|d| *d.policy())
+    }
+
+    /// Per-shard `(overloaded, load_score)` pairs; empty when overload
+    /// control is disabled.
+    pub fn overload_state(&self) -> Vec<(bool, f64)> {
+        self.detectors
+            .as_ref()
+            .map(|ds| {
+                ds.iter()
+                    .map(|d| (d.is_overloaded(), d.load_score()))
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 
     /// Attaches a structured-event tracer: batch boundaries, supervision
@@ -358,11 +414,27 @@ impl ShardedScanner {
         let mut send_lost = vec![0u64; n];
         let completed: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
 
+        // Snapshot detector counters so the supervisor can aggregate this
+        // batch's shed/CE activity into trace events afterwards.
+        let pre_overload: Vec<(u64, u64, u64)> = self
+            .detectors
+            .as_ref()
+            .map(|ds| {
+                ds.iter()
+                    .map(|d| (d.shed_packets, d.shed_bytes, d.ce_marked))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let mut dets: Vec<Option<&mut OverloadDetector>> = match &mut self.detectors {
+            Some(v) => v.iter_mut().map(Some).collect(),
+            None => (0..n).map(|_| None).collect(),
+        };
+
         let (mut numbered, reports) = std::thread::scope(|scope| {
             let (result_tx, result_rx) = channel::unbounded::<(usize, ResultPacket)>();
             let mut feeds = Vec::with_capacity(n);
             let mut handles = Vec::with_capacity(n);
-            for (s, shard) in self.shards.iter_mut().enumerate() {
+            for ((s, shard), mut det) in self.shards.iter_mut().enumerate().zip(dets.drain(..)) {
                 let (tx, rx) = channel::bounded::<(usize, &mut Packet)>(SHARD_QUEUE_CAPACITY);
                 let result_tx = result_tx.clone();
                 let engine = &**engine;
@@ -402,14 +474,64 @@ impl ShardedScanner {
                                 }
                             }
                         }
-                        match engine.inspect_unnumbered(shard, pkt) {
-                            Ok(Some(result)) => {
-                                // The collector outlives every worker, so
-                                // the send cannot fail.
-                                let _ = result_tx.send((idx, result));
+                        // Overload shed decision, before the scan: while
+                        // past the high watermark, fail-open chains skip
+                        // scanning entirely (the packet flows CE-marked);
+                        // chains with a fail-closed member — and untagged
+                        // packets, whose error path must stay visible —
+                        // are always scanned.
+                        let mut shed = false;
+                        if let Some(d) = det.as_deref_mut() {
+                            if d.is_overloaded() && matches!(d.policy().shed, ShedMode::FailOpen) {
+                                let fail_closed = pkt
+                                    .chain_tag()
+                                    .map(|t| engine.chain_fail_closed(t))
+                                    .unwrap_or(true);
+                                if !fail_closed {
+                                    shed = true;
+                                    d.note_shed(pkt.payload().map(<[u8]>::len).unwrap_or(0));
+                                }
                             }
-                            Ok(None) => {}
-                            Err(_) => report.errors += 1,
+                        }
+                        if !shed {
+                            match engine.inspect_unnumbered(shard, pkt) {
+                                Ok(Some(result)) => {
+                                    // The collector outlives every worker,
+                                    // so the send cannot fail.
+                                    let _ = result_tx.send((idx, result));
+                                }
+                                Ok(None) => {}
+                                Err(_) => report.errors += 1,
+                            }
+                        }
+                        if let Some(d) = det.as_deref_mut() {
+                            if d.is_overloaded() {
+                                // CE takes precedence over the Ect0 match
+                                // mark: congestion is the more urgent
+                                // in-band signal, and the match itself
+                                // still travels in the result packet.
+                                pkt.mark_congestion();
+                                d.note_ce_mark();
+                            }
+                            let transition = d.observe(
+                                rx.len(),
+                                started.elapsed().as_micros() as u64,
+                            );
+                            if let Some(t) = transition {
+                                if let Some(w) = shard.trace_writer_mut() {
+                                    let (depth, ewma) = (rx.len() as u64, d.ewma_us());
+                                    w.record(match t {
+                                        OverloadTransition::Entered => TraceKind::OverloadEntered {
+                                            depth,
+                                            ewma_us: ewma,
+                                        },
+                                        OverloadTransition::Cleared => TraceKind::OverloadCleared {
+                                            depth,
+                                            ewma_us: ewma,
+                                        },
+                                    });
+                                }
+                            }
                         }
                         report.processed += 1;
                         completed.fetch_add(1, Ordering::Relaxed);
@@ -453,6 +575,7 @@ impl ShardedScanner {
         // Supervision pass, in shard order so fault-log entries are
         // deterministic across runs of the same seed.
         for s in 0..n {
+            self.last_batch_peaks[s] = reports[s].as_ref().map(|r| r.peak).unwrap_or(0);
             match &reports[s] {
                 Some(report) => {
                     self.queue_peaks[s] = self.queue_peaks[s].max(report.peak);
@@ -490,6 +613,29 @@ impl ShardedScanner {
                     self.note(format!("shard {s} worker panicked; {lost} scans lost"));
                     self.trace_shard(s, TraceKind::WorkerPanicked { lost_scans: lost });
                     self.restart_shard(s);
+                }
+            }
+        }
+
+        // Per-shard overload aggregates for the batch: what the shed
+        // policy actually did, as trace events (transitions were recorded
+        // by the workers themselves, through their shard writers).
+        if let Some(ds) = &self.detectors {
+            for (s, d) in ds.iter().enumerate() {
+                let (p0, b0, c0) = pre_overload.get(s).copied().unwrap_or((0, 0, 0));
+                let (shed_p, shed_b, ce) =
+                    (d.shed_packets - p0, d.shed_bytes - b0, d.ce_marked - c0);
+                if shed_p > 0 {
+                    self.trace_shard(
+                        s,
+                        TraceKind::OverloadShed {
+                            packets: shed_p,
+                            bytes: shed_b,
+                        },
+                    );
+                }
+                if ce > 0 {
+                    self.trace_shard(s, TraceKind::OverloadCeMarked { packets: ce });
                 }
             }
         }
@@ -589,6 +735,7 @@ impl ShardedScanner {
             .enumerate()
             .map(|(i, shard)| {
                 let t = shard.telemetry();
+                let det = self.detectors.as_ref().and_then(|d| d.get(i));
                 ShardTelemetry {
                     shard: i as u32,
                     packets: t.packets,
@@ -599,9 +746,35 @@ impl ShardedScanner {
                     restarts: self.restarts[i],
                     watchdog_trips: self.watchdog_trips[i],
                     lost_scans: self.lost_scans[i],
+                    shed_packets: det.map(|d| d.shed_packets).unwrap_or(0),
+                    shed_bytes: det.map(|d| d.shed_bytes).unwrap_or(0),
+                    ce_marked: det.map(|d| d.ce_marked).unwrap_or(0),
                 }
             })
             .collect()
+    }
+
+    /// Each shard's ingress-queue peak during the most recent batch (the
+    /// lifetime peak is in [`ShardedScanner::shard_telemetry`]). Benches
+    /// sample this per batch to build queue-depth distributions.
+    pub fn last_batch_peaks(&self) -> &[usize] {
+        &self.last_batch_peaks
+    }
+
+    /// Total scans shed by the overload policy across shards.
+    pub fn total_shed(&self) -> u64 {
+        self.detectors
+            .as_ref()
+            .map(|ds| ds.iter().map(|d| d.shed_packets).sum())
+            .unwrap_or(0)
+    }
+
+    /// Total packets CE-marked under overload across shards.
+    pub fn total_ce_marked(&self) -> u64 {
+        self.detectors
+            .as_ref()
+            .map(|ds| ds.iter().map(|d| d.ce_marked).sum())
+            .unwrap_or(0)
     }
 
     /// Total supervisor restarts across shards.
@@ -958,6 +1131,137 @@ mod tests {
         for s in &samples {
             assert!(start_seq < s.seq && s.seq < end_seq);
         }
+    }
+
+    #[test]
+    fn overload_sheds_fail_open_scans_and_ce_marks() {
+        use crate::overload::{OverloadPolicy, ShedMode};
+        use crate::trace::{TraceKind, Tracer};
+
+        // queue_high = 1: the worker enters overload as soon as it sees
+        // one queued packet behind the one in hand. A single worker with
+        // a pre-filled queue observes depth 7 after its first packet.
+        let mut scanner = ShardedScanner::from_config(config(), 1)
+            .unwrap()
+            .with_overload_policy(OverloadPolicy::queue_only(1, 0).with_shed(ShedMode::FailOpen));
+        let tracer = Arc::new(Tracer::new());
+        scanner.attach_tracer(Arc::clone(&tracer));
+
+        let mut batch: Vec<Packet> = (0..8).map(|i| tagged_packet(100 + i, b"attack")).collect();
+        let results = scanner.inspect_batch(&mut batch);
+        // Only the first packet was scanned; the rest were shed while
+        // overloaded (the chain is fail-open).
+        assert_eq!(results.len(), 1);
+        assert_eq!(scanner.total_shed(), 7);
+        // Shed packets still flow — CE-marked, unscanned.
+        assert!(!batch[0].has_ce_mark(), "first packet preceded overload");
+        for p in &batch[1..] {
+            assert!(p.has_ce_mark(), "shed packets carry the congestion mark");
+        }
+        let t = &scanner.shard_telemetry()[0];
+        assert_eq!(t.shed_packets, 7);
+        assert_eq!(t.shed_bytes, 7 * b"attack".len() as u64);
+        assert_eq!(t.ce_marked, 7);
+        // The episode is visible in the trace: entry transition plus the
+        // per-batch shed/CE aggregates.
+        let events = tracer.drain();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::OverloadEntered { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::OverloadShed { packets: 7, .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::OverloadCeMarked { packets: 7 })));
+        // The queue drained to zero at the end, so the detector cleared.
+        assert!(scanner.overload_state().iter().all(|(over, _)| !over));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::OverloadCleared { .. })));
+    }
+
+    #[test]
+    fn fail_closed_chains_are_never_shed() {
+        use crate::overload::{OverloadPolicy, ShedMode};
+
+        let cfg = InstanceConfig::new()
+            .with_middlebox(
+                MiddleboxProfile::stateless(MiddleboxId(1)).fail_closed(),
+                vec![RuleSpec::exact(b"attack".to_vec())],
+            )
+            .with_chain(3, vec![MiddleboxId(1)]);
+        let mut scanner = ShardedScanner::from_config(cfg, 1)
+            .unwrap()
+            .with_overload_policy(OverloadPolicy::queue_only(1, 0).with_shed(ShedMode::FailOpen));
+        let mut batch: Vec<Packet> = (0..8).map(|i| tagged_packet(100 + i, b"attack")).collect();
+        let results = scanner.inspect_batch(&mut batch);
+        // Every packet was scanned despite sustained overload: the chain
+        // demands verdicts, so the shed policy must not skip it. CE
+        // marking still happens — congestion signalling is orthogonal.
+        assert_eq!(results.len(), 8);
+        assert_eq!(scanner.total_shed(), 0);
+        assert!(scanner.total_ce_marked() >= 7);
+        assert!(batch[1..].iter().all(Packet::has_ce_mark));
+    }
+
+    #[test]
+    fn mark_only_mode_ce_marks_without_shedding() {
+        use crate::overload::{OverloadPolicy, ShedMode};
+
+        let mut scanner = ShardedScanner::from_config(config(), 1)
+            .unwrap()
+            .with_overload_policy(OverloadPolicy::queue_only(1, 0).with_shed(ShedMode::MarkOnly));
+        let mut batch: Vec<Packet> = (0..6).map(|i| tagged_packet(100 + i, b"attack")).collect();
+        let results = scanner.inspect_batch(&mut batch);
+        assert_eq!(results.len(), 6);
+        assert_eq!(scanner.total_shed(), 0);
+        assert_eq!(scanner.total_ce_marked(), 5);
+    }
+
+    #[test]
+    fn overload_below_watermark_is_inert() {
+        use crate::overload::OverloadPolicy;
+
+        let make_batch = || -> Vec<Packet> {
+            (0..16)
+                .map(|i| tagged_packet(3000 + i, b"an attack payload"))
+                .collect()
+        };
+        let mut plain = ShardedScanner::from_config(config(), 2).unwrap();
+        let mut armed = ShardedScanner::from_config(config(), 2)
+            .unwrap()
+            .with_overload_policy(OverloadPolicy::default());
+        let (mut a, mut b) = (make_batch(), make_batch());
+        let ra = plain.inspect_batch(&mut a);
+        let rb = armed.inspect_batch(&mut b);
+        // Default watermarks (queue_high = 192) are never approached by a
+        // 16-packet batch: output is identical to an unarmed scanner.
+        assert_eq!(ra, rb);
+        assert_eq!(a, b);
+        assert_eq!(armed.total_shed(), 0);
+        assert_eq!(armed.total_ce_marked(), 0);
+        assert!(armed.overload_state().iter().all(|(over, _)| !over));
+        assert!(b.iter().all(|p| !p.has_ce_mark()));
+    }
+
+    #[test]
+    fn last_batch_peaks_track_the_most_recent_batch() {
+        let mut scanner = ShardedScanner::from_config(config(), 1).unwrap();
+        let mut big: Vec<Packet> = (0..12).map(|i| tagged_packet(100 + i, b"x")).collect();
+        scanner.inspect_batch(&mut big);
+        let peak_big = scanner.last_batch_peaks()[0];
+        assert!(peak_big >= 1);
+        let mut small = vec![tagged_packet(999, b"x")];
+        scanner.inspect_batch(&mut small);
+        let peak_small = scanner.last_batch_peaks()[0];
+        // Lifetime peak keeps the high-water mark; the per-batch view
+        // resets to the latest batch.
+        assert!(peak_small <= peak_big);
+        assert_eq!(
+            scanner.shard_telemetry()[0].peak_queue_depth,
+            peak_big as u64
+        );
     }
 
     #[test]

@@ -143,6 +143,14 @@ pub struct ShardTelemetry {
     /// reaching them. Lost scans are fail-open: the packets themselves
     /// still flow, they just produce no match results.
     pub lost_scans: u64,
+    /// Packets whose scan was deliberately skipped by the overload shed
+    /// policy (fail-open chains only; the packets flowed CE-marked).
+    /// Distinct from `lost_scans`, which counts supervisor casualties.
+    pub shed_packets: u64,
+    /// Payload bytes of shed packets.
+    pub shed_bytes: u64,
+    /// Packets CE-marked under overload by this shard.
+    pub ce_marked: u64,
 }
 
 #[cfg(test)]

@@ -141,6 +141,36 @@ pub enum TraceKind {
         /// Generation offered.
         offered_generation: u32,
     },
+    /// A shard (or instance) crossed its high watermark and entered
+    /// overload: forwarded packets will be CE-marked and fail-open scans
+    /// may be shed until it clears.
+    OverloadEntered {
+        /// Queue depth (shard) or window packets (instance) at entry.
+        depth: u64,
+        /// Scan-latency EWMA in µs at entry (0 on the instance path).
+        ewma_us: u64,
+    },
+    /// A shard (or instance) fell below both low watermarks and cleared
+    /// overload.
+    OverloadCleared {
+        /// Queue depth or window packets at the clearing observation.
+        depth: u64,
+        /// Scan-latency EWMA in µs at the clearing observation.
+        ewma_us: u64,
+    },
+    /// Scans shed while overloaded (batch-aggregated per shard; the
+    /// packets flowed unscanned and CE-marked, fail-open).
+    OverloadShed {
+        /// Packets whose scan was skipped.
+        packets: u64,
+        /// Payload bytes those packets carried.
+        bytes: u64,
+    },
+    /// Packets CE-marked under overload (batch-aggregated per shard).
+    OverloadCeMarked {
+        /// Packets marked.
+        packets: u64,
+    },
 
     // ---- controller ------------------------------------------------
     /// An instance missed enough heartbeat windows to be suspected.
@@ -166,6 +196,16 @@ pub enum TraceKind {
         survivor: u32,
         /// Steering rules rewritten.
         rules: u64,
+    },
+    /// The load balancer migrated flows from a hot instance to a cold
+    /// one (PRIO_STEER rewrites, anti-flap cooldown respected).
+    FlowsRebalanced {
+        /// Fleet index of the hot (source) instance.
+        hot_instance: u32,
+        /// Fleet index of the cold (target) instance.
+        cold_instance: u32,
+        /// Flows re-steered this round.
+        flows: u64,
     },
     /// The orchestrator froze a configuration into a new generation.
     UpdatePrepared {
@@ -228,6 +268,14 @@ pub enum TraceKind {
     FaultUpdateCorrupted {
         /// 0-based ordinal of the corrupted update.
         ordinal: u64,
+    },
+    /// The fault plan opened a traffic burst window: the source sends
+    /// every payload `factor`× until the window closes.
+    FaultBurstStarted {
+        /// Send multiplier inside the window.
+        factor: u32,
+        /// 0-based source-packet ordinal at which the burst began.
+        at_packet: u64,
     },
 }
 

@@ -22,13 +22,14 @@
 
 use crate::nodes::{DpiServiceNode, ResultsDelivery};
 use dpi_core::chaos::{ChaosEngine, RetryPolicy};
-use dpi_core::DpiInstance;
+use dpi_core::{DpiInstance, InstanceLoadGauge};
 use dpi_packet::packet::PacketBody;
 use dpi_packet::{MacAddr, Packet};
 use dpi_sdn::{Node, PortId};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::HashSet;
 use std::sync::Arc;
 
 /// Counters for one fleet DPI node (shared handle, like
@@ -65,6 +66,13 @@ pub struct FleetDpiNode {
     /// lost, duplicated results) are recorded against
     /// [`dpi_core::trace::TraceSource::Instance`].
     tracer: Option<Arc<dpi_core::trace::Tracer>>,
+    /// Optional instance-level overload gauge: the data plane increments
+    /// it per packet and obeys its overloaded flag; the control plane
+    /// closes its windows each heartbeat round.
+    gauge: Option<Arc<InstanceLoadGauge>>,
+    /// Chains whose middleboxes demand verdicts — their packets are
+    /// never shed under overload, only CE-marked.
+    fail_closed_chains: HashSet<u16>,
 }
 
 impl FleetDpiNode {
@@ -98,6 +106,8 @@ impl FleetDpiNode {
                 rng: StdRng::seed_from_u64(seed),
                 stats: Arc::clone(&stats),
                 tracer: None,
+                gauge: None,
+                fail_closed_chains: HashSet::new(),
             },
             handle,
             stats,
@@ -120,6 +130,20 @@ impl FleetDpiNode {
         }
     }
 
+    /// Attaches an overload gauge plus the set of fail-closed chains.
+    /// While the gauge reports overloaded, data packets are CE-marked
+    /// and — for chains *not* in `fail_closed_chains` — forwarded
+    /// unscanned (shed). Fail-closed and untagged packets are always
+    /// scanned; result packets are never shed.
+    pub fn attach_load_gauge(
+        &mut self,
+        gauge: Arc<InstanceLoadGauge>,
+        fail_closed_chains: HashSet<u16>,
+    ) {
+        self.gauge = Some(gauge);
+        self.fail_closed_chains = fail_closed_chains;
+    }
+
     /// Whether the chaos plan still considers this instance alive. Always
     /// `true` without a chaos engine.
     pub fn alive(&self) -> bool {
@@ -136,7 +160,7 @@ impl FleetDpiNode {
 }
 
 impl Node for FleetDpiNode {
-    fn on_packet(&mut self, packet: Packet, port: PortId) -> Vec<(PortId, Packet)> {
+    fn on_packet(&mut self, mut packet: Packet, port: PortId) -> Vec<(PortId, Packet)> {
         if let Some(chaos) = &self.chaos {
             // Data packets advance the deterministic per-instance packet
             // clock; pass-through results only consult it — so a fault
@@ -153,7 +177,51 @@ impl Node for FleetDpiNode {
             }
         }
 
-        let emitted = self.inner.on_packet(packet, port);
+        // Instance-level overload control: CE-mark data while overloaded,
+        // shed the scan for fail-open chains. Result packets are never
+        // shed — a dropped verdict is a correctness event, not a
+        // congestion response.
+        let mut ce_pending = false;
+        if let Some(gauge) = &self.gauge {
+            if matches!(packet.body, PacketBody::Ipv4 { .. }) {
+                gauge.note_packet();
+                if gauge.is_overloaded() {
+                    ce_pending = true;
+                    let fail_open = packet
+                        .chain_tag()
+                        .is_some_and(|tag| !self.fail_closed_chains.contains(&tag));
+                    if fail_open {
+                        packet.mark_congestion();
+                        gauge.note_ce_mark();
+                        self.trace(dpi_core::trace::TraceKind::OverloadCeMarked { packets: 1 });
+                        let bytes = packet.payload().map(<[u8]>::len).unwrap_or(0);
+                        gauge.note_shed(bytes);
+                        self.trace(dpi_core::trace::TraceKind::OverloadShed {
+                            packets: 1,
+                            bytes: bytes as u64,
+                        });
+                        return vec![(port, packet)];
+                    }
+                }
+            }
+        }
+
+        let mut emitted = self.inner.on_packet(packet, port);
+        if ce_pending {
+            // CE is applied *after* the scan: the 2-bit ECN field cannot
+            // hold both marks and congestion is the more urgent signal —
+            // the match still travels in the result packet (see DESIGN
+            // §11).
+            if let Some(gauge) = &self.gauge {
+                for (_, pkt) in emitted.iter_mut() {
+                    if matches!(pkt.body, PacketBody::Ipv4 { .. }) {
+                        pkt.mark_congestion();
+                        gauge.note_ce_mark();
+                        self.trace(dpi_core::trace::TraceKind::OverloadCeMarked { packets: 1 });
+                    }
+                }
+            }
+        }
         let Some(chaos) = self.chaos.clone() else {
             return emitted;
         };
@@ -330,6 +398,63 @@ mod tests {
             .count();
         assert_eq!(results, 2);
         assert_eq!(stats.lock().results_duplicated, 1);
+    }
+
+    #[test]
+    fn overloaded_gauge_sheds_fail_open_data_but_not_verdicts() {
+        let (mut node, _h, _stats) = FleetDpiNode::new(
+            dpi(),
+            ResultsDelivery::DedicatedPacket,
+            MacAddr::local(9),
+            0,
+            None,
+            RetryPolicy::default(),
+        );
+        let gauge = Arc::new(InstanceLoadGauge::default());
+        // Chain 5 is fail-open (not in the fail-closed set).
+        node.attach_load_gauge(Arc::clone(&gauge), HashSet::new());
+
+        // Not overloaded: scans normally, produces data + result.
+        let out = node.on_packet(tagged(b"a needle99 b"), 0);
+        assert_eq!(out.len(), 2);
+        assert!(!out[0].1.has_ce_mark());
+
+        // Overloaded: the scan is shed — only the CE-marked data packet
+        // comes out, no result even though the payload matches.
+        gauge.set_overloaded(true);
+        let out = node.on_packet(tagged(b"a needle99 b"), 0);
+        assert_eq!(out.len(), 1, "shed: data only, no result");
+        assert!(out[0].1.has_ce_mark());
+        assert_eq!(gauge.shed_packets(), 1);
+        assert_eq!(gauge.ce_marked(), 1);
+        assert_eq!(gauge.shed_bytes(), b"a needle99 b".len() as u64);
+    }
+
+    #[test]
+    fn fail_closed_chain_is_scanned_through_overload() {
+        let (mut node, _h, _stats) = FleetDpiNode::new(
+            dpi(),
+            ResultsDelivery::DedicatedPacket,
+            MacAddr::local(9),
+            0,
+            None,
+            RetryPolicy::default(),
+        );
+        let gauge = Arc::new(InstanceLoadGauge::default());
+        node.attach_load_gauge(Arc::clone(&gauge), HashSet::from([5u16]));
+        gauge.set_overloaded(true);
+        let out = node.on_packet(tagged(b"a needle99 b"), 0);
+        // Verdict traffic survives overload: data + result, CE mark on
+        // the data packet as the congestion signal.
+        assert_eq!(out.len(), 2, "fail-closed chain still scanned");
+        assert!(out[0].1.has_ce_mark());
+        assert_eq!(gauge.shed_packets(), 0);
+        assert_eq!(gauge.ce_marked(), 1);
+        // Result packets pass through untouched even while overloaded.
+        let result_pkt = out[1].1.clone();
+        let out = node.on_packet(result_pkt, 0);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].1.body, PacketBody::Result(_)));
     }
 
     #[test]

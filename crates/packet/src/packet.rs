@@ -176,6 +176,27 @@ impl Packet {
         )
     }
 
+    /// Marks the packet ECN-CE: the DPI service forwarded it under
+    /// overload (possibly unscanned). §6.1 reserves the ECN field for
+    /// in-band DPI-side signals; CE (`11`) is the congestion codepoint,
+    /// distinct from the `Ect0` match mark. No-op for non-IPv4 bodies.
+    pub fn mark_congestion(&mut self) {
+        if let PacketBody::Ipv4 { header, .. } = &mut self.body {
+            header.ecn = Ecn::Ce;
+        }
+    }
+
+    /// Whether the DPI service CE-marked this packet under overload.
+    pub fn has_ce_mark(&self) -> bool {
+        matches!(
+            &self.body,
+            PacketBody::Ipv4 {
+                header: Ipv4Header { ecn: Ecn::Ce, .. },
+                ..
+            }
+        )
+    }
+
     /// Attaches an in-band results header (§4.2 option 1).
     pub fn attach_results(&mut self, results: DpiResultsHeader) {
         self.dpi_results = Some(results);
@@ -462,6 +483,21 @@ mod tests {
         p.mark_matches();
         let parsed = Packet::parse(&p.to_bytes()).unwrap();
         assert!(parsed.has_match_mark());
+    }
+
+    #[test]
+    fn ecn_ce_mark_survives_round_trip_and_is_distinct() {
+        let mut p = sample_packet();
+        assert!(!p.has_ce_mark());
+        p.mark_congestion();
+        assert!(p.has_ce_mark());
+        // CE is not the match mark and vice versa.
+        assert!(!p.has_match_mark());
+        let parsed = Packet::parse(&p.to_bytes()).unwrap();
+        assert!(parsed.has_ce_mark());
+        let mut q = sample_packet();
+        q.mark_matches();
+        assert!(!q.has_ce_mark());
     }
 
     #[test]

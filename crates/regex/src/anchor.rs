@@ -155,4 +155,42 @@ mod tests {
     fn duplicate_anchors_are_deduped() {
         assert_eq!(anchors(r"evil\d+evil"), vec!["evil"]);
     }
+
+    #[test]
+    fn sub_minimum_literals_never_anchor() {
+        // The §5.3 length floor is exact: 3 bytes never anchor, 4 do.
+        assert!(anchors(r"abc").is_empty());
+        assert_eq!(anchors(r"abcd"), vec!["abcd"]);
+        // Fragments shorter than the floor are dropped even when the
+        // pattern is long overall — each run is measured on its own.
+        assert!(anchors(r"ab\d+cd\d+ef").is_empty());
+        assert!(anchors(r"GET\s+\d+\s+end").is_empty());
+        // A run exactly at the floor between breaks survives.
+        assert_eq!(anchors(r"ab\d+word\d+cd"), vec!["word"]);
+    }
+
+    #[test]
+    fn case_insensitive_non_letters_still_anchor() {
+        // (?i) folds letters into two-byte classes (no anchors), but
+        // bytes without case — digits, punctuation — fold to themselves
+        // and still form anchors.
+        assert_eq!(anchors(r"(?i)1234-5678"), vec!["1234-5678"]);
+        // Mixed: the letters break the run, the digit tail anchors.
+        assert!(anchors(r"(?i)abc123").is_empty());
+        assert_eq!(anchors(r"(?i)abc123456"), vec!["123456"]);
+        // Without the flag the same letters anchor as usual.
+        assert_eq!(anchors(r"abc123"), vec!["abc123"]);
+    }
+
+    #[test]
+    fn one_anchored_branch_does_not_anchor_the_alternation() {
+        // Only one branch could yield an anchor, but no branch is
+        // mandatory, so the alternation contributes nothing: treating
+        // "malicious" as required would let `ab` matches slip past the
+        // pre-filter unscanned.
+        assert!(anchors(r"malicious|ab").is_empty());
+        assert!(anchors(r"(longpayload|x)\d+").is_empty());
+        // Mandatory context around such an alternation still anchors.
+        assert_eq!(anchors(r"head(malicious|ab)tail"), vec!["head", "tail"]);
+    }
 }

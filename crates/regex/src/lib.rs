@@ -155,6 +155,22 @@ mod tests {
     }
 
     #[test]
+    fn case_insensitive_anchor_is_sound_for_every_match() {
+        // The anchor contract under (?i): whatever `anchors()` returns
+        // must appear verbatim in every matching input. Caseless digits
+        // anchor; folded letters must not.
+        let re = Regex::new(r"(?i)id=12345;user=\w+").unwrap();
+        assert_eq!(re.anchors(), &[b"=12345;".to_vec()]);
+        for input in [&b"ID=12345;USER=x"[..], b"id=12345;User=Bob"] {
+            assert!(re.is_match(input));
+            assert!(
+                input.windows(7).any(|w| w == b"=12345;"),
+                "anchor must be present in every match"
+            );
+        }
+    }
+
+    #[test]
     fn find_end_is_earliest_completion() {
         // "ab" completes after consuming index 3 → exclusive end 4.
         let re = Regex::new(r"ab+").unwrap();

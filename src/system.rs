@@ -26,11 +26,13 @@
 
 use dpi_ac::MiddleboxId;
 use dpi_controller::{
-    DpiController, HealthEvent, HealthPolicy, InstanceId, UpdateOrchestrator, UpdateTarget,
+    BalancePolicy, DpiController, HealthEvent, HealthPolicy, InstanceId, LoadBalancer,
+    UpdateOrchestrator, UpdateTarget,
 };
 use dpi_core::chaos::{ChaosEngine, FaultPlan, RetryPolicy};
 use dpi_core::instance::ScanEngine;
 use dpi_core::metrics::{MetricKind, MetricsText};
+use dpi_core::overload::{InstanceLoadGauge, LoadWindow, OverloadPolicy};
 use dpi_core::pipeline::ShardedScanner;
 use dpi_core::telemetry::ShardTelemetry;
 use dpi_core::trace::{to_jsonl, TraceEvent, TraceKind, TraceSource, Tracer};
@@ -44,7 +46,7 @@ use dpi_packet::{FlowKey, MacAddr, Packet};
 use dpi_sdn::flowtable::Port;
 use dpi_sdn::{Network, NodeId, Switch, TrafficSteeringApp};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -115,6 +117,8 @@ pub struct SystemBuilder {
     chaos: Option<FaultPlan>,
     health_policy: HealthPolicy,
     retry: RetryPolicy,
+    overload: Option<OverloadPolicy>,
+    balance: Option<BalancePolicy>,
 }
 
 impl Default for SystemBuilder {
@@ -136,6 +140,8 @@ impl SystemBuilder {
             chaos: None,
             health_policy: HealthPolicy::default(),
             retry: RetryPolicy::default(),
+            overload: None,
+            balance: None,
         }
     }
 
@@ -173,6 +179,27 @@ impl SystemBuilder {
     /// Sets the result-packet delivery retry policy.
     pub fn with_retry_policy(mut self, retry: RetryPolicy) -> SystemBuilder {
         self.retry = retry;
+        self
+    }
+
+    /// Arms adaptive overload control (DESIGN.md §11). The batch
+    /// pipeline's shards watch queue depth and scan latency against the
+    /// policy's watermarks; the in-network fleet instances get a
+    /// per-heartbeat-window packet gauge with the same `queue_high` /
+    /// `queue_low` values reinterpreted as packets-per-window marks.
+    /// While overloaded, forwarded packets are CE-marked and fail-open
+    /// chains may be shed; fail-closed chains are always scanned.
+    pub fn with_overload_policy(mut self, policy: OverloadPolicy) -> SystemBuilder {
+        self.overload = Some(policy);
+        self
+    }
+
+    /// Arms telemetry-driven fleet rebalancing: each
+    /// [`SystemHandle::heartbeat_round`] feeds per-instance load deltas
+    /// to a [`LoadBalancer`], and bounded whole-flow migrations move
+    /// flows from the hottest instance to the coldest.
+    pub fn with_balance_policy(mut self, policy: BalancePolicy) -> SystemBuilder {
+        self.balance = Some(policy);
         self
     }
 
@@ -230,6 +257,25 @@ impl SystemBuilder {
         let mut orchestrator = UpdateOrchestrator::new(&cfg);
         let engine = Arc::new(ScanEngine::new(cfg)?);
         let mut scanner = ShardedScanner::new(engine.clone(), self.dpi_workers);
+        if let Some(policy) = self.overload {
+            scanner.set_overload_policy(Some(policy));
+        }
+
+        // Chains any of whose members demand verdicts: never shed under
+        // overload (the gauge-armed fleet nodes consult this set).
+        let fail_closed_chains: HashSet<u16> = self
+            .chains
+            .iter()
+            .zip(&chain_ids)
+            .filter(|(members, _)| {
+                members.iter().any(|m| {
+                    self.templates
+                        .iter()
+                        .any(|t| t.profile.id == *m && t.profile.fail_closed)
+                })
+            })
+            .map(|(_, id)| *id)
+            .collect();
 
         // One tracer for the whole deployment: every layer appends to the
         // same ring so a post-mortem reads one merged, seq-ordered
@@ -260,6 +306,7 @@ impl SystemBuilder {
         let mut fleet_stats = Vec::new();
         let mut dpi_ports = Vec::new();
         let mut instance_ids = Vec::new();
+        let mut load_gauges = Vec::new();
         for i in 0..self.dpi_instances {
             let port = 2 + i as Port;
             let instance = DpiInstance::from_engine(engine.clone());
@@ -272,6 +319,11 @@ impl SystemBuilder {
                 self.retry,
             );
             node.attach_tracer(Arc::clone(&tracer));
+            let gauge = Arc::new(InstanceLoadGauge::default());
+            if self.overload.is_some() {
+                node.attach_load_gauge(Arc::clone(&gauge), fail_closed_chains.clone());
+            }
+            load_gauges.push(gauge);
             let id = net.add_node(Box::new(node));
             net.link(sw, port, id, 0);
             dpi_handles.push(handle);
@@ -302,6 +354,17 @@ impl SystemBuilder {
             tsa.install_chain_fleet(*chain_id, 0, &dpi_ports, &via, 1);
         }
 
+        // Instance-level overload windows: the same high/low watermarks,
+        // reinterpreted as packets per heartbeat window.
+        let load_windows = self
+            .overload
+            .map(|p| {
+                (0..self.dpi_instances)
+                    .map(|_| LoadWindow::new(p.queue_high as u64, p.queue_low as u64))
+                    .collect()
+            })
+            .unwrap_or_default();
+
         Ok(SystemHandle {
             controller,
             net,
@@ -322,6 +385,10 @@ impl SystemBuilder {
             tsa,
             orchestrator,
             tracer,
+            load_gauges,
+            load_windows,
+            overload: self.overload,
+            balancer: self.balance.map(LoadBalancer::new),
         })
     }
 }
@@ -425,6 +492,17 @@ pub struct SystemHandle {
     orchestrator: UpdateOrchestrator,
     /// Deployment-wide structured-event tracer (DESIGN.md §10).
     tracer: Arc<Tracer>,
+    /// Per-instance overload gauges (always present; armed against the
+    /// fleet nodes only when an overload policy was configured).
+    pub load_gauges: Vec<Arc<InstanceLoadGauge>>,
+    /// Per-instance window hysteresis, driven by
+    /// [`SystemHandle::heartbeat_round`] (empty when overload control is
+    /// off).
+    load_windows: Vec<LoadWindow>,
+    /// The overload policy in force, if any.
+    overload: Option<OverloadPolicy>,
+    /// Telemetry-driven flow rebalancer, when armed.
+    balancer: Option<LoadBalancer>,
 }
 
 impl SystemHandle {
@@ -434,12 +512,21 @@ impl SystemHandle {
     /// In a fleet deployment the first packet of each flow installs a
     /// per-flow steering rule pinning the flow to a live instance
     /// (round-robin), so cross-packet scan state stays on one instance.
+    /// A `burst_traffic` chaos fault amplifies sends: while a seeded
+    /// burst window is active, each call injects the packet multiple
+    /// times — the reproducible traffic spike the overload control
+    /// absorbs.
     pub fn send(&mut self, flow: FlowKey, seq: u32, payload: &[u8]) -> usize {
         if self.dpi_ports.len() > 1 && !self.steered.contains_key(&flow) {
             let port = self.pick_instance_port();
             self.tsa.steer_flow(self.chain_ids[0], 0, &flow, port);
             self.steered.insert(flow, port);
         }
+        let copies = self
+            .chaos
+            .as_ref()
+            .map(|c| c.send_multiplier())
+            .unwrap_or(1);
         let pkt = Packet::tcp(
             MacAddr::local(1),
             MacAddr::local(2),
@@ -447,6 +534,9 @@ impl SystemHandle {
             seq,
             payload.to_vec(),
         );
+        for _ in 1..copies {
+            self.net.inject(self.switch_id, 0, pkt.clone());
+        }
         self.net.inject(self.switch_id, 0, pkt);
         self.net.run()
     }
@@ -498,7 +588,138 @@ impl SystemHandle {
                 self.fail_over(*id);
             }
         }
+        self.close_overload_windows();
+        self.rebalance_round();
         events
+    }
+
+    /// Closes each armed instance's load window against its hysteresis
+    /// thresholds and publishes the overloaded flag + load score back to
+    /// the gauge the data plane consults.
+    fn close_overload_windows(&mut self) {
+        let Some(policy) = self.overload else {
+            return;
+        };
+        for (i, (gauge, window)) in self
+            .load_gauges
+            .iter()
+            .zip(self.load_windows.iter_mut())
+            .enumerate()
+        {
+            let packets = gauge.take_window();
+            if let Some(transition) = window.observe(packets) {
+                gauge.set_overloaded(window.is_overloaded());
+                let kind = match transition {
+                    dpi_core::OverloadTransition::Entered => TraceKind::OverloadEntered {
+                        depth: packets,
+                        ewma_us: 0,
+                    },
+                    dpi_core::OverloadTransition::Cleared => TraceKind::OverloadCleared {
+                        depth: packets,
+                        ewma_us: 0,
+                    },
+                };
+                self.tracer.record(TraceSource::Instance(i as u32), kind);
+                if let Some(c) = &self.chaos {
+                    c.note(format!(
+                        "overload: instance {i} {} at {packets} packets/window",
+                        match transition {
+                            dpi_core::OverloadTransition::Entered => "entered overload",
+                            dpi_core::OverloadTransition::Cleared => "cleared overload",
+                        }
+                    ));
+                }
+            }
+            gauge.set_load_score(packets as f64 / policy.queue_high.max(1) as f64);
+        }
+    }
+
+    /// One balancer round: feed cumulative per-instance loads, and when a
+    /// plan comes back migrate up to its budget of the hot instance's
+    /// flows to the cold instance.
+    fn rebalance_round(&mut self) {
+        let Some(balancer) = &mut self.balancer else {
+            return;
+        };
+        // Only instances the controller would steer to participate.
+        // Load is *arrivals*: scanned packets plus packets the overload
+        // policy shed unscanned. Counting only scanned packets would let
+        // an overloaded instance hide behind its own shedding and look
+        // idle to the balancer, so the skew would never drain.
+        let loads: Vec<(InstanceId, u64)> = (0..self.dpi_instances.len())
+            .filter(|&i| {
+                self.controller.instance_health(self.instance_ids[i])
+                    != Some(dpi_controller::InstanceHealth::Dead)
+            })
+            .map(|i| {
+                let scanned = self.dpi_instances[i].lock().telemetry().packets;
+                let shed = self
+                    .load_gauges
+                    .get(i)
+                    .map(|g| g.shed_packets())
+                    .unwrap_or(0);
+                (self.instance_ids[i], scanned + shed)
+            })
+            .collect();
+        let Some(plan) = balancer.observe_round(&loads) else {
+            return;
+        };
+        let hot_idx = self
+            .instance_ids
+            .iter()
+            .position(|&id| id == plan.hot)
+            .expect("plan instances come from instance_ids");
+        let cold_idx = self
+            .instance_ids
+            .iter()
+            .position(|&id| id == plan.cold)
+            .expect("plan instances come from instance_ids");
+        let (hot_port, cold_port) = (self.dpi_ports[hot_idx], self.dpi_ports[cold_idx]);
+        // Candidates: flows currently pinned to the hot instance, keyed
+        // by their stable hash so selection is deterministic.
+        let by_key: HashMap<u64, FlowKey> = self
+            .steered
+            .iter()
+            .filter(|(_, &port)| port == hot_port)
+            .map(|(flow, _)| (flow.stable_hash(), *flow))
+            .collect();
+        let keys: Vec<u64> = by_key.keys().copied().collect();
+        let picked = balancer.select_flows(&plan, &keys);
+        if picked.is_empty() {
+            return;
+        }
+        for key in &picked {
+            let flow = by_key[key];
+            self.tsa.steer_flow(self.chain_ids[0], 0, &flow, cold_port);
+            self.steered.insert(flow, cold_port);
+        }
+        self.tracer.record(
+            TraceSource::Controller,
+            TraceKind::FlowsRebalanced {
+                hot_instance: hot_idx as u32,
+                cold_instance: cold_idx as u32,
+                flows: picked.len() as u64,
+            },
+        );
+        if let Some(c) = &self.chaos {
+            c.note(format!(
+                "controller: rebalanced {} flow(s) from instance {hot_idx} (Δ{}) to instance {cold_idx} (Δ{})",
+                picked.len(),
+                plan.hot_delta,
+                plan.cold_delta,
+            ));
+        }
+    }
+
+    /// Total flows the balancer has migrated (0 when rebalancing is off).
+    pub fn rebalance_migrations(&self) -> u64 {
+        self.balancer.as_ref().map(|b| b.migrations()).unwrap_or(0)
+    }
+
+    /// The instance a flow is currently steered to, if it was pinned.
+    pub fn steered_instance_of(&self, flow: &FlowKey) -> Option<usize> {
+        let port = *self.steered.get(flow)?;
+        self.dpi_ports.iter().position(|&p| p == port)
     }
 
     /// Re-steers a dead instance's flows to the first surviving instance.
@@ -627,6 +848,41 @@ impl SystemHandle {
         }
 
         m.family(
+            "dpi_instance_shed_packets_total",
+            "Packets forwarded unscanned by the instance overload policy",
+            MetricKind::Counter,
+        );
+        m.family(
+            "dpi_instance_shed_bytes_total",
+            "Payload bytes of shed packets per instance",
+            MetricKind::Counter,
+        );
+        m.family(
+            "dpi_instance_ce_marked_total",
+            "Packets CE-marked under overload per instance",
+            MetricKind::Counter,
+        );
+        m.family(
+            "dpi_instance_load_score",
+            "Instance load relative to its overload watermark (1.0 = at the high mark)",
+            MetricKind::Gauge,
+        );
+        m.family(
+            "dpi_instance_overloaded",
+            "Whether the instance is currently past its overload watermark",
+            MetricKind::Gauge,
+        );
+        for (i, g) in self.load_gauges.iter().enumerate() {
+            let i = i.to_string();
+            let l = [("instance", i.as_str())];
+            m.sample("dpi_instance_shed_packets_total", &l, g.shed_packets());
+            m.sample("dpi_instance_shed_bytes_total", &l, g.shed_bytes());
+            m.sample("dpi_instance_ce_marked_total", &l, g.ce_marked());
+            m.sample_f64("dpi_instance_load_score", &l, g.load_score());
+            m.sample("dpi_instance_overloaded", &l, u64::from(g.is_overloaded()));
+        }
+
+        m.family(
             "dpi_shard_packets_total",
             "Packets scanned per pipeline shard",
             MetricKind::Counter,
@@ -656,6 +912,21 @@ impl SystemHandle {
             "Packets never scanned because the shard worker died",
             MetricKind::Counter,
         );
+        m.family(
+            "dpi_shard_shed_packets_total",
+            "Packets whose scan the shard's overload policy skipped",
+            MetricKind::Counter,
+        );
+        m.family(
+            "dpi_shard_shed_bytes_total",
+            "Payload bytes of shed packets per shard",
+            MetricKind::Counter,
+        );
+        m.family(
+            "dpi_shard_ce_marked_total",
+            "Packets CE-marked under overload per shard",
+            MetricKind::Counter,
+        );
         for t in self.shard_telemetry() {
             let s = t.shard.to_string();
             let l = [("shard", s.as_str())];
@@ -665,6 +936,9 @@ impl SystemHandle {
             m.sample("dpi_shard_queue_depth_peak", &l, t.peak_queue_depth);
             m.sample("dpi_shard_restarts_total", &l, t.restarts);
             m.sample("dpi_shard_lost_scans_total", &l, t.lost_scans);
+            m.sample("dpi_shard_shed_packets_total", &l, t.shed_packets);
+            m.sample("dpi_shard_shed_bytes_total", &l, t.shed_bytes);
+            m.sample("dpi_shard_ce_marked_total", &l, t.ce_marked);
         }
 
         m.family(
@@ -683,6 +957,17 @@ impl SystemHandle {
         m.sample("dpi_fleet_health", &[("state", "healthy")], healthy);
         m.sample("dpi_fleet_health", &[("state", "suspect")], suspect);
         m.sample("dpi_fleet_health", &[("state", "dead")], dead);
+
+        m.family(
+            "dpi_rebalance_migrations_total",
+            "Flows migrated hot-to-cold by the load balancer",
+            MetricKind::Counter,
+        );
+        m.sample(
+            "dpi_rebalance_migrations_total",
+            &[],
+            self.rebalance_migrations(),
+        );
 
         m.family(
             "dpi_rule_generation",
