@@ -9,6 +9,8 @@
 use crate::combined::CombinedAc;
 use crate::compact::CompactAc;
 use crate::full::FullAc;
+use crate::kernel::KernelKind;
+use crate::prefiltered::PrefilteredAc;
 use crate::sparse::SparseAc;
 use crate::trie::{Trie, TrieError};
 use crate::{MiddleboxId, PatternId};
@@ -234,6 +236,30 @@ impl CombinedAcBuilder {
     /// residency), the `u32` [`FullAc`] otherwise.
     pub fn build_auto(&self) -> CombinedAc {
         CombinedAc::select(self.build_full())
+    }
+
+    /// Builds the automaton behind the requested scan kernel.
+    ///
+    /// Requests degrade gracefully rather than fail: `compact` falls
+    /// back to `full` when the state count exceeds 16-bit ids, and
+    /// `prefiltered` always compiles (its literal-filter stage switches
+    /// itself off when the pattern set yields no selective byte pairs,
+    /// leaving the stride-DFA scan). `auto` keeps the pre-kernel
+    /// behavior of [`CombinedAcBuilder::build_auto`].
+    pub fn build_kernel(&self, kind: KernelKind) -> CombinedAc {
+        match kind {
+            KernelKind::Auto => self.build_auto(),
+            KernelKind::Naive => CombinedAc::Naive(self.build_full()),
+            KernelKind::Full => CombinedAc::Full(self.build_full()),
+            KernelKind::Compact => match self.build_compact() {
+                Some(compact) => CombinedAc::Compact(compact),
+                None => CombinedAc::Full(self.build_full()),
+            },
+            KernelKind::Prefiltered => {
+                let patterns = self.trie.pattern_bytes();
+                CombinedAc::Prefiltered(PrefilteredAc::build(self.build_full(), &patterns))
+            }
+        }
     }
 }
 

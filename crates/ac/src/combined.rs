@@ -1,25 +1,34 @@
 //! Representation-selected combined automaton.
 //!
-//! [`CombinedAc`] is what [`crate::CombinedAcBuilder::build_auto`]
-//! returns: the compact `u16` table when the combined automaton is small
-//! enough to index with 16-bit state ids, the `u32` full table otherwise.
-//! Callers scan through the common [`Automaton`] interface either way;
-//! the enum dispatch is one predictable branch per call, and the hot
-//! `scan` loop is monomorphized per arm so the per-byte path is
-//! branch-free.
+//! [`CombinedAc`] is what [`crate::CombinedAcBuilder::build_auto`] and
+//! [`crate::CombinedAcBuilder::build_kernel`] return: one of the
+//! concrete scan kernels — naive reference loop, `u32` full table,
+//! compact `u16` table, or the SWAR-prefiltered scanner — behind a
+//! single enum. Callers scan through the common [`Automaton`] /
+//! [`ScanKernel`] interfaces either way; the enum dispatch is one
+//! predictable branch per call, and the hot scan loop is monomorphized
+//! per arm so the per-byte path is branch-free.
 
 use crate::compact::CompactAc;
 use crate::full::FullAc;
+use crate::kernel::{self, DepthSamples, KernelKind, ScanKernel};
+use crate::prefiltered::PrefilteredAc;
 use crate::{Automaton, MatchEntry, StateId};
 
-/// A combined automaton in whichever full-table width fits.
+/// A combined automaton behind whichever scan kernel was selected.
 #[derive(Debug, Clone)]
 pub enum CombinedAc {
+    /// The `u32` full table scanned with the reference per-byte loop —
+    /// the ablation baseline, never auto-selected.
+    Naive(FullAc),
     /// `u32` transition entries — needed for ≥ 2¹⁶ states.
     Full(FullAc),
     /// `u16` transition entries — half the table bytes, preferred when
     /// the state count allows (cache residency, §6's space discussion).
     Compact(CompactAc),
+    /// SWAR literal prefilter + 2-byte-stride root DFA over the `u32`
+    /// full table; skips match-free lanes on literal-sparse traffic.
+    Prefiltered(PrefilteredAc),
 }
 
 impl CombinedAc {
@@ -34,24 +43,48 @@ impl CombinedAc {
     /// Short name of the active representation (telemetry/benches).
     pub fn repr_name(&self) -> &'static str {
         match self {
+            CombinedAc::Naive(_) => "naive-u32",
             CombinedAc::Full(_) => "full-u32",
             CombinedAc::Compact(_) => "compact-u16",
+            CombinedAc::Prefiltered(_) => "prefiltered-u32",
+        }
+    }
+
+    /// The concrete kernel this automaton runs (never
+    /// [`KernelKind::Auto`] — selection has already happened).
+    pub fn kernel_kind(&self) -> KernelKind {
+        match self {
+            CombinedAc::Naive(_) => KernelKind::Naive,
+            CombinedAc::Full(_) => KernelKind::Full,
+            CombinedAc::Compact(_) => KernelKind::Compact,
+            CombinedAc::Prefiltered(_) => KernelKind::Prefiltered,
+        }
+    }
+
+    /// The prefiltered kernel, when that is what's running — benches use
+    /// this to pull skip-fraction stats out of a scan.
+    pub fn as_prefiltered(&self) -> Option<&PrefilteredAc> {
+        match self {
+            CombinedAc::Prefiltered(ac) => Some(ac),
+            _ => None,
         }
     }
 
     /// Depth (label length) of a state — used by stress telemetry.
     pub fn state_depth(&self, state: StateId) -> u16 {
         match self {
-            CombinedAc::Full(ac) => ac.state_depth(state),
+            CombinedAc::Naive(ac) | CombinedAc::Full(ac) => ac.state_depth(state),
             CombinedAc::Compact(ac) => ac.state_depth(state),
+            CombinedAc::Prefiltered(ac) => ac.state_depth(state),
         }
     }
 
     /// Maximum depth over all states (longest pattern).
     pub fn max_depth(&self) -> u16 {
         match self {
-            CombinedAc::Full(ac) => ac.max_depth(),
+            CombinedAc::Naive(ac) | CombinedAc::Full(ac) => ac.max_depth(),
             CombinedAc::Compact(ac) => ac.max_depth(),
+            CombinedAc::Prefiltered(ac) => ac.max_depth(),
         }
     }
 }
@@ -59,66 +92,129 @@ impl CombinedAc {
 impl Automaton for CombinedAc {
     fn start(&self) -> StateId {
         match self {
-            CombinedAc::Full(ac) => ac.start(),
+            CombinedAc::Naive(ac) | CombinedAc::Full(ac) => ac.start(),
             CombinedAc::Compact(ac) => ac.start(),
+            CombinedAc::Prefiltered(ac) => ac.start(),
         }
     }
 
     #[inline(always)]
     fn step(&self, state: StateId, byte: u8) -> StateId {
         match self {
-            CombinedAc::Full(ac) => ac.step(state, byte),
+            CombinedAc::Naive(ac) | CombinedAc::Full(ac) => ac.step(state, byte),
             CombinedAc::Compact(ac) => ac.step(state, byte),
+            CombinedAc::Prefiltered(ac) => ac.step(state, byte),
         }
     }
 
     #[inline(always)]
     fn is_accepting(&self, state: StateId) -> bool {
         match self {
-            CombinedAc::Full(ac) => ac.is_accepting(state),
+            CombinedAc::Naive(ac) | CombinedAc::Full(ac) => ac.is_accepting(state),
             CombinedAc::Compact(ac) => ac.is_accepting(state),
+            CombinedAc::Prefiltered(ac) => ac.is_accepting(state),
         }
     }
 
     fn bitmap(&self, state: StateId) -> u64 {
         match self {
-            CombinedAc::Full(ac) => ac.bitmap(state),
+            CombinedAc::Naive(ac) | CombinedAc::Full(ac) => ac.bitmap(state),
             CombinedAc::Compact(ac) => ac.bitmap(state),
+            CombinedAc::Prefiltered(ac) => ac.bitmap(state),
         }
     }
 
     fn entries(&self, state: StateId) -> &[MatchEntry] {
         match self {
-            CombinedAc::Full(ac) => ac.entries(state),
+            CombinedAc::Naive(ac) | CombinedAc::Full(ac) => ac.entries(state),
             CombinedAc::Compact(ac) => ac.entries(state),
+            CombinedAc::Prefiltered(ac) => ac.entries(state),
         }
     }
 
     fn state_count(&self) -> usize {
         match self {
-            CombinedAc::Full(ac) => ac.state_count(),
+            CombinedAc::Naive(ac) | CombinedAc::Full(ac) => ac.state_count(),
             CombinedAc::Compact(ac) => ac.state_count(),
+            CombinedAc::Prefiltered(ac) => ac.state_count(),
         }
     }
 
     fn accepting_count(&self) -> usize {
         match self {
-            CombinedAc::Full(ac) => ac.accepting_count(),
+            CombinedAc::Naive(ac) | CombinedAc::Full(ac) => ac.accepting_count(),
             CombinedAc::Compact(ac) => ac.accepting_count(),
+            CombinedAc::Prefiltered(ac) => ac.accepting_count(),
         }
     }
 
     fn memory_bytes(&self) -> usize {
         match self {
-            CombinedAc::Full(ac) => ac.memory_bytes(),
+            CombinedAc::Naive(ac) | CombinedAc::Full(ac) => ac.memory_bytes(),
             CombinedAc::Compact(ac) => ac.memory_bytes(),
+            CombinedAc::Prefiltered(ac) => ac.memory_bytes(),
         }
     }
 
-    fn scan<F: FnMut(usize, StateId)>(&self, state: StateId, data: &[u8], on_match: F) -> StateId {
+    fn scan<F: FnMut(usize, StateId)>(
+        &self,
+        state: StateId,
+        data: &[u8],
+        mut on_match: F,
+    ) -> StateId {
         match self {
+            CombinedAc::Naive(ac) => {
+                // The deliberately plain per-byte loop.
+                let mut s = state;
+                for (i, &b) in data.iter().enumerate() {
+                    s = ac.step(s, b);
+                    if ac.is_accepting(s) {
+                        on_match(i, s);
+                    }
+                }
+                s
+            }
             CombinedAc::Full(ac) => ac.scan(state, data, on_match),
             CombinedAc::Compact(ac) => ac.scan(state, data, on_match),
+            CombinedAc::Prefiltered(ac) => ac.scan(state, data, on_match),
+        }
+    }
+}
+
+impl ScanKernel for CombinedAc {
+    fn kernel_name(&self) -> &'static str {
+        self.kernel_kind().name()
+    }
+
+    fn scan_sampled(
+        &self,
+        state: StateId,
+        data: &[u8],
+        sample_every: usize,
+        deep_depth: u16,
+        samples: &mut DepthSamples,
+        on_accept: &mut dyn FnMut(usize, StateId),
+    ) -> StateId {
+        match self {
+            CombinedAc::Naive(ac) => kernel::naive_scan_sampled(
+                ac,
+                |s| ac.state_depth(s),
+                state,
+                data,
+                sample_every,
+                deep_depth,
+                samples,
+                on_accept,
+            ),
+            CombinedAc::Full(ac) => {
+                ac.scan_sampled(state, data, sample_every, deep_depth, samples, on_accept)
+            }
+            CombinedAc::Compact(ac) => {
+                ac.scan_sampled(state, data, sample_every, deep_depth, samples, on_accept)
+            }
+            CombinedAc::Prefiltered(ac) => {
+                ac.scan_sampled(state, data, sample_every, deep_depth, samples, on_accept)
+            }
         }
     }
 }
@@ -137,6 +233,7 @@ mod tests {
         let ac = b.build_auto();
         assert!(matches!(ac, CombinedAc::Compact(_)));
         assert_eq!(ac.repr_name(), "compact-u16");
+        assert_eq!(ac.kernel_kind(), KernelKind::Compact);
         assert_eq!(ac.find_all(b"an attack!").len(), 1);
     }
 
@@ -153,5 +250,50 @@ mod tests {
         let data = b"BE BCD CDBCAB xxBCAAxx";
         assert_eq!(auto.find_all(data), full.find_all(data));
         assert!(auto.memory_bytes() < full.memory_bytes());
+    }
+
+    #[test]
+    fn every_kernel_scans_identically() {
+        let mut b = CombinedAcBuilder::new();
+        b.add_set(PatternSet::from_strs(
+            MiddleboxId(0),
+            &["E", "BE", "BD", "BCD", "BCAA", "CDBCAB"],
+        ))
+        .unwrap();
+        b.add_set(PatternSet::from_strs(MiddleboxId(1), &["EDAE", "CBD"]))
+            .unwrap();
+        let reference = b.build_full();
+        let data = b"BE BCD CDBCAB xxBCAAxx EDAE and CBD too";
+        let want = reference.find_all(data);
+        for kind in KernelKind::ALL {
+            let ac = b.build_kernel(kind);
+            assert_eq!(ac.kernel_kind(), kind, "{kind} selected");
+            assert_eq!(ac.kernel_name(), kind.name());
+            assert_eq!(ac.find_all(data), want, "kernel {kind}");
+            // The sampled path reports the same stream too.
+            let mut hits = Vec::new();
+            let mut samples = DepthSamples::default();
+            let end = ac.scan_sampled(ac.start(), data, 4, 2, &mut samples, &mut |p, s| {
+                hits.push((p, s))
+            });
+            // One callback per accepting position (find_all expands to
+            // one tuple per match entry, so compare against a raw scan).
+            let mut want_hits_at = Vec::new();
+            reference.scan(reference.start(), data, |p, _| want_hits_at.push(p));
+            let got_hits_at: Vec<usize> = hits.iter().map(|(p, _)| *p).collect();
+            assert_eq!(got_hits_at, want_hits_at, "kernel {kind} sampled scan");
+            assert_eq!(
+                ac.state_depth(end),
+                reference.state_depth(want_end(&reference, data))
+            );
+            assert!(
+                samples.total >= (data.len() as u64) / 4,
+                "kernel {kind} samples"
+            );
+        }
+    }
+
+    fn want_end(ac: &FullAc, data: &[u8]) -> StateId {
+        ac.scan(ac.start(), data, |_, _| {})
     }
 }

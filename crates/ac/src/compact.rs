@@ -10,6 +10,7 @@
 //! [`crate::CombinedAcBuilder::build_auto`] does that selection.
 
 use crate::full::FullAc;
+use crate::kernel::{DepthSamples, ScanKernel};
 use crate::{Automaton, MatchEntry, StateId};
 
 /// A full-table DFA whose transition entries are `u16`.
@@ -130,36 +131,91 @@ impl Automaton for CompactAc {
         data: &[u8],
         mut on_match: F,
     ) -> StateId {
-        // Same 4-byte unroll as `FullAc::scan`, over the narrow table.
+        // Wider (8-byte) unroll than `FullAc::scan`: the narrow table
+        // halves cache pressure but pays an extra zero-extension per
+        // load, so the loop leans harder on unrolling to keep the
+        // dependent-load chain the only serial resource.
         let t = &self.transitions[..];
         let f = self.f as u16;
         let mut s = state as u16;
+        macro_rules! step_byte {
+            ($i:expr) => {
+                s = t[usize::from(s) * 256 + usize::from(data[$i])];
+                if s < f {
+                    on_match($i, StateId::from(s));
+                }
+            };
+        }
         let mut i = 0;
-        let n4 = data.len() & !3;
-        while i < n4 {
-            s = t[usize::from(s) * 256 + usize::from(data[i])];
-            if s < f {
-                on_match(i, StateId::from(s));
-            }
-            s = t[usize::from(s) * 256 + usize::from(data[i + 1])];
-            if s < f {
-                on_match(i + 1, StateId::from(s));
-            }
-            s = t[usize::from(s) * 256 + usize::from(data[i + 2])];
-            if s < f {
-                on_match(i + 2, StateId::from(s));
-            }
-            s = t[usize::from(s) * 256 + usize::from(data[i + 3])];
-            if s < f {
-                on_match(i + 3, StateId::from(s));
-            }
-            i += 4;
+        let n8 = data.len() & !7;
+        while i < n8 {
+            step_byte!(i);
+            step_byte!(i + 1);
+            step_byte!(i + 2);
+            step_byte!(i + 3);
+            step_byte!(i + 4);
+            step_byte!(i + 5);
+            step_byte!(i + 6);
+            step_byte!(i + 7);
+            i += 8;
         }
         while i < data.len() {
-            s = t[usize::from(s) * 256 + usize::from(data[i])];
-            if s < f {
-                on_match(i, StateId::from(s));
-            }
+            step_byte!(i);
+            i += 1;
+        }
+        StateId::from(s)
+    }
+}
+
+impl ScanKernel for CompactAc {
+    fn kernel_name(&self) -> &'static str {
+        "compact"
+    }
+
+    fn scan_sampled(
+        &self,
+        state: StateId,
+        data: &[u8],
+        sample_every: usize,
+        deep_depth: u16,
+        samples: &mut DepthSamples,
+        on_accept: &mut dyn FnMut(usize, StateId),
+    ) -> StateId {
+        let t = &self.transitions[..];
+        let f = self.f as u16;
+        let depth = &self.depth[..];
+        let mut s = state as u16;
+        let mut next_sample = 0usize;
+        macro_rules! step_byte {
+            ($i:expr) => {
+                s = t[usize::from(s) * 256 + usize::from(data[$i])];
+                if $i == next_sample {
+                    samples.total += 1;
+                    if depth[usize::from(s)] >= deep_depth {
+                        samples.deep += 1;
+                    }
+                    next_sample = next_sample.saturating_add(sample_every);
+                }
+                if s < f {
+                    on_accept($i, StateId::from(s));
+                }
+            };
+        }
+        let mut i = 0;
+        let n8 = data.len() & !7;
+        while i < n8 {
+            step_byte!(i);
+            step_byte!(i + 1);
+            step_byte!(i + 2);
+            step_byte!(i + 3);
+            step_byte!(i + 4);
+            step_byte!(i + 5);
+            step_byte!(i + 6);
+            step_byte!(i + 7);
+            i += 8;
+        }
+        while i < data.len() {
+            step_byte!(i);
             i += 1;
         }
         StateId::from(s)

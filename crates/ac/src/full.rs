@@ -7,6 +7,7 @@
 //! number of accepting states", §5.1) and the match table is a
 //! direct-access array indexed by the accepting state id.
 
+use crate::kernel::{DepthSamples, ScanKernel};
 use crate::trie::Trie;
 use crate::{Automaton, MatchEntry, StateId};
 
@@ -221,6 +222,60 @@ impl Automaton for FullAc {
             if s < f {
                 on_match(i, s);
             }
+            i += 1;
+        }
+        s
+    }
+}
+
+impl ScanKernel for FullAc {
+    fn kernel_name(&self) -> &'static str {
+        "full"
+    }
+
+    fn scan_sampled(
+        &self,
+        state: StateId,
+        data: &[u8],
+        sample_every: usize,
+        deep_depth: u16,
+        samples: &mut DepthSamples,
+        on_accept: &mut dyn FnMut(usize, StateId),
+    ) -> StateId {
+        // The same 4-byte unroll as `scan`, with the telemetry depth
+        // sample folded into each step (grid positions are 1 in
+        // `sample_every`, so the extra compare rarely takes its branch).
+        let t = &self.transitions[..];
+        let f = self.f;
+        let depth = &self.depth[..];
+        let mut s = state;
+        let mut next_sample = 0usize;
+        macro_rules! step_byte {
+            ($i:expr) => {
+                s = t[(s as usize) * 256 + usize::from(data[$i])];
+                if $i == next_sample {
+                    samples.total += 1;
+                    if depth[s as usize] >= deep_depth {
+                        samples.deep += 1;
+                    }
+                    next_sample = next_sample.saturating_add(sample_every);
+                }
+                if s < f {
+                    on_accept($i, s);
+                }
+            };
+        }
+        let mut i = 0;
+        let n4 = data.len() & !3;
+        while i < n4 {
+            step_byte!(i);
+            step_byte!(i + 1);
+            step_byte!(i + 2);
+            step_byte!(i + 3);
+            i += 4;
+        }
+        while i < data.len() {
+            step_byte!(i);
             i += 1;
         }
         s

@@ -1,0 +1,169 @@
+//! The pluggable byte-scanning hot path.
+//!
+//! Every automaton representation exposes the same [`ScanKernel`]
+//! interface: a resumable scan that reports accepting states and collects
+//! the depth samples the MCA²-style stress telemetry needs
+//! (DESIGN.md §12). Which kernel a deployment runs is a single
+//! [`KernelKind`] flag in its instance configuration, so ablations —
+//! naive vs. unrolled vs. compact vs. prefiltered — stay one flag apart
+//! while producing byte-identical match streams and final states.
+
+use crate::{Automaton, StateId};
+use serde::{Deserialize, Serialize};
+
+/// Which scan kernel an instance runs. Serialized inside
+/// `InstanceConfig`, so the choice survives live rule updates and
+/// staged rollouts unchanged.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum KernelKind {
+    /// Reference kernel: one dependent table load per byte, no unrolling.
+    /// The baseline every optimization is measured against.
+    Naive,
+    /// The `u32` full-table DFA with the 4-byte-unrolled scan loop.
+    Full,
+    /// The `u16` half-width table (cache residency) with a wider unroll
+    /// to claw back the narrow-load throughput gap. Falls back to `full`
+    /// when the automaton has too many states for 16-bit ids.
+    Compact,
+    /// Two-stage scanner: a SWAR literal prefilter skips lanes that
+    /// cannot contain any match, and a 2-byte-stride root DFA covers the
+    /// residue windows the filter flags. Falls back to `full` scanning
+    /// when the pattern set yields no selective byte pairs.
+    Prefiltered,
+    /// Pick automatically: `compact` when the state count fits 16-bit
+    /// ids, `full` otherwise — the pre-kernel default behavior.
+    #[default]
+    Auto,
+}
+
+impl KernelKind {
+    /// Every concrete (non-auto) kernel, in ablation-sweep order.
+    pub const ALL: [KernelKind; 4] = [
+        KernelKind::Naive,
+        KernelKind::Full,
+        KernelKind::Compact,
+        KernelKind::Prefiltered,
+    ];
+
+    /// The flag's wire/CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Naive => "naive",
+            KernelKind::Full => "full",
+            KernelKind::Compact => "compact",
+            KernelKind::Prefiltered => "prefiltered",
+            KernelKind::Auto => "auto",
+        }
+    }
+
+    /// Parses the CLI/config spelling.
+    pub fn parse(s: &str) -> Option<KernelKind> {
+        match s {
+            "naive" => Some(KernelKind::Naive),
+            "full" => Some(KernelKind::Full),
+            "compact" => Some(KernelKind::Compact),
+            "prefiltered" => Some(KernelKind::Prefiltered),
+            "auto" => Some(KernelKind::Auto),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Depth-sample accumulator a kernel fills during one scan: 1 in
+/// `sample_every` byte positions contributes to `total`, and to `deep`
+/// when the automaton state after that byte sits at or past the caller's
+/// deep-depth threshold. Positions a prefilter proved match-free sample
+/// as shallow — the state there is within a pair-offset of the root.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DepthSamples {
+    /// Sampled positions.
+    pub total: u64,
+    /// Sampled positions at or past the deep threshold.
+    pub deep: u64,
+}
+
+/// A resumable scanning hot path over one compiled automaton.
+///
+/// `scan_sampled` is [`Automaton::scan`] plus the telemetry the scan
+/// engine needs inline: it invokes `on_accept(end_index, state)` for
+/// every accepting state reached and samples scan depth on the
+/// `sample_every` grid (position `i` is sampled when `i % sample_every
+/// == 0`, matching the engine's historical loop). The returned final
+/// state is exact — stateful cross-packet scans store it — and the match
+/// stream is byte-identical across all kernels.
+pub trait ScanKernel {
+    /// The kernel's flag spelling (telemetry, trace events, benches).
+    fn kernel_name(&self) -> &'static str;
+
+    /// Scans `data` from `state`; see the trait docs for the contract.
+    fn scan_sampled(
+        &self,
+        state: StateId,
+        data: &[u8],
+        sample_every: usize,
+        deep_depth: u16,
+        samples: &mut DepthSamples,
+        on_accept: &mut dyn FnMut(usize, StateId),
+    ) -> StateId;
+}
+
+/// The naive reference loop: per-byte step + accept check + sample, no
+/// unrolling, shared by the `naive` kernel over any automaton with a
+/// depth table.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn naive_scan_sampled<A: Automaton>(
+    ac: &A,
+    depth_of: impl Fn(StateId) -> u16,
+    state: StateId,
+    data: &[u8],
+    sample_every: usize,
+    deep_depth: u16,
+    samples: &mut DepthSamples,
+    on_accept: &mut dyn FnMut(usize, StateId),
+) -> StateId {
+    let mut s = state;
+    let mut next_sample = 0usize;
+    for (i, &b) in data.iter().enumerate() {
+        s = ac.step(s, b);
+        if i == next_sample {
+            samples.total += 1;
+            if depth_of(s) >= deep_depth {
+                samples.deep += 1;
+            }
+            next_sample = next_sample.saturating_add(sample_every);
+        }
+        if ac.is_accepting(s) {
+            on_accept(i, s);
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_roundtrips_through_names() {
+        for k in KernelKind::ALL.iter().chain([KernelKind::Auto].iter()) {
+            assert_eq!(KernelKind::parse(k.name()), Some(*k));
+        }
+        assert_eq!(KernelKind::parse("vectorized"), None);
+        assert_eq!(KernelKind::default(), KernelKind::Auto);
+    }
+
+    #[test]
+    fn kind_serializes_as_snake_case_string() {
+        let j = serde_json::to_string(&KernelKind::Prefiltered).unwrap();
+        assert_eq!(j, "\"prefiltered\"");
+        let back: KernelKind = serde_json::from_str("\"compact\"").unwrap();
+        assert_eq!(back, KernelKind::Compact);
+    }
+}

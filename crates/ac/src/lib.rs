@@ -43,7 +43,10 @@ pub mod builder;
 pub mod combined;
 pub mod compact;
 pub mod full;
+pub mod kernel;
 pub mod naive;
+mod prefilter;
+pub mod prefiltered;
 pub mod sparse;
 pub mod trie;
 
@@ -51,6 +54,8 @@ pub use builder::{CombinedAcBuilder, PatternSet, PatternSetDelta};
 pub use combined::CombinedAc;
 pub use compact::CompactAc;
 pub use full::FullAc;
+pub use kernel::{DepthSamples, KernelKind, ScanKernel};
+pub use prefiltered::{PrefilterStats, PrefilteredAc};
 pub use sparse::SparseAc;
 
 use serde::{Deserialize, Serialize};

@@ -1,0 +1,381 @@
+//! SWAR literal prefilter: rarest-adjacent-byte-pair selection plus
+//! wide-lane masked byte comparison.
+//!
+//! The Teddy/Hyperscan observation is that on benign traffic most payload
+//! bytes can be proven match-free *without touching the DFA*: pick, for
+//! every pattern, one adjacent byte pair from its first few bytes that is
+//! rare in background traffic, then sweep the payload in 16-byte lanes
+//! looking for any pair's first byte with plain `u128` SWAR arithmetic —
+//! no SIMD intrinsics, so the kernel runs on any target. Only lanes with a
+//! confirmed pair hand a residue window to the DFA.
+//!
+//! Selection works under a hard budget of [`PairFilter::MAX_FIRST_BYTES`]
+//! distinct first-byte values (each costs one masked compare per lane):
+//! a greedy weighted set cover picks first bytes that cover many patterns
+//! at low background frequency. Pattern sets that cannot be covered —
+//! e.g. every byte value is a pattern head — yield no filter, and the
+//! caller falls back to plain DFA scanning.
+
+/// Estimated background frequency of each byte value in mixed HTTP/text/
+/// binary traffic, on an arbitrary relative scale. Only the *ordering*
+/// matters: the pair chooser prefers low-frequency bytes. Derived from
+/// the usual English-text letter ordering plus HTTP framing bytes;
+/// high-bit and control bytes are rare in text but present in binary
+/// payloads, rare punctuation is rare everywhere.
+const fn bg_freq(b: u8) -> u16 {
+    match b {
+        b'e' | b't' | b'a' | b'o' | b'i' | b'n' | b's' | b'r' => 90,
+        b'h' | b'l' | b'd' | b'c' | b'u' | b'm' | b'p' | b'f' | b'g' => 60,
+        b'a'..=b'z' => 40,
+        b' ' | b'\r' | b'\n' | b'/' | b'<' | b'>' | b'=' | b'"' | b':' | b'.' | b'-' | b','
+        | b';' => 55,
+        b'A'..=b'Z' => 25,
+        b'0'..=b'9' => 30,
+        0 => 25,
+        0x80..=0xff => 8,
+        _ => 4,
+    }
+}
+
+/// The 256-entry background table built from [`bg_freq`].
+pub(crate) static BG_FREQ: [u16; 256] = {
+    let mut t = [0u16; 256];
+    let mut i = 0;
+    while i < 256 {
+        t[i] = bg_freq(i as u8);
+        i += 1;
+    }
+    t
+};
+
+/// Sum of [`BG_FREQ`] — the denominator when a frequency is read as a
+/// probability.
+pub(crate) const BG_TOTAL: u32 = {
+    let mut s = 0u32;
+    let mut i = 0;
+    while i < 256 {
+        s += BG_FREQ[i] as u32;
+        i += 1;
+    }
+    s
+};
+
+/// SWAR lane width in bytes.
+pub(crate) const LANE: usize = 16;
+
+const LO: u128 = 0x0101_0101_0101_0101_0101_0101_0101_0101;
+const HI: u128 = 0x8080_8080_8080_8080_8080_8080_8080_8080;
+
+/// Broadcasts one byte value across a `u128` lane.
+#[inline(always)]
+pub(crate) fn broadcast(b: u8) -> u128 {
+    LO * u128::from(b)
+}
+
+/// The classic SWAR zero-byte finder applied to `lane ^ broadcast(b)`:
+/// returns a mask with bit 7 of every byte position holding `b` set.
+#[inline(always)]
+pub(crate) fn eq_mask(lane: u128, pat: u128) -> u128 {
+    let x = lane ^ pat;
+    x.wrapping_sub(LO) & !x & HI
+}
+
+/// One selected pattern pair: the first-byte value is implied by the
+/// [`PairFilter`] row it lives in.
+#[derive(Debug, Clone, Copy)]
+struct ChosenPair {
+    second: Option<u8>,
+    offset: usize,
+}
+
+/// A compiled prefilter: up to [`PairFilter::MAX_FIRST_BYTES`] broadcast
+/// first-byte lanes plus a 256×256-bit pair-confirmation table.
+#[derive(Debug, Clone)]
+pub(crate) struct PairFilter {
+    /// Broadcast `u128` of every selected first-byte value.
+    pub(crate) lanes: Vec<u128>,
+    /// The selected first-byte values (parallel to `lanes`).
+    pub(crate) firsts: Vec<u8>,
+    /// `pair_next[b1 * 4 + b2/64] >> (b2 % 64) & 1` — whether `(b1, b2)`
+    /// confirms a candidate. Rows of unselected first bytes are zero;
+    /// a one-byte pattern sets its whole row (any successor confirms).
+    pub(crate) pair_next: Vec<u64>,
+    /// Largest selected pair offset within its pattern: a confirmed pair
+    /// at position `q` means any covered occurrence starts at or after
+    /// `q - max_offset`.
+    pub(crate) max_offset: usize,
+}
+
+impl PairFilter {
+    /// Hard budget of distinct first-byte values (one masked compare per
+    /// lane each).
+    pub(crate) const MAX_FIRST_BYTES: usize = 8;
+
+    /// Pairs are chosen within the first `PAIR_WINDOW` bytes of each
+    /// pattern, bounding how far a residue window must reach back.
+    pub(crate) const PAIR_WINDOW: usize = 16;
+
+    /// Reject filters whose selected first bytes would fire on more than
+    /// this fraction (numerator/denominator) of background bytes —
+    /// scanning would degenerate into confirm calls.
+    const MAX_HIT_NUM: u32 = 1;
+    const MAX_HIT_DEN: u32 = 8;
+
+    /// Individual cap: no selected first byte may be more common than
+    /// this background frequency. Letters and common punctuation make
+    /// terrible anchors — every hit opens a residue window whose
+    /// replay-and-resync cost dwarfs the skipped bytes — so the cover
+    /// only ever considers genuinely rare values (symbols, digits,
+    /// uppercase, high-bit bytes).
+    const MAX_FIRST_FREQ: u16 = 30;
+
+    /// Chooses pairs covering every pattern, or `None` when no selective
+    /// cover exists within the budget.
+    pub(crate) fn build(patterns: &[Vec<u8>]) -> Option<PairFilter> {
+        if patterns.is_empty() {
+            return None;
+        }
+        // Candidate pairs per pattern: (first, second, offset) within the
+        // pair window. One-byte patterns contribute (first, None, 0),
+        // which forces their first byte into the cover with a wildcard
+        // confirmation row.
+        let mut candidates: Vec<Vec<(u8, Option<u8>, usize)>> = Vec::with_capacity(patterns.len());
+        for p in patterns {
+            let mut c = Vec::new();
+            if p.len() == 1 {
+                c.push((p[0], None, 0));
+            } else {
+                let window = p.len().min(Self::PAIR_WINDOW);
+                for o in 0..window - 1 {
+                    c.push((p[o], Some(p[o + 1]), o));
+                }
+            }
+            candidates.push(c);
+        }
+
+        // Greedy weighted set cover over first-byte values, two scoring
+        // strategies: rare-biased (best skip selectivity, but can burn
+        // the budget on tiny-gain rare bytes) first, coverage-first
+        // (maximum newly-covered patterns, rarity as tie-break) as the
+        // fallback when large sets need every slot. Either way the
+        // selectivity gate below has the final say.
+        let rare_biased = |gain: u32, freq: u16| f64::from(gain) / (f64::from(freq) + 1.0);
+        let coverage_first = |gain: u32, freq: u16| f64::from(gain) * 1024.0 - f64::from(freq);
+        let firsts = Self::greedy_cover(&candidates, rare_biased)
+            .or_else(|| Self::greedy_cover(&candidates, coverage_first))?;
+
+        // Selectivity gate: if the chosen first bytes are collectively
+        // common, the filter costs more than it skips.
+        let hit_freq: u32 = firsts
+            .iter()
+            .map(|&b| u32::from(BG_FREQ[usize::from(b)]))
+            .sum();
+        if hit_freq * Self::MAX_HIT_DEN > BG_TOTAL * Self::MAX_HIT_NUM {
+            return None;
+        }
+
+        // Confirmation rows: for each pattern pick, among its pairs whose
+        // first byte made the cover, the one with the rarest second byte
+        // (ties: smallest offset, to keep residue windows short).
+        let mut pair_next = vec![0u64; 256 * 4];
+        let mut max_offset = 0usize;
+        for c in &candidates {
+            let mut chosen: Option<(u8, ChosenPair, u16)> = None;
+            for &(b1, b2, o) in c {
+                if !firsts.contains(&b1) {
+                    continue;
+                }
+                let rarity = b2.map(|b| BG_FREQ[usize::from(b)]).unwrap_or(0);
+                let better = match &chosen {
+                    None => true,
+                    Some((_, prev, prev_rarity)) => {
+                        rarity < *prev_rarity || (rarity == *prev_rarity && o < prev.offset)
+                    }
+                };
+                if better {
+                    chosen = Some((
+                        b1,
+                        ChosenPair {
+                            second: b2,
+                            offset: o,
+                        },
+                        rarity,
+                    ));
+                }
+            }
+            let (b1, pair, _) = chosen.expect("cover loop covered every pattern");
+            max_offset = max_offset.max(pair.offset);
+            let row = usize::from(b1) * 4;
+            match pair.second {
+                Some(b2) => pair_next[row + usize::from(b2) / 64] |= 1u64 << (b2 % 64),
+                None => pair_next[row..row + 4].fill(u64::MAX),
+            }
+        }
+
+        let lanes = firsts.iter().map(|&b| broadcast(b)).collect();
+        Some(PairFilter {
+            lanes,
+            firsts,
+            pair_next,
+            max_offset,
+        })
+    }
+
+    /// One greedy set-cover pass under `score(gain, bg_freq)`; `None`
+    /// when the first-byte budget runs out before every pattern is
+    /// covered.
+    fn greedy_cover(
+        candidates: &[Vec<(u8, Option<u8>, usize)>],
+        score: impl Fn(u32, u16) -> f64,
+    ) -> Option<Vec<u8>> {
+        let mut covered = vec![false; candidates.len()];
+        let mut firsts: Vec<u8> = Vec::new();
+        while covered.iter().any(|c| !c) {
+            if firsts.len() == Self::MAX_FIRST_BYTES {
+                return None;
+            }
+            let mut gain = [0u32; 256];
+            for (pi, c) in candidates.iter().enumerate() {
+                if covered[pi] {
+                    continue;
+                }
+                let mut seen = [false; 256];
+                for &(b1, _, _) in c {
+                    if !seen[usize::from(b1)] {
+                        seen[usize::from(b1)] = true;
+                        gain[usize::from(b1)] += 1;
+                    }
+                }
+            }
+            let mut best: Option<(u8, f64)> = None;
+            for b1 in 0u16..256 {
+                let g = gain[usize::from(b1)];
+                if g == 0 || BG_FREQ[usize::from(b1)] > Self::MAX_FIRST_FREQ {
+                    continue;
+                }
+                let s = score(g, BG_FREQ[usize::from(b1)]);
+                if best.map(|(_, prev)| s > prev).unwrap_or(true) {
+                    best = Some((b1 as u8, s));
+                }
+            }
+            let (b1, _) = best?;
+            firsts.push(b1);
+            for (pi, c) in candidates.iter().enumerate() {
+                if !covered[pi] {
+                    covered[pi] = c.iter().any(|&(f, _, _)| f == b1);
+                }
+            }
+        }
+        Some(firsts)
+    }
+
+    /// Whether `(b1, b2)` confirms a candidate.
+    #[inline(always)]
+    pub(crate) fn confirms(&self, b1: u8, b2: u8) -> bool {
+        self.pair_next[usize::from(b1) * 4 + usize::from(b2) / 64] >> (b2 % 64) & 1 != 0
+    }
+
+    /// SWAR first-byte hit mask for one 16-byte lane (bit 7 of each
+    /// matching byte position set).
+    #[inline(always)]
+    pub(crate) fn lane_hits(&self, lane: u128) -> u128 {
+        let mut hits = 0u128;
+        for &pat in &self.lanes {
+            hits |= eq_mask(lane, pat);
+        }
+        hits
+    }
+
+    /// Resident bytes of the filter's tables.
+    pub(crate) fn memory_bytes(&self) -> usize {
+        self.lanes.len() * std::mem::size_of::<u128>()
+            + self.firsts.len()
+            + self.pair_next.len() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_mask_flags_exactly_matching_bytes() {
+        let data: [u8; 16] = *b"abcXdefXghiXjklX";
+        let lane = u128::from_le_bytes(data);
+        let hits = eq_mask(lane, broadcast(b'X'));
+        for (i, &b) in data.iter().enumerate() {
+            let bit = hits >> (i * 8 + 7) & 1;
+            assert_eq!(bit == 1, b == b'X', "byte {i}");
+        }
+    }
+
+    #[test]
+    fn eq_mask_has_no_false_positives_across_values() {
+        // The hasvalue trick is exact for equality: sweep all byte pairs.
+        for v in 0u16..256 {
+            let mut data = [0u8; 16];
+            for (i, d) in data.iter_mut().enumerate() {
+                *d = (i as u8).wrapping_mul(17).wrapping_add(v as u8);
+            }
+            let lane = u128::from_le_bytes(data);
+            let hits = eq_mask(lane, broadcast(v as u8));
+            for (i, &b) in data.iter().enumerate() {
+                assert_eq!(hits >> (i * 8 + 7) & 1 == 1, b == v as u8);
+            }
+        }
+    }
+
+    #[test]
+    fn rare_pairs_are_preferred() {
+        let f = PairFilter::build(&[b"GET |#magic#|".to_vec()]).unwrap();
+        // '|' and '#' are far rarer than 'G'/'E'/'T'; the cover must pick
+        // a rare head, not the common prefix letters.
+        assert_eq!(f.firsts.len(), 1);
+        assert!(f.firsts[0] == b'|' || f.firsts[0] == b'#');
+    }
+
+    #[test]
+    fn one_byte_patterns_get_wildcard_rows() {
+        let f = PairFilter::build(&[b"~".to_vec()]).unwrap();
+        assert_eq!(f.firsts, vec![b'~']);
+        for b2 in 0u16..256 {
+            assert!(f.confirms(b'~', b2 as u8));
+        }
+        assert!(!f.confirms(b'!', 0));
+    }
+
+    #[test]
+    fn common_heads_reject_the_filter() {
+        // Patterns headed by the most common text bytes at every offset:
+        // the selectivity gate must refuse.
+        let pats: Vec<Vec<u8>> = (0..12)
+            .map(|i| {
+                let b = b"etaoinsretao"[i];
+                vec![b; 6]
+            })
+            .collect();
+        assert!(PairFilter::build(&pats).is_none());
+    }
+
+    #[test]
+    fn uncoverable_sets_reject_the_filter() {
+        // 256 patterns, each starting with a distinct byte value and one
+        // byte long: needs 256 first bytes, far over budget.
+        let pats: Vec<Vec<u8>> = (0u16..256).map(|b| vec![b as u8]).collect();
+        assert!(PairFilter::build(&pats).is_none());
+    }
+
+    #[test]
+    fn max_offset_tracks_chosen_pairs() {
+        // The rare pair sits deep in the pattern; the window bound must
+        // cover it.
+        let f = PairFilter::build(&[b"eeeeee~~x".to_vec()]).unwrap();
+        assert!(f.max_offset >= 5);
+        assert!(f.max_offset <= PairFilter::PAIR_WINDOW - 2);
+    }
+
+    #[test]
+    fn empty_set_has_no_filter() {
+        assert!(PairFilter::build(&[]).is_none());
+    }
+}

@@ -9,7 +9,7 @@
 //! middlebox identifiers in the chain." (§5.1)
 
 use crate::rules::RuleSpec;
-use dpi_ac::MiddleboxId;
+use dpi_ac::{KernelKind, MiddleboxId};
 use serde::{Deserialize, Serialize};
 
 /// A rule together with the middlebox-local identifier it is reported
@@ -124,6 +124,10 @@ pub struct InstanceConfig {
     /// Maximum tracked flows before the flow table evicts (stateful scans
     /// only). Defaults to [`InstanceConfig::DEFAULT_MAX_FLOWS`].
     pub max_flows: Option<usize>,
+    /// Which scan kernel the instance's engine runs its byte-scanning hot
+    /// path on. [`KernelKind::Auto`] (the default) keeps the historical
+    /// width-based selection.
+    pub kernel: KernelKind,
 }
 
 impl InstanceConfig {
@@ -154,6 +158,12 @@ impl InstanceConfig {
     /// Adds a policy chain.
     pub fn with_chain(mut self, chain_id: u16, members: Vec<MiddleboxId>) -> InstanceConfig {
         self.chains.push(ChainSpec { chain_id, members });
+        self
+    }
+
+    /// Selects the scan kernel for the instance's engine.
+    pub fn with_kernel(mut self, kernel: KernelKind) -> InstanceConfig {
+        self.kernel = kernel;
         self
     }
 }

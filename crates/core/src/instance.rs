@@ -23,7 +23,9 @@ use crate::report::compress_matches;
 use crate::rules::RuleKind;
 use crate::telemetry::Telemetry;
 use dpi_ac::trie::TrieError;
-use dpi_ac::{Automaton, CombinedAc, CombinedAcBuilder, MiddleboxId, PatternId};
+use dpi_ac::{
+    Automaton, CombinedAc, CombinedAcBuilder, DepthSamples, MiddleboxId, PatternId, ScanKernel,
+};
 use dpi_packet::nsh::DpiResultsHeader;
 use dpi_packet::report::{MiddleboxReport, ResultPacket};
 use dpi_packet::{FlowKey, Packet};
@@ -397,7 +399,7 @@ impl ScanEngine {
         }
 
         Ok(ScanEngine {
-            ac: builder.build_auto(),
+            ac: builder.build_kernel(config.kernel),
             profiles,
             chains,
             rules,
@@ -416,6 +418,12 @@ impl ScanEngine {
     /// The combined automaton (size/stat introspection for experiments).
     pub fn automaton(&self) -> &CombinedAc {
         &self.ac
+    }
+
+    /// The scan kernel this engine's automaton runs ("naive", "full",
+    /// "compact", "prefiltered") — stamped into metrics and swap traces.
+    pub fn kernel_name(&self) -> &'static str {
+        self.ac.kernel_name()
     }
 
     /// The policy chains this engine serves.
@@ -488,39 +496,48 @@ impl ScanEngine {
             .map(|(i, m)| (*m, i))
             .collect();
 
-        // The scan loop — manual rather than `Automaton::scan` so depth
-        // sampling and the bitmap fast path live inline.
-        let mut state = start_state;
-        let mut deep = 0u64;
-        let mut samples = 0u64;
-        for (i, &b) in payload[..scan_len].iter().enumerate() {
-            state = self.ac.step(state, b);
-            if i % Telemetry::SAMPLE == 0 {
-                samples += 1;
-                if self.ac.state_depth(state) >= Telemetry::DEEP_DEPTH {
-                    deep += 1;
-                }
-            }
-            if self.ac.is_accepting(state) && self.ac.bitmap(state) & chain.bitmap != 0 {
-                for e in self.ac.entries(state) {
-                    let Some(&mi) = member_index.get(&e.middlebox) else {
-                        continue;
-                    };
-                    let rules = &self.rules[&e.middlebox];
-                    let pid = e.pattern.0;
-                    if pid >= rules.rule_count {
-                        // A synthetic anchor pattern.
-                        if let Some(owners) = rules.anchor_owner.get(&pid) {
-                            for &(ri, ai) in owners {
-                                anchors_seen[mi].insert((ri, ai));
-                            }
-                        }
-                    } else {
-                        hits[mi].push((pid, i as u16, e.len));
+        // The scan loop runs on the engine's configured kernel; the
+        // bitmap fast path lives in the accept callback, depth sampling
+        // inside the kernel itself (same grid as the historical manual
+        // loop: position `i` samples when `i % SAMPLE == 0`).
+        let mut depth_samples = DepthSamples::default();
+        let state = {
+            let ac = &self.ac;
+            let rules = &self.rules;
+            let hits = &mut hits;
+            let anchors_seen = &mut anchors_seen;
+            ac.scan_sampled(
+                start_state,
+                &payload[..scan_len],
+                Telemetry::SAMPLE,
+                Telemetry::DEEP_DEPTH,
+                &mut depth_samples,
+                &mut |i, st| {
+                    if ac.bitmap(st) & chain.bitmap == 0 {
+                        return;
                     }
-                }
-            }
-        }
+                    for e in ac.entries(st) {
+                        let Some(&mi) = member_index.get(&e.middlebox) else {
+                            continue;
+                        };
+                        let mb_rules = &rules[&e.middlebox];
+                        let pid = e.pattern.0;
+                        if pid >= mb_rules.rule_count {
+                            // A synthetic anchor pattern.
+                            if let Some(owners) = mb_rules.anchor_owner.get(&pid) {
+                                for &(ri, ai) in owners {
+                                    anchors_seen[mi].insert((ri, ai));
+                                }
+                            }
+                        } else {
+                            hits[mi].push((pid, i as u16, e.len));
+                        }
+                    }
+                },
+            )
+        };
+        let deep = depth_samples.deep;
+        let samples = depth_samples.total;
 
         // Post-filtering (§5.2) and regex resolution (§5.3) per member.
         let mut reports = Vec::new();

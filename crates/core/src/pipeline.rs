@@ -356,6 +356,7 @@ impl ShardedScanner {
             from_generation,
             to_generation: self.update_stats.generation,
             pause_us: pause.as_micros() as u64,
+            kernel: self.engine.kernel_name(),
         });
         pause
     }
@@ -430,19 +431,146 @@ impl ShardedScanner {
             None => (0..n).map(|_| None).collect(),
         };
 
-        let (mut numbered, reports) = std::thread::scope(|scope| {
-            let (result_tx, result_rx) = channel::unbounded::<(usize, ResultPacket)>();
-            let mut feeds = Vec::with_capacity(n);
-            let mut handles = Vec::with_capacity(n);
-            for ((s, shard), mut det) in self.shards.iter_mut().enumerate().zip(dets.drain(..)) {
-                let (tx, rx) = channel::bounded::<(usize, &mut Packet)>(SHARD_QUEUE_CAPACITY);
-                let result_tx = result_tx.clone();
-                let engine = &**engine;
-                let faults = std::mem::take(&mut shard_faults[s]);
-                let base = self.shard_seen[s];
-                let completed = &completed[s];
-                feeds.push(tx);
-                handles.push(scope.spawn(move || {
+        let (mut numbered, reports) = if n == 1 {
+            // ---- Single-worker fast path: no threads, no channels. ----
+            // With one shard, the feeder/worker split is pure overhead —
+            // every packet crosses two crossbeam channels and a thread
+            // spawn just to land back where it started. Inline the worker
+            // body on the calling thread, preserving the threaded path's
+            // semantics exactly: fault injection, shed policy, watchdog
+            // condemnation (drain without scanning), panic containment
+            // and the loss accounting the supervision pass expects.
+            let shard = &mut self.shards[0];
+            let faults = std::mem::take(&mut shard_faults[0]);
+            let base = self.shard_seen[0];
+            let mut det = dets.drain(..).next().flatten();
+            let engine = &**engine;
+            let total = packets.len();
+            let mut results: Vec<(usize, ResultPacket)> = Vec::new();
+            let mut report = WorkerReport {
+                peak: 0,
+                errors: 0,
+                received: 0,
+                processed: 0,
+                tripped: false,
+                stalls: Vec::new(),
+            };
+            // The clock is only consumed by the watchdog and the overload
+            // detector; with neither armed, skip both per-packet reads.
+            let needs_clock = watchdog.is_some() || det.is_some();
+            // One unwind guard around the whole batch, not one closure per
+            // packet: a per-packet catch_unwind walls the scan call off
+            // from the optimizer, and the threaded accounting it emulates
+            // (a panic kills the shard for the rest of the batch) is
+            // per-batch anyway.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                for (idx, pkt) in packets.iter_mut().enumerate() {
+                    let ordinal = base + report.received;
+                    report.received += 1;
+                    if report.tripped {
+                        // Condemned by the watchdog: drain without
+                        // scanning, exactly like the threaded worker.
+                        // Lost scans.
+                        continue;
+                    }
+                    // What the bounded ingress queue would hold behind
+                    // this packet had a feeder been distributing the
+                    // batch.
+                    let depth = (total - 1 - idx).min(SHARD_QUEUE_CAPACITY);
+                    report.peak = report.peak.max(depth);
+                    let started = needs_clock.then(Instant::now);
+                    for &(at, fault) in &faults {
+                        if at == ordinal {
+                            match fault {
+                                ShardFault::Stall(ms) => {
+                                    std::thread::sleep(Duration::from_millis(ms));
+                                    report.stalls.push((ordinal, ms));
+                                }
+                                ShardFault::Panic => {
+                                    panic!("chaos: injected worker panic at shard packet {ordinal}")
+                                }
+                            }
+                        }
+                    }
+                    let mut shed = false;
+                    if let Some(d) = det.as_deref_mut() {
+                        if d.is_overloaded() && matches!(d.policy().shed, ShedMode::FailOpen) {
+                            let fail_closed = pkt
+                                .chain_tag()
+                                .map(|t| engine.chain_fail_closed(t))
+                                .unwrap_or(true);
+                            if !fail_closed {
+                                shed = true;
+                                d.note_shed(pkt.payload().map(<[u8]>::len).unwrap_or(0));
+                            }
+                        }
+                    }
+                    if !shed {
+                        match engine.inspect_unnumbered(shard, pkt) {
+                            Ok(Some(result)) => results.push((idx, result)),
+                            Ok(None) => {}
+                            Err(_) => report.errors += 1,
+                        }
+                    }
+                    if let Some(d) = det.as_deref_mut() {
+                        if d.is_overloaded() {
+                            pkt.mark_congestion();
+                            d.note_ce_mark();
+                        }
+                        let elapsed = started.expect("clock armed with detector").elapsed();
+                        let transition = d.observe(depth, elapsed.as_micros() as u64);
+                        if let Some(t) = transition {
+                            if let Some(w) = shard.trace_writer_mut() {
+                                let (depth, ewma) = (depth as u64, d.ewma_us());
+                                w.record(match t {
+                                    OverloadTransition::Entered => TraceKind::OverloadEntered {
+                                        depth,
+                                        ewma_us: ewma,
+                                    },
+                                    OverloadTransition::Cleared => TraceKind::OverloadCleared {
+                                        depth,
+                                        ewma_us: ewma,
+                                    },
+                                });
+                            }
+                        }
+                    }
+                    report.processed += 1;
+                    if let Some(deadline) = watchdog {
+                        if started.expect("clock armed with watchdog").elapsed() > deadline {
+                            report.tripped = true;
+                        }
+                    }
+                }
+            }));
+            routed[0] = report.received;
+            completed[0].store(report.processed, Ordering::Relaxed);
+            let reports = if outcome.is_err() {
+                // A threaded worker's panic kills its receiver; every
+                // packet the feeder had routed or would still route is
+                // lost. Mirror that accounting, then let the shared
+                // supervision pass condemn and restart the shard.
+                send_lost[0] += (total as u64).saturating_sub(report.received);
+                vec![None]
+            } else {
+                vec![Some(report)]
+            };
+            (results, reports)
+        } else {
+            std::thread::scope(|scope| {
+                let (result_tx, result_rx) = channel::unbounded::<(usize, ResultPacket)>();
+                let mut feeds = Vec::with_capacity(n);
+                let mut handles = Vec::with_capacity(n);
+                for ((s, shard), mut det) in self.shards.iter_mut().enumerate().zip(dets.drain(..))
+                {
+                    let (tx, rx) = channel::bounded::<(usize, &mut Packet)>(SHARD_QUEUE_CAPACITY);
+                    let result_tx = result_tx.clone();
+                    let engine = &**engine;
+                    let faults = std::mem::take(&mut shard_faults[s]);
+                    let base = self.shard_seen[s];
+                    let completed = &completed[s];
+                    feeds.push(tx);
+                    handles.push(scope.spawn(move || {
                     let mut report = WorkerReport {
                         peak: 0,
                         errors: 0,
@@ -544,33 +672,34 @@ impl ShardedScanner {
                     report.peak = rx.peak_len();
                     report
                 }));
-            }
-            drop(result_tx);
-
-            for (idx, pkt) in packets.iter_mut().enumerate() {
-                let shard = match pkt.flow_key() {
-                    Some(flow) => (flow.stable_hash() % n as u64) as usize,
-                    // Flow-less packets fail inspection anyway; spread
-                    // them deterministically.
-                    None => idx % n,
-                };
-                // A send fails only when the worker panicked and dropped
-                // its receiver; the batch continues — that packet simply
-                // goes unscanned (fail-open) and is counted lost.
-                match feeds[shard].send((idx, pkt)) {
-                    Ok(()) => routed[shard] += 1,
-                    Err(_) => send_lost[shard] += 1,
                 }
-            }
-            drop(feeds);
+                drop(result_tx);
 
-            let collected: Vec<(usize, ResultPacket)> = result_rx.iter().collect();
-            // A panicked worker yields Err here — captured, not
-            // propagated: the supervisor restarts the shard below.
-            let reports: Vec<Option<WorkerReport>> =
-                handles.into_iter().map(|h| h.join().ok()).collect();
-            (collected, reports)
-        });
+                for (idx, pkt) in packets.iter_mut().enumerate() {
+                    let shard = match pkt.flow_key() {
+                        Some(flow) => (flow.stable_hash() % n as u64) as usize,
+                        // Flow-less packets fail inspection anyway; spread
+                        // them deterministically.
+                        None => idx % n,
+                    };
+                    // A send fails only when the worker panicked and dropped
+                    // its receiver; the batch continues — that packet simply
+                    // goes unscanned (fail-open) and is counted lost.
+                    match feeds[shard].send((idx, pkt)) {
+                        Ok(()) => routed[shard] += 1,
+                        Err(_) => send_lost[shard] += 1,
+                    }
+                }
+                drop(feeds);
+
+                let collected: Vec<(usize, ResultPacket)> = result_rx.iter().collect();
+                // A panicked worker yields Err here — captured, not
+                // propagated: the supervisor restarts the shard below.
+                let reports: Vec<Option<WorkerReport>> =
+                    handles.into_iter().map(|h| h.join().ok()).collect();
+                (collected, reports)
+            })
+        };
 
         // Supervision pass, in shard order so fault-log entries are
         // deterministic across runs of the same seed.

@@ -133,6 +133,8 @@ pub enum TraceKind {
         to_generation: u32,
         /// The drain-barrier pause.
         pause_us: u64,
+        /// Scan kernel of the adopted engine ("full", "prefiltered", …).
+        kernel: &'static str,
     },
     /// A stale-generation swap offer was refused.
     SwapRejected {

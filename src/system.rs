@@ -24,7 +24,7 @@
 //! [`FaultPlan`]: instance kills, shard stalls/panics and result-packet
 //! loss all replay identically from one seed.
 
-use dpi_ac::MiddleboxId;
+use dpi_ac::{KernelKind, MiddleboxId};
 use dpi_controller::{
     BalancePolicy, DpiController, HealthEvent, HealthPolicy, InstanceId, LoadBalancer,
     UpdateOrchestrator, UpdateTarget,
@@ -119,6 +119,7 @@ pub struct SystemBuilder {
     retry: RetryPolicy,
     overload: Option<OverloadPolicy>,
     balance: Option<BalancePolicy>,
+    kernel: KernelKind,
 }
 
 impl Default for SystemBuilder {
@@ -142,7 +143,17 @@ impl SystemBuilder {
             retry: RetryPolicy::default(),
             overload: None,
             balance: None,
+            kernel: KernelKind::Auto,
         }
+    }
+
+    /// Selects the byte-scanning kernel every engine in the system runs
+    /// (default [`KernelKind::Auto`], the historical width-based
+    /// selection). The choice is stamped into the instance configuration,
+    /// so engines rebuilt by live rule updates keep it.
+    pub fn with_scan_kernel(mut self, kernel: KernelKind) -> SystemBuilder {
+        self.kernel = kernel;
+        self
     }
 
     /// Sets the worker count of the batched scan pipeline exposed as
@@ -253,7 +264,9 @@ impl SystemBuilder {
         // exercised separately in dpi-controller), compiled once and
         // shared between every in-network instance and the batch
         // pipeline.
-        let cfg = controller.instance_config(&chain_ids)?;
+        let cfg = controller
+            .instance_config(&chain_ids)?
+            .with_kernel(self.kernel);
         let mut orchestrator = UpdateOrchestrator::new(&cfg);
         let engine = Arc::new(ScanEngine::new(cfg)?);
         let mut scanner = ShardedScanner::new(engine.clone(), self.dpi_workers);
@@ -389,6 +402,7 @@ impl SystemBuilder {
             load_windows,
             overload: self.overload,
             balancer: self.balance.map(LoadBalancer::new),
+            kernel: self.kernel,
         })
     }
 }
@@ -503,6 +517,8 @@ pub struct SystemHandle {
     overload: Option<OverloadPolicy>,
     /// Telemetry-driven flow rebalancer, when armed.
     balancer: Option<LoadBalancer>,
+    /// Scan kernel stamped into every engine build (including updates).
+    kernel: KernelKind,
 }
 
 impl SystemHandle {
@@ -981,6 +997,17 @@ impl SystemHandle {
         );
 
         m.family(
+            "dpi_scan_kernel_info",
+            "Active byte-scanning kernel (constant 1, kernel in the label)",
+            MetricKind::Gauge,
+        );
+        m.sample(
+            "dpi_scan_kernel_info",
+            &[("kernel", self.dpi.lock().engine().kernel_name())],
+            1,
+        );
+
+        m.family(
             "dpi_trace_events_buffered",
             "Trace events currently buffered in the global ring",
             MetricKind::Gauge,
@@ -1030,7 +1057,10 @@ impl SystemHandle {
     /// a generation mix and never goes down over a bad update.
     pub fn apply_update(&mut self) -> Result<UpdateOutcome, SystemError> {
         let version = self.controller.version();
-        let cfg = self.controller.instance_config(&self.chain_ids)?;
+        let cfg = self
+            .controller
+            .instance_config(&self.chain_ids)?
+            .with_kernel(self.kernel);
         let mut prepared = self.orchestrator.prepare(version, &cfg);
         let transfer_bytes = prepared.transfer_bytes;
 

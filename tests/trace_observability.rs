@@ -222,7 +222,7 @@ fn metrics_text_exposes_counters_health_and_generation() {
     assert!(text.contains("# TYPE dpi_shard_queue_depth_peak gauge"));
     assert!(text.contains("dpi_shard_packets_total{shard=\"0\"} 3"));
     assert!(text.contains("dpi_shard_matches_total{shard=\"0\"} 3"));
-    assert!(text.contains("dpi_shard_queue_depth_peak{shard=\"0\"} 3"));
+    assert!(text.contains("dpi_shard_queue_depth_peak{shard=\"0\"} 2"));
 
     // Health-state counts: the single instance is healthy.
     assert!(text.contains("dpi_fleet_health{state=\"healthy\"} 1"));
