@@ -92,6 +92,11 @@ pub struct FaultPlan {
     pub burst_period: u64,
     /// How many source packets at the start of each period burst.
     pub burst_len: u64,
+    /// Probability in `[0, 1]` that a newly opened flow is replaced by an
+    /// adversarial evasion-attempt flow from the `dpi_traffic` generator
+    /// (overlap conflicts, ambiguous retransmits, wrap-adjacent sequence
+    /// games — DESIGN.md §13).
+    pub evasive_flow_p: f64,
 }
 
 impl FaultPlan {
@@ -162,6 +167,17 @@ impl FaultPlan {
         self.burst_factor = factor;
         self.burst_period = period;
         self.burst_len = len;
+        self
+    }
+
+    /// Makes each newly opened flow an adversarial evasion attempt with
+    /// probability `p`: the traffic source asks
+    /// [`ChaosEngine::next_flow_evasive`] per flow and, on a hit, feeds
+    /// the flow's segments from the `dpi_traffic` evasion generator using
+    /// the returned per-flow seed.
+    pub fn evasive_flows(mut self, p: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&p), "evasive probability out of [0,1]");
+        self.evasive_flow_p = p;
         self
     }
 
@@ -351,6 +367,30 @@ impl ChaosEngine {
         self.plan.burst_factor
     }
 
+    /// Draws whether the next newly opened flow is an adversarial evasion
+    /// attempt; on a hit, returns the seed for the `dpi_traffic` evasion
+    /// generator (so the exact segment stream is replayable from the
+    /// fault log and trace alone).
+    pub fn next_flow_evasive(&self) -> Option<u64> {
+        if self.plan.evasive_flow_p <= 0.0 {
+            return None;
+        }
+        let mut g = self.lock();
+        if !g.rng.gen_bool(self.plan.evasive_flow_p) {
+            return None;
+        }
+        let seed: u64 = g.rng.gen();
+        g.log
+            .push(format!("evasive flow injected (generator seed {seed})"));
+        if let Some(t) = &g.tracer {
+            t.record(
+                crate::trace::TraceSource::Chaos,
+                crate::trace::TraceKind::FaultEvasiveFlow { seed },
+            );
+        }
+        Some(seed)
+    }
+
     /// The shard faults to hand a [`crate::pipeline::ShardedScanner`].
     pub fn shard_faults(&self) -> Vec<ShardFaultSpec> {
         self.plan.shard_faults.clone()
@@ -538,7 +578,31 @@ mod tests {
         let chaos = FaultPlan::new(9).start();
         assert!(!chaos.drop_result("x"));
         assert!(!chaos.duplicate_result("x"));
+        assert!(chaos.next_flow_evasive().is_none());
         assert!(chaos.fault_log().is_empty());
+    }
+
+    #[test]
+    fn evasive_flows_draw_deterministic_seeds() {
+        let run = |seed| {
+            let chaos = FaultPlan::new(seed).evasive_flows(0.5).start();
+            let draws: Vec<Option<u64>> = (0..64).map(|_| chaos.next_flow_evasive()).collect();
+            (draws, chaos.fault_log())
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11).0, run(12).0);
+        // Probability 1 hits every draw; every hit is logged.
+        let chaos = FaultPlan::new(11).evasive_flows(1.0).start();
+        let draws: Vec<Option<u64>> = (0..8).map(|_| chaos.next_flow_evasive()).collect();
+        assert!(draws.iter().all(|d| d.is_some()));
+        assert_eq!(
+            chaos
+                .fault_log()
+                .iter()
+                .filter(|e| e.contains("evasive flow injected"))
+                .count(),
+            8
+        );
     }
 
     #[test]

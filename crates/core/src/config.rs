@@ -8,6 +8,7 @@
 //! mapping between policy chain identifiers and the corresponding
 //! middlebox identifiers in the chain." (§5.1)
 
+use crate::reassembly::ConflictPolicy;
 use crate::rules::RuleSpec;
 use dpi_ac::{KernelKind, MiddleboxId};
 use serde::{Deserialize, Serialize};
@@ -128,6 +129,10 @@ pub struct InstanceConfig {
     /// path on. [`KernelKind::Auto`] (the default) keeps the historical
     /// width-based selection.
     pub kernel: KernelKind,
+    /// How the shared reassembler resolves byte-level conflicts between
+    /// overlapping TCP segment copies. [`ConflictPolicy::FirstWins`] (the
+    /// default) preserves the historical Snort-style behaviour.
+    pub conflict_policy: ConflictPolicy,
 }
 
 impl InstanceConfig {
@@ -164,6 +169,12 @@ impl InstanceConfig {
     /// Selects the scan kernel for the instance's engine.
     pub fn with_kernel(mut self, kernel: KernelKind) -> InstanceConfig {
         self.kernel = kernel;
+        self
+    }
+
+    /// Selects the reassembly conflict policy for the instance's shards.
+    pub fn with_conflict_policy(mut self, policy: ConflictPolicy) -> InstanceConfig {
+        self.conflict_policy = policy;
         self
     }
 }
@@ -206,5 +217,19 @@ mod tests {
         let back: InstanceConfig = serde_json::from_str(&j).unwrap();
         assert_eq!(back.profiles, cfg.profiles);
         assert_eq!(back.pattern_sets, cfg.pattern_sets);
+        assert_eq!(back.conflict_policy, cfg.conflict_policy);
+    }
+
+    #[test]
+    fn conflict_policy_round_trips_and_defaults() {
+        // A fresh config defaults to the historical first-wins behaviour.
+        assert_eq!(
+            InstanceConfig::new().conflict_policy,
+            ConflictPolicy::FirstWins
+        );
+        let cfg = InstanceConfig::new().with_conflict_policy(ConflictPolicy::RejectFlow);
+        let j = serde_json::to_string(&cfg).unwrap();
+        let back: InstanceConfig = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.conflict_policy, ConflictPolicy::RejectFlow);
     }
 }

@@ -23,6 +23,12 @@ pub struct FlowState {
     /// hot swap the mid-flow state of older generations must not be fed
     /// to the new automaton (DESIGN.md §9).
     pub generation: u32,
+    /// Set when a reassembly conflict quarantined the flow under
+    /// `ConflictPolicy::RejectFlow` (DESIGN.md §13): its packets are no
+    /// longer scanned and carry a fail-closed verdict mark instead. Lives
+    /// here (not only in the reassembler) so the verdict survives
+    /// reassembler eviction and generation swaps.
+    pub quarantined: bool,
     /// Logical timestamp of the last access (for eviction).
     last_used: u64,
 }
@@ -98,18 +104,55 @@ impl FlowTable {
     /// that produced it.
     pub fn put_gen(&mut self, key: FlowKey, state: StateId, offset: u64, generation: u32) {
         self.clock += 1;
+        // A quarantine verdict is sticky: overwriting scan state must not
+        // launder it away.
+        let quarantined = self.flows.get(&key).is_some_and(|f| f.quarantined);
         self.flows.insert(
             key,
             FlowState {
                 state,
                 offset,
                 generation,
+                quarantined,
                 last_used: self.clock,
             },
         );
         if self.flows.len() > self.capacity {
             self.evict();
         }
+    }
+
+    /// Marks a flow quarantined (reassembly conflict under
+    /// `ConflictPolicy::RejectFlow`), creating the entry if the flow has
+    /// no scan state yet.
+    pub fn quarantine(&mut self, key: FlowKey) {
+        self.clock += 1;
+        let clock = self.clock;
+        self.flows
+            .entry(key)
+            .and_modify(|f| {
+                f.quarantined = true;
+                f.last_used = clock;
+            })
+            .or_insert(FlowState {
+                state: 0,
+                offset: 0,
+                generation: 0,
+                quarantined: true,
+                last_used: clock,
+            });
+        if self.flows.len() > self.capacity {
+            self.evict();
+        }
+    }
+
+    /// Whether a flow is quarantined. Non-mutating (no LRU touch) — this
+    /// sits on the per-packet hot path. Quarantined flows remain
+    /// LRU-evictable like any other: eviction forgets the verdict, which
+    /// fails *open* only after the table wraps — the bounded-state
+    /// tradeoff documented in DESIGN.md §13.
+    pub fn is_quarantined(&self, key: &FlowKey) -> bool {
+        self.flows.get(key).is_some_and(|f| f.quarantined)
     }
 
     /// Removes a flow (connection teardown, or migration to another
@@ -204,6 +247,26 @@ mod tests {
         // flow re-anchors as if new, and the stale entry is dropped.
         assert!(t.get_if_generation(&key(1), 4).is_none());
         assert!(t.get(&key(1)).is_none());
+    }
+
+    #[test]
+    fn quarantine_is_sticky_across_state_writes() {
+        let mut t = FlowTable::new(8);
+        assert!(!t.is_quarantined(&key(1)));
+        t.quarantine(key(1));
+        assert!(t.is_quarantined(&key(1)));
+        // Storing fresh scan state (any generation) must not clear it.
+        t.put_gen(key(1), 9, 100, 2);
+        assert!(t.is_quarantined(&key(1)));
+        // Quarantining a flow with existing state preserves that state.
+        t.put(key(2), 5, 50);
+        t.quarantine(key(2));
+        let fs = t.get(&key(2)).unwrap();
+        assert_eq!((fs.state, fs.offset), (5, 50));
+        assert!(fs.quarantined);
+        // Removal forgets the verdict with the flow.
+        t.remove(&key(1));
+        assert!(!t.is_quarantined(&key(1)));
     }
 
     #[test]

@@ -164,6 +164,10 @@ pub struct ScanOutput {
     /// Payload bytes actually scanned (≤ payload length when every active
     /// middlebox's stopping condition was reached earlier).
     pub scanned: usize,
+    /// The flow is quarantined by a reassembly conflict under
+    /// `ConflictPolicy::RejectFlow`: nothing was scanned and the packet
+    /// must carry the fail-closed verdict mark (DESIGN.md §13).
+    pub quarantined: bool,
 }
 
 impl ScanOutput {
@@ -188,6 +192,9 @@ pub struct ScanEngine {
     /// stored flow state, so each match is attributable to exactly one
     /// generation and no state crosses automatons (DESIGN.md §9).
     generation: u32,
+    /// Reassembly conflict policy for every shard's reassemblers
+    /// (DESIGN.md §13).
+    conflict_policy: crate::reassembly::ConflictPolicy,
 }
 
 // The engine is shared by reference across scan workers; this must hold
@@ -222,6 +229,9 @@ pub struct ShardState {
     /// pipeline or the system facade). `None` — the default — keeps the
     /// hot path's tracing cost to a single branch per packet.
     trace: Option<crate::trace::TraceWriter>,
+    /// Conflict policy for reassemblers this shard creates (copied from
+    /// the engine at construction; see DESIGN.md §13).
+    conflict_policy: crate::reassembly::ConflictPolicy,
 }
 
 impl ShardState {
@@ -234,6 +244,7 @@ impl ShardState {
             telemetry: Telemetry::default(),
             dfa_cache: HashMap::new(),
             trace: None,
+            conflict_policy: engine.conflict_policy,
         }
     }
 
@@ -297,8 +308,18 @@ impl ShardState {
     pub fn open_tcp_flow(&mut self, flow: FlowKey, initial_seq: u32) {
         self.reassemblers.insert(
             flow,
-            crate::reassembly::StreamReassembler::new(initial_seq, 1 << 20),
+            crate::reassembly::StreamReassembler::with_policy(
+                initial_seq,
+                1 << 20,
+                self.conflict_policy,
+            ),
         );
+    }
+
+    /// Whether a flow is quarantined (reassembly conflict under
+    /// `ConflictPolicy::RejectFlow`).
+    pub fn flow_quarantined(&self, flow: &FlowKey) -> bool {
+        self.flows.is_quarantined(flow)
     }
 
     /// Tears down a flow's reassembly and scan state (RST/FIN/timeout).
@@ -407,7 +428,13 @@ impl ScanEngine {
                 .max_flows
                 .unwrap_or(InstanceConfig::DEFAULT_MAX_FLOWS),
             generation,
+            conflict_policy: config.conflict_policy,
         })
+    }
+
+    /// The reassembly conflict policy this engine's shards run.
+    pub fn conflict_policy(&self) -> crate::reassembly::ConflictPolicy {
+        self.conflict_policy
     }
 
     /// The rule generation this engine was compiled from.
@@ -464,6 +491,22 @@ impl ScanEngine {
             .chains
             .get(&chain_id)
             .ok_or(InstanceError::UnknownChain(chain_id))?;
+
+        // Quarantined flows (RejectFlow conflict policy) are never
+        // scanned: their byte stream is known-ambiguous, so any scan
+        // would be a guess. The caller turns `quarantined` into the
+        // fail-closed verdict mark. One non-mutating map probe.
+        if let Some(key) = flow {
+            if shard.flows.is_quarantined(&key) {
+                return Ok(ScanOutput {
+                    reports: Vec::new(),
+                    flow_offset: 0,
+                    resumed: false,
+                    scanned: 0,
+                    quarantined: true,
+                });
+            }
+        }
 
         // Restore per-flow DFA state for stateful chains — but only state
         // written by *this* engine's generation: after a hot swap, a state
@@ -680,6 +723,7 @@ impl ScanEngine {
             flow_offset: offset,
             resumed,
             scanned: scan_len,
+            quarantined: false,
         })
     }
 
@@ -697,6 +741,14 @@ impl ScanEngine {
         let flow = packet.flow_key();
         let payload: Vec<u8> = packet.payload().ok_or(InstanceError::NoPayload)?.to_vec();
         let out = self.scan_payload(shard, chain_id, flow, &payload)?;
+        if out.quarantined {
+            // Fail-closed verdict for a quarantined flow: the packet is
+            // marked (an IPS drops it, an IDS alerts) but no match
+            // reports are fabricated — the quarantine itself was already
+            // reported via trace/telemetry when the conflict fired.
+            packet.mark_matches();
+            return Ok(None);
+        }
         if !out.has_matches() {
             return Ok(None);
         }
@@ -729,21 +781,70 @@ impl ScanEngine {
                 shard.reassemblers.remove(&k);
             }
         }
-        let r = shard
-            .reassemblers
-            .entry(flow)
-            .or_insert_with(|| crate::reassembly::StreamReassembler::new(seq, 1 << 20));
+        let policy = shard.conflict_policy;
+        let r = shard.reassemblers.entry(flow).or_insert_with(|| {
+            crate::reassembly::StreamReassembler::with_policy(seq, 1 << 20, policy)
+        });
         let evicted_before = r.evicted_bytes();
+        let conflicts_before = r.conflicts();
+        let conflict_bytes_before = r.conflict_bytes();
+        let was_quarantined = r.quarantined();
         let runs = r.push(seq, payload);
         let evicted = r.evicted_bytes() - evicted_before;
+        let conflicts = r.conflicts() - conflicts_before;
+        let conflict_bytes = r.conflict_bytes() - conflict_bytes_before;
+        let newly_quarantined = r.quarantined() && !was_quarantined;
+        let delivered = r.delivered();
+        // Losing copies of any conflicts, for the stateless shadow scans
+        // below (empty under RejectFlow).
+        let alt_payloads = r.take_conflict_payloads();
+
         if evicted > 0 {
             if let Some(w) = shard.trace.as_mut() {
                 w.record(crate::trace::TraceKind::ReassemblyEvicted { bytes: evicted });
             }
         }
-        runs.iter()
+        if conflicts > 0 {
+            shard.telemetry.reassembly_conflicts += conflicts;
+            if let Some(w) = shard.trace.as_mut() {
+                w.record(crate::trace::TraceKind::ReassemblyConflict {
+                    bytes: conflict_bytes,
+                });
+            }
+        }
+        if newly_quarantined {
+            // RejectFlow fired: record the verdict in the flow table (it
+            // survives reassembler eviction) and report it. From here on
+            // every packet of this flow gets the fail-closed mark.
+            shard.flows.quarantine(flow);
+            shard.telemetry.flows_quarantined += 1;
+            if let Some(w) = shard.trace.as_mut() {
+                w.record(crate::trace::TraceKind::FlowQuarantined { bytes: delivered });
+            }
+        }
+        if shard.flows.is_quarantined(&flow) {
+            return Ok(vec![ScanOutput {
+                reports: Vec::new(),
+                flow_offset: delivered,
+                resumed: false,
+                scanned: 0,
+                quarantined: true,
+            }]);
+        }
+
+        let mut outputs: Vec<ScanOutput> = runs
+            .iter()
             .map(|run| self.scan_payload(shard, chain_id, Some(flow), run))
-            .collect()
+            .collect::<Result<_, _>>()?;
+        // Shadow-scan the losing copy of each conflict, statelessly: a
+        // pattern hidden entirely inside the discarded interpretation
+        // still produces a match, so a first-wins/last-wins resolution
+        // can never silently swallow it (the no-silent-miss guarantee,
+        // DESIGN.md §13).
+        for alt in alt_payloads {
+            outputs.push(self.scan_payload(shard, chain_id, None, &alt)?);
+        }
+        Ok(outputs)
     }
 
     /// Scans a DEFLATE-compressed payload: inflates **once** and scans the
@@ -950,6 +1051,12 @@ impl DpiInstance {
     ) -> Result<Vec<ScanOutput>, InstanceError> {
         self.engine
             .scan_tcp_segment(&mut self.shard, chain_id, flow, seq, payload)
+    }
+
+    /// Whether a flow is quarantined (reassembly conflict under
+    /// [`crate::reassembly::ConflictPolicy::RejectFlow`]).
+    pub fn flow_quarantined(&self, flow: &FlowKey) -> bool {
+        self.shard.flow_quarantined(flow)
     }
 
     /// Tears down a flow's reassembly state (RST/FIN/timeout).

@@ -62,7 +62,7 @@ pub use overload::{
     InstanceLoadGauge, LoadWindow, OverloadDetector, OverloadPolicy, OverloadTransition, ShedMode,
 };
 pub use pipeline::ShardedScanner;
-pub use reassembly::StreamReassembler;
+pub use reassembly::{ConflictPolicy, StreamReassembler};
 pub use report::compress_matches;
 pub use rules::{RuleKind, RuleSpec};
 pub use telemetry::{ShardTelemetry, Telemetry};

@@ -878,6 +878,8 @@ impl ShardedScanner {
                     shed_packets: det.map(|d| d.shed_packets).unwrap_or(0),
                     shed_bytes: det.map(|d| d.shed_bytes).unwrap_or(0),
                     ce_marked: det.map(|d| d.ce_marked).unwrap_or(0),
+                    reassembly_conflicts: t.reassembly_conflicts,
+                    quarantined_flows: t.flows_quarantined,
                 }
             })
             .collect()

@@ -9,19 +9,96 @@
 //! byte stream the scanner needs — once, at the DPI service, instead of
 //! once per middlebox.
 //!
-//! The reassembler is deliberately conservative:
+//! ## Overlap conflicts and evasion
 //!
-//! * out-of-order segments are buffered (bounded) until the gap fills;
-//! * retransmissions and overlaps are resolved in favour of the *first*
-//!   copy of each byte (consistent targets would need to normalize
-//!   anyway; first-copy is Snort's default policy);
+//! When two copies of the same sequence range carry *different* bytes,
+//! the segment stream is ambiguous: a receiver that keeps the first copy
+//! and one that keeps the second reconstruct different byte streams
+//! (*Fingerprinting DPI Devices by Their Ambiguities* builds working
+//! evasions from exactly this divergence). Because the reconstruction
+//! here is shared by every middlebox, a silent wrong guess would be
+//! fleet-wide. Conflicts are therefore **detected** (byte-compared, not
+//! assumed equal) and resolved by an explicit [`ConflictPolicy`]:
+//!
+//! * [`ConflictPolicy::FirstWins`] — the historical Snort-style default:
+//!   the first copy of each byte is canonical. Delivery is byte-identical
+//!   to the pre-policy behaviour.
+//! * [`ConflictPolicy::LastWins`] — a later copy overwrites *pending*
+//!   (not yet delivered) bytes. Bytes already handed to the scanner are
+//!   committed and cannot be unscanned; a divergent retransmission of
+//!   delivered data is recorded as a conflict like any other.
+//! * [`ConflictPolicy::RejectFlow`] — fail-closed: the first conflict
+//!   quarantines the flow. No further bytes are delivered; the caller
+//!   reports the quarantine instead of scanning an arbitrary guess.
+//!
+//! Under the two permissive policies the *losing* copy of each conflict
+//! is stashed ([`StreamReassembler::take_conflict_payloads`]) so the
+//! scanner can run it through a stateless shadow scan: a pattern hidden
+//! entirely inside the losing interpretation still produces a match, and
+//! every conflict is counted and traceable — a miss can never be silent.
+//!
+//! Conflict detection against *already delivered* bytes keeps a bounded
+//! tail of the delivered stream ([`CONFLICT_HISTORY`] bytes). Divergent
+//! retransmissions of older data cannot be byte-verified; the permissive
+//! policies treat them as ordinary duplicates (trimmed, uncounted), while
+//! `RejectFlow` — whose whole point is refusing to guess — treats an
+//! unverifiable overlap as a conflict.
+//!
+//! The reassembler is otherwise deliberately conservative:
+//!
+//! * out-of-order segments are buffered (bounded) until the gap fills,
+//!   trimmed against already-pending ranges so overlap bytes are stored
+//!   and accounted once;
 //! * sequence numbers wrap mod 2³², handled with serial-number
-//!   comparisons.
+//!   comparisons; a distance of exactly 2³¹ — ambiguous under RFC 1982,
+//!   both comparisons false — is treated as *future* data everywhere
+//!   (buffered, never trimmed or drained as stale), so `push` and
+//!   `drain_pending` agree.
 
-use std::collections::BTreeMap;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// How the reassembler resolves byte-level conflicts between overlapping
+/// copies of the same sequence range. Selected per instance via
+/// `InstanceConfig::with_conflict_policy` and threaded to every shard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ConflictPolicy {
+    /// The first copy of each byte is canonical (Snort's default).
+    #[default]
+    FirstWins,
+    /// A later copy overwrites bytes still pending delivery; delivered
+    /// bytes are committed.
+    LastWins,
+    /// Fail closed: the first conflict quarantines the flow — nothing
+    /// further is delivered and the caller reports the quarantine.
+    RejectFlow,
+}
+
+impl ConflictPolicy {
+    /// Stable lowercase name ("first_wins", …) for labels and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            ConflictPolicy::FirstWins => "first_wins",
+            ConflictPolicy::LastWins => "last_wins",
+            ConflictPolicy::RejectFlow => "reject_flow",
+        }
+    }
+}
+
+/// Delivered-stream tail retained for byte-verifying retransmissions.
+/// Bounded so per-flow memory stays flat; divergent retransmissions of
+/// data older than this horizon are unverifiable (see module docs).
+pub const CONFLICT_HISTORY: usize = 8192;
+
+/// Losing conflict copies stashed for shadow scanning are capped at this
+/// many per flow between drains; further conflicts are still counted.
+const MAX_CONFLICT_STASH: usize = 32;
 
 /// Comparison of 32-bit sequence numbers with wraparound (RFC 1982
-/// serial-number arithmetic).
+/// serial-number arithmetic). At a distance of exactly 2³¹ the relation
+/// is undefined (both `seq_lt(a, b)` and `seq_lt(b, a)` are false); this
+/// module's convention is that such a segment is *ahead* (future data).
 fn seq_lt(a: u32, b: u32) -> bool {
     a != b && b.wrapping_sub(a) < (1 << 31)
 }
@@ -32,6 +109,9 @@ pub struct StreamReassembler {
     /// The next in-order sequence number the consumer expects.
     next_seq: u32,
     /// Out-of-order segments keyed by (wrapped) start sequence.
+    /// Invariant: every key is serially *strictly ahead* of `next_seq`
+    /// (the ambiguous 2³¹ distance counts as ahead), and stored ranges
+    /// never overlap — overlaps are resolved at insert time.
     pending: BTreeMap<u32, Vec<u8>>,
     /// Bytes currently buffered out of order.
     buffered: usize,
@@ -40,6 +120,14 @@ pub struct StreamReassembler {
     /// sees a gap there, exactly as a middlebox behind a lossy tap
     /// would, while the freshest data stays buffered for gap recovery.
     capacity: usize,
+    /// Conflict resolution policy.
+    policy: ConflictPolicy,
+    /// Tail of the delivered stream, for byte-verifying retransmissions.
+    history: VecDeque<u8>,
+    /// Losing copies of detected conflicts, awaiting shadow scans.
+    conflict_stash: Vec<Vec<u8>>,
+    /// Set once a conflict fires under [`ConflictPolicy::RejectFlow`].
+    quarantined: bool,
     /// Total bytes delivered in order.
     delivered: u64,
     /// Incoming segments discarded outright (larger than the whole
@@ -49,22 +137,47 @@ pub struct StreamReassembler {
     evicted_bytes: u64,
     /// Buffered segments evicted by the capacity bound.
     evicted_segments: u64,
+    /// Byte-level conflicts detected (one per conflicting segment).
+    conflicts: u64,
+    /// Bytes of losing copies across all detected conflicts.
+    conflict_bytes: u64,
 }
 
 impl StreamReassembler {
     /// A reassembler expecting `initial_seq` first, buffering at most
-    /// `capacity` out-of-order bytes.
+    /// `capacity` out-of-order bytes, resolving conflicts first-copy-wins
+    /// (the historical default).
     pub fn new(initial_seq: u32, capacity: usize) -> StreamReassembler {
+        StreamReassembler::with_policy(initial_seq, capacity, ConflictPolicy::FirstWins)
+    }
+
+    /// A reassembler with an explicit conflict policy.
+    pub fn with_policy(
+        initial_seq: u32,
+        capacity: usize,
+        policy: ConflictPolicy,
+    ) -> StreamReassembler {
         StreamReassembler {
             next_seq: initial_seq,
             pending: BTreeMap::new(),
             buffered: 0,
             capacity: capacity.max(1),
+            policy,
+            history: VecDeque::new(),
+            conflict_stash: Vec::new(),
+            quarantined: false,
             delivered: 0,
             dropped_segments: 0,
             evicted_bytes: 0,
             evicted_segments: 0,
+            conflicts: 0,
+            conflict_bytes: 0,
         }
+    }
+
+    /// The conflict policy in force.
+    pub fn policy(&self) -> ConflictPolicy {
+        self.policy
     }
 
     /// Bytes delivered in order so far.
@@ -92,6 +205,32 @@ impl StreamReassembler {
         self.evicted_segments
     }
 
+    /// Byte-level conflicts detected so far (same range, different bytes).
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Total bytes of losing copies across detected conflicts.
+    pub fn conflict_bytes(&self) -> u64 {
+        self.conflict_bytes
+    }
+
+    /// Whether a conflict quarantined this flow
+    /// ([`ConflictPolicy::RejectFlow`] only). A quarantined reassembler
+    /// delivers nothing, ever again.
+    pub fn quarantined(&self) -> bool {
+        self.quarantined
+    }
+
+    /// Drains the losing copies of conflicts detected since the last
+    /// call. The caller shadow-scans them (statelessly), so a pattern
+    /// hidden entirely inside the losing interpretation is still found.
+    /// Empty under [`ConflictPolicy::RejectFlow`] — the quarantine *is*
+    /// the verdict there.
+    pub fn take_conflict_payloads(&mut self) -> Vec<Vec<u8>> {
+        std::mem::take(&mut self.conflict_stash)
+    }
+
     /// The sequence number of the next byte the consumer will get.
     pub fn next_seq(&self) -> u32 {
         self.next_seq
@@ -100,16 +239,25 @@ impl StreamReassembler {
     /// Feeds one segment; returns every in-order byte run that became
     /// deliverable (usually zero or one run, more when a gap fills).
     pub fn push(&mut self, seq: u32, payload: &[u8]) -> Vec<Vec<u8>> {
-        if payload.is_empty() {
+        if payload.is_empty() || self.quarantined {
             return Vec::new();
         }
         let mut seq = seq;
         let mut payload = payload.to_vec();
 
-        // Trim the part we already delivered (retransmission handling:
-        // first copy wins, later copies are discarded).
+        // Retransmission handling: the part we already delivered is
+        // committed (it has been scanned), so it is trimmed — but first
+        // byte-verified against the retained history. A divergent copy is
+        // a conflict; under the permissive policies its payload is
+        // stashed for a shadow scan, under RejectFlow it quarantines.
         if seq_lt(seq, self.next_seq) {
-            let skip = self.next_seq.wrapping_sub(seq) as usize;
+            let skip = (self.next_seq.wrapping_sub(seq) as usize).min(payload.len());
+            if self.delivered_overlap_conflicts(seq, &payload[..skip]) {
+                self.on_conflict(payload.clone());
+                if self.quarantined {
+                    return Vec::new();
+                }
+            }
             if skip >= payload.len() {
                 return Vec::new(); // fully duplicate
             }
@@ -122,38 +270,15 @@ impl StreamReassembler {
             let mut out = Vec::new();
             self.next_seq = seq.wrapping_add(payload.len() as u32);
             self.delivered += payload.len() as u64;
+            self.remember(&payload);
             out.push(payload);
             out.extend(self.drain_pending());
             out
         } else {
-            // Out of order: buffer (trimming overlap with already-pending
-            // segments is handled at drain time by the first-copy rule).
-            if self.pending.contains_key(&seq) {
-                // Exact-duplicate start: the first copy wins and the
-                // buffered accounting must not move.
-                return Vec::new();
-            }
-            if payload.len() > self.capacity {
-                // Can never fit, even with an empty buffer.
-                self.dropped_segments += 1;
-                return Vec::new();
-            }
-            while self.buffered + payload.len() > self.capacity {
-                // Evict the oldest pending data: serially closest to
-                // `next_seq`, i.e. the earliest bytes in stream order.
-                let oldest = self
-                    .pending
-                    .keys()
-                    .copied()
-                    .min_by_key(|&s| s.wrapping_sub(self.next_seq))
-                    .expect("buffered > 0 implies pending segments exist");
-                let data = self.pending.remove(&oldest).expect("key just found");
-                self.buffered -= data.len();
-                self.evicted_bytes += data.len() as u64;
-                self.evicted_segments += 1;
-            }
-            self.buffered += payload.len();
-            self.pending.insert(seq, payload);
+            // Out of order (strictly ahead, by the 2³¹ convention):
+            // resolve overlaps against already-pending ranges at insert
+            // time, so every byte is stored and accounted exactly once.
+            self.insert_pending(seq, payload);
             Vec::new()
         }
     }
@@ -164,7 +289,182 @@ impl StreamReassembler {
         let n = self.buffered;
         self.pending.clear();
         self.buffered = 0;
+        self.conflict_stash.clear();
         n
+    }
+
+    /// Whether the delivered-range part of a retransmission diverges from
+    /// what was actually delivered. Positions older than the retained
+    /// history cannot be verified: permissive policies give them the
+    /// benefit of the doubt, `RejectFlow` refuses to guess.
+    fn delivered_overlap_conflicts(&self, seq: u32, overlap: &[u8]) -> bool {
+        let mut unverifiable = false;
+        for (i, &b) in overlap.iter().enumerate() {
+            // Distance of this byte behind next_seq (≥ 1 within overlap).
+            let back = self.next_seq.wrapping_sub(seq.wrapping_add(i as u32)) as usize;
+            if back == 0 || back > self.history.len() {
+                unverifiable = true;
+                continue;
+            }
+            if self.history[self.history.len() - back] != b {
+                return true;
+            }
+        }
+        unverifiable && self.policy == ConflictPolicy::RejectFlow
+    }
+
+    /// Records one conflict with its losing copy.
+    fn on_conflict(&mut self, losing: Vec<u8>) {
+        self.conflicts += 1;
+        self.conflict_bytes += losing.len() as u64;
+        if self.policy == ConflictPolicy::RejectFlow {
+            self.quarantined = true;
+            self.pending.clear();
+            self.buffered = 0;
+            self.conflict_stash.clear();
+        } else if self.conflict_stash.len() < MAX_CONFLICT_STASH {
+            self.conflict_stash.push(losing);
+        }
+    }
+
+    /// Appends delivered bytes to the bounded verification history.
+    fn remember(&mut self, bytes: &[u8]) {
+        if bytes.len() >= CONFLICT_HISTORY {
+            self.history.clear();
+            self.history
+                .extend(&bytes[bytes.len() - CONFLICT_HISTORY..]);
+            return;
+        }
+        let overflow = (self.history.len() + bytes.len()).saturating_sub(CONFLICT_HISTORY);
+        self.history.drain(..overflow);
+        self.history.extend(bytes);
+    }
+
+    /// Inserts an out-of-order segment, resolving overlaps with pending
+    /// data: equal overlap bytes are stored once; differing bytes are a
+    /// conflict resolved per policy. All coordinates are relative to
+    /// `next_seq` (every pending range is strictly ahead, distance in
+    /// `(0, 2³¹]`), so ranges compare correctly across the 2³² wrap.
+    fn insert_pending(&mut self, seq: u32, payload: Vec<u8>) {
+        let new_start = u64::from(seq.wrapping_sub(self.next_seq));
+        let new_end = new_start + payload.len() as u64;
+
+        // Byte-compare every overlapping pending range.
+        let mut conflict = false;
+        let mut losing_old: Vec<Vec<u8>> = Vec::new();
+        let mut overlapping: Vec<u32> = Vec::new();
+        for (&s, data) in &self.pending {
+            let ps = u64::from(s.wrapping_sub(self.next_seq));
+            let pe = ps + data.len() as u64;
+            if ps >= new_end || new_start >= pe {
+                continue;
+            }
+            overlapping.push(s);
+            let lo = ps.max(new_start);
+            let hi = pe.min(new_end);
+            if data[(lo - ps) as usize..(hi - ps) as usize]
+                != payload[(lo - new_start) as usize..(hi - new_start) as usize]
+            {
+                conflict = true;
+                losing_old.push(data.clone());
+            }
+        }
+        if conflict {
+            // The losing copy: under first-wins the arriving segment
+            // loses; under last-wins the stored segments it overwrites do.
+            match self.policy {
+                ConflictPolicy::LastWins => {
+                    for old in losing_old {
+                        self.on_conflict(old);
+                    }
+                }
+                _ => self.on_conflict(payload.clone()),
+            }
+            if self.quarantined {
+                return;
+            }
+        }
+
+        if self.policy == ConflictPolicy::LastWins && conflict {
+            // The new copy wins: carve its range out of every overlapped
+            // pending segment, then store the new segment whole.
+            for s in overlapping {
+                let data = self.pending.remove(&s).expect("key just listed");
+                self.buffered -= data.len();
+                let ps = u64::from(s.wrapping_sub(self.next_seq));
+                let pe = ps + data.len() as u64;
+                if ps < new_start {
+                    let keep = (new_start - ps) as usize;
+                    self.store_piece(s, data[..keep].to_vec());
+                }
+                if pe > new_end {
+                    let from = (new_end - ps) as usize;
+                    let tail_seq = self.next_seq.wrapping_add(new_end as u32);
+                    self.store_piece(tail_seq, data[from..].to_vec());
+                }
+            }
+            self.store_piece(seq, payload);
+        } else {
+            // First copy wins (also the no-conflict and equal-overlap
+            // path): store only the parts of the new segment no pending
+            // range already covers.
+            let mut holes: Vec<(u64, u64)> = vec![(new_start, new_end)];
+            for s in overlapping {
+                let data = &self.pending[&s];
+                let ps = u64::from(s.wrapping_sub(self.next_seq));
+                let pe = ps + data.len() as u64;
+                let mut next = Vec::new();
+                for (lo, hi) in holes {
+                    if pe <= lo || ps >= hi {
+                        next.push((lo, hi));
+                        continue;
+                    }
+                    if lo < ps {
+                        next.push((lo, ps));
+                    }
+                    if pe < hi {
+                        next.push((pe, hi));
+                    }
+                }
+                holes = next;
+            }
+            for (lo, hi) in holes {
+                let piece_seq = self.next_seq.wrapping_add(lo as u32);
+                self.store_piece(
+                    piece_seq,
+                    payload[(lo - new_start) as usize..(hi - new_start) as usize].to_vec(),
+                );
+            }
+        }
+    }
+
+    /// Stores one non-overlapping pending piece, evicting under the
+    /// capacity bound.
+    fn store_piece(&mut self, seq: u32, piece: Vec<u8>) {
+        if piece.is_empty() {
+            return;
+        }
+        if piece.len() > self.capacity {
+            // Can never fit, even with an empty buffer.
+            self.dropped_segments += 1;
+            return;
+        }
+        while self.buffered + piece.len() > self.capacity {
+            // Evict the oldest pending data: serially closest to
+            // `next_seq`, i.e. the earliest bytes in stream order.
+            let oldest = self
+                .pending
+                .keys()
+                .copied()
+                .min_by_key(|&s| s.wrapping_sub(self.next_seq))
+                .expect("buffered > 0 implies pending segments exist");
+            let data = self.pending.remove(&oldest).expect("key just found");
+            self.buffered -= data.len();
+            self.evicted_bytes += data.len() as u64;
+            self.evicted_segments += 1;
+        }
+        self.buffered += piece.len();
+        self.pending.insert(seq, piece);
     }
 
     fn drain_pending(&mut self) -> Vec<Vec<u8>> {
@@ -174,11 +474,14 @@ impl StreamReassembler {
             // next_seq. BTreeMap ordering is by wrapped u32, which is
             // wrong across the 2³² boundary, so compare in RFC 1982
             // serial order: smallest wrapping distance behind next_seq.
+            // The ambiguous exactly-2³¹ distance counts as *ahead* (the
+            // same convention `push` uses), so such a segment stays
+            // buffered instead of being misread as stale.
             let candidate = self
                 .pending
                 .keys()
                 .copied()
-                .filter(|&s| !seq_lt(self.next_seq, s))
+                .filter(|&s| s == self.next_seq || seq_lt(s, self.next_seq))
                 .min_by_key(|&s| self.next_seq.wrapping_sub(s));
             let Some(start) = candidate else { break };
             let data = self.pending.remove(&start).expect("key just found");
@@ -190,6 +493,7 @@ impl StreamReassembler {
             let fresh = data[skip..].to_vec();
             self.next_seq = self.next_seq.wrapping_add(fresh.len() as u32);
             self.delivered += fresh.len() as u64;
+            self.remember(&fresh);
             out.push(fresh);
         }
         out
@@ -224,11 +528,117 @@ mod tests {
     fn retransmission_first_copy_wins() {
         let mut r = StreamReassembler::new(0, 1 << 16);
         r.push(0, b"ORIGINAL");
-        // Full retransmission with different bytes is discarded.
+        // Full retransmission with different bytes is discarded from the
+        // canonical stream — but detected as a conflict, not silently.
         assert!(r.push(0, b"TAMPERED").is_empty());
+        assert_eq!(r.conflicts(), 1);
         // Partial overlap: only the new tail is delivered.
         let runs = r.push(4, b"XXXX-tail");
         assert_eq!(runs.concat(), b"-tail");
+        assert_eq!(r.conflicts(), 2);
+    }
+
+    #[test]
+    fn identical_retransmission_is_not_a_conflict() {
+        let mut r = StreamReassembler::new(0, 1 << 16);
+        r.push(0, b"ORIGINAL");
+        assert!(r.push(0, b"ORIGINAL").is_empty());
+        assert!(r.push(2, b"IGINAL-tail").concat() == b"-tail");
+        assert_eq!(r.conflicts(), 0);
+        assert!(r.take_conflict_payloads().is_empty());
+    }
+
+    #[test]
+    fn conflicting_retransmission_stashes_losing_copy() {
+        let mut r = StreamReassembler::new(0, 1 << 16);
+        r.push(0, b"benign-data");
+        assert!(r.push(0, b"evil-inside").is_empty());
+        assert_eq!(r.conflicts(), 1);
+        assert_eq!(r.conflict_bytes(), 11);
+        assert_eq!(r.take_conflict_payloads(), vec![b"evil-inside".to_vec()]);
+        // Drained: a second take returns nothing.
+        assert!(r.take_conflict_payloads().is_empty());
+    }
+
+    #[test]
+    fn pending_overlap_conflict_first_wins_keeps_stored_bytes() {
+        let mut r = StreamReassembler::new(0, 1 << 16);
+        assert!(r.push(10, b"AAAA").is_empty());
+        // Same pending range, different bytes: first copy stays.
+        assert!(r.push(10, b"BBBB").is_empty());
+        assert_eq!(r.conflicts(), 1);
+        assert_eq!(r.buffered(), 4, "losing copy must not be stored");
+        let runs = r.push(0, b"0123456789");
+        assert_eq!(runs.concat(), b"0123456789AAAA");
+        assert_eq!(r.take_conflict_payloads(), vec![b"BBBB".to_vec()]);
+    }
+
+    #[test]
+    fn pending_overlap_conflict_last_wins_overwrites() {
+        let mut r = StreamReassembler::with_policy(0, 1 << 16, ConflictPolicy::LastWins);
+        assert!(r.push(10, b"AAAA").is_empty());
+        assert!(r.push(10, b"BBBB").is_empty());
+        assert_eq!(r.conflicts(), 1);
+        assert_eq!(r.buffered(), 4);
+        let runs = r.push(0, b"0123456789");
+        assert_eq!(runs.concat(), b"0123456789BBBB");
+        // The overwritten copy is the losing one.
+        assert_eq!(r.take_conflict_payloads(), vec![b"AAAA".to_vec()]);
+    }
+
+    #[test]
+    fn last_wins_overwrite_splits_straddled_pending_segment() {
+        let mut r = StreamReassembler::with_policy(0, 1 << 16, ConflictPolicy::LastWins);
+        assert!(r.push(10, b"AAAAAAAA").is_empty()); // covers 10..18
+                                                     // New copy covers 12..16 with different bytes: the old segment
+                                                     // keeps its head and tail, the middle is overwritten.
+        assert!(r.push(12, b"BBBB").is_empty());
+        assert_eq!(r.conflicts(), 1);
+        assert_eq!(r.buffered(), 8);
+        let runs = r.push(0, b"0123456789");
+        assert_eq!(runs.concat(), b"0123456789AABBBBAA");
+    }
+
+    #[test]
+    fn reject_flow_quarantines_on_conflict() {
+        let mut r = StreamReassembler::with_policy(0, 1 << 16, ConflictPolicy::RejectFlow);
+        assert_eq!(r.push(0, b"hello ").concat(), b"hello ");
+        assert!(!r.quarantined());
+        // Divergent retransmission of delivered bytes: quarantine.
+        assert!(r.push(0, b"HELLO!").is_empty());
+        assert!(r.quarantined());
+        assert_eq!(r.conflicts(), 1);
+        // Nothing is ever delivered again, and no shadow copies leak out.
+        assert!(r.push(6, b"world").is_empty());
+        assert!(r.take_conflict_payloads().is_empty());
+        assert_eq!(r.buffered(), 0);
+    }
+
+    #[test]
+    fn reject_flow_benign_stream_is_untouched() {
+        let mut r = StreamReassembler::with_policy(0, 1 << 16, ConflictPolicy::RejectFlow);
+        assert!(r.push(6, b"world").is_empty());
+        assert_eq!(r.push(0, b"hello ").concat(), b"hello world");
+        // Identical retransmission: verified equal, no quarantine.
+        assert!(r.push(0, b"hello ").is_empty());
+        assert!(!r.quarantined());
+        assert_eq!(r.conflicts(), 0);
+    }
+
+    #[test]
+    fn reject_flow_unverifiable_overlap_fails_closed() {
+        // The divergent copy targets bytes older than the retained
+        // history window: permissive policies shrug, RejectFlow must not.
+        let big = vec![b'x'; CONFLICT_HISTORY + 64];
+        let mut first = StreamReassembler::new(0, 1 << 20);
+        first.push(0, &big);
+        assert!(first.push(0, b"yyyy").is_empty());
+        assert_eq!(first.conflicts(), 0, "beyond-horizon copy is unverifiable");
+
+        let mut reject = StreamReassembler::with_policy(0, 1 << 20, ConflictPolicy::RejectFlow);
+        reject.push(0, &big);
+        assert!(reject.push(0, b"yyyy").is_empty());
+        assert!(reject.quarantined());
     }
 
     #[test]
@@ -292,10 +702,91 @@ mod tests {
         }
         assert_eq!(r.dropped_segments(), 0);
         assert_eq!(r.evicted_segments(), 0);
+        assert_eq!(r.conflicts(), 0);
         // The stream still completes normally once the gap fills.
         let runs = r.push(0, &[b'x'; 100]);
         assert_eq!(runs.concat().len(), 107);
         assert_eq!(r.buffered(), 0);
+    }
+
+    #[test]
+    fn overlapping_pending_segment_is_trimmed_not_double_counted() {
+        // Regression: an OOO segment overlapping a pending range used to
+        // be buffered whole (only exact start keys were deduped), so
+        // `buffered` double-counted the overlap and the capacity bound
+        // evicted early.
+        let mut r = StreamReassembler::new(0, 1 << 16);
+        assert!(r.push(100, b"ABCDEFGH").is_empty()); // 100..108
+        assert_eq!(r.buffered(), 8);
+        // Overlaps 104..108 with the same bytes, extends to 112.
+        assert!(r.push(104, b"EFGHijkl").is_empty());
+        assert_eq!(r.buffered(), 12, "overlap bytes must be stored once");
+        // A third copy spanning the whole range adds nothing.
+        assert!(r.push(100, b"ABCDEFGHijkl").is_empty());
+        assert_eq!(r.buffered(), 12);
+        assert_eq!(r.conflicts(), 0);
+        // The stream reassembles correctly once the gap fills.
+        let runs = r.push(0, &[b'x'; 100]);
+        assert_eq!(&runs.concat()[100..], b"ABCDEFGHijkl");
+        assert_eq!(r.buffered(), 0);
+    }
+
+    #[test]
+    fn overlap_trim_does_not_fire_capacity_eviction_early() {
+        // With double-counting, repeatedly re-sending an overlapping
+        // window blew through a capacity that the true byte span fits.
+        let mut r = StreamReassembler::new(0, 16);
+        for start in [4u32, 8, 12] {
+            assert!(r.push(start, b"abcdabcd").is_empty());
+        }
+        // True span is 4..20 = 16 bytes: exactly at capacity, no
+        // eviction.
+        assert_eq!(r.buffered(), 16);
+        assert_eq!(r.evicted_segments(), 0);
+        let runs = r.push(0, b"0123");
+        assert_eq!(runs.concat(), b"0123abcdabcdabcdabcd");
+    }
+
+    #[test]
+    fn half_window_distance_is_future_data_in_push_and_drain() {
+        // RFC 1982 leaves a distance of exactly 2³¹ undefined (both
+        // comparisons false). Convention: it is *future* data. `push`
+        // must buffer it (not trim it as delivered), and `drain_pending`
+        // must not mis-read it as a stale segment and discard it.
+        let mut r = StreamReassembler::new(0, 1 << 16);
+        let far = 1u32 << 31;
+        assert!(r.push(far, b"edge").is_empty());
+        assert_eq!(r.buffered(), 4, "half-window segment must be buffered");
+        assert_eq!(r.dropped_segments(), 0);
+        // Delivering in-order data runs drain_pending; the edge segment
+        // is now strictly ahead and must survive untouched.
+        assert_eq!(r.push(0, b"head").concat(), b"head");
+        assert_eq!(r.buffered(), 4, "drain must not discard the edge segment");
+        assert_eq!(r.delivered(), 4);
+    }
+
+    #[test]
+    fn just_past_half_window_is_a_stale_duplicate() {
+        // One byte past the half window the segment is serially *behind*
+        // next_seq: it reads as an ancient retransmission and is fully
+        // trimmed (nothing buffered, nothing delivered).
+        let mut r = StreamReassembler::new(0, 1 << 16);
+        let behind = (1u32 << 31).wrapping_add(1);
+        assert!(r.push(behind, b"old").is_empty());
+        assert_eq!(r.buffered(), 0);
+        assert_eq!(r.delivered(), 0);
+    }
+
+    #[test]
+    fn half_window_edge_across_wraparound() {
+        // Same convention exercised with next_seq near the 2³² wrap.
+        let start = u32::MAX - 10;
+        let mut r = StreamReassembler::new(start, 1 << 16);
+        let far = start.wrapping_add(1 << 31);
+        assert!(r.push(far, b"edge").is_empty());
+        assert_eq!(r.buffered(), 4);
+        assert_eq!(r.push(start, b"abc").concat(), b"abc");
+        assert_eq!(r.buffered(), 4);
     }
 
     #[test]
@@ -351,5 +842,19 @@ mod tests {
         let mut r = StreamReassembler::new(0, 16);
         assert!(r.push(0, b"").is_empty());
         assert_eq!(r.next_seq(), 0);
+    }
+
+    #[test]
+    fn conflict_history_is_bounded() {
+        let mut r = StreamReassembler::new(0, 1 << 20);
+        let chunk = vec![b'a'; 1000];
+        for i in 0..(2 * CONFLICT_HISTORY / 1000 + 2) {
+            r.push((i * 1000) as u32, &chunk);
+        }
+        assert!(r.history.len() <= CONFLICT_HISTORY);
+        // Recent retransmissions still verify against the tail.
+        let last_start = ((2 * CONFLICT_HISTORY / 1000 + 1) * 1000) as u32;
+        assert!(r.push(last_start, &vec![b'b'; 1000]).is_empty());
+        assert_eq!(r.conflicts(), 1);
     }
 }

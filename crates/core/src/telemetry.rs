@@ -39,6 +39,11 @@ pub struct Telemetry {
     pub decompressions: u64,
     /// Total decompressed bytes produced.
     pub decompressed_bytes: u64,
+    /// Byte-level reassembly conflicts detected (overlapping TCP segment
+    /// copies with different bytes — DESIGN.md §13).
+    pub reassembly_conflicts: u64,
+    /// Flows quarantined by the `RejectFlow` conflict policy.
+    pub flows_quarantined: u64,
 }
 
 impl Telemetry {
@@ -77,6 +82,8 @@ impl Telemetry {
         self.depth_samples += other.depth_samples;
         self.decompressions += other.decompressions;
         self.decompressed_bytes += other.decompressed_bytes;
+        self.reassembly_conflicts += other.reassembly_conflicts;
+        self.flows_quarantined += other.flows_quarantined;
     }
 
     /// Difference since a previous snapshot (for rate computation).
@@ -105,6 +112,12 @@ impl Telemetry {
             decompressed_bytes: self
                 .decompressed_bytes
                 .saturating_sub(prev.decompressed_bytes),
+            reassembly_conflicts: self
+                .reassembly_conflicts
+                .saturating_sub(prev.reassembly_conflicts),
+            flows_quarantined: self
+                .flows_quarantined
+                .saturating_sub(prev.flows_quarantined),
         }
     }
 }
@@ -151,6 +164,10 @@ pub struct ShardTelemetry {
     pub shed_bytes: u64,
     /// Packets CE-marked under overload by this shard.
     pub ce_marked: u64,
+    /// Byte-level reassembly conflicts this shard detected.
+    pub reassembly_conflicts: u64,
+    /// Flows this shard quarantined under the `RejectFlow` policy.
+    pub quarantined_flows: u64,
 }
 
 #[cfg(test)]
@@ -213,6 +230,8 @@ mod tests {
             depth_samples: 900,
             decompressions: 2,
             decompressed_bytes: 4_096,
+            reassembly_conflicts: 6,
+            flows_quarantined: 1,
         };
         // Restarted: everything reset, a little new traffic since.
         let now = Telemetry {
@@ -231,6 +250,8 @@ mod tests {
         assert_eq!(d.depth_samples, 0);
         assert_eq!(d.decompressions, 0);
         assert_eq!(d.decompressed_bytes, 0);
+        assert_eq!(d.reassembly_conflicts, 0);
+        assert_eq!(d.flows_quarantined, 0);
         // Forward progress still measures normally.
         let later = Telemetry {
             packets: 105,

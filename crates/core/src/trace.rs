@@ -103,6 +103,20 @@ pub enum TraceKind {
         /// Bytes evicted.
         bytes: u64,
     },
+    /// The reassembler detected byte-level conflicts: overlapping copies
+    /// of the same sequence range carrying different bytes (DESIGN.md
+    /// §13). Resolved per the configured `ConflictPolicy`; never silent.
+    ReassemblyConflict {
+        /// Bytes of the losing copies across the conflicts in this batch.
+        bytes: u64,
+    },
+    /// A reassembly conflict quarantined a flow under
+    /// `ConflictPolicy::RejectFlow`: nothing further is scanned for it
+    /// and its packets carry a fail-closed verdict mark.
+    FlowQuarantined {
+        /// Bytes the flow had delivered before quarantine.
+        bytes: u64,
+    },
     /// A worker shard slept through an injected stall.
     ShardStalled {
         /// Shard-local packet ordinal that triggered the stall.
@@ -278,6 +292,13 @@ pub enum TraceKind {
         factor: u32,
         /// 0-based source-packet ordinal at which the burst began.
         at_packet: u64,
+    },
+    /// The fault plan injected an adversarial (evasion-attempt) flow
+    /// built by the `dpi_traffic` evasion generator.
+    FaultEvasiveFlow {
+        /// Seed handed to the evasion generator for this flow — replays
+        /// the exact segment stream.
+        seed: u64,
     },
 }
 

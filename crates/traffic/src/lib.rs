@@ -24,11 +24,13 @@
 //!
 //! Everything is seeded; the same seed always yields the same workload.
 
+pub mod evasion;
 pub mod flows;
 pub mod patterns;
 pub mod persist;
 pub mod trace;
 
+pub use evasion::{evasive_flow, evasive_flows, EvasionTactic, EvasiveFlow, EvasiveSegment};
 pub use flows::{flow_pool, packetize, FlowPool};
 pub use patterns::{clamav_like, snort_like, snort_like_regexes, split_set, PatternSetSpec};
 pub use persist::{load_records, save_records, PersistError};

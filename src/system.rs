@@ -36,7 +36,7 @@ use dpi_core::overload::{InstanceLoadGauge, LoadWindow, OverloadPolicy};
 use dpi_core::pipeline::ShardedScanner;
 use dpi_core::telemetry::ShardTelemetry;
 use dpi_core::trace::{to_jsonl, TraceEvent, TraceKind, TraceSource, Tracer};
-use dpi_core::{DpiInstance, GenerationId, UpdateArtifact, UpdateError};
+use dpi_core::{ConflictPolicy, DpiInstance, GenerationId, UpdateArtifact, UpdateError};
 use dpi_middlebox::boxes::MiddleboxTemplate;
 use dpi_middlebox::{
     FleetDpiNode, FleetDpiStats, MiddleboxNode, ResultsDelivery, ServiceMiddlebox,
@@ -120,6 +120,7 @@ pub struct SystemBuilder {
     overload: Option<OverloadPolicy>,
     balance: Option<BalancePolicy>,
     kernel: KernelKind,
+    conflict_policy: ConflictPolicy,
 }
 
 impl Default for SystemBuilder {
@@ -144,6 +145,7 @@ impl SystemBuilder {
             overload: None,
             balance: None,
             kernel: KernelKind::Auto,
+            conflict_policy: ConflictPolicy::FirstWins,
         }
     }
 
@@ -153,6 +155,16 @@ impl SystemBuilder {
     /// so engines rebuilt by live rule updates keep it.
     pub fn with_scan_kernel(mut self, kernel: KernelKind) -> SystemBuilder {
         self.kernel = kernel;
+        self
+    }
+
+    /// Selects how every reassembler in the system resolves byte-level
+    /// conflicts between overlapping TCP segment copies (default
+    /// [`ConflictPolicy::FirstWins`], the historical Snort-style rule).
+    /// Like the kernel choice, the policy is stamped into the instance
+    /// configuration, so engines rebuilt by live rule updates keep it.
+    pub fn with_conflict_policy(mut self, policy: ConflictPolicy) -> SystemBuilder {
+        self.conflict_policy = policy;
         self
     }
 
@@ -266,7 +278,8 @@ impl SystemBuilder {
         // pipeline.
         let cfg = controller
             .instance_config(&chain_ids)?
-            .with_kernel(self.kernel);
+            .with_kernel(self.kernel)
+            .with_conflict_policy(self.conflict_policy);
         let mut orchestrator = UpdateOrchestrator::new(&cfg);
         let engine = Arc::new(ScanEngine::new(cfg)?);
         let mut scanner = ShardedScanner::new(engine.clone(), self.dpi_workers);
@@ -403,6 +416,7 @@ impl SystemBuilder {
             overload: self.overload,
             balancer: self.balance.map(LoadBalancer::new),
             kernel: self.kernel,
+            conflict_policy: self.conflict_policy,
         })
     }
 }
@@ -519,6 +533,9 @@ pub struct SystemHandle {
     balancer: Option<LoadBalancer>,
     /// Scan kernel stamped into every engine build (including updates).
     kernel: KernelKind,
+    /// Reassembly conflict policy stamped into every engine build
+    /// (including updates).
+    conflict_policy: ConflictPolicy,
 }
 
 impl SystemHandle {
@@ -855,12 +872,24 @@ impl SystemHandle {
             "Pattern matches reported per fleet instance",
             MetricKind::Counter,
         );
+        m.family(
+            "dpi_reassembly_conflicts_total",
+            "Byte-level reassembly conflicts detected per fleet instance",
+            MetricKind::Counter,
+        );
+        m.family(
+            "dpi_flows_quarantined_total",
+            "Flows quarantined by the RejectFlow conflict policy per instance",
+            MetricKind::Counter,
+        );
         for (i, t) in self.fleet_telemetry().iter().enumerate() {
             let i = i.to_string();
             let l = [("instance", i.as_str())];
             m.sample("dpi_instance_packets_total", &l, t.packets);
             m.sample("dpi_instance_bytes_total", &l, t.bytes);
             m.sample("dpi_instance_matches_total", &l, t.matches);
+            m.sample("dpi_reassembly_conflicts_total", &l, t.reassembly_conflicts);
+            m.sample("dpi_flows_quarantined_total", &l, t.flows_quarantined);
         }
 
         m.family(
@@ -1060,7 +1089,8 @@ impl SystemHandle {
         let cfg = self
             .controller
             .instance_config(&self.chain_ids)?
-            .with_kernel(self.kernel);
+            .with_kernel(self.kernel)
+            .with_conflict_policy(self.conflict_policy);
         let mut prepared = self.orchestrator.prepare(version, &cfg);
         let transfer_bytes = prepared.transfer_bytes;
 

@@ -1,0 +1,188 @@
+//! End-to-end behaviour of the three reassembly conflict policies
+//! (DESIGN.md §13): shadow scans of losing copies under the permissive
+//! policies, fail-closed quarantine under `RejectFlow`, trace events,
+//! telemetry counters, and the `SystemBuilder` / metrics wiring.
+
+use dpi_service::core::instance::{ScanEngine, ShardState};
+use dpi_service::core::report::expand_records;
+use dpi_service::core::{
+    ConflictPolicy, DpiInstance, InstanceConfig, MiddleboxId, MiddleboxProfile, RuleSpec,
+};
+use dpi_service::middlebox::ids;
+use dpi_service::packet::ipv4::IpProtocol;
+use dpi_service::packet::packet::flow;
+use dpi_service::packet::{FlowKey, MacAddr, Packet};
+use dpi_service::{SystemBuilder, TraceKind, TraceSource, Tracer};
+use std::sync::Arc;
+
+const IDS: MiddleboxId = MiddleboxId(1);
+const CHAIN: u16 = 1;
+const PATTERN: &[u8] = b"attack-signature";
+
+fn config(policy: ConflictPolicy) -> InstanceConfig {
+    InstanceConfig::new()
+        .with_middlebox(
+            MiddleboxProfile::stateful(IDS),
+            vec![RuleSpec::exact(PATTERN.to_vec())],
+        )
+        .with_chain(CHAIN, vec![IDS])
+        .with_conflict_policy(policy)
+}
+
+fn instance(policy: ConflictPolicy) -> DpiInstance {
+    DpiInstance::new(config(policy)).unwrap()
+}
+
+fn fk() -> FlowKey {
+    flow([9, 9, 9, 9], 999, [8, 8, 8, 8], 80, IpProtocol::Tcp)
+}
+
+/// All pattern ids reported by a slice of scan outputs (canonical and
+/// shadow alike).
+fn matched_pids(outs: &[dpi_service::core::instance::ScanOutput]) -> Vec<u16> {
+    outs.iter()
+        .flat_map(|o| o.reports.iter())
+        .flat_map(|r| expand_records(&r.records))
+        .map(|(pid, _)| pid)
+        .collect()
+}
+
+#[test]
+fn first_wins_shadow_scans_the_losing_copy() {
+    let mut dpi = instance(ConflictPolicy::FirstWins);
+    dpi.open_tcp_flow(fk(), 1000);
+    // 16 innocuous bytes delivered, then a divergent retransmission of
+    // the same range carrying the pattern — the classic hiding spot for
+    // a first-copy DPI engine.
+    let outs = dpi
+        .scan_tcp_segment(CHAIN, fk(), 1000, b"0123456789abcdef")
+        .unwrap();
+    assert!(matched_pids(&outs).is_empty());
+    let outs = dpi.scan_tcp_segment(CHAIN, fk(), 1000, PATTERN).unwrap();
+    assert!(
+        matched_pids(&outs).contains(&0),
+        "pattern in the losing conflict copy must be shadow-scanned, not silently missed"
+    );
+    let t = dpi.telemetry();
+    assert!(t.reassembly_conflicts >= 1);
+    assert_eq!(t.flows_quarantined, 0);
+    assert!(!dpi.flow_quarantined(&fk()));
+}
+
+#[test]
+fn last_wins_rescans_the_overwritten_pending_range() {
+    let mut dpi = instance(ConflictPolicy::LastWins);
+    dpi.open_tcp_flow(fk(), 1000);
+    // Two out-of-order copies of the same pending range; the second
+    // (winning, under LastWins) completes the pattern once the gap
+    // fills.
+    assert!(matched_pids(
+        &dpi.scan_tcp_segment(CHAIN, fk(), 1008, b"XXXXXXXX")
+            .unwrap()
+    )
+    .is_empty());
+    let outs = dpi
+        .scan_tcp_segment(CHAIN, fk(), 1008, b"ignature")
+        .unwrap();
+    // The losing first copy is shadow-scanned but contains no pattern.
+    assert!(matched_pids(&outs).is_empty());
+    let outs = dpi
+        .scan_tcp_segment(CHAIN, fk(), 1000, b"attack-s")
+        .unwrap();
+    assert!(
+        matched_pids(&outs).contains(&0),
+        "LastWins must deliver the overwriting copy as the canonical stream"
+    );
+    assert!(dpi.telemetry().reassembly_conflicts >= 1);
+    assert!(!dpi.flow_quarantined(&fk()));
+}
+
+#[test]
+fn reject_flow_quarantines_and_stays_closed() {
+    let mut dpi = instance(ConflictPolicy::RejectFlow);
+    dpi.open_tcp_flow(fk(), 1000);
+    dpi.scan_tcp_segment(CHAIN, fk(), 1000, b"0123456789abcdef")
+        .unwrap();
+    let outs = dpi.scan_tcp_segment(CHAIN, fk(), 1000, PATTERN).unwrap();
+    assert!(outs.iter().all(|o| o.reports.is_empty()));
+    assert!(outs.iter().any(|o| o.quarantined));
+    assert!(dpi.flow_quarantined(&fk()));
+    let t = dpi.telemetry();
+    assert!(t.reassembly_conflicts >= 1);
+    assert_eq!(t.flows_quarantined, 1);
+
+    // The quarantine is sticky: later segments produce no reports, only
+    // the quarantined marker.
+    let outs = dpi.scan_tcp_segment(CHAIN, fk(), 1016, b"after").unwrap();
+    assert!(outs.iter().all(|o| o.reports.is_empty() && o.quarantined));
+    // ... and it is counted once, not per segment.
+    assert_eq!(dpi.telemetry().flows_quarantined, 1);
+
+    // The packet path fails closed too: packets of a quarantined flow
+    // are ECN-marked (suspect) and produce no fabricated result packet.
+    let mut pk = Packet::tcp(
+        MacAddr::local(1),
+        MacAddr::local(2),
+        fk(),
+        2000,
+        b"anything".to_vec(),
+    );
+    pk.push_chain_tag(CHAIN).unwrap();
+    assert!(dpi.inspect(&mut pk).unwrap().is_none());
+    assert!(
+        pk.has_match_mark(),
+        "quarantined flows' packets must carry the suspect mark"
+    );
+
+    // Other flows on the instance are unaffected.
+    let other = flow([9, 9, 9, 9], 998, [8, 8, 8, 8], 80, IpProtocol::Tcp);
+    dpi.open_tcp_flow(other, 1);
+    let outs = dpi.scan_tcp_segment(CHAIN, other, 1, PATTERN).unwrap();
+    assert!(matched_pids(&outs).contains(&0));
+    assert!(!dpi.flow_quarantined(&other));
+}
+
+#[test]
+fn conflict_and_quarantine_emit_trace_events() {
+    let engine = Arc::new(ScanEngine::new(config(ConflictPolicy::RejectFlow)).unwrap());
+    let mut shard = ShardState::new(&engine);
+    let tracer = Arc::new(Tracer::new());
+    shard.attach_trace_writer(tracer.writer(TraceSource::Shard(0)));
+
+    shard.open_tcp_flow(fk(), 1000);
+    engine
+        .scan_tcp_segment(&mut shard, CHAIN, fk(), 1000, b"0123456789abcdef")
+        .unwrap();
+    engine
+        .scan_tcp_segment(&mut shard, CHAIN, fk(), 1000, PATTERN)
+        .unwrap();
+
+    let mut w = shard.take_trace_writer().unwrap();
+    tracer.absorb(&mut w);
+    let events = tracer.snapshot();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::ReassemblyConflict { bytes } if bytes > 0)),
+        "conflict must be traced"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::FlowQuarantined { .. })),
+        "quarantine must be traced"
+    );
+}
+
+#[test]
+fn system_builder_threads_the_policy_and_exports_the_metrics() {
+    let system = SystemBuilder::new()
+        .with_middlebox(ids(IDS, &[PATTERN.to_vec()]))
+        .with_chain(&[IDS])
+        .with_conflict_policy(ConflictPolicy::RejectFlow)
+        .build()
+        .unwrap();
+    let text = system.metrics_text();
+    assert!(text.contains("dpi_reassembly_conflicts_total"));
+    assert!(text.contains("dpi_flows_quarantined_total"));
+}

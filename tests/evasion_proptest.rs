@@ -1,0 +1,247 @@
+//! Tentpole property: **no silent miss**. For every adversarial flow the
+//! evasion generator produces, a pattern visible under *any* consistent
+//! interpretation of the TCP stream is either reported (canonically or
+//! via a shadow scan of the losing conflict copy) or the flow is loudly
+//! quarantined — under all three conflict policies (DESIGN.md §13).
+//! Patterns visible under *no* interpretation (out-of-window injections)
+//! are never reported: no false positives either.
+
+use dpi_service::core::chaos::FaultPlan;
+use dpi_service::core::report::expand_records;
+use dpi_service::core::{
+    ConflictPolicy, DpiInstance, InstanceConfig, MiddleboxId, MiddleboxProfile, RuleSpec,
+};
+use dpi_service::packet::ipv4::IpProtocol;
+use dpi_service::packet::packet::flow;
+use dpi_service::packet::FlowKey;
+use dpi_service::traffic::{evasive_flow, evasive_flows, EvasionTactic, EvasiveFlow};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::io::Write;
+
+const IDS: MiddleboxId = MiddleboxId(1);
+const CHAIN: u16 = 1;
+
+fn patterns() -> Vec<Vec<u8>> {
+    vec![b"attack-signature".to_vec(), b"EVIL/1.0".to_vec()]
+}
+
+fn instance(policy: ConflictPolicy) -> DpiInstance {
+    DpiInstance::new(
+        InstanceConfig::new()
+            .with_middlebox(
+                MiddleboxProfile::stateful(IDS),
+                RuleSpec::exact_set(&patterns()),
+            )
+            .with_chain(CHAIN, vec![IDS])
+            .with_conflict_policy(policy),
+    )
+    .unwrap()
+}
+
+fn fk() -> FlowKey {
+    flow([9, 9, 9, 9], 999, [8, 8, 8, 8], 80, IpProtocol::Tcp)
+}
+
+/// What one adversarial flow produced under one policy.
+#[derive(Debug)]
+struct Outcome {
+    /// Pattern ids reported, canonical and shadow scans alike.
+    matched: BTreeSet<u16>,
+    /// Flow-absolute `(pid, end)` pairs from canonical outputs only
+    /// (shadow scans are stateless; their positions are copy-relative).
+    canonical: BTreeSet<(u16, u64)>,
+    quarantined: bool,
+    conflicts: u64,
+}
+
+/// Drives one generated flow through a fresh instance under `policy`.
+fn run(f: &EvasiveFlow, policy: ConflictPolicy) -> Outcome {
+    let mut dpi = instance(policy);
+    dpi.open_tcp_flow(fk(), f.initial_seq);
+    let mut matched = BTreeSet::new();
+    let mut canonical = BTreeSet::new();
+    for seg in &f.segments {
+        for out in dpi
+            .scan_tcp_segment(CHAIN, fk(), seg.seq, &seg.payload)
+            .unwrap()
+        {
+            for r in &out.reports {
+                for (pid, pos) in expand_records(&r.records) {
+                    matched.insert(pid);
+                    canonical.insert((pid, out.flow_offset + u64::from(pos)));
+                }
+            }
+        }
+    }
+    Outcome {
+        matched,
+        canonical,
+        quarantined: dpi.flow_quarantined(&fk()),
+        conflicts: dpi.telemetry().reassembly_conflicts,
+    }
+}
+
+/// `(pid, end)` oracle: scanning `stream` whole through a fresh
+/// instance.
+fn oracle(stream: &[u8]) -> BTreeSet<(u16, u64)> {
+    let mut dpi = instance(ConflictPolicy::FirstWins);
+    let out = dpi.scan_payload(CHAIN, Some(fk()), stream).unwrap();
+    out.reports
+        .iter()
+        .flat_map(|r| expand_records(&r.records))
+        .map(|(pid, pos)| (pid, u64::from(pos)))
+        .collect()
+}
+
+fn planted_pid(f: &EvasiveFlow) -> u16 {
+    patterns()
+        .iter()
+        .position(|p| *p == f.planted)
+        .expect("planted pattern comes from the registered set") as u16
+}
+
+/// The no-silent-miss check for one flow under one policy. Returns an
+/// error description instead of panicking so the seed-sweep can collect
+/// divergences.
+fn check(f: &EvasiveFlow, policy: ConflictPolicy) -> Result<(), String> {
+    let out = run(f, policy);
+    let fail = |what: &str| {
+        Err(format!(
+            "policy={} tactic={} seed={}: {what} (matched={:?} quarantined={} conflicts={})",
+            policy.name(),
+            f.tactic.name(),
+            f.seed,
+            out.matched,
+            out.quarantined,
+            out.conflicts,
+        ))
+    };
+    if !f.conflicting {
+        // Conflict-free flows must behave identically under every
+        // policy: exact oracle verdicts, no conflicts, no quarantine.
+        if out.conflicts != 0 {
+            return fail("spurious conflict on a conflict-free flow");
+        }
+        if out.quarantined {
+            return fail("spurious quarantine on a conflict-free flow");
+        }
+        let expected = oracle(&f.keep_first);
+        if f.tactic == EvasionTactic::OutOfWindowInjection && out.matched.contains(&planted_pid(f))
+        {
+            return fail("false positive: out-of-window bytes reported");
+        }
+        if out.canonical != expected {
+            return fail("verdicts diverged from the whole-stream oracle");
+        }
+        return Ok(());
+    }
+    // Conflicting flows: the pattern hides in exactly one
+    // interpretation.
+    if out.conflicts == 0 {
+        return fail("byte-level conflict went undetected");
+    }
+    match policy {
+        ConflictPolicy::RejectFlow => {
+            if !out.quarantined {
+                return fail("RejectFlow must quarantine on conflict");
+            }
+        }
+        ConflictPolicy::FirstWins | ConflictPolicy::LastWins => {
+            if out.quarantined {
+                return fail("permissive policy must not quarantine");
+            }
+            if !out.matched.contains(&planted_pid(f)) {
+                return fail("SILENT MISS: pattern visible in an interpretation was not reported");
+            }
+        }
+    }
+    Ok(())
+}
+
+const POLICIES: [ConflictPolicy; 3] = [
+    ConflictPolicy::FirstWins,
+    ConflictPolicy::LastWins,
+    ConflictPolicy::RejectFlow,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn no_silent_miss_under_any_policy(seed in any::<u64>()) {
+        let f = evasive_flow(seed, &patterns());
+        prop_assert!(
+            f.tactic == EvasionTactic::OutOfWindowInjection
+                || f.pattern_in_some_interpretation()
+        );
+        for policy in POLICIES {
+            if let Err(e) = check(&f, policy) {
+                prop_assert!(false, "{}", e);
+            }
+        }
+    }
+}
+
+/// The standing sweep the CI `evasion` job runs: a fixed flow count per
+/// seed (seeds 1/7/42, or `DPI_CHAOS_SEED` when set), all three
+/// policies, divergences archived as JSONL when `DPI_CHAOS_LOG_DIR` is
+/// set.
+#[test]
+fn seed_sweep_archives_divergences() {
+    let seeds: Vec<u64> = match std::env::var("DPI_CHAOS_SEED") {
+        Ok(s) => vec![s.parse().expect("DPI_CHAOS_SEED must be a u64")],
+        Err(_) => vec![1, 7, 42],
+    };
+    let log_dir = std::env::var("DPI_CHAOS_LOG_DIR").ok();
+    let mut divergences = Vec::new();
+    for &seed in &seeds {
+        for f in evasive_flows(64, seed, &patterns()) {
+            for policy in POLICIES {
+                if let Err(e) = check(&f, policy) {
+                    divergences.push(format!(
+                        "{{\"seed\":{},\"flow_seed\":{},\"tactic\":\"{}\",\"policy\":\"{}\",\"error\":{:?}}}",
+                        seed,
+                        f.seed,
+                        f.tactic.name(),
+                        policy.name(),
+                        e
+                    ));
+                }
+            }
+        }
+    }
+    if let Some(dir) = log_dir {
+        if !divergences.is_empty() {
+            std::fs::create_dir_all(&dir).unwrap();
+            let mut file =
+                std::fs::File::create(format!("{dir}/evasion-divergences.jsonl")).unwrap();
+            for d in &divergences {
+                writeln!(file, "{d}").unwrap();
+            }
+        }
+    }
+    assert!(
+        divergences.is_empty(),
+        "{} divergence(s):\n{}",
+        divergences.len(),
+        divergences.join("\n")
+    );
+}
+
+/// The chaos hook is deterministic: the same plan seed yields the same
+/// evasive-flow seeds, and each seed regenerates the identical flow.
+#[test]
+fn chaos_wiring_is_deterministic() {
+    let draw = || {
+        let chaos = FaultPlan::new(99).evasive_flows(1.0).start();
+        (0..8)
+            .map(|_| chaos.next_flow_evasive().expect("p=1.0 always injects"))
+            .collect::<Vec<u64>>()
+    };
+    let a = draw();
+    assert_eq!(a, draw());
+    for s in a {
+        assert_eq!(evasive_flow(s, &patterns()), evasive_flow(s, &patterns()));
+    }
+}
