@@ -168,6 +168,11 @@ pub struct ScanOutput {
     /// `ConflictPolicy::RejectFlow`: nothing was scanned and the packet
     /// must carry the fail-closed verdict mark (DESIGN.md §13).
     pub quarantined: bool,
+    /// This output came from the stateless *shadow scan* of the losing
+    /// copy of a reassembly conflict (DESIGN.md §13). Shadow match
+    /// positions are copy-relative, not flow-absolute, and
+    /// `flow_offset` is always 0.
+    pub shadow: bool,
 }
 
 impl ScanOutput {
@@ -320,6 +325,14 @@ impl ShardState {
     /// `ConflictPolicy::RejectFlow`).
     pub fn flow_quarantined(&self, flow: &FlowKey) -> bool {
         self.flows.is_quarantined(flow)
+    }
+
+    /// Whether `flow` currently holds TCP reassembly state on this
+    /// shard. Quarantined flows never do: the quarantine tears their
+    /// reassembler down and later segments are refused before one could
+    /// be re-created (see [`ScanEngine::scan_tcp_segment`]).
+    pub fn has_reassembler(&self, flow: &FlowKey) -> bool {
+        self.reassemblers.contains_key(flow)
     }
 
     /// Tears down a flow's reassembly and scan state (RST/FIN/timeout).
@@ -504,6 +517,7 @@ impl ScanEngine {
                     resumed: false,
                     scanned: 0,
                     quarantined: true,
+                    shadow: false,
                 });
             }
         }
@@ -724,6 +738,7 @@ impl ScanEngine {
             resumed,
             scanned: scan_len,
             quarantined: false,
+            shadow: false,
         })
     }
 
@@ -772,6 +787,26 @@ impl ScanEngine {
         seq: u32,
         payload: &[u8],
     ) -> Result<Vec<ScanOutput>, InstanceError> {
+        // A flow already quarantined never reaches a reassembler: it
+        // will never be scanned again, so buffering its bytes would be
+        // pure attacker-controlled memory — and a reassembler freshly
+        // re-created after eviction must not resurrect the flow.
+        if shard.flows.is_quarantined(&flow) {
+            let delivered = shard
+                .reassemblers
+                .get(&flow)
+                .map(|r| r.delivered())
+                .unwrap_or(0);
+            return Ok(vec![ScanOutput {
+                reports: Vec::new(),
+                flow_offset: delivered,
+                resumed: false,
+                scanned: 0,
+                quarantined: true,
+                shadow: false,
+            }]);
+        }
+
         // Bound the reassembler map alongside the flow table.
         if shard.reassemblers.len() > InstanceConfig::DEFAULT_MAX_FLOWS
             && !shard.reassemblers.contains_key(&flow)
@@ -815,20 +850,23 @@ impl ScanEngine {
         if newly_quarantined {
             // RejectFlow fired: record the verdict in the flow table (it
             // survives reassembler eviction) and report it. From here on
-            // every packet of this flow gets the fail-closed mark.
+            // every packet of this flow gets the fail-closed mark, and
+            // the reassembler is torn down — the flow is never scanned
+            // again, so keeping (or later re-creating) buffers for it
+            // would only store attacker-controlled bytes.
             shard.flows.quarantine(flow);
+            shard.reassemblers.remove(&flow);
             shard.telemetry.flows_quarantined += 1;
             if let Some(w) = shard.trace.as_mut() {
                 w.record(crate::trace::TraceKind::FlowQuarantined { bytes: delivered });
             }
-        }
-        if shard.flows.is_quarantined(&flow) {
             return Ok(vec![ScanOutput {
                 reports: Vec::new(),
                 flow_offset: delivered,
                 resumed: false,
                 scanned: 0,
                 quarantined: true,
+                shadow: false,
             }]);
         }
 
@@ -842,7 +880,9 @@ impl ScanEngine {
         // can never silently swallow it (the no-silent-miss guarantee,
         // DESIGN.md §13).
         for alt in alt_payloads {
-            outputs.push(self.scan_payload(shard, chain_id, None, &alt)?);
+            let mut out = self.scan_payload(shard, chain_id, None, &alt)?;
+            out.shadow = true;
+            outputs.push(out);
         }
         Ok(outputs)
     }

@@ -37,6 +37,13 @@
 //! entirely inside the losing interpretation still produces a match, and
 //! every conflict is counted and traceable — a miss can never be silent.
 //!
+//! Divergence is checked on **every** path where two copies of a byte
+//! can meet: out-of-order inserts against pending ranges, retransmissions
+//! against the delivered history, and an in-order segment against any
+//! pending copy it covers (resolved per policy *before* delivery, so the
+//! scanner never sees an unverified guess; `drain_pending` additionally
+//! re-verifies every stale prefix it trims against the history).
+//!
 //! Conflict detection against *already delivered* bytes keeps a bounded
 //! tail of the delivered stream ([`CONFLICT_HISTORY`] bytes). Divergent
 //! retransmissions of older data cannot be byte-verified; the permissive
@@ -266,7 +273,15 @@ impl StreamReassembler {
         }
 
         if seq == self.next_seq {
-            // In order: deliver, then drain any now-contiguous pending.
+            // In order — but the payload may cover ranges already
+            // buffered out of order. Those pending copies arrived
+            // *first*, so a byte divergence is a conflict exactly like a
+            // divergent retransmission (the evasion shape: hide a
+            // pattern in a buffered copy, then pave over it with an
+            // innocuous in-order segment). Verify before delivering.
+            let Some(payload) = self.resolve_inorder_overlaps(payload) else {
+                return Vec::new(); // quarantined
+            };
             let mut out = Vec::new();
             self.next_seq = seq.wrapping_add(payload.len() as u32);
             self.delivered += payload.len() as u64;
@@ -293,11 +308,11 @@ impl StreamReassembler {
         n
     }
 
-    /// Whether the delivered-range part of a retransmission diverges from
-    /// what was actually delivered. Positions older than the retained
-    /// history cannot be verified: permissive policies give them the
-    /// benefit of the doubt, `RejectFlow` refuses to guess.
-    fn delivered_overlap_conflicts(&self, seq: u32, overlap: &[u8]) -> bool {
+    /// Byte-compares `overlap` (starting at sequence `seq`, entirely
+    /// behind `next_seq`) against the retained delivered history. Returns
+    /// `(diverges, unverifiable)`: whether any comparable byte differs,
+    /// and whether any byte was older than the history horizon.
+    fn history_check(&self, seq: u32, overlap: &[u8]) -> (bool, bool) {
         let mut unverifiable = false;
         for (i, &b) in overlap.iter().enumerate() {
             // Distance of this byte behind next_seq (≥ 1 within overlap).
@@ -307,10 +322,89 @@ impl StreamReassembler {
                 continue;
             }
             if self.history[self.history.len() - back] != b {
-                return true;
+                return (true, unverifiable);
             }
         }
-        unverifiable && self.policy == ConflictPolicy::RejectFlow
+        (false, unverifiable)
+    }
+
+    /// Whether the delivered-range part of a retransmission diverges from
+    /// what was actually delivered. Positions older than the retained
+    /// history cannot be verified: permissive policies give them the
+    /// benefit of the doubt, `RejectFlow` refuses to guess.
+    fn delivered_overlap_conflicts(&self, seq: u32, overlap: &[u8]) -> bool {
+        let (diverges, unverifiable) = self.history_check(seq, overlap);
+        diverges || (unverifiable && self.policy == ConflictPolicy::RejectFlow)
+    }
+
+    /// Verifies an in-order payload (starting exactly at `next_seq`)
+    /// against every overlapping *pending* range before delivery. The
+    /// pending copies arrived first, so divergence is a conflict resolved
+    /// per policy: under `FirstWins` the stored bytes are overlaid onto
+    /// the payload (first copy canonical) and the arriving copy is
+    /// stashed; under `LastWins` the arriving copy wins and each losing
+    /// stored segment is stashed, its overlapped part removed; under
+    /// `RejectFlow` the flow quarantines. Returns the canonical bytes to
+    /// deliver, or `None` when quarantined.
+    fn resolve_inorder_overlaps(&mut self, mut payload: Vec<u8>) -> Option<Vec<u8>> {
+        let new_end = payload.len() as u64;
+        // Every pending key is strictly ahead of next_seq (distance in
+        // (0, 2³¹]); it overlaps the payload iff that distance is inside
+        // the payload.
+        let divergent: Vec<u32> = self
+            .pending
+            .iter()
+            .filter(|(&s, data)| {
+                let ps = u64::from(s.wrapping_sub(self.next_seq));
+                if ps >= new_end {
+                    return false;
+                }
+                let hi = (ps + data.len() as u64).min(new_end);
+                data[..(hi - ps) as usize] != payload[ps as usize..hi as usize]
+            })
+            .map(|(&s, _)| s)
+            .collect();
+        if divergent.is_empty() {
+            // Equal overlaps (or none): the stale parts are consumed by
+            // drain_pending, which re-verifies them against history.
+            return Some(payload);
+        }
+        match self.policy {
+            ConflictPolicy::RejectFlow => {
+                self.on_conflict(payload);
+                return None;
+            }
+            ConflictPolicy::FirstWins => {
+                // The buffered (earlier) copy of each byte is canonical:
+                // overlay it onto the arriving segment, which loses.
+                self.on_conflict(payload.clone());
+                for s in divergent {
+                    let data = &self.pending[&s];
+                    let ps = u64::from(s.wrapping_sub(self.next_seq));
+                    let hi = (ps + data.len() as u64).min(new_end);
+                    payload[ps as usize..hi as usize].copy_from_slice(&data[..(hi - ps) as usize]);
+                }
+            }
+            ConflictPolicy::LastWins => {
+                // The arriving copy wins; each divergent stored segment
+                // is a loser. Remove its overlapped part (keeping any
+                // tail beyond the payload) so no stale divergent bytes
+                // survive into drain_pending.
+                for s in divergent {
+                    let data = self.pending.remove(&s).expect("key just listed");
+                    self.buffered -= data.len();
+                    self.on_conflict(data.clone());
+                    let ps = u64::from(s.wrapping_sub(self.next_seq));
+                    let pe = ps + data.len() as u64;
+                    if pe > new_end {
+                        let from = (new_end - ps) as usize;
+                        let tail_seq = self.next_seq.wrapping_add(new_end as u32);
+                        self.store_piece(tail_seq, data[from..].to_vec());
+                    }
+                }
+            }
+        }
+        Some(payload)
     }
 
     /// Records one conflict with its losing copy.
@@ -486,9 +580,22 @@ impl StreamReassembler {
             let Some(start) = candidate else { break };
             let data = self.pending.remove(&start).expect("key just found");
             self.buffered -= data.len();
-            let skip = self.next_seq.wrapping_sub(start) as usize;
+            let skip = (self.next_seq.wrapping_sub(start) as usize).min(data.len());
+            // A stale prefix must byte-match what was actually delivered
+            // (the in-order path verifies overlaps before delivery, so a
+            // divergence here means some path skipped that check). Route
+            // it through the conflict machinery, never discard silently.
+            if skip > 0 {
+                let (diverges, _) = self.history_check(start, &data[..skip]);
+                if diverges {
+                    self.on_conflict(data.clone());
+                    if self.quarantined {
+                        return out;
+                    }
+                }
+            }
             if skip >= data.len() {
-                continue; // fully stale
+                continue; // fully stale, verified above
             }
             let fresh = data[skip..].to_vec();
             self.next_seq = self.next_seq.wrapping_add(fresh.len() as u32);
@@ -597,6 +704,89 @@ mod tests {
         assert_eq!(r.buffered(), 8);
         let runs = r.push(0, b"0123456789");
         assert_eq!(runs.concat(), b"0123456789AABBBBAA");
+    }
+
+    #[test]
+    fn inorder_overlap_of_divergent_pending_first_wins_keeps_pending_copy() {
+        // The review probe: a divergent copy is buffered out of order,
+        // then a later in-order segment paves over its range. The pending
+        // copy arrived first, so under FirstWins it is canonical — and
+        // the divergence is a detected conflict, never a silent miss.
+        let mut r = StreamReassembler::new(0, 1 << 16);
+        assert!(r.push(10, b"EVIL").is_empty());
+        let runs = r.push(0, b"0123456789goodtrailer");
+        assert_eq!(runs.concat(), b"0123456789EVILtrailer");
+        assert_eq!(r.conflicts(), 1);
+        assert_eq!(r.buffered(), 0);
+        // The losing in-order copy is stashed for the shadow scan.
+        assert_eq!(
+            r.take_conflict_payloads(),
+            vec![b"0123456789goodtrailer".to_vec()]
+        );
+    }
+
+    #[test]
+    fn inorder_overlap_of_divergent_pending_last_wins_overwrites() {
+        let mut r = StreamReassembler::with_policy(0, 1 << 16, ConflictPolicy::LastWins);
+        assert!(r.push(10, b"EVIL").is_empty());
+        let runs = r.push(0, b"0123456789goodtrailer");
+        assert_eq!(runs.concat(), b"0123456789goodtrailer");
+        assert_eq!(r.conflicts(), 1);
+        assert_eq!(r.buffered(), 0);
+        // The overwritten pending copy is the loser.
+        assert_eq!(r.take_conflict_payloads(), vec![b"EVIL".to_vec()]);
+    }
+
+    #[test]
+    fn inorder_overlap_of_divergent_pending_reject_flow_quarantines() {
+        let mut r = StreamReassembler::with_policy(0, 1 << 16, ConflictPolicy::RejectFlow);
+        assert!(r.push(10, b"EVIL").is_empty());
+        // The fail-closed policy must not fail open on this shape.
+        assert!(r.push(0, b"0123456789goodtrailer").is_empty());
+        assert!(r.quarantined());
+        assert_eq!(r.conflicts(), 1);
+        assert_eq!(r.delivered(), 0);
+        assert_eq!(r.buffered(), 0);
+        assert!(r.take_conflict_payloads().is_empty());
+    }
+
+    #[test]
+    fn inorder_overlap_of_equal_pending_is_not_a_conflict() {
+        for policy in [
+            ConflictPolicy::FirstWins,
+            ConflictPolicy::LastWins,
+            ConflictPolicy::RejectFlow,
+        ] {
+            let mut r = StreamReassembler::with_policy(0, 1 << 16, policy);
+            assert!(r.push(10, b"good").is_empty());
+            let runs = r.push(0, b"0123456789goodtrailer");
+            assert_eq!(runs.concat(), b"0123456789goodtrailer");
+            assert_eq!(r.conflicts(), 0, "{}", policy.name());
+            assert!(!r.quarantined());
+            assert_eq!(r.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn inorder_overlap_keeps_pending_tail_beyond_payload() {
+        // The pending segment extends past the in-order payload: the
+        // overlapped part conflicts, the tail must survive and deliver.
+        let mut r = StreamReassembler::with_policy(0, 1 << 16, ConflictPolicy::LastWins);
+        assert!(r.push(4, b"XXtail").is_empty()); // covers 4..10
+        let runs = r.push(0, b"0123ab"); // covers 0..6, 4..6 divergent
+        assert_eq!(runs.concat(), b"0123abtail");
+        assert_eq!(r.conflicts(), 1);
+        assert_eq!(r.buffered(), 0);
+        assert_eq!(r.take_conflict_payloads(), vec![b"XXtail".to_vec()]);
+
+        // FirstWins on the same shape: stored bytes win the overlap.
+        let mut r = StreamReassembler::new(0, 1 << 16);
+        assert!(r.push(4, b"XXtail").is_empty());
+        let runs = r.push(0, b"0123ab");
+        assert_eq!(runs.concat(), b"0123XXtail");
+        assert_eq!(r.conflicts(), 1);
+        assert_eq!(r.buffered(), 0);
+        assert_eq!(r.take_conflict_payloads(), vec![b"0123ab".to_vec()]);
     }
 
     #[test]

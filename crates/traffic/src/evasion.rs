@@ -49,15 +49,22 @@ pub enum EvasionTactic {
     /// pattern is part of *no* consistent interpretation: matching it
     /// would be a false positive.
     OutOfWindowInjection,
+    /// One out-of-order copy sits buffered as pending, then a single
+    /// *in-order* segment arrives that covers the pending range with
+    /// different bytes. The ambiguity is resolved on the in-order
+    /// delivery path, not the out-of-order insert path — the shape that
+    /// slips past engines which only byte-compare on insert.
+    PendingOverlapInOrder,
 }
 
 impl EvasionTactic {
-    const ALL: [EvasionTactic; 5] = [
+    const ALL: [EvasionTactic; 6] = [
         EvasionTactic::OverlapConflict,
         EvasionTactic::AmbiguousRetransmit,
         EvasionTactic::BoundarySplit,
         EvasionTactic::WrapAdjacent,
         EvasionTactic::OutOfWindowInjection,
+        EvasionTactic::PendingOverlapInOrder,
     ];
 
     /// Stable name for logs and trace artifacts.
@@ -68,6 +75,7 @@ impl EvasionTactic {
             EvasionTactic::BoundarySplit => "boundary_split",
             EvasionTactic::WrapAdjacent => "wrap_adjacent",
             EvasionTactic::OutOfWindowInjection => "out_of_window_injection",
+            EvasionTactic::PendingOverlapInOrder => "pending_overlap_in_order",
         }
     }
 }
@@ -267,6 +275,28 @@ fn build(tactic: EvasionTactic, seed: u64, rng: &mut StdRng, planted: Vec<u8>) -
             });
             keep_first = stream;
         }
+        EvasionTactic::PendingOverlapInOrder => {
+            // One out-of-order copy buffered as pending, then a single
+            // in-order segment covering it with different bytes — the
+            // REVIEW-probe shape: divergence must be caught on the
+            // in-order delivery path.
+            let decoy = filler(rng, planted.len(), &planted);
+            let (x1, x2) = if rng.gen_bool(0.5) {
+                (planted.clone(), decoy)
+            } else {
+                (decoy, planted.clone())
+            };
+            segments.push(EvasiveSegment {
+                seq: mid,
+                payload: x1.clone(),
+            });
+            segments.push(EvasiveSegment {
+                seq: isn,
+                payload: [pre.as_slice(), &x2, &post].concat(),
+            });
+            keep_first = [pre.as_slice(), &x1, &post].concat();
+            keep_last = [pre.as_slice(), &x2, &post].concat();
+        }
         EvasionTactic::OutOfWindowInjection => {
             // Benign stream; the pattern rides a far-future segment that
             // never becomes contiguous. No interpretation contains it.
@@ -331,7 +361,9 @@ mod tests {
     fn ground_truth_matches_tactic_semantics() {
         for f in evasive_flows(300, 9, &pats()) {
             match f.tactic {
-                EvasionTactic::OverlapConflict | EvasionTactic::AmbiguousRetransmit => {
+                EvasionTactic::OverlapConflict
+                | EvasionTactic::AmbiguousRetransmit
+                | EvasionTactic::PendingOverlapInOrder => {
                     assert!(f.conflicting);
                     assert_ne!(f.keep_first, f.keep_last);
                     // The pattern is wholly inside exactly one

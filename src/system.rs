@@ -34,6 +34,7 @@ use dpi_core::instance::ScanEngine;
 use dpi_core::metrics::{MetricKind, MetricsText};
 use dpi_core::overload::{InstanceLoadGauge, LoadWindow, OverloadPolicy};
 use dpi_core::pipeline::ShardedScanner;
+use dpi_core::rules::RuleKind;
 use dpi_core::telemetry::ShardTelemetry;
 use dpi_core::trace::{to_jsonl, TraceEvent, TraceKind, TraceSource, Tracer};
 use dpi_core::{ConflictPolicy, DpiInstance, GenerationId, UpdateArtifact, UpdateError};
@@ -45,6 +46,7 @@ use dpi_packet::report::ResultPacket;
 use dpi_packet::{FlowKey, MacAddr, Packet};
 use dpi_sdn::flowtable::Port;
 use dpi_sdn::{Network, NodeId, Switch, TrafficSteeringApp};
+use dpi_traffic::evasive_flow;
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -317,6 +319,20 @@ impl SystemBuilder {
             scanner.attach_chaos(Arc::clone(c));
         }
 
+        // The pattern pool the chaos adversary plants evasion attempts
+        // around (`FaultPlan::evasive_flows`): every exact literal
+        // registered with any middlebox. Regex rules are skipped — the
+        // generator needs concrete bytes to hide in a conflict copy.
+        let evasion_patterns: Vec<Vec<u8>> = self
+            .templates
+            .iter()
+            .flat_map(|t| t.rules.iter())
+            .filter_map(|r| match &r.spec.kind {
+                RuleKind::Exact(p) => Some(p.clone()),
+                _ => None,
+            })
+            .collect();
+
         // Build the star network.
         let mut net = Network::new(1_000_000);
         let switch = Switch::new("s1");
@@ -404,6 +420,8 @@ impl SystemBuilder {
             chaos,
             heartbeat_seq: vec![0; self.dpi_instances],
             steered: HashMap::new(),
+            evasion_patterns,
+            flow_evasive: HashMap::new(),
             next_instance: 0,
             scanner,
             middleboxes: mb_handles,
@@ -503,6 +521,14 @@ pub struct SystemHandle {
     heartbeat_seq: Vec<u64>,
     /// Flow → instance port pinning installed so far.
     steered: HashMap<FlowKey, Port>,
+    /// Exact literals registered with the middleboxes — the pool the
+    /// chaos adversary plants evasion attempts around.
+    evasion_patterns: Vec<Vec<u8>>,
+    /// Per-flow chaos verdict: `true` means the evasion adversary took
+    /// the flow over on first sight (its generated segments replaced the
+    /// caller's traffic), `false` means the draw came up benign and is
+    /// never repeated.
+    flow_evasive: HashMap<FlowKey, bool>,
     next_instance: usize,
     /// The batched scan pipeline: shares the in-network instances'
     /// compiled automaton, fans packets out across
@@ -549,11 +575,39 @@ impl SystemHandle {
     /// burst window is active, each call injects the packet multiple
     /// times — the reproducible traffic spike the overload control
     /// absorbs.
+    ///
+    /// An `evasive_flows` chaos fault replaces flows wholesale: on first
+    /// sight of a flow the engine draws
+    /// [`ChaosEngine::next_flow_evasive`] and, on a hit, the flow is
+    /// taken over by the reassembly adversary — the generated evasion
+    /// attempt's segments (seeded by the draw, planting one of the
+    /// registered exact literals) are injected instead of the caller's
+    /// payload, and every later send on that flow is swallowed (returns
+    /// 0): the adversary owns the flow for its lifetime.
     pub fn send(&mut self, flow: FlowKey, seq: u32, payload: &[u8]) -> usize {
         if self.dpi_ports.len() > 1 && !self.steered.contains_key(&flow) {
             let port = self.pick_instance_port();
             self.tsa.steer_flow(self.chain_ids[0], 0, &flow, port);
             self.steered.insert(flow, port);
+        }
+        if let Some(c) = &self.chaos {
+            if !self.evasion_patterns.is_empty() {
+                match self.flow_evasive.get(&flow) {
+                    Some(true) => return 0,
+                    Some(false) => {}
+                    None => {
+                        if let Some(seed) = c.next_flow_evasive() {
+                            self.flow_evasive.insert(flow, true);
+                            let f = evasive_flow(seed, &self.evasion_patterns);
+                            for pkt in f.packets(flow) {
+                                self.net.inject(self.switch_id, 0, pkt);
+                            }
+                            return self.net.run();
+                        }
+                        self.flow_evasive.insert(flow, false);
+                    }
+                }
+            }
         }
         let copies = self
             .chaos

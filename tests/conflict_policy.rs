@@ -143,6 +143,37 @@ fn reject_flow_quarantines_and_stays_closed() {
 }
 
 #[test]
+fn quarantine_tears_down_the_reassembler_and_refuses_new_state() {
+    let engine = Arc::new(ScanEngine::new(config(ConflictPolicy::RejectFlow)).unwrap());
+    let mut shard = ShardState::new(&engine);
+
+    shard.open_tcp_flow(fk(), 1000);
+    engine
+        .scan_tcp_segment(&mut shard, CHAIN, fk(), 1000, b"0123456789abcdef")
+        .unwrap();
+    assert!(shard.has_reassembler(&fk()));
+    engine
+        .scan_tcp_segment(&mut shard, CHAIN, fk(), 1000, PATTERN)
+        .unwrap();
+    assert!(shard.flow_quarantined(&fk()));
+    assert!(
+        !shard.has_reassembler(&fk()),
+        "quarantine must free the flow's reassembly buffers"
+    );
+
+    // Later segments — in-order and out-of-order alike — are refused
+    // before any reassembler could be (re-)created, so a quarantined
+    // flow can never buffer attacker-controlled bytes again.
+    for (seq, payload) in [(1016u32, &b"after"[..]), (5000, &b"far-ahead"[..])] {
+        let outs = engine
+            .scan_tcp_segment(&mut shard, CHAIN, fk(), seq, payload)
+            .unwrap();
+        assert!(outs.iter().all(|o| o.reports.is_empty() && o.quarantined));
+        assert!(!shard.has_reassembler(&fk()));
+    }
+}
+
+#[test]
 fn conflict_and_quarantine_emit_trace_events() {
     let engine = Arc::new(ScanEngine::new(config(ConflictPolicy::RejectFlow)).unwrap());
     let mut shard = ShardState::new(&engine);

@@ -11,10 +11,12 @@ use dpi_service::core::report::expand_records;
 use dpi_service::core::{
     ConflictPolicy, DpiInstance, InstanceConfig, MiddleboxId, MiddleboxProfile, RuleSpec,
 };
+use dpi_service::middlebox::ids;
 use dpi_service::packet::ipv4::IpProtocol;
 use dpi_service::packet::packet::flow;
 use dpi_service::packet::FlowKey;
 use dpi_service::traffic::{evasive_flow, evasive_flows, EvasionTactic, EvasiveFlow};
+use dpi_service::SystemBuilder;
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 use std::io::Write;
@@ -69,7 +71,12 @@ fn run(f: &EvasiveFlow, policy: ConflictPolicy) -> Outcome {
             for r in &out.reports {
                 for (pid, pos) in expand_records(&r.records) {
                     matched.insert(pid);
-                    canonical.insert((pid, out.flow_offset + u64::from(pos)));
+                    // Shadow-scan positions are copy-relative (and
+                    // `flow_offset` is 0), so they have no place in the
+                    // flow-absolute canonical verdict set.
+                    if !out.shadow {
+                        canonical.insert((pid, out.flow_offset + u64::from(pos)));
+                    }
                 }
             }
         }
@@ -227,6 +234,48 @@ fn seed_sweep_archives_divergences() {
         divergences.len(),
         divergences.join("\n")
     );
+}
+
+/// The chaos hook is wired into the system traffic driver: with
+/// `evasive_flows(1.0)` the first send on a fresh flow is taken over by
+/// the adversary (the generated evasion attempt's segments are injected
+/// instead of the caller's payload, and the takeover is logged), and
+/// every later send on that flow is swallowed. With no evasive fault
+/// configured, traffic flows untouched.
+#[test]
+fn chaos_evasive_flows_take_over_system_traffic() {
+    let mut sys = SystemBuilder::new()
+        .with_middlebox(ids(IDS, &patterns()))
+        .with_chain(&[IDS])
+        .with_chaos(FaultPlan::new(7).evasive_flows(1.0))
+        .build()
+        .unwrap();
+    let delivered = sys.send(fk(), 0, b"caller payload, replaced by the adversary");
+    assert!(
+        delivered > 0,
+        "the adversary's generated segments must reach the network"
+    );
+    assert!(
+        sys.fault_log()
+            .iter()
+            .any(|e| e.contains("evasive flow injected")),
+        "the takeover must be logged for replay"
+    );
+    assert_eq!(
+        sys.send(fk(), 16, b"later caller bytes"),
+        0,
+        "the adversary owns the flow: later sends are swallowed"
+    );
+
+    // Without the fault, the driver is a bystander.
+    let mut sys = SystemBuilder::new()
+        .with_middlebox(ids(IDS, &patterns()))
+        .with_chain(&[IDS])
+        .with_chaos(FaultPlan::new(7))
+        .build()
+        .unwrap();
+    assert!(sys.send(fk(), 0, b"ordinary traffic") > 0);
+    assert!(sys.fault_log().is_empty());
 }
 
 /// The chaos hook is deterministic: the same plan seed yields the same
