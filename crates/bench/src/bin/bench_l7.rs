@@ -1,0 +1,167 @@
+//! L7 inspection overhead (DESIGN.md §14): wall-clock cost of the
+//! identify → decode → scan path against the raw byte-stream scan of the
+//! very same segments, per protocol mix. The interesting number is the
+//! ratio — what turning `InstanceConfig::with_l7_policy` on costs a
+//! deployment — plus the decode amplification (decoded bytes scanned per
+//! wire byte, > 1 for gzip bodies, < 1 for TLS flows where only the SNI
+//! is scanned). Writes `BENCH_l7.json` (consumed by the CI bench job as
+//! an artifact).
+//!
+//! Set `DPI_BENCH_QUICK=1` for a CI-sized run.
+
+use dpi_bench::{host_cores, print_row};
+use dpi_core::instance::{ScanEngine, ShardState};
+use dpi_core::{InstanceConfig, L7Policy, MiddleboxId, MiddleboxProfile, RuleSpec};
+use dpi_packet::ipv4::IpProtocol;
+use dpi_packet::packet::flow;
+use dpi_packet::FlowKey;
+use std::time::Instant;
+
+const IDS: MiddleboxId = MiddleboxId(1);
+const CHAIN: u16 = 1;
+const PATTERN: &[u8] = b"hidden-attack-signature";
+
+fn config(l7: bool) -> InstanceConfig {
+    let cfg = InstanceConfig::new()
+        .with_middlebox(
+            MiddleboxProfile::stateful(IDS),
+            vec![RuleSpec::exact(PATTERN.to_vec())],
+        )
+        .with_chain(CHAIN, vec![IDS]);
+    if l7 {
+        cfg.with_l7_policy(L7Policy::default())
+    } else {
+        cfg
+    }
+}
+
+fn fk(n: u32) -> FlowKey {
+    flow(
+        [10, 0, (n >> 8) as u8, n as u8],
+        (n % 50_000) as u16 + 1024,
+        [10, 0, 0, 2],
+        443,
+        IpProtocol::Tcp,
+    )
+}
+
+/// One flow: its key and the in-order TCP segments it arrives as.
+type Flow = (FlowKey, Vec<(u32, Vec<u8>)>);
+
+/// `flows` pre-segmented application streams for one scenario.
+fn scenario(name: &str, flows: usize) -> (String, Vec<Flow>) {
+    let mk = |i: u32| -> Vec<u8> {
+        let seed = u64::from(i) * 31 + 7;
+        match name {
+            "http_gzip" => dpi_traffic::http1_chunked_gzip_request(seed, PATTERN).stream,
+            "http_plain" => dpi_traffic::http1_chunked_request(seed, PATTERN).stream,
+            "tls" => {
+                let host = format!("host-{i}.evil.example");
+                dpi_traffic::tls_client_hello(seed, host.as_bytes(), 1460).stream
+            }
+            "websocket" => dpi_traffic::websocket_session(seed, PATTERN).stream,
+            // Round-robin blend of the above — the mix a real tap sees.
+            "mixed" => match i % 4 {
+                0 => dpi_traffic::http1_chunked_gzip_request(seed, PATTERN).stream,
+                1 => dpi_traffic::http1_chunked_request(seed, PATTERN).stream,
+                2 => dpi_traffic::tls_client_hello(seed, b"host.example", 1460).stream,
+                _ => dpi_traffic::websocket_session(seed, PATTERN).stream,
+            },
+            _ => unreachable!("unknown scenario"),
+        }
+    };
+    let flows = (0..flows as u32)
+        .map(|i| {
+            (
+                fk(i),
+                dpi_traffic::segment_stream(u64::from(i) + 1, &mk(i), 1460),
+            )
+        })
+        .collect();
+    (name.to_string(), flows)
+}
+
+/// Best-of-`runs` Mbit/s of wire bytes through `engine`, plus the decoded
+/// bytes the L7 layer fed to the scanner on the last run (0 when off).
+fn run(cfg: &InstanceConfig, flows: &[Flow], runs: usize) -> (f64, u64) {
+    let wire: usize = flows
+        .iter()
+        .flat_map(|(_, segs)| segs.iter().map(|(_, p)| p.len()))
+        .sum();
+    let mut best = 0.0f64;
+    let mut decoded = 0;
+    for _ in 0..runs.max(1) {
+        let engine = ScanEngine::new(cfg.clone()).expect("bench config is valid");
+        let mut shard = ShardState::new(&engine);
+        let t0 = Instant::now();
+        for (f, segs) in flows {
+            for (seq, payload) in segs {
+                let outs = engine
+                    .scan_tcp_segment(&mut shard, CHAIN, *f, *seq, payload)
+                    .expect("chain exists");
+                std::hint::black_box(outs);
+            }
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        best = best.max(wire as f64 * 8.0 / dt / 1e6);
+        decoded = shard.telemetry().l7_decoded_bytes;
+    }
+    (best, decoded)
+}
+
+fn main() {
+    let quick = std::env::var_os("DPI_BENCH_QUICK").is_some();
+    let (flows, runs) = if quick { (64, 3) } else { (512, 5) };
+
+    println!(
+        "l7 bench: {flows} flows per scenario, {} host cores{}",
+        host_cores(),
+        if quick { ", quick mode" } else { "" }
+    );
+    print_row(&[
+        "scenario".into(),
+        "raw Mbit/s".into(),
+        "l7 Mbit/s".into(),
+        "overhead".into(),
+        "amplification".into(),
+    ]);
+
+    let raw_cfg = config(false);
+    let l7_cfg = config(true);
+    let mut rows = Vec::new();
+    for name in ["http_gzip", "http_plain", "tls", "websocket", "mixed"] {
+        let (name, traffic) = scenario(name, flows);
+        let wire: usize = traffic
+            .iter()
+            .flat_map(|(_, segs)| segs.iter().map(|(_, p)| p.len()))
+            .sum();
+        let (raw_mbps, _) = run(&raw_cfg, &traffic, runs);
+        let (l7_mbps, decoded) = run(&l7_cfg, &traffic, runs);
+        let overhead = raw_mbps / l7_mbps;
+        let amplification = decoded as f64 / wire as f64;
+        print_row(&[
+            name.clone(),
+            format!("{raw_mbps:.0}"),
+            format!("{l7_mbps:.0}"),
+            format!("{overhead:.2}x"),
+            format!("{amplification:.2}"),
+        ]);
+        rows.push(format!(
+            "{{\"scenario\": \"{name}\", \"wire_bytes\": {wire}, \
+             \"raw_mbps\": {raw_mbps:.0}, \"l7_mbps\": {l7_mbps:.0}, \
+             \"overhead\": {overhead:.3}, \"decoded_bytes\": {decoded}, \
+             \"amplification\": {amplification:.3}}}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"host_cores\": {},\n  \"quick\": {},\n  \"flows\": {},\n  \
+         \"scenarios\": [\n    {}\n  ]\n}}\n",
+        host_cores(),
+        quick,
+        flows,
+        rows.join(",\n    ")
+    );
+    std::fs::write("BENCH_l7.json", &json).expect("writable working directory");
+    println!("wrote BENCH_l7.json");
+}

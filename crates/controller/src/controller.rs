@@ -207,6 +207,7 @@ impl DpiController {
                         read_only,
                         stopping_condition,
                         fail_closed: false,
+                        l7_protocols: None,
                     },
                 )
                 .map(|_| ControllerReply::Registered { middlebox_id }),

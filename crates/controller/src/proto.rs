@@ -196,9 +196,11 @@ pub fn profile_of_register(msg: &ControllerMessage) -> Option<dpi_core::Middlebo
             stateful: *stateful,
             read_only: *read_only,
             stopping_condition: *stopping_condition,
-            // The wire registration does not carry overload semantics;
-            // fail-closed is an operator-side deployment property.
+            // The wire registration carries neither overload semantics
+            // nor L7 subscriptions; both are operator-side deployment
+            // properties.
             fail_closed: false,
+            l7_protocols: None,
         }),
         _ => None,
     }

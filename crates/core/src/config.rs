@@ -61,6 +61,13 @@ pub struct MiddleboxProfile {
     /// they just produce no results (same split as result delivery:
     /// fail-open for data, fail-closed for verdicts).
     pub fail_closed: bool,
+    /// L7 protocol subscription: this middlebox only receives matches
+    /// from *decoded* payload units of protocols in the mask (DESIGN.md
+    /// §14). `None` — the default — subscribes to everything. The raw
+    /// fallback for unidentified flows is never filtered: when the L7
+    /// layer can't name the protocol, every middlebox sees the bytes,
+    /// exactly as before the layer existed.
+    pub l7_protocols: Option<crate::l7::ProtocolMask>,
 }
 
 impl MiddleboxProfile {
@@ -72,6 +79,7 @@ impl MiddleboxProfile {
             read_only: false,
             stopping_condition: None,
             fail_closed: false,
+            l7_protocols: None,
         }
     }
 
@@ -100,6 +108,18 @@ impl MiddleboxProfile {
     pub fn fail_closed(mut self) -> MiddleboxProfile {
         self.fail_closed = true;
         self
+    }
+
+    /// Restricts the middlebox to decoded payloads of the given L7
+    /// protocols (DESIGN.md §14).
+    pub fn with_l7_protocols(mut self, mask: crate::l7::ProtocolMask) -> MiddleboxProfile {
+        self.l7_protocols = Some(mask);
+        self
+    }
+
+    /// Whether this middlebox subscribes to decoded units of `proto`.
+    pub fn subscribes(&self, proto: crate::l7::L7Protocol) -> bool {
+        self.l7_protocols.is_none_or(|m| m.contains(proto))
     }
 }
 
@@ -133,6 +153,10 @@ pub struct InstanceConfig {
     /// overlapping TCP segment copies. [`ConflictPolicy::FirstWins`] (the
     /// default) preserves the historical Snort-style behaviour.
     pub conflict_policy: ConflictPolicy,
+    /// L7 inspection policy (DESIGN.md §14). `None` — the default — runs
+    /// the engine exactly as before the L7 layer existed: every
+    /// reassembled byte run is scanned raw, no protocol identification.
+    pub l7: Option<crate::l7::L7Policy>,
 }
 
 impl InstanceConfig {
@@ -177,6 +201,13 @@ impl InstanceConfig {
         self.conflict_policy = policy;
         self
     }
+
+    /// Enables L7 protocol inspection on the instance's TCP path with
+    /// the given per-protocol policy (DESIGN.md §14).
+    pub fn with_l7_policy(mut self, policy: crate::l7::L7Policy) -> InstanceConfig {
+        self.l7 = Some(policy);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -218,6 +249,30 @@ mod tests {
         assert_eq!(back.profiles, cfg.profiles);
         assert_eq!(back.pattern_sets, cfg.pattern_sets);
         assert_eq!(back.conflict_policy, cfg.conflict_policy);
+    }
+
+    #[test]
+    fn l7_policy_round_trips_and_defaults_off() {
+        use crate::l7::{L7Action, L7Policy, L7Protocol, ProtocolMask, ProtocolPolicy};
+        assert!(InstanceConfig::new().l7.is_none());
+        let cfg = InstanceConfig::new()
+            .with_middlebox(
+                MiddleboxProfile::stateless(MiddleboxId(2))
+                    .with_l7_protocols(ProtocolMask::only(&[L7Protocol::Tls])),
+                vec![RuleSpec::exact(b"evil".to_vec())],
+            )
+            .with_l7_policy(L7Policy::default().with(
+                L7Protocol::WebSocket,
+                ProtocolPolicy::intercept(4096).with_action(L7Action::Bypass),
+            ));
+        let j = serde_json::to_string(&cfg).unwrap();
+        let back: InstanceConfig = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.l7, cfg.l7);
+        assert_eq!(back.profiles, cfg.profiles);
+        assert!(back.profiles[0].subscribes(L7Protocol::Tls));
+        assert!(!back.profiles[0].subscribes(L7Protocol::Http1));
+        // Unsubscribed profiles see everything.
+        assert!(MiddleboxProfile::stateless(MiddleboxId(1)).subscribes(L7Protocol::Http1));
     }
 
     #[test]

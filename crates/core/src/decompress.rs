@@ -192,6 +192,23 @@ fn fixed_litlen_lengths() -> Vec<u8> {
 
 /// Inflates a raw DEFLATE stream, producing at most `max_out` bytes.
 pub fn inflate(data: &[u8], max_out: usize) -> Result<Vec<u8>, InflateError> {
+    inflate_impl(data, max_out, false).map(|(out, _)| out)
+}
+
+/// Like [`inflate`], but a stream expanding past `max_out` is *truncated
+/// and flagged* instead of rejected — the decompression-bomb guard for
+/// inspection paths that must keep scanning what fits the budget (the
+/// L7 layer) rather than drop the payload. Returns the decoded prefix
+/// and whether truncation happened.
+pub fn inflate_capped(data: &[u8], max_out: usize) -> Result<(Vec<u8>, bool), InflateError> {
+    inflate_impl(data, max_out, true)
+}
+
+fn inflate_impl(
+    data: &[u8],
+    max_out: usize,
+    truncate: bool,
+) -> Result<(Vec<u8>, bool), InflateError> {
     let mut r = BitReader::new(data);
     let mut out: Vec<u8> = Vec::new();
     loop {
@@ -209,7 +226,12 @@ pub fn inflate(data: &[u8], max_out: usize) -> Result<Vec<u8>, InflateError> {
                 }
                 let body = r.take_bytes(usize::from(len))?;
                 if out.len() + body.len() > max_out {
-                    return Err(InflateError::OutputLimit);
+                    if !truncate {
+                        return Err(InflateError::OutputLimit);
+                    }
+                    let room = max_out - out.len();
+                    out.extend_from_slice(&body[..room]);
+                    return Ok((out, true));
                 }
                 out.extend_from_slice(body);
             }
@@ -222,12 +244,14 @@ pub fn inflate(data: &[u8], max_out: usize) -> Result<Vec<u8>, InflateError> {
                 } else {
                     read_dynamic_tables(&mut r)?
                 };
-                inflate_block(&mut r, &litlen, &dist, &mut out, max_out)?;
+                if inflate_block(&mut r, &litlen, &dist, &mut out, max_out, truncate)? {
+                    return Ok((out, true));
+                }
             }
             _ => return Err(InflateError::BadBlockType),
         }
         if bfinal == 1 {
-            return Ok(out);
+            return Ok((out, false));
         }
     }
 }
@@ -274,23 +298,30 @@ fn read_dynamic_tables(r: &mut BitReader<'_>) -> Result<(Huffman, Huffman), Infl
     Ok((litlen, dist))
 }
 
+/// Decodes one compressed block into `out`. Returns whether the output
+/// bound truncated the stream (only possible with `truncate`; without
+/// it the bound is an error).
 fn inflate_block(
     r: &mut BitReader<'_>,
     litlen: &Huffman,
     dist: &Huffman,
     out: &mut Vec<u8>,
     max_out: usize,
-) -> Result<(), InflateError> {
+    truncate: bool,
+) -> Result<bool, InflateError> {
     loop {
         let sym = litlen.decode(r)?;
         match sym {
             0..=255 => {
                 if out.len() >= max_out {
+                    if truncate {
+                        return Ok(true);
+                    }
                     return Err(InflateError::OutputLimit);
                 }
                 out.push(sym as u8);
             }
-            256 => return Ok(()),
+            256 => return Ok(false),
             257..=285 => {
                 let li = usize::from(sym - 257);
                 let len = usize::from(LENGTH_BASE[li]) + r.bits(LENGTH_EXTRA[li])? as usize;
@@ -303,13 +334,23 @@ fn inflate_block(
                 if d > out.len() {
                     return Err(InflateError::BadDistance);
                 }
+                let mut len = len;
+                let mut hit_cap = false;
                 if out.len() + len > max_out {
-                    return Err(InflateError::OutputLimit);
+                    if !truncate {
+                        return Err(InflateError::OutputLimit);
+                    }
+                    // Copy the part of the back-reference that fits.
+                    len = max_out - out.len();
+                    hit_cap = true;
                 }
                 let start = out.len() - d;
                 for k in 0..len {
                     let b = out[start + k];
                     out.push(b);
+                }
+                if hit_cap {
+                    return Ok(true);
                 }
             }
             _ => return Err(InflateError::BadSymbol),
@@ -517,6 +558,18 @@ pub fn gzip(data: &[u8]) -> Vec<u8> {
 /// Decompresses a gzip member, verifying the CRC32 and length trailers.
 /// Extra header fields (FEXTRA/FNAME/FCOMMENT/FHCRC) are skipped.
 pub fn gunzip(data: &[u8], max_out: usize) -> Result<Vec<u8>, GzipError> {
+    gunzip_impl(data, max_out, false).map(|(out, _)| out)
+}
+
+/// Like [`gunzip`], but a member expanding past `max_out` is *truncated
+/// and flagged* instead of rejected (the decompression-bomb guard).
+/// The CRC32/ISIZE trailers cannot be verified against a prefix, so a
+/// truncated result skips them — callers treat the flag as the signal.
+pub fn gunzip_capped(data: &[u8], max_out: usize) -> Result<(Vec<u8>, bool), GzipError> {
+    gunzip_impl(data, max_out, true)
+}
+
+fn gunzip_impl(data: &[u8], max_out: usize, truncate: bool) -> Result<(Vec<u8>, bool), GzipError> {
     if data.len() < 18 || data[0] != 0x1f || data[1] != 0x8b || data[2] != 0x08 {
         return Err(GzipError::BadFraming);
     }
@@ -547,7 +600,12 @@ pub fn gunzip(data: &[u8], max_out: usize) -> Result<Vec<u8>, GzipError> {
         return Err(GzipError::BadFraming);
     }
     let body = &data[off..data.len() - 8];
-    let out = inflate(body, max_out).map_err(GzipError::Deflate)?;
+    let (out, truncated) = inflate_impl(body, max_out, truncate).map_err(GzipError::Deflate)?;
+    if truncated {
+        // A decoded prefix cannot satisfy the trailers; the flag itself
+        // is the caller's integrity signal.
+        return Ok((out, true));
+    }
     let trailer = &data[data.len() - 8..];
     let want_crc = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
     let want_len = u32::from_le_bytes([trailer[4], trailer[5], trailer[6], trailer[7]]);
@@ -557,7 +615,7 @@ pub fn gunzip(data: &[u8], max_out: usize) -> Result<Vec<u8>, GzipError> {
     if crc32(&out) != want_crc {
         return Err(GzipError::BadCrc);
     }
-    Ok(out)
+    Ok((out, false))
 }
 
 #[cfg(test)]
@@ -627,6 +685,40 @@ mod tests {
         let data = vec![b'x'; 100_000];
         let z = deflate_fixed(&data);
         assert_eq!(inflate(&z, 1000).unwrap_err(), InflateError::OutputLimit);
+    }
+
+    #[test]
+    fn capped_inflate_truncates_and_flags_a_bomb() {
+        // deflate_fixed turns a run into distance-1 back-references:
+        // a tiny input expanding ~200× — a bomb shape.
+        let data = vec![b'x'; 100_000];
+        let z = deflate_fixed(&data);
+        assert!(z.len() * 50 < data.len(), "bomb input should be tiny");
+        let (out, truncated) = inflate_capped(&z, 1000).unwrap();
+        assert!(truncated);
+        assert_eq!(out, vec![b'x'; 1000]);
+        // Under the cap, capped and strict decoding agree exactly.
+        let (full, t) = inflate_capped(&z, data.len()).unwrap();
+        assert!(!t);
+        assert_eq!(full, inflate(&z, data.len()).unwrap());
+    }
+
+    #[test]
+    fn capped_gunzip_truncates_and_flags_a_bomb() {
+        let data = vec![b'y'; 250_000];
+        let gz = gzip(&data);
+        assert!(gz.len() * 50 < data.len(), "high-ratio bomb");
+        let (out, truncated) = gunzip_capped(&gz, 4096).unwrap();
+        assert!(truncated);
+        assert_eq!(out, vec![b'y'; 4096]);
+        let (full, t) = gunzip_capped(&gz, data.len()).unwrap();
+        assert!(!t);
+        assert_eq!(full, data);
+        // Stored-block bombs truncate through the same path.
+        let z = deflate_stored(&vec![b'z'; 70_000]);
+        let (out, truncated) = inflate_capped(&z, 10).unwrap();
+        assert!(truncated);
+        assert_eq!(out.len(), 10);
     }
 
     #[test]

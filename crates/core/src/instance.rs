@@ -173,6 +173,16 @@ pub struct ScanOutput {
     /// positions are copy-relative, not flow-absolute, and
     /// `flow_offset` is always 0.
     pub shadow: bool,
+    /// Protocol context when this output scanned a *decoded* L7 unit
+    /// (DESIGN.md §14): which protocol, which direction, which field
+    /// (header / body / SNI). `None` for raw-byte scans — including the
+    /// L7 layer's `Unknown` fallback, which is byte-identical to the
+    /// pre-L7 engine.
+    pub l7: Option<crate::l7::L7Context>,
+    /// The flow is blocked by an [`crate::l7::L7Action::Block`] policy:
+    /// nothing was decoded or scanned and the packet must carry the
+    /// fail-closed verdict mark (like `quarantined`).
+    pub blocked: bool,
 }
 
 impl ScanOutput {
@@ -180,6 +190,39 @@ impl ScanOutput {
     pub fn has_matches(&self) -> bool {
         !self.reports.is_empty()
     }
+}
+
+/// One TCP segment's [`ScanOutput`]s (one per reassembled run / decoded
+/// L7 unit) folded down to what a single result packet can carry.
+struct MergedOutputs {
+    /// Every report, in scan order.
+    reports: Vec<MiddleboxReport>,
+    /// `flow_offset` of the first reporting output. Match records stay
+    /// relative to the stream that produced them (the wire stream for
+    /// raw scans, the decoded stream for L7 units).
+    flow_offset: u64,
+    /// Any output carried the reassembly-quarantine mark.
+    quarantined: bool,
+    /// Any output carried the L7 `Block` fail-closed mark.
+    blocked: bool,
+}
+
+fn merge_outputs(outs: Vec<ScanOutput>) -> MergedOutputs {
+    let mut m = MergedOutputs {
+        reports: Vec::new(),
+        flow_offset: 0,
+        quarantined: false,
+        blocked: false,
+    };
+    for o in outs {
+        m.quarantined |= o.quarantined;
+        m.blocked |= o.blocked;
+        if m.reports.is_empty() && !o.reports.is_empty() {
+            m.flow_offset = o.flow_offset;
+        }
+        m.reports.extend(o.reports);
+    }
+    m
 }
 
 /// The immutable, shareable half of a DPI instance: compiled automaton,
@@ -200,6 +243,9 @@ pub struct ScanEngine {
     /// Reassembly conflict policy for every shard's reassemblers
     /// (DESIGN.md §13).
     conflict_policy: crate::reassembly::ConflictPolicy,
+    /// L7 inspection policy (DESIGN.md §14). `None` — the default —
+    /// scans reassembled byte runs raw, exactly as before the L7 layer.
+    l7: Option<crate::l7::L7Policy>,
 }
 
 // The engine is shared by reference across scan workers; this must hold
@@ -237,6 +283,11 @@ pub struct ShardState {
     /// Conflict policy for reassemblers this shard creates (copied from
     /// the engine at construction; see DESIGN.md §13).
     conflict_policy: crate::reassembly::ConflictPolicy,
+    /// Per-flow L7 decode sessions (DESIGN.md §14), created lazily by
+    /// [`ScanEngine::scan_tcp_segment`] when the engine has an L7
+    /// policy, torn down with the flow. Decoded-stream scan slots inside
+    /// are generation-tagged, so sessions survive hot engine swaps.
+    l7_sessions: HashMap<FlowKey, crate::l7::L7Session>,
 }
 
 impl ShardState {
@@ -250,6 +301,7 @@ impl ShardState {
             dfa_cache: HashMap::new(),
             trace: None,
             conflict_policy: engine.conflict_policy,
+            l7_sessions: HashMap::new(),
         }
     }
 
@@ -340,6 +392,13 @@ impl ShardState {
         self.reassemblers.remove(flow);
         self.flows.remove(flow);
         self.flow_stress.remove(flow);
+        self.l7_sessions.remove(flow);
+    }
+
+    /// The L7 protocol a flow's decode session identified, if the flow
+    /// has one (`Unknown` covers both unidentified and raw-fallback).
+    pub fn l7_protocol(&self, flow: &FlowKey) -> Option<crate::l7::L7Protocol> {
+        self.l7_sessions.get(flow).map(|s| s.protocol())
     }
 
     /// Per-flow deep-state ratios observed since the last
@@ -361,6 +420,17 @@ impl ShardState {
     /// it).
     pub fn reset_flow_stress(&mut self) {
         self.flow_stress.clear();
+    }
+
+    /// Adds one scan's depth samples to a flow's stress window (the MCA²
+    /// heavy-flow signal), bounded by a coarse reset under pressure.
+    fn record_flow_stress(&mut self, key: FlowKey, deep: u64, samples: u64) {
+        if self.flow_stress.len() >= 4 * InstanceConfig::DEFAULT_MAX_FLOWS {
+            self.flow_stress.clear(); // bounded, coarse reset
+        }
+        let e = self.flow_stress.entry(key).or_insert((0, 0));
+        e.0 += deep;
+        e.1 += samples;
     }
 }
 
@@ -442,12 +512,18 @@ impl ScanEngine {
                 .unwrap_or(InstanceConfig::DEFAULT_MAX_FLOWS),
             generation,
             conflict_policy: config.conflict_policy,
+            l7: config.l7,
         })
     }
 
     /// The reassembly conflict policy this engine's shards run.
     pub fn conflict_policy(&self) -> crate::reassembly::ConflictPolicy {
         self.conflict_policy
+    }
+
+    /// The L7 inspection policy, if one is configured (DESIGN.md §14).
+    pub fn l7_policy(&self) -> Option<&crate::l7::L7Policy> {
+        self.l7.as_ref()
     }
 
     /// The rule generation this engine was compiled from.
@@ -518,6 +594,8 @@ impl ScanEngine {
                     scanned: 0,
                     quarantined: true,
                     shadow: false,
+                    l7: None,
+                    blocked: false,
                 });
             }
         }
@@ -535,6 +613,50 @@ impl ScanEngine {
                 .unwrap_or((self.ac.start(), 0)),
             _ => (self.ac.start(), 0),
         };
+
+        let (out, state, (deep, samples)) =
+            self.scan_unit(shard, chain, start_state, offset, payload, None);
+
+        // Persist flow state for stateful chains. The stored offset covers
+        // the whole payload even if the scan stopped early: every stateful
+        // middlebox's stopping condition was already exceeded, so later
+        // matches would be filtered anyway.
+        if chain.any_stateful {
+            if let Some(key) = flow {
+                shard
+                    .flows
+                    .put_gen(key, state, offset + payload.len() as u64, self.generation);
+            }
+        }
+
+        // The per-flow stress samples that MCA² heavy-flow selection
+        // reads.
+        if let Some(key) = flow {
+            shard.record_flow_stress(key, deep, samples);
+        }
+
+        Ok(out)
+    }
+
+    /// Scans one byte unit — a raw payload or a decoded L7 unit — from
+    /// an explicit automaton state and stream offset: the §5.2 scan loop,
+    /// per-member post-filtering and §5.3 regex resolution, shared by
+    /// the raw and L7 paths. Returns the output, the end automaton state
+    /// and the (deep, total) depth samples for stress accounting.
+    ///
+    /// With an `l7` context, per-middlebox protocol subscriptions filter
+    /// the member loop and matches also count into the per-protocol L7
+    /// telemetry; raw scans (`l7: None`) behave byte-identically to the
+    /// pre-L7 engine.
+    fn scan_unit(
+        &self,
+        shard: &mut ShardState,
+        chain: &ChainInfo,
+        start_state: u32,
+        offset: u64,
+        payload: &[u8],
+        l7: Option<crate::l7::L7Context>,
+    ) -> (ScanOutput, u32, (u64, u64)) {
         let resumed = start_state != self.ac.start() || offset > 0;
 
         // The most conservative stopping condition: scan as deep as the
@@ -601,6 +723,14 @@ impl ScanEngine {
         let mut total_matches = 0u64;
         for (mi, member) in chain.members.iter().enumerate() {
             let profile = self.profiles[member];
+            // Decoded L7 units honour per-middlebox protocol
+            // subscriptions; raw scans (including the Unknown fallback)
+            // never filter — fail-open, DESIGN.md §14.
+            if let Some(ctx) = l7 {
+                if !profile.subscribes(ctx.protocol) {
+                    continue;
+                }
+            }
             let stop = profile.stopping_condition;
             let mut list: Vec<(u16, u16)> = Vec::new();
             for &(pid, pos, len) in &hits[mi] {
@@ -687,28 +817,6 @@ impl ScanEngine {
             }
         }
 
-        // Persist flow state for stateful chains. The stored offset covers
-        // the whole payload even if the scan stopped early: every stateful
-        // middlebox's stopping condition was already exceeded, so later
-        // matches would be filtered anyway.
-        if chain.any_stateful {
-            if let Some(key) = flow {
-                shard
-                    .flows
-                    .put_gen(key, state, offset + payload.len() as u64, self.generation);
-            }
-        }
-
-        // Telemetry, including the per-flow stress samples that MCA²
-        // heavy-flow selection reads.
-        if let Some(key) = flow {
-            if shard.flow_stress.len() >= 4 * InstanceConfig::DEFAULT_MAX_FLOWS {
-                shard.flow_stress.clear(); // bounded, coarse reset
-            }
-            let e = shard.flow_stress.entry(key).or_insert((0, 0));
-            e.0 += deep;
-            e.1 += samples;
-        }
         // Sampled trace event (1 in PACKET_SAMPLE_EVERY packets): on the
         // non-sampled packets tracing costs one branch.
         if let Some(w) = shard.trace.as_mut() {
@@ -731,15 +839,24 @@ impl ScanEngine {
         }
         shard.telemetry.deep_samples += deep;
         shard.telemetry.depth_samples += samples;
+        if let Some(ctx) = l7 {
+            shard.telemetry.l7_matches[ctx.protocol.index()] += total_matches;
+        }
 
-        Ok(ScanOutput {
-            reports,
-            flow_offset: offset,
-            resumed,
-            scanned: scan_len,
-            quarantined: false,
-            shadow: false,
-        })
+        (
+            ScanOutput {
+                reports,
+                flow_offset: offset,
+                resumed,
+                scanned: scan_len,
+                quarantined: false,
+                shadow: false,
+                l7,
+                blocked: false,
+            },
+            state,
+            (deep, samples),
+        )
     }
 
     /// Scans a packet against `shard`, marks it via ECN when matches
@@ -755,6 +872,35 @@ impl ScanEngine {
         let chain_id = packet.chain_tag().ok_or(InstanceError::Untagged)?;
         let flow = packet.flow_key();
         let payload: Vec<u8> = packet.payload().ok_or(InstanceError::NoPayload)?.to_vec();
+
+        // An engine armed with an L7 policy reconstructs TCP sessions on
+        // the packet path too: the identify → decode → scan layer needs
+        // the byte stream, not isolated payloads (DESIGN.md §14). UDP
+        // traffic and unarmed engines keep the per-packet scan.
+        if self.l7.is_some() {
+            if let (Some(key), Some(seq)) = (flow, packet.tcp_seq()) {
+                let outs = self.scan_tcp_segment(shard, chain_id, key, seq, &payload)?;
+                let merged = merge_outputs(outs);
+                if merged.quarantined || merged.blocked {
+                    // Fail-closed mark; nothing was scanned, so there
+                    // are no reports to fabricate.
+                    packet.mark_matches();
+                    return Ok(None);
+                }
+                if merged.reports.is_empty() {
+                    return Ok(None);
+                }
+                packet.mark_matches();
+                return Ok(Some(ResultPacket {
+                    packet_id: 0,
+                    generation: self.generation,
+                    flow: key,
+                    flow_offset: merged.flow_offset,
+                    reports: merged.reports,
+                }));
+            }
+        }
+
         let out = self.scan_payload(shard, chain_id, flow, &payload)?;
         if out.quarantined {
             // Fail-closed verdict for a quarantined flow: the packet is
@@ -804,6 +950,8 @@ impl ScanEngine {
                 scanned: 0,
                 quarantined: true,
                 shadow: false,
+                l7: None,
+                blocked: false,
             }]);
         }
 
@@ -856,6 +1004,7 @@ impl ScanEngine {
             // would only store attacker-controlled bytes.
             shard.flows.quarantine(flow);
             shard.reassemblers.remove(&flow);
+            shard.l7_sessions.remove(&flow);
             shard.telemetry.flows_quarantined += 1;
             if let Some(w) = shard.trace.as_mut() {
                 w.record(crate::trace::TraceKind::FlowQuarantined { bytes: delivered });
@@ -867,13 +1016,21 @@ impl ScanEngine {
                 scanned: 0,
                 quarantined: true,
                 shadow: false,
+                l7: None,
+                blocked: false,
             }]);
         }
 
-        let mut outputs: Vec<ScanOutput> = runs
-            .iter()
-            .map(|run| self.scan_payload(shard, chain_id, Some(flow), run))
-            .collect::<Result<_, _>>()?;
+        let mut outputs: Vec<ScanOutput> = if self.l7.is_some() {
+            // The L7 layer sits between reassembly and the scan: the
+            // in-order runs feed the flow's decode session and the
+            // decoded units (plus raw-fallback buffers) are scanned.
+            self.scan_l7_runs(shard, chain_id, flow, &runs)?
+        } else {
+            runs.iter()
+                .map(|run| self.scan_payload(shard, chain_id, Some(flow), run))
+                .collect::<Result<_, _>>()?
+        };
         // Shadow-scan the losing copy of each conflict, statelessly: a
         // pattern hidden entirely inside the discarded interpretation
         // still produces a match, so a first-wins/last-wins resolution
@@ -885,6 +1042,146 @@ impl ScanEngine {
             outputs.push(out);
         }
         Ok(outputs)
+    }
+
+    /// Feeds the in-order byte runs of one flow through its L7 decode
+    /// session (DESIGN.md §14) and scans what comes out: decoded units
+    /// with protocol context, raw-fallback buffers through the legacy
+    /// path, and a fail-closed marker output when policy said `Block`.
+    fn scan_l7_runs(
+        &self,
+        shard: &mut ShardState,
+        chain_id: u16,
+        flow: FlowKey,
+        runs: &[Vec<u8>],
+    ) -> Result<Vec<ScanOutput>, InstanceError> {
+        let policy = self.l7.unwrap_or_default();
+        let chain = self
+            .chains
+            .get(&chain_id)
+            .ok_or(InstanceError::UnknownChain(chain_id))?;
+
+        // Bound the session map alongside the reassembler map: both hold
+        // per-flow attacker-growable state and evict fail-open.
+        if shard.l7_sessions.len() > InstanceConfig::DEFAULT_MAX_FLOWS
+            && !shard.l7_sessions.contains_key(&flow)
+        {
+            if let Some(k) = shard.l7_sessions.keys().next().copied() {
+                shard.l7_sessions.remove(&k);
+            }
+        }
+        // Take the session out of the map so the engine can scan (which
+        // borrows `shard` mutably) while driving it.
+        let mut session = shard.l7_sessions.remove(&flow).unwrap_or_default();
+
+        let mut outputs = Vec::new();
+        for run in runs {
+            if run.is_empty() {
+                continue;
+            }
+            let ingest = session.accept(run, &policy);
+
+            for &p in &ingest.identified {
+                shard.telemetry.l7_flows_identified[p.index()] += 1;
+                if let Some(w) = shard.trace.as_mut() {
+                    w.record(crate::trace::TraceKind::L7Identified { protocol: p });
+                }
+            }
+            if let Some(action) = ingest.action {
+                match action {
+                    crate::l7::L7Action::Intercept => {}
+                    crate::l7::L7Action::Block => shard.telemetry.l7_blocked_flows += 1,
+                    crate::l7::L7Action::Bypass => shard.telemetry.l7_bypassed_flows += 1,
+                    crate::l7::L7Action::Detour => shard.telemetry.l7_detoured_flows += 1,
+                }
+                if action != crate::l7::L7Action::Intercept {
+                    if let Some(w) = shard.trace.as_mut() {
+                        w.record(crate::trace::TraceKind::L7ActionApplied {
+                            protocol: session.protocol(),
+                            action,
+                        });
+                    }
+                }
+            }
+            if ingest.errors > 0 {
+                shard.telemetry.l7_decode_errors += ingest.errors;
+                if let Some(w) = shard.trace.as_mut() {
+                    w.record(crate::trace::TraceKind::L7DecodeError {
+                        protocol: session.protocol(),
+                    });
+                }
+            }
+            for &kept in &ingest.truncations {
+                shard.telemetry.l7_truncations += 1;
+                if let Some(w) = shard.trace.as_mut() {
+                    w.record(crate::trace::TraceKind::L7Truncated {
+                        protocol: session.protocol(),
+                        bytes: kept,
+                    });
+                }
+            }
+
+            for u in &ingest.units {
+                shard.telemetry.l7_decoded_bytes += u.bytes.len() as u64;
+                outputs.push(self.scan_l7_unit(shard, chain, flow, &mut session, u));
+            }
+            // Raw fallback (Unknown flows, decode-failure fail-open):
+            // byte-identical to the pre-L7 path, including flow state.
+            for raw in &ingest.raw {
+                outputs.push(self.scan_payload(shard, chain_id, Some(flow), raw)?);
+            }
+            if ingest.blocked {
+                // Fail-closed marker: no bytes were scanned, the caller
+                // turns `blocked` into a verdict mark (like quarantine).
+                outputs.push(ScanOutput {
+                    reports: Vec::new(),
+                    flow_offset: 0,
+                    resumed: false,
+                    scanned: 0,
+                    quarantined: false,
+                    shadow: false,
+                    l7: Some(crate::l7::L7Context {
+                        protocol: session.protocol(),
+                        direction: session.direction(),
+                        field: crate::l7::L7Field::Raw,
+                    }),
+                    blocked: true,
+                });
+            }
+        }
+
+        shard.l7_sessions.insert(flow, session);
+        Ok(outputs)
+    }
+
+    /// Scans one decoded L7 unit. Units with a stream slot resume the
+    /// slot's automaton state/offset (generation-checked like the flow
+    /// table) so patterns spanning decoded-unit boundaries still match;
+    /// slotless units (header blocks, SNI) scan fresh from the root.
+    fn scan_l7_unit(
+        &self,
+        shard: &mut ShardState,
+        chain: &ChainInfo,
+        flow: FlowKey,
+        session: &mut crate::l7::L7Session,
+        u: &crate::l7::DecodedUnit,
+    ) -> ScanOutput {
+        let (start_state, offset) = match u.slot {
+            Some(s) if chain.any_stateful && !u.reset => session.streams[s]
+                .filter(|&(_, _, g)| g == self.generation)
+                .map(|(st, off, _)| (st, off))
+                .unwrap_or((self.ac.start(), 0)),
+            _ => (self.ac.start(), 0),
+        };
+        let (out, state, (deep, samples)) =
+            self.scan_unit(shard, chain, start_state, offset, &u.bytes, Some(u.ctx));
+        if let Some(s) = u.slot {
+            if chain.any_stateful {
+                session.streams[s] = Some((state, offset + u.bytes.len() as u64, self.generation));
+            }
+        }
+        shard.record_flow_stress(flow, deep, samples);
+        out
     }
 
     /// Scans a DEFLATE-compressed payload: inflates **once** and scans the
@@ -1055,6 +1352,29 @@ impl DpiInstance {
         let chain_id = packet.chain_tag().ok_or(InstanceError::Untagged)?;
         let flow = packet.flow_key();
         let payload: Vec<u8> = packet.payload().ok_or(InstanceError::NoPayload)?.to_vec();
+
+        // Same L7 session-reconstruction routing as
+        // [`ScanEngine::inspect_unnumbered`].
+        if self.engine.l7_policy().is_some() {
+            if let (Some(key), Some(seq)) = (flow, packet.tcp_seq()) {
+                let outs =
+                    self.engine
+                        .scan_tcp_segment(&mut self.shard, chain_id, key, seq, &payload)?;
+                let merged = merge_outputs(outs);
+                if merged.quarantined || merged.blocked {
+                    packet.mark_matches();
+                    return Ok(false);
+                }
+                if merged.reports.is_empty() {
+                    return Ok(false);
+                }
+                packet.mark_matches();
+                let n_members = self.engine.chain_member_count(chain_id).unwrap_or(0) as u8;
+                packet.attach_results(DpiResultsHeader::new(chain_id, n_members, merged.reports));
+                return Ok(true);
+            }
+        }
+
         let out = self
             .engine
             .scan_payload(&mut self.shard, chain_id, flow, &payload)?;

@@ -1,0 +1,306 @@
+//! Incremental TLS record parser with SNI extraction.
+//!
+//! TLS payload past the handshake is ciphertext — there is nothing for
+//! a pattern scanner in it — so the inspectable surface is handshake
+//! metadata: this decoder reassembles handshake messages across record
+//! boundaries, parses the ClientHello and emits the
+//! server-name-indication hostname as a [`L7Field::Sni`] unit. A
+//! ServerHello first message flips the session direction. Record-layer
+//! violations (not actually TLS) fail open to raw scanning; handshake
+//! parse problems only count as decode errors — the bytes are framing
+//! metadata, not payload.
+
+use super::{unit, DecodeOut, L7Direction, L7Field};
+
+/// Largest legal TLS record body (2^14 plaintext + expansion headroom).
+const MAX_RECORD: usize = (1 << 14) + 2048;
+/// Handshake content type.
+const CT_HANDSHAKE: u8 = 22;
+const HS_CLIENT_HELLO: u8 = 1;
+const HS_SERVER_HELLO: u8 = 2;
+
+/// One TLS flow's record/handshake state.
+#[derive(Debug, Default)]
+pub struct TlsDecoder {
+    /// Unconsumed wire bytes carried across `push` calls.
+    pending: Vec<u8>,
+    /// Handshake bytes reassembled across records.
+    hs: Vec<u8>,
+    /// The first handshake message completed; nothing more to extract.
+    done: bool,
+    /// The handshake buffer hit the inspection size limit.
+    truncated: bool,
+}
+
+impl TlsDecoder {
+    /// A fresh record parser.
+    pub fn new() -> TlsDecoder {
+        TlsDecoder::default()
+    }
+
+    /// Feeds wire bytes through the record layer.
+    pub(crate) fn push(&mut self, data: &[u8], limit: usize, out: &mut DecodeOut) {
+        self.pending.extend_from_slice(data);
+        let mut i = 0usize;
+        while self.pending.len() - i >= 5 {
+            let hdr = &self.pending[i..i + 5];
+            let body_len = u16::from_be_bytes([hdr[3], hdr[4]]) as usize;
+            if hdr[1] != 0x03 || body_len > MAX_RECORD {
+                // Not a TLS record stream after all: fail open.
+                out.errors += 1;
+                out.raw.push(self.pending[i..].to_vec());
+                self.pending.clear();
+                out.failed_open = true;
+                return;
+            }
+            if self.pending.len() - i < 5 + body_len {
+                break;
+            }
+            if hdr[0] == CT_HANDSHAKE && !self.done {
+                let body = &self.pending[i + 5..i + 5 + body_len];
+                let room = limit.saturating_sub(self.hs.len());
+                if body.len() > room && !self.truncated {
+                    self.truncated = true;
+                    out.truncations.push((self.hs.len() + room) as u64);
+                }
+                self.hs.extend_from_slice(&body[..room.min(body.len())]);
+                self.parse_handshake(out);
+            }
+            // Non-handshake records (ChangeCipherSpec, Alert, AppData)
+            // are ciphertext or framing: consumed, nothing scannable.
+            i += 5 + body_len;
+        }
+        self.pending.drain(..i);
+    }
+
+    /// Parses the first complete handshake message out of `hs`.
+    fn parse_handshake(&mut self, out: &mut DecodeOut) {
+        if self.hs.len() < 4 {
+            if self.truncated {
+                self.done = true;
+                self.hs = Vec::new();
+            }
+            return;
+        }
+        let mlen = u32::from_be_bytes([0, self.hs[1], self.hs[2], self.hs[3]]) as usize;
+        if self.hs.len() < 4 + mlen {
+            if self.truncated {
+                // The message can never complete under the limit; give
+                // up on extraction rather than buffering forever.
+                self.done = true;
+                self.hs = Vec::new();
+            }
+            return;
+        }
+        let mtype = self.hs[0];
+        let body = &self.hs[4..4 + mlen];
+        match mtype {
+            HS_CLIENT_HELLO => {
+                out.direction = Some(L7Direction::ClientToServer);
+                match client_hello_sni(body) {
+                    Ok(Some(host)) => {
+                        out.units.push(unit(L7Field::Sni, host, None, false));
+                    }
+                    Ok(None) => {}
+                    Err(()) => out.errors += 1,
+                }
+            }
+            HS_SERVER_HELLO => out.direction = Some(L7Direction::ServerToClient),
+            _ => {}
+        }
+        self.done = true;
+        self.hs = Vec::new();
+    }
+}
+
+/// Bounds-checked cursor over a handshake body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ()> {
+        if self.buf.len() - self.pos < n {
+            return Err(());
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<usize, ()> {
+        Ok(self.take(1)?[0] as usize)
+    }
+
+    fn u16(&mut self) -> Result<usize, ()> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]) as usize)
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// Extracts the SNI hostname from a ClientHello body. `Ok(None)` means
+/// a well-formed hello without the extension.
+fn client_hello_sni(body: &[u8]) -> Result<Option<Vec<u8>>, ()> {
+    let mut c = Cursor { buf: body, pos: 0 };
+    c.take(2)?; // legacy_version
+    c.take(32)?; // random
+    let sid = c.u8()?;
+    c.take(sid)?;
+    let ciphers = c.u16()?;
+    c.take(ciphers)?;
+    let comp = c.u8()?;
+    c.take(comp)?;
+    if c.remaining() == 0 {
+        return Ok(None); // extensionless hello
+    }
+    let ext_total = c.u16()?;
+    if ext_total > c.remaining() {
+        return Err(());
+    }
+    let end = c.pos + ext_total;
+    while c.pos + 4 <= end {
+        let etype = c.u16()?;
+        let elen = c.u16()?;
+        let edata = c.take(elen)?;
+        if etype == 0 {
+            // server_name: list length, then (type, length, hostname).
+            let mut e = Cursor { buf: edata, pos: 0 };
+            let _list_len = e.u16()?;
+            let name_type = e.u8()?;
+            let name_len = e.u16()?;
+            if name_type != 0 {
+                return Err(());
+            }
+            return Ok(Some(e.take(name_len)?.to_vec()));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal ClientHello handshake message with the given SNI,
+    /// wrapped in `record_sizes`-byte TLS records.
+    pub(crate) fn client_hello_records(sni: &[u8], record_cap: usize) -> Vec<u8> {
+        let hello = client_hello_body(sni);
+        let mut msg = vec![HS_CLIENT_HELLO, 0, 0, 0];
+        msg[1..4].copy_from_slice(&(hello.len() as u32).to_be_bytes()[1..]);
+        msg.extend_from_slice(&hello);
+        let mut wire = Vec::new();
+        for chunk in msg.chunks(record_cap.max(1)) {
+            wire.extend_from_slice(&[CT_HANDSHAKE, 0x03, 0x03]);
+            wire.extend_from_slice(&(chunk.len() as u16).to_be_bytes());
+            wire.extend_from_slice(chunk);
+        }
+        wire
+    }
+
+    pub(crate) fn client_hello_body(sni: &[u8]) -> Vec<u8> {
+        let mut b = vec![0x03, 0x03];
+        b.extend_from_slice(&[0u8; 32]); // random
+        b.push(0); // session id
+        b.extend_from_slice(&[0, 2, 0x13, 0x01]); // one cipher suite
+        b.extend_from_slice(&[1, 0]); // null compression
+        let mut ext = Vec::new();
+        ext.extend_from_slice(&[0, 0]); // extension type: server_name
+        let name_entry_len = 3 + sni.len();
+        ext.extend_from_slice(&((name_entry_len + 2) as u16).to_be_bytes());
+        ext.extend_from_slice(&(name_entry_len as u16).to_be_bytes());
+        ext.push(0); // name type: host_name
+        ext.extend_from_slice(&(sni.len() as u16).to_be_bytes());
+        ext.extend_from_slice(sni);
+        b.extend_from_slice(&(ext.len() as u16).to_be_bytes());
+        b.extend_from_slice(&ext);
+        b
+    }
+
+    #[test]
+    fn sni_extracted_from_single_record() {
+        let wire = client_hello_records(b"evil.example.com", 1 << 14);
+        let mut d = TlsDecoder::new();
+        let mut out = DecodeOut::default();
+        d.push(&wire, 1 << 14, &mut out);
+        assert_eq!(out.units.len(), 1);
+        assert_eq!(out.units[0].ctx.field, L7Field::Sni);
+        assert_eq!(out.units[0].bytes, b"evil.example.com");
+        assert_eq!(out.direction, Some(L7Direction::ClientToServer));
+        assert_eq!(out.errors, 0);
+    }
+
+    #[test]
+    fn sni_extracted_across_records_and_byte_splits() {
+        let wire = client_hello_records(b"split.example.org", 7);
+        let mut d = TlsDecoder::new();
+        let mut hosts = Vec::new();
+        for b in wire {
+            let mut out = DecodeOut::default();
+            d.push(&[b], 1 << 14, &mut out);
+            hosts.extend(out.units);
+            assert!(!out.failed_open);
+        }
+        assert_eq!(hosts.len(), 1);
+        assert_eq!(hosts[0].bytes, b"split.example.org");
+    }
+
+    #[test]
+    fn non_tls_stream_fails_open() {
+        let mut d = TlsDecoder::new();
+        let mut out = DecodeOut::default();
+        // First byte 0x16 got it identified, but the version byte is
+        // wrong: record layer rejects and the bytes scan raw.
+        d.push(
+            &[0x16, 0x99, 0x01, 0x00, 0x05, 1, 2, 3, 4, 5],
+            1 << 14,
+            &mut out,
+        );
+        assert!(out.failed_open);
+        assert_eq!(out.errors, 1);
+        assert_eq!(out.raw.len(), 1);
+    }
+
+    #[test]
+    fn handshake_limit_truncates_and_flags() {
+        let wire = client_hello_records(b"big.example.net", 1 << 14);
+        let mut d = TlsDecoder::new();
+        let mut out = DecodeOut::default();
+        d.push(&wire, 16, &mut out);
+        assert_eq!(out.truncations, vec![16]);
+        assert!(out.units.is_empty());
+        assert!(!out.failed_open);
+    }
+
+    #[test]
+    fn server_hello_sets_direction() {
+        // A ServerHello-typed message with an empty body is enough for
+        // the direction flip.
+        let mut wire = vec![CT_HANDSHAKE, 0x03, 0x03, 0, 4];
+        wire.extend_from_slice(&[HS_SERVER_HELLO, 0, 0, 0]);
+        let mut d = TlsDecoder::new();
+        let mut out = DecodeOut::default();
+        d.push(&wire, 1 << 14, &mut out);
+        assert_eq!(out.direction, Some(L7Direction::ServerToClient));
+    }
+
+    #[test]
+    fn malformed_hello_counts_error_without_fail_open() {
+        let mut body = client_hello_body(b"x.example");
+        body.truncate(10); // cut inside the random
+        let mut msg = vec![HS_CLIENT_HELLO, 0, 0, body.len() as u8];
+        msg.extend_from_slice(&body);
+        let mut wire = vec![CT_HANDSHAKE, 0x03, 0x03, 0, msg.len() as u8];
+        wire.extend_from_slice(&msg);
+        let mut d = TlsDecoder::new();
+        let mut out = DecodeOut::default();
+        d.push(&wire, 1 << 14, &mut out);
+        assert_eq!(out.errors, 1);
+        assert!(!out.failed_open);
+        assert!(out.units.is_empty());
+    }
+}

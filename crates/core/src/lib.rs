@@ -40,6 +40,7 @@ pub mod config;
 pub mod decompress;
 pub mod flowstate;
 pub mod instance;
+pub mod l7;
 pub mod metrics;
 pub mod overload;
 pub mod pipeline;
@@ -53,10 +54,14 @@ pub mod update;
 pub use chaos::{ChaosEngine, FaultPlan, RetryOutcome, RetryPolicy, ShardFault, ShardFaultSpec};
 pub use config::{ChainSpec, InstanceConfig, MiddleboxProfile};
 pub use decompress::{
-    deflate_fixed, deflate_stored, gunzip, gzip, inflate, GzipError, InflateError,
+    deflate_fixed, deflate_stored, gunzip, gunzip_capped, gzip, inflate, inflate_capped, GzipError,
+    InflateError,
 };
 pub use flowstate::{FlowState, FlowTable};
 pub use instance::{DpiInstance, InstanceError, ScanEngine, ScanOutput, ShardState};
+pub use l7::{
+    L7Action, L7Context, L7Direction, L7Field, L7Policy, L7Protocol, ProtocolMask, ProtocolPolicy,
+};
 pub use metrics::{MetricKind, MetricsText};
 pub use overload::{
     InstanceLoadGauge, LoadWindow, OverloadDetector, OverloadPolicy, OverloadTransition, ShedMode,

@@ -44,6 +44,28 @@ pub struct Telemetry {
     pub reassembly_conflicts: u64,
     /// Flows quarantined by the `RejectFlow` conflict policy.
     pub flows_quarantined: u64,
+    /// Flows identified per L7 protocol, indexed by
+    /// [`crate::l7::L7Protocol::index`] (an HTTP→WebSocket upgrade
+    /// counts under both).
+    pub l7_flows_identified: [u64; 4],
+    /// Decoded L7 payload bytes handed to the scanner (dechunked,
+    /// decompressed, unmasked).
+    pub l7_decoded_bytes: u64,
+    /// L7 decode errors (malformed framing, corrupt gzip bodies, …).
+    pub l7_decode_errors: u64,
+    /// L7 size-limit truncation events (decompression-bomb guard
+    /// included).
+    pub l7_truncations: u64,
+    /// Matches found in decoded L7 units, per protocol (same index as
+    /// `l7_flows_identified`). Raw-fallback matches are *not* counted
+    /// here — they live in `matches` only, like before the L7 layer.
+    pub l7_matches: [u64; 4],
+    /// Flows blocked by an [`crate::l7::L7Action::Block`] policy.
+    pub l7_blocked_flows: u64,
+    /// Flows bypassed by an [`crate::l7::L7Action::Bypass`] policy.
+    pub l7_bypassed_flows: u64,
+    /// Flows detoured by an [`crate::l7::L7Action::Detour`] policy.
+    pub l7_detoured_flows: u64,
 }
 
 impl Telemetry {
@@ -84,6 +106,22 @@ impl Telemetry {
         self.decompressed_bytes += other.decompressed_bytes;
         self.reassembly_conflicts += other.reassembly_conflicts;
         self.flows_quarantined += other.flows_quarantined;
+        for (a, b) in self
+            .l7_flows_identified
+            .iter_mut()
+            .zip(other.l7_flows_identified)
+        {
+            *a += b;
+        }
+        self.l7_decoded_bytes += other.l7_decoded_bytes;
+        self.l7_decode_errors += other.l7_decode_errors;
+        self.l7_truncations += other.l7_truncations;
+        for (a, b) in self.l7_matches.iter_mut().zip(other.l7_matches) {
+            *a += b;
+        }
+        self.l7_blocked_flows += other.l7_blocked_flows;
+        self.l7_bypassed_flows += other.l7_bypassed_flows;
+        self.l7_detoured_flows += other.l7_detoured_flows;
     }
 
     /// Difference since a previous snapshot (for rate computation).
@@ -118,6 +156,22 @@ impl Telemetry {
             flows_quarantined: self
                 .flows_quarantined
                 .saturating_sub(prev.flows_quarantined),
+            l7_flows_identified: std::array::from_fn(|i| {
+                self.l7_flows_identified[i].saturating_sub(prev.l7_flows_identified[i])
+            }),
+            l7_decoded_bytes: self.l7_decoded_bytes.saturating_sub(prev.l7_decoded_bytes),
+            l7_decode_errors: self.l7_decode_errors.saturating_sub(prev.l7_decode_errors),
+            l7_truncations: self.l7_truncations.saturating_sub(prev.l7_truncations),
+            l7_matches: std::array::from_fn(|i| {
+                self.l7_matches[i].saturating_sub(prev.l7_matches[i])
+            }),
+            l7_blocked_flows: self.l7_blocked_flows.saturating_sub(prev.l7_blocked_flows),
+            l7_bypassed_flows: self
+                .l7_bypassed_flows
+                .saturating_sub(prev.l7_bypassed_flows),
+            l7_detoured_flows: self
+                .l7_detoured_flows
+                .saturating_sub(prev.l7_detoured_flows),
         }
     }
 }
@@ -232,6 +286,14 @@ mod tests {
             decompressed_bytes: 4_096,
             reassembly_conflicts: 6,
             flows_quarantined: 1,
+            l7_flows_identified: [7, 2, 1, 3],
+            l7_decoded_bytes: 8_192,
+            l7_decode_errors: 4,
+            l7_truncations: 2,
+            l7_matches: [5, 1, 0, 0],
+            l7_blocked_flows: 2,
+            l7_bypassed_flows: 1,
+            l7_detoured_flows: 1,
         };
         // Restarted: everything reset, a little new traffic since.
         let now = Telemetry {
@@ -252,6 +314,14 @@ mod tests {
         assert_eq!(d.decompressed_bytes, 0);
         assert_eq!(d.reassembly_conflicts, 0);
         assert_eq!(d.flows_quarantined, 0);
+        assert_eq!(d.l7_flows_identified, [0; 4]);
+        assert_eq!(d.l7_decoded_bytes, 0);
+        assert_eq!(d.l7_decode_errors, 0);
+        assert_eq!(d.l7_truncations, 0);
+        assert_eq!(d.l7_matches, [0; 4]);
+        assert_eq!(d.l7_blocked_flows, 0);
+        assert_eq!(d.l7_bypassed_flows, 0);
+        assert_eq!(d.l7_detoured_flows, 0);
         // Forward progress still measures normally.
         let later = Telemetry {
             packets: 105,

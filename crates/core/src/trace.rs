@@ -117,6 +117,36 @@ pub enum TraceKind {
         /// Bytes the flow had delivered before quarantine.
         bytes: u64,
     },
+    /// The L7 layer identified a flow's application protocol from its
+    /// first reassembled bytes (DESIGN.md §14). An HTTP→WebSocket
+    /// upgrade emits a second event for the same flow.
+    L7Identified {
+        /// The protocol named (possibly `Unknown` → raw fallback).
+        protocol: crate::l7::L7Protocol,
+    },
+    /// An L7 policy action other than plain interception was applied to
+    /// an identified flow.
+    L7ActionApplied {
+        /// The protocol the policy keyed on.
+        protocol: crate::l7::L7Protocol,
+        /// What the policy did.
+        action: crate::l7::L7Action,
+    },
+    /// An L7 decoder hit malformed framing or a corrupt encoded body.
+    /// Decode failures fail open — the affected bytes are scanned raw —
+    /// so this event is a data-quality signal, not a coverage hole.
+    L7DecodeError {
+        /// The protocol being decoded.
+        protocol: crate::l7::L7Protocol,
+    },
+    /// An L7 per-protocol inspection size limit truncated decoded
+    /// output (the decompression-bomb guard reports through this).
+    L7Truncated {
+        /// The protocol being decoded.
+        protocol: crate::l7::L7Protocol,
+        /// Decoded bytes retained at the truncation point.
+        bytes: u64,
+    },
     /// A worker shard slept through an injected stall.
     ShardStalled {
         /// Shard-local packet ordinal that triggered the stall.

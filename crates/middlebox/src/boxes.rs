@@ -187,6 +187,37 @@ pub fn network_analytics(id: MiddleboxId) -> MiddleboxTemplate {
     }
 }
 
+/// An SNI filter: a TLS-only middlebox blocking by server name. It
+/// subscribes to decoded TLS units exclusively (DESIGN.md §14), so it
+/// never sees HTTP bodies or raw bytes — only the SNI host names the L7
+/// layer extracts from ClientHellos.
+pub fn sni_filter(id: MiddleboxId, blocked_hosts: &[Vec<u8>]) -> MiddleboxTemplate {
+    let rules = numbered(RuleSpec::exact_set(blocked_hosts));
+    let logic = RuleLogic::one_per_pattern(rules.len() as u16, MbAction::Block);
+    MiddleboxTemplate {
+        profile: MiddleboxProfile::stateless(id)
+            .with_l7_protocols(dpi_core::ProtocolMask::only(&[dpi_core::L7Protocol::Tls])),
+        name: format!("sni-filter-{}", id.0),
+        rules,
+        logic,
+    }
+}
+
+/// A web application firewall: HTTP-only signatures over decoded
+/// request/response payloads (headers and dechunked, decompressed
+/// bodies). Stateful — a signature may span decoded body units.
+pub fn waf(id: MiddleboxId, signatures: &[Vec<u8>]) -> MiddleboxTemplate {
+    let rules = numbered(RuleSpec::exact_set(signatures));
+    let logic = RuleLogic::one_per_pattern(rules.len() as u16, MbAction::Block);
+    MiddleboxTemplate {
+        profile: MiddleboxProfile::stateful(id)
+            .with_l7_protocols(dpi_core::ProtocolMask::only(&[dpi_core::L7Protocol::Http1])),
+        name: format!("waf-{}", id.0),
+        rules,
+        logic,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

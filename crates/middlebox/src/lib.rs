@@ -40,7 +40,8 @@ pub mod nodes;
 pub mod reorder;
 
 pub use boxes::{
-    antivirus, dlp, ids, ips, l7_firewall, l7_load_balancer, network_analytics, traffic_shaper,
+    antivirus, dlp, ids, ips, l7_firewall, l7_load_balancer, network_analytics, sni_filter,
+    traffic_shaper, waf,
 };
 pub use engine::{MiddleboxStats, SelfScanMiddlebox, ServiceMiddlebox};
 pub use fleet::{FleetDpiNode, FleetDpiStats};

@@ -136,6 +136,18 @@ impl Packet {
         }
     }
 
+    /// The TCP sequence number of the first payload byte, for TCP
+    /// bodies; `None` for UDP, result and raw packets.
+    pub fn tcp_seq(&self) -> Option<u32> {
+        match &self.body {
+            PacketBody::Ipv4 {
+                l4: L4Header::Tcp(t),
+                ..
+            } => Some(t.seq),
+            _ => None,
+        }
+    }
+
     /// Pushes a VLAN tag carrying a policy-chain identifier (outermost).
     pub fn push_chain_tag(&mut self, chain_id: u16) -> Result<()> {
         let tag = VlanTag::for_chain(chain_id)?;

@@ -26,12 +26,17 @@
 
 pub mod evasion;
 pub mod flows;
+pub mod l7;
 pub mod patterns;
 pub mod persist;
 pub mod trace;
 
 pub use evasion::{evasive_flow, evasive_flows, EvasionTactic, EvasiveFlow, EvasiveSegment};
 pub use flows::{flow_pool, packetize, FlowPool};
+pub use l7::{
+    http1_chunked_gzip_request, http1_chunked_request, segment_stream, tls_client_hello,
+    websocket_session, L7Flow,
+};
 pub use patterns::{clamav_like, snort_like, snort_like_regexes, split_set, PatternSetSpec};
 pub use persist::{load_records, save_records, PersistError};
 pub use trace::{heavy_payload, TraceConfig, TraceKind};

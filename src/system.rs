@@ -123,6 +123,7 @@ pub struct SystemBuilder {
     balance: Option<BalancePolicy>,
     kernel: KernelKind,
     conflict_policy: ConflictPolicy,
+    l7: Option<dpi_core::L7Policy>,
 }
 
 impl Default for SystemBuilder {
@@ -148,6 +149,7 @@ impl SystemBuilder {
             balance: None,
             kernel: KernelKind::Auto,
             conflict_policy: ConflictPolicy::FirstWins,
+            l7: None,
         }
     }
 
@@ -167,6 +169,17 @@ impl SystemBuilder {
     /// configuration, so engines rebuilt by live rule updates keep it.
     pub fn with_conflict_policy(mut self, policy: ConflictPolicy) -> SystemBuilder {
         self.conflict_policy = policy;
+        self
+    }
+
+    /// Enables L7 protocol inspection (identify → decode → scan,
+    /// DESIGN.md §14) on every engine's TCP path with the given
+    /// per-protocol policy. Off by default: without it the engines scan
+    /// reassembled bytes raw, exactly as before the L7 layer existed.
+    /// Like the kernel choice, the policy is stamped into the instance
+    /// configuration, so engines rebuilt by live rule updates keep it.
+    pub fn with_l7_policy(mut self, policy: dpi_core::L7Policy) -> SystemBuilder {
+        self.l7 = Some(policy);
         self
     }
 
@@ -278,10 +291,11 @@ impl SystemBuilder {
         // exercised separately in dpi-controller), compiled once and
         // shared between every in-network instance and the batch
         // pipeline.
-        let cfg = controller
+        let mut cfg = controller
             .instance_config(&chain_ids)?
             .with_kernel(self.kernel)
             .with_conflict_policy(self.conflict_policy);
+        cfg.l7 = self.l7;
         let mut orchestrator = UpdateOrchestrator::new(&cfg);
         let engine = Arc::new(ScanEngine::new(cfg)?);
         let mut scanner = ShardedScanner::new(engine.clone(), self.dpi_workers);
@@ -435,6 +449,7 @@ impl SystemBuilder {
             balancer: self.balance.map(LoadBalancer::new),
             kernel: self.kernel,
             conflict_policy: self.conflict_policy,
+            l7: self.l7,
         })
     }
 }
@@ -562,6 +577,9 @@ pub struct SystemHandle {
     /// Reassembly conflict policy stamped into every engine build
     /// (including updates).
     conflict_policy: ConflictPolicy,
+    /// L7 inspection policy stamped into every engine build (including
+    /// updates), when enabled.
+    l7: Option<dpi_core::L7Policy>,
 }
 
 impl SystemHandle {
@@ -947,6 +965,66 @@ impl SystemHandle {
         }
 
         m.family(
+            "dpi_l7_flows_identified_total",
+            "Flows identified per L7 protocol per instance",
+            MetricKind::Counter,
+        );
+        m.family(
+            "dpi_l7_matches_total",
+            "Pattern matches inside decoded L7 payloads per protocol per instance",
+            MetricKind::Counter,
+        );
+        m.family(
+            "dpi_l7_decoded_bytes_total",
+            "Decoded L7 payload bytes scanned per instance",
+            MetricKind::Counter,
+        );
+        m.family(
+            "dpi_l7_decode_errors_total",
+            "L7 decode errors (fail-open to raw scanning) per instance",
+            MetricKind::Counter,
+        );
+        m.family(
+            "dpi_l7_truncations_total",
+            "L7 payloads truncated at the per-protocol inspection size limit",
+            MetricKind::Counter,
+        );
+        m.family(
+            "dpi_l7_blocked_flows_total",
+            "Flows blocked by L7 policy per instance",
+            MetricKind::Counter,
+        );
+        m.family(
+            "dpi_l7_bypassed_flows_total",
+            "Flows bypassed by L7 policy per instance",
+            MetricKind::Counter,
+        );
+        m.family(
+            "dpi_l7_detoured_flows_total",
+            "Flows detoured by L7 policy per instance",
+            MetricKind::Counter,
+        );
+        for (i, t) in self.fleet_telemetry().iter().enumerate() {
+            let i = i.to_string();
+            for p in dpi_core::L7Protocol::ALL {
+                let l = [("instance", i.as_str()), ("protocol", p.name())];
+                m.sample(
+                    "dpi_l7_flows_identified_total",
+                    &l,
+                    t.l7_flows_identified[p.index()],
+                );
+                m.sample("dpi_l7_matches_total", &l, t.l7_matches[p.index()]);
+            }
+            let l = [("instance", i.as_str())];
+            m.sample("dpi_l7_decoded_bytes_total", &l, t.l7_decoded_bytes);
+            m.sample("dpi_l7_decode_errors_total", &l, t.l7_decode_errors);
+            m.sample("dpi_l7_truncations_total", &l, t.l7_truncations);
+            m.sample("dpi_l7_blocked_flows_total", &l, t.l7_blocked_flows);
+            m.sample("dpi_l7_bypassed_flows_total", &l, t.l7_bypassed_flows);
+            m.sample("dpi_l7_detoured_flows_total", &l, t.l7_detoured_flows);
+        }
+
+        m.family(
             "dpi_instance_shed_packets_total",
             "Packets forwarded unscanned by the instance overload policy",
             MetricKind::Counter,
@@ -1140,11 +1218,12 @@ impl SystemHandle {
     /// a generation mix and never goes down over a bad update.
     pub fn apply_update(&mut self) -> Result<UpdateOutcome, SystemError> {
         let version = self.controller.version();
-        let cfg = self
+        let mut cfg = self
             .controller
             .instance_config(&self.chain_ids)?
             .with_kernel(self.kernel)
             .with_conflict_policy(self.conflict_policy);
+        cfg.l7 = self.l7;
         let mut prepared = self.orchestrator.prepare(version, &cfg);
         let transfer_bytes = prepared.transfer_bytes;
 

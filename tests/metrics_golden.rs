@@ -11,6 +11,7 @@
 use dpi_service::ac::MiddleboxId;
 use dpi_service::controller::BalancePolicy;
 use dpi_service::core::overload::OverloadPolicy;
+use dpi_service::core::{L7Policy, L7Protocol};
 use dpi_service::middlebox::antivirus;
 use dpi_service::packet::ipv4::IpProtocol;
 use dpi_service::packet::packet::flow;
@@ -67,6 +68,7 @@ fn metrics_schema_matches_golden() {
         .with_dpi_workers(2)
         .with_overload_policy(OverloadPolicy::queue_only(50, 45))
         .with_balance_policy(BalancePolicy::default())
+        .with_l7_policy(L7Policy::default())
         .build()
         .expect("system builds");
 
@@ -104,6 +106,52 @@ fn metrics_schema_matches_golden() {
         "metrics schema drifted from {GOLDEN}; if intentional, regenerate \
          with UPDATE_GOLDEN=1 and review the diff"
     );
+}
+
+#[test]
+fn l7_families_have_per_protocol_series() {
+    // The L7 families are part of the dashboard contract even when no
+    // L7 policy is armed: every protocol label and every scalar family
+    // must be present from the first scrape, so panels never start
+    // empty and then pop into existence.
+    let sig = b"golden-sig".to_vec();
+    let sys = SystemBuilder::new()
+        .with_middlebox(antivirus(MiddleboxId(1), &[sig]))
+        .with_chain(&[MiddleboxId(1)])
+        .with_dpi_instances(2)
+        .build()
+        .expect("system builds");
+    let text = sys.metrics_text();
+    for family in ["dpi_l7_flows_identified_total", "dpi_l7_matches_total"] {
+        for p in L7Protocol::ALL {
+            for instance in 0..2 {
+                let series = format!(
+                    "{family}{{instance=\"{instance}\",protocol=\"{}\"}}",
+                    p.name()
+                );
+                assert!(
+                    text.lines().any(|l| l.starts_with(&series)),
+                    "missing series {series}"
+                );
+            }
+        }
+    }
+    for family in [
+        "dpi_l7_decoded_bytes_total",
+        "dpi_l7_decode_errors_total",
+        "dpi_l7_truncations_total",
+        "dpi_l7_blocked_flows_total",
+        "dpi_l7_bypassed_flows_total",
+        "dpi_l7_detoured_flows_total",
+    ] {
+        for instance in 0..2 {
+            let series = format!("{family}{{instance=\"{instance}\"}}");
+            assert!(
+                text.lines().any(|l| l.starts_with(&series)),
+                "missing series {series}"
+            );
+        }
+    }
 }
 
 #[test]
