@@ -1,0 +1,141 @@
+//! Million-flow state characterization (DESIGN.md §15): flow-arena
+//! footprint, lookup latency and timer-wheel aging cost as the
+//! concurrent-flow count sweeps 10k → 1M. Writes `BENCH_flows.json`
+//! (consumed by the CI bench job as an artifact) with one entry per
+//! flow-count point:
+//!
+//! * `flows` — concurrent scan-state entries held at the point;
+//! * `bytes_per_flow` — arena-accounted bytes per resident flow;
+//! * `insert_ns` / `lookup_ns` — mean cost of a state write into a
+//!   cold arena and of a generation-checked state read at capacity;
+//! * `aging_ns_per_flow` — timer-wheel cost to age the whole
+//!   population out (total drain time over flows aged);
+//! * `resident_over_capacity` — entries resident after offering 25%
+//!   more flows than the capacity bound (must equal the capacity:
+//!   the flat-ceiling guarantee).
+//!
+//! Set `DPI_BENCH_QUICK=1` for a CI-sized run.
+
+use dpi_core::FlowArena;
+use dpi_packet::ipv4::IpProtocol;
+use dpi_packet::FlowKey;
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+fn key(n: u64) -> FlowKey {
+    FlowKey {
+        src_ip: Ipv4Addr::from(0x0a00_0000 | (n >> 16) as u32),
+        dst_ip: Ipv4Addr::new(10, 0, 0, 2),
+        protocol: IpProtocol::Tcp,
+        src_port: (n & 0xFFFF) as u16,
+        dst_port: 80,
+    }
+}
+
+fn main() {
+    let quick = std::env::var_os("DPI_BENCH_QUICK").is_some();
+    let flow_counts: &[usize] = if quick {
+        &[10_000, 50_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+
+    println!(
+        "flow-arena bench: sweep {flow_counts:?}{}",
+        if quick { ", quick mode" } else { "" }
+    );
+    dpi_bench::print_row(&[
+        "flows".into(),
+        "B/flow".into(),
+        "insert ns".into(),
+        "lookup ns".into(),
+        "age ns".into(),
+        "over-cap".into(),
+    ]);
+
+    let mut points = Vec::new();
+    for &n in flow_counts {
+        // Populate a cold arena to capacity with scan-state entries (the
+        // dominant population in a million-flow table: most flows carry
+        // state + offset, no reassembly backlog).
+        let mut arena = FlowArena::new(n);
+        let t0 = Instant::now();
+        for i in 0..n as u64 {
+            arena.put_scan_gen(key(i), (i % 97) as u32, i, 1);
+        }
+        let insert_ns = t0.elapsed().as_nanos() as f64 / n as f64;
+        assert_eq!(arena.len(), n, "populate stays within capacity");
+        let bytes_per_flow = arena.total_bytes() as f64 / arena.len() as f64;
+
+        // Generation-checked reads at capacity — the per-packet hot-path
+        // operation. A stride walks the population out of insertion
+        // order so the probe is not a best-case LRU-head hit.
+        let probes = (n as u64).min(200_000);
+        let stride = 48_271u64; // coprime with every n in the sweep
+        let t0 = Instant::now();
+        let mut live = 0u64;
+        for i in 0..probes {
+            let k = key((i * stride) % n as u64);
+            if arena.get_scan_if_generation(&k, 1).is_some() {
+                live += 1;
+            }
+        }
+        let lookup_ns = t0.elapsed().as_nanos() as f64 / probes as f64;
+        assert_eq!(live, probes, "every probed flow is resident");
+
+        // The flat ceiling: offering 25% more flows than capacity must
+        // evict, not grow.
+        for i in n as u64..(n as u64 + n as u64 / 4) {
+            arena.put_scan_gen(key(i), 0, 0, 1);
+        }
+        let resident_over_capacity = arena.len();
+        assert_eq!(resident_over_capacity, n, "capacity bound held");
+
+        // Timer-wheel aging: rebuild with an idle timeout, then drain
+        // the entire population by ticking a single sentinel flow. Every
+        // arena access is one logical tick, so `n + timeout` touches age
+        // everything out through the wheel's cascade path.
+        let timeout = 4 * n as u64;
+        let mut arena = FlowArena::with_limits(n, Some(timeout), None);
+        for i in 0..n as u64 {
+            arena.put_scan_gen(key(i), 0, i, 1);
+        }
+        let sentinel = key(0);
+        let t0 = Instant::now();
+        let mut ticks = 0u64;
+        while arena.len() > 1 && ticks < 16 * timeout {
+            arena.get_scan(&sentinel);
+            ticks += 1;
+        }
+        let aged = arena.take_events().flows_aged;
+        let aging_ns_per_flow = t0.elapsed().as_nanos() as f64 / aged.max(1) as f64;
+        assert!(
+            aged >= n as u64 - 1,
+            "aging drained the population ({aged} of {n})"
+        );
+
+        dpi_bench::print_row(&[
+            format!("{n}"),
+            format!("{bytes_per_flow:.0}"),
+            format!("{insert_ns:.0}"),
+            format!("{lookup_ns:.0}"),
+            format!("{aging_ns_per_flow:.0}"),
+            format!("{resident_over_capacity}"),
+        ]);
+        points.push(format!(
+            "{{\"flows\": {n}, \"bytes_per_flow\": {bytes_per_flow:.1}, \
+             \"insert_ns\": {insert_ns:.1}, \"lookup_ns\": {lookup_ns:.1}, \
+             \"aging_ns_per_flow\": {aging_ns_per_flow:.1}, \
+             \"resident_over_capacity\": {resident_over_capacity}}}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"host_cores\": {},\n  \"quick\": {},\n  \"points\": [{}]\n}}\n",
+        dpi_bench::host_cores(),
+        quick,
+        points.join(", "),
+    );
+    std::fs::write("BENCH_flows.json", &json).expect("writable working directory");
+    println!("wrote BENCH_flows.json");
+}

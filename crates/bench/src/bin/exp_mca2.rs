@@ -92,8 +92,8 @@ fn main() {
             if let Mca2Action::MigrateHeavyFlows { .. } = action {
                 // Dedicated instance takes over the heavy flow.
                 let mut dedicated = new_instance(&pats);
-                if let Some((st, off)) = regular.export_flow(&hflow) {
-                    dedicated.import_flow(hflow, st, off);
+                if let Some(exported) = regular.export_flow(&hflow) {
+                    dedicated.import_flow(hflow, exported);
                 }
                 mitigated = true;
             }

@@ -1,0 +1,919 @@
+//! The unified, bounded per-flow state arena (DESIGN.md §15).
+//!
+//! The paper's §4.3 pitch is that a DPI instance keeps only tiny
+//! per-flow state — "the current DFA state and an offset within the
+//! packet" — which is what makes consolidation and migration cheap. The
+//! instance as grown actually kept per-flow state in *four* independent
+//! maps (scan state, reassemblers, stress counters, L7 sessions), of
+//! which only the flow table was bounded; flow churn grew the rest
+//! without limit. [`FlowArena`] unifies all four behind one `FlowKey`
+//! lookup into a slab of [`FlowEntry`] records with:
+//!
+//! * **one bounded entry count** — a single capacity covers every kind
+//!   of per-flow state, enforced by O(1) single-entry LRU eviction
+//!   (replacing the old sort-half eviction that allocated and sorted on
+//!   the hot path);
+//! * **quarantine-preferring eviction** — fail-closed verdicts are
+//!   skipped by the eviction walk, so churn cannot flush them (each
+//!   forced drop is counted and surfaced, never silent);
+//! * **per-flow byte accounting** — each entry caches its heap
+//!   footprint (reassembly buffers, L7 decode buffers) and the arena
+//!   keeps the running total, which the overload detector reads as a
+//!   memory-pressure watermark and an optional byte budget enforces
+//!   directly;
+//! * **timer-wheel aging** — a hierarchical [`TimerWheel`] over the
+//!   same logical clock the LRU uses expires idle flows (reassembly
+//!   buffers included) deterministically, with no wall-clock reads.
+//!
+//! Losing an entry is always safe for correctness of the data path: the
+//! next packet scans from the automaton root as if the flow were new
+//! (the same argument as flow-table eviction). The one exception is a
+//! quarantine verdict, which is why eviction prefers everything else
+//! and aging skips quarantined entries entirely — they hold no buffers,
+//! so keeping them costs one slab slot, not memory.
+
+use crate::flowstate::FlowState;
+use crate::l7::L7Session;
+use crate::reassembly::StreamReassembler;
+use crate::timerwheel::TimerWheel;
+use dpi_packet::FlowKey;
+use std::collections::HashMap;
+
+/// Slab index niche for "no entry" in the intrusive LRU links.
+const NIL: u32 = u32::MAX;
+
+/// How many quarantined entries the eviction walk skips before giving
+/// up and dropping the oldest verdict anyway (the bound must hold).
+const EVICTION_WALK: usize = 64;
+
+/// Estimated fixed cost of one tracked flow: the slab slot itself plus
+/// the index map's key + index + bucket share. An estimate for the
+/// watermark math, not an allocator census.
+fn entry_base_bytes() -> u64 {
+    (std::mem::size_of::<Slot>() + std::mem::size_of::<FlowKey>() + 24) as u64
+}
+
+/// Counters the arena accumulates while servicing the hot path, drained
+/// by the owning shard into telemetry and trace events (the arena knows
+/// nothing about writers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaEvents {
+    /// Entries dropped by the capacity bound or byte budget.
+    pub flows_evicted: u64,
+    /// Evictions that were forced to drop a *quarantined* entry — a
+    /// forgotten fail-closed verdict, worth alarming on.
+    pub quarantined_evicted: u64,
+    /// Entries expired by idle-timeout aging.
+    pub flows_aged: u64,
+}
+
+impl ArenaEvents {
+    /// Whether nothing happened since the last drain.
+    pub fn is_empty(&self) -> bool {
+        *self == ArenaEvents::default()
+    }
+}
+
+/// Everything the instance knows about one flow, in one slab slot.
+#[derive(Debug)]
+struct FlowEntry {
+    key: FlowKey,
+    /// Scan state `(dfa_state, stream_offset, generation)` — the §4.3
+    /// record. `None` for flows tracked only for reassembly/stress/L7.
+    scan: Option<(u32, u64, u32)>,
+    /// Sticky fail-closed verdict (DESIGN.md §13). Survives scan-state
+    /// overwrites, generation re-anchoring, eviction preference and
+    /// aging; cleared only by explicit teardown or forced eviction.
+    quarantined: bool,
+    /// TCP reassembly state, boxed: most flows in a million-flow table
+    /// are idle and must not pay the reassembler's inline size.
+    reassembler: Option<Box<StreamReassembler>>,
+    /// Deep-state stress samples `(deep, total)` for MCA² heavy-flow
+    /// selection (§4.3.1).
+    stress: (u64, u64),
+    /// L7 decode session (DESIGN.md §14), boxed like the reassembler.
+    l7: Option<Box<L7Session>>,
+    /// Logical tick of the last touch (LRU + aging).
+    last_used: u64,
+    /// Cached byte estimate for this entry (base + component heaps).
+    bytes: u64,
+    /// Intrusive LRU list: `prev` is toward most-recent, `next` toward
+    /// least-recent. O(1) touch, O(1) evict, zero allocation.
+    prev: u32,
+    next: u32,
+}
+
+/// One slab slot. `stamp` increments on every free, so a stale timer
+/// (lazy cancellation) can tell that its slot was reused.
+#[derive(Debug)]
+struct Slot {
+    entry: Option<FlowEntry>,
+    stamp: u32,
+    next_free: u32,
+}
+
+/// The arena. See the module docs.
+#[derive(Debug)]
+pub struct FlowArena {
+    index: HashMap<FlowKey, u32>,
+    slots: Vec<Slot>,
+    free_head: u32,
+    /// Most-recently-used entry.
+    lru_head: u32,
+    /// Least-recently-used entry (eviction candidate).
+    lru_tail: u32,
+    capacity: usize,
+    /// Logical clock: one tick per arena access, shared by LRU order
+    /// and the timer wheel (deterministic, no wall time).
+    clock: u64,
+    /// Idle ticks before an entry is aged out; `None` disables aging.
+    idle_timeout: Option<u64>,
+    /// Total-byte budget; `None` disables budget eviction (the
+    /// watermark integration still reads `total_bytes`).
+    max_bytes: Option<u64>,
+    total_bytes: u64,
+    wheel: TimerWheel,
+    /// Reusable expiry scratch (keeps `tick` allocation-free).
+    expired: Vec<u64>,
+    events: ArenaEvents,
+}
+
+impl FlowArena {
+    /// An arena bounded to `capacity` entries (minimum 1), with aging
+    /// and the byte budget disabled.
+    pub fn new(capacity: usize) -> FlowArena {
+        FlowArena::with_limits(capacity, None, None)
+    }
+
+    /// An arena with optional idle aging (in logical ticks — one tick
+    /// per arena access) and an optional total-byte budget.
+    pub fn with_limits(
+        capacity: usize,
+        idle_timeout: Option<u64>,
+        max_bytes: Option<u64>,
+    ) -> FlowArena {
+        FlowArena {
+            index: HashMap::new(),
+            slots: Vec::new(),
+            free_head: NIL,
+            lru_head: NIL,
+            lru_tail: NIL,
+            capacity: capacity.max(1),
+            clock: 0,
+            idle_timeout: idle_timeout.filter(|&t| t > 0),
+            max_bytes: max_bytes.filter(|&b| b > 0),
+            total_bytes: 0,
+            wheel: TimerWheel::new(),
+            expired: Vec::new(),
+            events: ArenaEvents::default(),
+        }
+    }
+
+    /// Tracked flows.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether no flows are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The entry bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Estimated bytes of all per-flow state currently held — what the
+    /// overload detector's memory watermark reads.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// The configured idle timeout, if aging is enabled.
+    pub fn idle_timeout(&self) -> Option<u64> {
+        self.idle_timeout
+    }
+
+    /// Counters accumulated since the last drain (see [`ArenaEvents`]).
+    pub fn take_events(&mut self) -> ArenaEvents {
+        std::mem::take(&mut self.events)
+    }
+
+    /// All tracked flow keys (diagnostics, migration candidate listing).
+    pub fn keys(&self) -> impl Iterator<Item = &FlowKey> {
+        self.index.keys()
+    }
+
+    // ---- scan state (FlowTable semantics) ---------------------------
+
+    /// Looks up (and touches) a flow's scan state. Mirrors
+    /// [`crate::flowstate::FlowTable::get`]: a quarantined flow without
+    /// scan state reads as the zero record with the verdict set.
+    pub fn get_scan(&mut self, key: &FlowKey) -> Option<FlowState> {
+        let idx = self.lookup_touch(key)?;
+        let e = self.slots[idx as usize].entry.as_ref().expect("indexed");
+        match (e.scan, e.quarantined) {
+            (Some((state, offset, generation)), q) => {
+                Some(FlowState::assemble(state, offset, generation, q))
+            }
+            (None, true) => Some(FlowState::assemble(0, 0, 0, true)),
+            (None, false) => None,
+        }
+    }
+
+    /// Looks up a flow's scan state, but only if it was written under
+    /// `generation`; a mismatch drops the stale scan state (the flow
+    /// re-anchors at the new automaton's root, miss-only) while leaving
+    /// the entry's other components — unlike the standalone flow table,
+    /// the entry may also hold live reassembly/L7 state, and a
+    /// quarantine verdict must never ride out on a generation swap.
+    pub fn get_scan_if_generation(&mut self, key: &FlowKey, generation: u32) -> Option<FlowState> {
+        let idx = self.lookup_touch(key)?;
+        let e = self.slots[idx as usize].entry.as_mut().expect("indexed");
+        match e.scan {
+            Some((state, offset, g)) if g == generation => {
+                Some(FlowState::assemble(state, offset, g, e.quarantined))
+            }
+            Some(_) => {
+                e.scan = None;
+                self.remove_if_hollow(idx);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Stores a flow's scan state tagged with the generation of the
+    /// automaton that produced it. Quarantine is sticky across writes.
+    pub fn put_scan_gen(&mut self, key: FlowKey, state: u32, offset: u64, generation: u32) {
+        let idx = self.ensure(key);
+        let e = self.slots[idx as usize].entry.as_mut().expect("ensured");
+        e.scan = Some((state, offset, generation));
+    }
+
+    /// Marks a flow quarantined (reassembly conflict under
+    /// `ConflictPolicy::RejectFlow`), creating the entry if absent. The
+    /// flow's reassembly and L7 state is torn down with it: a
+    /// quarantined flow is never scanned again, so keeping (or later
+    /// re-creating) buffers for it would only store attacker-controlled
+    /// bytes. This also keeps the "quarantined entries are tiny"
+    /// invariant the eviction preference relies on.
+    pub fn quarantine(&mut self, key: FlowKey) {
+        let idx = self.ensure(key);
+        let e = self.slots[idx as usize].entry.as_mut().expect("ensured");
+        e.quarantined = true;
+        e.reassembler = None;
+        e.l7 = None;
+        self.refresh_idx(idx);
+    }
+
+    /// Whether a flow is quarantined. Non-mutating (no LRU touch, no
+    /// clock tick) — this sits on the per-packet hot path.
+    pub fn is_quarantined(&self, key: &FlowKey) -> bool {
+        self.peek(key).is_some_and(|e| e.quarantined)
+    }
+
+    /// Removes a flow entirely — connection teardown. Every per-flow
+    /// component (scan state, reassembler, stress, L7 session, verdict)
+    /// goes with it; returns the scan-state record if one existed.
+    pub fn remove(&mut self, key: &FlowKey) -> Option<FlowState> {
+        let idx = *self.index.get(key)?;
+        let e = self.slots[idx as usize].entry.as_ref().expect("indexed");
+        let out = e
+            .scan
+            .map(|(s, o, g)| FlowState::assemble(s, o, g, e.quarantined))
+            .or(e.quarantined.then(|| FlowState::assemble(0, 0, 0, true)));
+        self.remove_idx(idx);
+        out
+    }
+
+    /// Exports a flow's full scan-state record without touching LRU
+    /// order — the migration path (§4.3). Quarantined flows export the
+    /// verdict even when they hold no scan state.
+    pub fn export_scan(&self, key: &FlowKey) -> Option<FlowState> {
+        let e = self.peek(key)?;
+        match (e.scan, e.quarantined) {
+            (Some((s, o, g)), q) => Some(FlowState::assemble(s, o, g, q)),
+            (None, true) => Some(FlowState::assemble(0, 0, 0, true)),
+            (None, false) => None,
+        }
+    }
+
+    /// Imports a migrated flow's record as exported — generation tag
+    /// and quarantine verdict included (a quarantine already present
+    /// locally is sticky; import never clears it).
+    pub fn import_scan(&mut self, key: FlowKey, fs: FlowState) {
+        let idx = self.ensure(key);
+        let e = self.slots[idx as usize].entry.as_mut().expect("ensured");
+        e.scan = Some((fs.state, fs.offset, fs.generation));
+        e.quarantined |= fs.quarantined;
+    }
+
+    // ---- reassembly -------------------------------------------------
+
+    /// The flow's reassembler, if it has one. Non-mutating.
+    pub fn reassembler(&self, key: &FlowKey) -> Option<&StreamReassembler> {
+        self.peek(key)?.reassembler.as_deref()
+    }
+
+    /// Whether `flow` currently holds TCP reassembly state.
+    pub fn has_reassembler(&self, key: &FlowKey) -> bool {
+        self.peek(key).is_some_and(|e| e.reassembler.is_some())
+    }
+
+    /// The flow's reassembler, created with `init` if absent (touches
+    /// the flow). The caller must call [`FlowArena::refresh_bytes`]
+    /// after mutating the returned reassembler so the arena's byte
+    /// accounting tracks it.
+    pub fn reassembler_or_insert_with(
+        &mut self,
+        key: FlowKey,
+        init: impl FnOnce() -> StreamReassembler,
+    ) -> &mut StreamReassembler {
+        let idx = self.ensure(key);
+        let e = self.slots[idx as usize].entry.as_mut().expect("ensured");
+        e.reassembler.get_or_insert_with(|| Box::new(init()))
+    }
+
+    /// Installs (replacing any previous) reassembly state for a flow —
+    /// the explicit stream-open path.
+    pub fn set_reassembler(&mut self, key: FlowKey, r: StreamReassembler) {
+        let idx = self.ensure(key);
+        let e = self.slots[idx as usize].entry.as_mut().expect("ensured");
+        e.reassembler = Some(Box::new(r));
+        self.refresh_idx(idx);
+    }
+
+    /// Drops a flow's reassembly state, keeping the rest of the entry.
+    pub fn drop_reassembler(&mut self, key: &FlowKey) {
+        if let Some(&idx) = self.index.get(key) {
+            let e = self.slots[idx as usize].entry.as_mut().expect("indexed");
+            if e.reassembler.take().is_some() {
+                self.refresh_idx(idx);
+                self.remove_if_hollow(idx);
+            }
+        }
+    }
+
+    /// Re-estimates a flow's byte footprint after its reassembler or L7
+    /// session was mutated in place, then enforces the byte budget.
+    pub fn refresh_bytes(&mut self, key: &FlowKey) {
+        if let Some(&idx) = self.index.get(key) {
+            self.refresh_idx(idx);
+            self.enforce_bytes();
+        }
+    }
+
+    // ---- stress samples ---------------------------------------------
+
+    /// Adds one scan's depth samples to a flow's stress window (the
+    /// MCA² heavy-flow signal).
+    pub fn record_stress(&mut self, key: FlowKey, deep: u64, samples: u64) {
+        let idx = self.ensure(key);
+        let e = self.slots[idx as usize].entry.as_mut().expect("ensured");
+        e.stress.0 += deep;
+        e.stress.1 += samples;
+    }
+
+    /// Per-flow deep-state ratios; flows with fewer than two samples
+    /// are omitted (no signal), sorted hottest first.
+    pub fn stress_ratios(&self) -> Vec<(FlowKey, f64)> {
+        let mut v: Vec<(FlowKey, f64)> = self
+            .entries()
+            .filter(|e| e.stress.1 >= 2)
+            .map(|e| (e.key, e.stress.0 as f64 / e.stress.1 as f64))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("ratios are finite"));
+        v
+    }
+
+    /// Clears the stress window (after the controller consumed it).
+    /// Entries that held nothing but stress samples are released.
+    pub fn reset_stress(&mut self) {
+        let stressed: Vec<u32> = self
+            .index
+            .values()
+            .copied()
+            .filter(|&idx| {
+                let e = self.slots[idx as usize].entry.as_ref().expect("indexed");
+                e.stress != (0, 0)
+            })
+            .collect();
+        for idx in stressed {
+            let e = self.slots[idx as usize].entry.as_mut().expect("indexed");
+            e.stress = (0, 0);
+            self.remove_if_hollow(idx);
+        }
+    }
+
+    // ---- L7 sessions ------------------------------------------------
+
+    /// Takes a flow's L7 session out of the arena (the scan loop owns
+    /// it while decoding, then puts it back), touching the flow.
+    pub fn take_l7(&mut self, key: &FlowKey) -> Option<L7Session> {
+        let idx = self.lookup_touch(key)?;
+        let e = self.slots[idx as usize].entry.as_mut().expect("indexed");
+        let s = e.l7.take().map(|b| *b);
+        if s.is_some() {
+            self.refresh_idx(idx);
+        }
+        s
+    }
+
+    /// Stores a flow's L7 session (back), touching the flow.
+    pub fn put_l7(&mut self, key: FlowKey, session: L7Session) {
+        let idx = self.ensure(key);
+        let e = self.slots[idx as usize].entry.as_mut().expect("ensured");
+        e.l7 = Some(Box::new(session));
+        self.refresh_idx(idx);
+        self.enforce_bytes();
+    }
+
+    /// Drops a flow's L7 session, keeping the rest of the entry.
+    pub fn drop_l7(&mut self, key: &FlowKey) {
+        if let Some(&idx) = self.index.get(key) {
+            let e = self.slots[idx as usize].entry.as_mut().expect("indexed");
+            if e.l7.take().is_some() {
+                self.refresh_idx(idx);
+                self.remove_if_hollow(idx);
+            }
+        }
+    }
+
+    /// The flow's identified L7 protocol, if it has a session.
+    pub fn l7_protocol(&self, key: &FlowKey) -> Option<crate::l7::L7Protocol> {
+        self.peek(key)?.l7.as_ref().map(|s| s.protocol())
+    }
+
+    // ---- internals --------------------------------------------------
+
+    fn entries(&self) -> impl Iterator<Item = &FlowEntry> {
+        self.index
+            .values()
+            .map(|&idx| self.slots[idx as usize].entry.as_ref().expect("indexed"))
+    }
+
+    fn peek(&self, key: &FlowKey) -> Option<&FlowEntry> {
+        let idx = *self.index.get(key)?;
+        self.slots[idx as usize].entry.as_ref()
+    }
+
+    /// Advances the logical clock by one tick and runs any timers that
+    /// came due. O(1) amortized; allocation-free in steady state.
+    fn tick(&mut self) {
+        self.clock += 1;
+        if self.wheel.is_empty() {
+            // Aging disabled (or nothing scheduled): just track time.
+            let clock = self.clock;
+            self.wheel.advance(clock, |_, _| {});
+            return;
+        }
+        let mut expired = std::mem::take(&mut self.expired);
+        expired.clear();
+        let clock = self.clock;
+        self.wheel
+            .advance(clock, |payload, _| expired.push(payload));
+        for payload in expired.drain(..) {
+            self.on_timer(payload);
+        }
+        self.expired = expired;
+    }
+
+    fn on_timer(&mut self, payload: u64) {
+        let idx = (payload & 0xFFFF_FFFF) as u32;
+        let stamp = (payload >> 32) as u32;
+        let timeout = match self.idle_timeout {
+            Some(t) => t,
+            None => return,
+        };
+        let slot = match self.slots.get(idx as usize) {
+            Some(s) if s.stamp == stamp => s,
+            _ => return, // slot freed (and possibly reused) — stale timer
+        };
+        let e = match slot.entry.as_ref() {
+            Some(e) => e,
+            None => return,
+        };
+        if e.quarantined {
+            // Verdicts don't age: letting a timer flush one would
+            // re-open the fail-open hole eviction preference closed.
+            // The entry holds no buffers, so it costs a slot, not
+            // memory; it leaves by teardown or forced eviction.
+            return;
+        }
+        let due = e.last_used + timeout;
+        if due <= self.wheel.now() {
+            self.events.flows_aged += 1;
+            self.remove_idx(idx);
+        } else {
+            // Touched since scheduled: re-arm for its new idle horizon.
+            self.wheel.schedule(due, payload);
+        }
+    }
+
+    /// Looks up an existing entry and touches it (clock tick + LRU
+    /// move). Returns its slab index.
+    fn lookup_touch(&mut self, key: &FlowKey) -> Option<u32> {
+        self.tick();
+        let idx = *self.index.get(key)?;
+        self.touch_idx(idx);
+        Some(idx)
+    }
+
+    /// Finds or creates the entry for `key`, touching it either way and
+    /// enforcing the entry bound on creation.
+    fn ensure(&mut self, key: FlowKey) -> u32 {
+        self.tick();
+        if let Some(&idx) = self.index.get(&key) {
+            self.touch_idx(idx);
+            return idx;
+        }
+        if self.index.len() >= self.capacity {
+            self.evict_one();
+        }
+        let idx = self.alloc();
+        let entry = FlowEntry {
+            key,
+            scan: None,
+            quarantined: false,
+            reassembler: None,
+            stress: (0, 0),
+            l7: None,
+            last_used: self.clock,
+            bytes: entry_base_bytes(),
+            prev: NIL,
+            next: NIL,
+        };
+        self.total_bytes += entry.bytes;
+        self.slots[idx as usize].entry = Some(entry);
+        self.index.insert(key, idx);
+        self.lru_push_front(idx);
+        if let Some(timeout) = self.idle_timeout {
+            let stamp = self.slots[idx as usize].stamp;
+            self.wheel
+                .schedule(self.clock + timeout, timer_payload(idx, stamp));
+        }
+        idx
+    }
+
+    fn alloc(&mut self) -> u32 {
+        if self.free_head != NIL {
+            let idx = self.free_head;
+            self.free_head = self.slots[idx as usize].next_free;
+            self.slots[idx as usize].next_free = NIL;
+            idx
+        } else {
+            let idx = self.slots.len() as u32;
+            self.slots.push(Slot {
+                entry: None,
+                stamp: 0,
+                next_free: NIL,
+            });
+            idx
+        }
+    }
+
+    fn touch_idx(&mut self, idx: u32) {
+        let e = self.slots[idx as usize].entry.as_mut().expect("touch live");
+        e.last_used = self.clock;
+        if self.lru_head == idx {
+            return;
+        }
+        self.lru_unlink(idx);
+        self.lru_push_front(idx);
+    }
+
+    fn lru_push_front(&mut self, idx: u32) {
+        let old_head = self.lru_head;
+        {
+            let e = self.slots[idx as usize].entry.as_mut().expect("live");
+            e.prev = NIL;
+            e.next = old_head;
+        }
+        if old_head != NIL {
+            self.slots[old_head as usize]
+                .entry
+                .as_mut()
+                .expect("live head")
+                .prev = idx;
+        }
+        self.lru_head = idx;
+        if self.lru_tail == NIL {
+            self.lru_tail = idx;
+        }
+    }
+
+    fn lru_unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let e = self.slots[idx as usize].entry.as_ref().expect("live");
+            (e.prev, e.next)
+        };
+        if prev != NIL {
+            self.slots[prev as usize].entry.as_mut().expect("live").next = next;
+        } else {
+            self.lru_head = next;
+        }
+        if next != NIL {
+            self.slots[next as usize].entry.as_mut().expect("live").prev = prev;
+        } else {
+            self.lru_tail = prev;
+        }
+    }
+
+    /// Evicts one entry to make room: the least-recently-used
+    /// *non-quarantined* entry within [`EVICTION_WALK`] steps of the
+    /// tail, else the tail itself (counted as a dropped verdict).
+    fn evict_one(&mut self) {
+        let mut cursor = self.lru_tail;
+        let mut steps = 0usize;
+        while cursor != NIL && steps < EVICTION_WALK {
+            let e = self.slots[cursor as usize].entry.as_ref().expect("live");
+            if !e.quarantined {
+                self.events.flows_evicted += 1;
+                self.remove_idx(cursor);
+                return;
+            }
+            cursor = e.prev;
+            steps += 1;
+        }
+        // Everything near the tail is a quarantine verdict; the bound
+        // still holds, so the oldest verdict goes — counted, because a
+        // forgotten fail-closed verdict must never be silent.
+        let tail = self.lru_tail;
+        if tail != NIL {
+            self.events.flows_evicted += 1;
+            self.events.quarantined_evicted += 1;
+            self.remove_idx(tail);
+        }
+    }
+
+    fn remove_idx(&mut self, idx: u32) {
+        self.lru_unlink(idx);
+        let slot = &mut self.slots[idx as usize];
+        let entry = slot.entry.take().expect("remove live");
+        slot.stamp = slot.stamp.wrapping_add(1);
+        slot.next_free = self.free_head;
+        self.free_head = idx;
+        self.total_bytes -= entry.bytes;
+        self.index.remove(&entry.key);
+    }
+
+    /// Releases an entry that no longer holds anything — no scan state,
+    /// no verdict, no buffers, no stress — so stale bookkeeping doesn't
+    /// occupy slots until aged out.
+    fn remove_if_hollow(&mut self, idx: u32) {
+        let e = self.slots[idx as usize].entry.as_ref().expect("live");
+        if e.scan.is_none()
+            && !e.quarantined
+            && e.reassembler.is_none()
+            && e.l7.is_none()
+            && e.stress == (0, 0)
+        {
+            self.remove_idx(idx);
+        }
+    }
+
+    fn refresh_idx(&mut self, idx: u32) {
+        let e = self.slots[idx as usize].entry.as_mut().expect("live");
+        let new = entry_base_bytes()
+            + e.reassembler.as_ref().map_or(0, |r| r.heap_bytes())
+            + e.l7.as_ref().map_or(0, |s| s.heap_bytes());
+        self.total_bytes = self.total_bytes - e.bytes + new;
+        e.bytes = new;
+    }
+
+    /// Enforces the optional byte budget by evicting cold entries
+    /// (fail-open under memory pressure, like every other bound here).
+    /// The most-recent entry is never evicted: the flow being serviced
+    /// right now must not yank its own state out from under the caller.
+    fn enforce_bytes(&mut self) {
+        let Some(budget) = self.max_bytes else { return };
+        while self.total_bytes > budget && self.index.len() > 1 {
+            let before = self.index.len();
+            self.evict_one();
+            if self.index.len() == before {
+                break; // nothing evictable
+            }
+        }
+    }
+}
+
+fn timer_payload(idx: u32, stamp: u32) -> u64 {
+    (u64::from(stamp) << 32) | u64::from(idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpi_packet::ipv4::IpProtocol;
+    use std::net::Ipv4Addr;
+
+    fn key(n: u32) -> FlowKey {
+        FlowKey {
+            src_ip: Ipv4Addr::from(0x0a00_0000 | (n >> 16)),
+            dst_ip: Ipv4Addr::new(10, 0, 0, 2),
+            protocol: IpProtocol::Tcp,
+            src_port: (n & 0xFFFF) as u16,
+            dst_port: 80,
+        }
+    }
+
+    #[test]
+    fn scan_state_round_trip_matches_flow_table_semantics() {
+        let mut a = FlowArena::new(16);
+        assert!(a.get_scan(&key(1)).is_none());
+        a.put_scan_gen(key(1), 42, 1000, 3);
+        let fs = a.get_scan(&key(1)).unwrap();
+        assert_eq!((fs.state, fs.offset, fs.generation), (42, 1000, 3));
+        assert_eq!(
+            a.get_scan_if_generation(&key(1), 3).map(|f| f.state),
+            Some(42)
+        );
+        // Generation mismatch drops the scan state, flow reads fresh.
+        assert!(a.get_scan_if_generation(&key(1), 4).is_none());
+        assert!(a.get_scan(&key(1)).is_none());
+    }
+
+    #[test]
+    fn capacity_bound_holds_with_single_entry_eviction() {
+        let mut a = FlowArena::new(8);
+        for i in 0..100 {
+            a.put_scan_gen(key(i), i, 0, 0);
+        }
+        assert_eq!(a.len(), 8);
+        // Most recent flows survive.
+        for i in 92..100 {
+            assert!(a.get_scan(&key(i)).is_some(), "flow {i} evicted");
+        }
+        assert_eq!(a.take_events().flows_evicted, 92);
+    }
+
+    #[test]
+    fn eviction_prefers_non_quarantined() {
+        let mut a = FlowArena::new(8);
+        a.quarantine(key(0));
+        for i in 1..100 {
+            a.put_scan_gen(key(i), i, 0, 0);
+        }
+        assert!(a.is_quarantined(&key(0)), "churn flushed a verdict");
+        let ev = a.take_events();
+        assert_eq!(ev.quarantined_evicted, 0);
+    }
+
+    #[test]
+    fn quarantine_dominated_arena_stays_bounded_and_counts() {
+        let mut a = FlowArena::new(4);
+        for i in 0..10 {
+            a.quarantine(key(i));
+        }
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.take_events().quarantined_evicted, 6);
+        // The newest verdicts are the ones kept.
+        assert!(a.is_quarantined(&key(9)));
+    }
+
+    #[test]
+    fn quarantine_is_sticky_and_drops_buffers() {
+        let mut a = FlowArena::new(8);
+        a.reassembler_or_insert_with(key(1), || StreamReassembler::new(0, 1 << 16));
+        a.refresh_bytes(&key(1));
+        a.quarantine(key(1));
+        assert!(a.is_quarantined(&key(1)));
+        assert!(!a.has_reassembler(&key(1)));
+        // Scan-state writes don't clear it.
+        a.put_scan_gen(key(1), 9, 100, 2);
+        assert!(a.is_quarantined(&key(1)));
+        // Teardown forgets the verdict with the flow.
+        a.remove(&key(1));
+        assert!(!a.is_quarantined(&key(1)));
+    }
+
+    #[test]
+    fn migration_preserves_generation_and_quarantine() {
+        let mut src = FlowArena::new(8);
+        src.put_scan_gen(key(1), 7, 512, 5);
+        src.quarantine(key(1));
+        let fs = src.export_scan(&key(1)).unwrap();
+        assert_eq!(
+            (fs.state, fs.offset, fs.generation, fs.quarantined),
+            (7, 512, 5, true)
+        );
+
+        let mut dst = FlowArena::new(8);
+        dst.import_scan(key(1), fs);
+        assert!(dst.is_quarantined(&key(1)));
+        let got = dst.get_scan_if_generation(&key(1), 5).unwrap();
+        assert_eq!((got.state, got.offset), (7, 512));
+    }
+
+    #[test]
+    fn idle_flows_age_out_and_touched_flows_survive() {
+        let mut a = FlowArena::with_limits(1024, Some(100), None);
+        a.put_scan_gen(key(1), 1, 0, 0);
+        a.put_scan_gen(key(2), 2, 0, 0);
+        // Keep flow 2 warm past flow 1's idle horizon; every op ticks.
+        for _ in 0..200 {
+            assert!(a.get_scan(&key(2)).is_some());
+        }
+        assert!(a.get_scan(&key(1)).is_none(), "idle flow survived aging");
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.take_events().flows_aged, 1);
+    }
+
+    #[test]
+    fn aging_tears_down_reassembly_buffers() {
+        let mut a = FlowArena::with_limits(1024, Some(50), None);
+        let r = a.reassembler_or_insert_with(key(1), || StreamReassembler::new(0, 1 << 16));
+        // Out-of-order segment: held in the buffer, counted in bytes.
+        r.push(1000, &[0xAA; 512]);
+        a.refresh_bytes(&key(1));
+        assert!(a.total_bytes() > entry_base_bytes());
+        // Unrelated churn advances the clock past the idle horizon.
+        for i in 0..100 {
+            a.put_scan_gen(key(100 + i), i, 0, 0);
+        }
+        assert!(!a.has_reassembler(&key(1)));
+        assert!(a.take_events().flows_aged >= 1);
+        // Only base-cost entries remain: the buffer's bytes left the
+        // accounting with the aged flow.
+        assert_eq!(a.total_bytes(), a.len() as u64 * entry_base_bytes());
+    }
+
+    #[test]
+    fn quarantined_flows_do_not_age() {
+        let mut a = FlowArena::with_limits(1024, Some(10), None);
+        a.quarantine(key(1));
+        for i in 0..100 {
+            a.put_scan_gen(key(2 + i), i, 0, 0);
+        }
+        assert!(a.is_quarantined(&key(1)), "aging flushed a verdict");
+        // The churn flows themselves aged (timeout 10 « 100 puts), but
+        // no aged flow may be a quarantined one — the verdict stayed.
+        assert!(a.take_events().quarantined_evicted == 0);
+    }
+
+    #[test]
+    fn byte_budget_evicts_cold_buffer_holders() {
+        // Budget fits a couple of fat flows at most: colder buffer
+        // holders must be evicted as hotter ones grow. The guarantee is
+        // `budget + one entry's footprint` — the flow being serviced is
+        // never yanked out from under its own scan.
+        let budget = 20 * 1024;
+        let mut a = FlowArena::with_limits(1024, None, Some(budget));
+        let mut max_entry = 0u64;
+        for i in 0..8 {
+            let r = a.reassembler_or_insert_with(key(i), || StreamReassembler::new(0, 1 << 20));
+            // Out-of-order segment: held buffered, counted in bytes.
+            r.push(5_000, &[0xBB; 8 * 1024]);
+            a.refresh_bytes(&key(i));
+            max_entry = max_entry.max(entry_base_bytes() + 8 * 1024 + 64);
+        }
+        assert!(
+            a.total_bytes() <= budget + max_entry,
+            "budget not enforced: {} > {} + {}",
+            a.total_bytes(),
+            budget,
+            max_entry
+        );
+        assert!(a.take_events().flows_evicted >= 1);
+        assert!(a.len() < 8, "no cold flow was evicted");
+    }
+
+    #[test]
+    fn stress_and_l7_round_trip() {
+        let mut a = FlowArena::new(16);
+        a.record_stress(key(1), 3, 4);
+        a.record_stress(key(1), 1, 4);
+        let ratios = a.stress_ratios();
+        assert_eq!(ratios.len(), 1);
+        assert!((ratios[0].1 - 0.5).abs() < 1e-9);
+        a.reset_stress();
+        assert!(a.stress_ratios().is_empty());
+        // A pure-stress entry is released by the reset.
+        assert_eq!(a.len(), 0);
+
+        let s = L7Session::default();
+        a.put_l7(key(2), s);
+        assert!(a.take_l7(&key(2)).is_some());
+        assert!(a.take_l7(&key(2)).is_none());
+    }
+
+    #[test]
+    fn total_bytes_returns_to_baseline_after_teardown() {
+        let mut a = FlowArena::new(1024);
+        for i in 0..100 {
+            let r = a.reassembler_or_insert_with(key(i), || StreamReassembler::new(0, 1 << 16));
+            r.push(1000, &[0x55; 256]);
+            a.refresh_bytes(&key(i));
+            a.record_stress(key(i), 1, 2);
+            a.put_scan_gen(key(i), i, 64, 0);
+        }
+        assert!(a.total_bytes() > 0);
+        for i in 0..100 {
+            a.remove(&key(i));
+        }
+        assert_eq!(a.len(), 0);
+        assert_eq!(a.total_bytes(), 0, "byte accounting leaked");
+    }
+}

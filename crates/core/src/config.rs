@@ -157,6 +157,20 @@ pub struct InstanceConfig {
     /// the engine exactly as before the L7 layer existed: every
     /// reassembled byte run is scanned raw, no protocol identification.
     pub l7: Option<crate::l7::L7Policy>,
+    /// Idle-flow aging horizon in logical ticks (one tick per flow-state
+    /// access): a flow untouched for this many ticks is torn down —
+    /// reassembly buffers and L7 session included — by the flow arena's
+    /// timer wheel (DESIGN.md §15). `None` — the default — disables
+    /// aging; flows then leave only by teardown or capacity eviction.
+    #[serde(default)]
+    pub flow_idle_timeout: Option<u64>,
+    /// Total per-shard flow-state byte budget. When the arena's byte
+    /// accounting exceeds it, cold flows are evicted (fail-open) until
+    /// the total fits again. `None` — the default — disables the budget;
+    /// the entry-count bound and the overload memory watermark still
+    /// apply.
+    #[serde(default)]
+    pub max_flow_bytes: Option<u64>,
 }
 
 impl InstanceConfig {
@@ -206,6 +220,20 @@ impl InstanceConfig {
     /// the given per-protocol policy (DESIGN.md §14).
     pub fn with_l7_policy(mut self, policy: crate::l7::L7Policy) -> InstanceConfig {
         self.l7 = Some(policy);
+        self
+    }
+
+    /// Ages out flows idle for `ticks` logical flow-state accesses
+    /// (DESIGN.md §15). Zero disables aging, like the default.
+    pub fn with_flow_idle_timeout(mut self, ticks: u64) -> InstanceConfig {
+        self.flow_idle_timeout = (ticks > 0).then_some(ticks);
+        self
+    }
+
+    /// Caps each shard's flow-state bytes; cold flows are evicted
+    /// (fail-open) to stay under the budget. Zero disables the cap.
+    pub fn with_max_flow_bytes(mut self, bytes: u64) -> InstanceConfig {
+        self.max_flow_bytes = (bytes > 0).then_some(bytes);
         self
     }
 }

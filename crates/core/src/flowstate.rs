@@ -30,7 +30,22 @@ pub struct FlowState {
     /// reassembler eviction and generation swaps.
     pub quarantined: bool,
     /// Logical timestamp of the last access (for eviction).
-    last_used: u64,
+    pub(crate) last_used: u64,
+}
+
+impl FlowState {
+    /// Assembles a flow-state record outside a table (the migration
+    /// import path, arena interop). The LRU timestamp is meaningless
+    /// across tables and is re-stamped on insertion.
+    pub fn assemble(state: StateId, offset: u64, generation: u32, quarantined: bool) -> FlowState {
+        FlowState {
+            state,
+            offset,
+            generation,
+            quarantined,
+            last_used: 0,
+        }
+    }
 }
 
 /// The active-flow table, bounded in size.
@@ -45,6 +60,7 @@ pub struct FlowTable {
     flows: HashMap<FlowKey, FlowState>,
     capacity: usize,
     clock: u64,
+    quarantined_evictions: u64,
 }
 
 impl FlowTable {
@@ -54,6 +70,7 @@ impl FlowTable {
             flows: HashMap::new(),
             capacity: capacity.max(1),
             clock: 0,
+            quarantined_evictions: 0,
         }
     }
 
@@ -161,15 +178,41 @@ impl FlowTable {
         self.flows.remove(key)
     }
 
-    /// Exports a flow's state without touching LRU order — the migration
-    /// path (§4.3): the source instance exports, the target imports.
-    pub fn export(&self, key: &FlowKey) -> Option<(StateId, u64)> {
-        self.flows.get(key).map(|fs| (fs.state, fs.offset))
+    /// Exports a flow's **full** state without touching LRU order — the
+    /// migration path (§4.3): the source instance exports, the target
+    /// imports. The record carries `generation` and `quarantined` too:
+    /// exporting only (state, offset) would re-store the flow as
+    /// generation 0 on the target (silently discarded by
+    /// [`FlowTable::get_if_generation`] after any rule update) and
+    /// launder a quarantined flow's fail-closed verdict away.
+    pub fn export(&self, key: &FlowKey) -> Option<FlowState> {
+        self.flows.get(key).copied()
     }
 
-    /// Imports a migrated flow.
-    pub fn import(&mut self, key: FlowKey, state: StateId, offset: u64) {
-        self.put(key, state, offset);
+    /// Imports a migrated flow, preserving its generation tag and any
+    /// quarantine verdict. A quarantine already present on the target is
+    /// sticky — import never clears it.
+    pub fn import(&mut self, key: FlowKey, fs: FlowState) {
+        self.clock += 1;
+        let quarantined = fs.quarantined || self.flows.get(&key).is_some_and(|f| f.quarantined);
+        self.flows.insert(
+            key,
+            FlowState {
+                quarantined,
+                last_used: self.clock,
+                ..fs
+            },
+        );
+        if self.flows.len() > self.capacity {
+            self.evict();
+        }
+    }
+
+    /// Quarantined flows that eviction was forced to drop anyway (the
+    /// whole table was quarantine verdicts). Each one is a forgotten
+    /// fail-closed verdict — a signal worth alarming on.
+    pub fn quarantined_evictions(&self) -> u64 {
+        self.quarantined_evictions
     }
 
     /// All tracked flow keys (diagnostics, migration candidate listing).
@@ -178,11 +221,42 @@ impl FlowTable {
     }
 
     fn evict(&mut self) {
-        // Drop the least-recently-used half.
-        let mut ages: Vec<u64> = self.flows.values().map(|f| f.last_used).collect();
-        ages.sort_unstable();
-        let cutoff = ages[ages.len() / 2];
-        self.flows.retain(|_, f| f.last_used > cutoff);
+        // Drop the least-recently-used half — but only of the
+        // *non-quarantined* entries. Quarantine is a fail-closed verdict:
+        // if plain churn could push a quarantined flow out, an attacker
+        // could open disposable flows until the verdict flushed and then
+        // resume the ambiguous stream fail-open (DESIGN.md §13).
+        let mut ages: Vec<u64> = self
+            .flows
+            .values()
+            .filter(|f| !f.quarantined)
+            .map(|f| f.last_used)
+            .collect();
+        if !ages.is_empty() {
+            ages.sort_unstable();
+            let cutoff = ages[ages.len() / 2];
+            self.flows
+                .retain(|_, f| f.quarantined || f.last_used > cutoff);
+        }
+        // If the table is still over capacity it is dominated by
+        // quarantine verdicts; the bound must hold, so the oldest
+        // verdicts go — counted, because each one is a forgotten
+        // fail-closed decision (the caller surfaces this as a trace
+        // event + telemetry counter).
+        if self.flows.len() > self.capacity {
+            let mut quarantined: Vec<(u64, FlowKey)> = self
+                .flows
+                .iter()
+                .filter(|(_, f)| f.quarantined)
+                .map(|(k, f)| (f.last_used, *k))
+                .collect();
+            quarantined.sort_unstable();
+            let excess = self.flows.len() - self.capacity;
+            for (_, key) in quarantined.into_iter().take(excess) {
+                self.flows.remove(&key);
+                self.quarantined_evictions += 1;
+            }
+        }
     }
 }
 
@@ -226,14 +300,90 @@ mod tests {
     fn remove_and_migrate() {
         let mut src = FlowTable::new(8);
         src.put(key(5), 7, 512);
-        let (state, offset) = src.export(&key(5)).unwrap();
+        let exported = src.export(&key(5)).unwrap();
         src.remove(&key(5));
         assert!(src.get(&key(5)).is_none());
 
         let mut dst = FlowTable::new(8);
-        dst.import(key(5), state, offset);
+        dst.import(key(5), exported);
         let fs = dst.get(&key(5)).unwrap();
         assert_eq!((fs.state, fs.offset), (7, 512));
+    }
+
+    #[test]
+    fn migration_preserves_generation() {
+        // Regression: export used to drop the generation tag, so the
+        // migrated flow landed as generation 0 on the target and was
+        // silently discarded by get_if_generation under any non-zero
+        // generation — the flow lost its mid-stream state on migration.
+        let mut src = FlowTable::new(8);
+        src.put_gen(key(1), 42, 4096, 3);
+        let exported = src.export(&key(1)).unwrap();
+        assert_eq!(exported.generation, 3);
+
+        let mut dst = FlowTable::new(8);
+        dst.import(key(1), exported);
+        let fs = dst
+            .get_if_generation(&key(1), 3)
+            .expect("generation survives migration");
+        assert_eq!((fs.state, fs.offset, fs.generation), (42, 4096, 3));
+
+        // And a mismatched generation still re-anchors, as ever.
+        let mut dst2 = FlowTable::new(8);
+        dst2.import(key(1), exported);
+        assert!(dst2.get_if_generation(&key(1), 4).is_none());
+    }
+
+    #[test]
+    fn migration_preserves_quarantine() {
+        // Regression: import used to route through put(), which cannot
+        // carry a quarantine — migrating a quarantined flow laundered
+        // its fail-closed verdict away on the target instance.
+        let mut src = FlowTable::new(8);
+        src.put_gen(key(2), 9, 100, 1);
+        src.quarantine(key(2));
+        let exported = src.export(&key(2)).unwrap();
+        assert!(exported.quarantined);
+
+        let mut dst = FlowTable::new(8);
+        dst.import(key(2), exported);
+        assert!(dst.is_quarantined(&key(2)));
+
+        // Sticky on the target too: a later state write keeps it.
+        dst.put_gen(key(2), 11, 200, 1);
+        assert!(dst.is_quarantined(&key(2)));
+    }
+
+    #[test]
+    fn eviction_prefers_non_quarantined() {
+        // Regression: evict() used to drop the LRU half indiscriminately,
+        // so churning disposable flows could flush a quarantine verdict
+        // (fail-open). The verdict must outlive arbitrary churn.
+        let mut t = FlowTable::new(16);
+        t.quarantine(key(0));
+        for i in 1..200 {
+            t.put(key(i), i as u32, 0);
+        }
+        assert!(t.len() <= 16);
+        assert!(
+            t.is_quarantined(&key(0)),
+            "churn must not flush a quarantine verdict"
+        );
+        assert_eq!(t.quarantined_evictions(), 0);
+    }
+
+    #[test]
+    fn quarantine_dominated_table_stays_bounded_and_counts() {
+        // When the table is nothing but verdicts, the bound still holds
+        // — and every dropped verdict is counted, never silent.
+        let mut t = FlowTable::new(8);
+        for i in 0..20 {
+            t.quarantine(key(i));
+        }
+        assert!(t.len() <= 8);
+        assert_eq!(t.quarantined_evictions() as usize, 20 - t.len());
+        // The most recent verdicts are the ones kept.
+        assert!(t.is_quarantined(&key(19)));
     }
 
     #[test]

@@ -9,16 +9,18 @@
 //!   [`dpi_ac::CombinedAc`]), middlebox profiles, chain metadata and
 //!   compiled regex rules. It is `Send + Sync` and is shared between
 //!   workers behind an `Arc`.
-//! * [`ShardState`] — everything *mutable* per packet: the flow table,
-//!   TCP reassembly buffers, per-flow stress samples, telemetry and the
-//!   per-shard lazy-DFA caches for anchor-less regex rules. Each worker
-//!   owns exactly one, privately.
+//! * [`ShardState`] — everything *mutable* per packet: the unified flow
+//!   arena (scan state, TCP reassembly, stress samples, L7 sessions —
+//!   one bounded lookup, DESIGN.md §15), telemetry and the per-shard
+//!   lazy-DFA caches for anchor-less regex rules. Each worker owns
+//!   exactly one, privately.
 //!
 //! [`DpiInstance`] is the sequential composition of the two (one engine,
 //! one shard) and keeps the public API the rest of the system uses.
 
+use crate::arena::FlowArena;
 use crate::config::{InstanceConfig, MiddleboxProfile, NumberedRule};
-use crate::flowstate::FlowTable;
+use crate::flowstate::FlowState;
 use crate::report::compress_matches;
 use crate::rules::RuleKind;
 use crate::telemetry::Telemetry;
@@ -235,6 +237,12 @@ pub struct ScanEngine {
     chains: HashMap<u16, ChainInfo>,
     rules: HashMap<MiddleboxId, MbRules>,
     max_flows: usize,
+    /// Idle ticks before a shard's flow arena ages a flow out (`None`
+    /// disables aging; see [`crate::arena::FlowArena`]).
+    flow_idle_timeout: Option<u64>,
+    /// Per-shard flow-state byte budget (`None` disables budget
+    /// eviction).
+    max_flow_bytes: Option<u64>,
     /// The rule generation this engine was compiled from (0 for the
     /// initial configuration). Stamped into every result packet and every
     /// stored flow state, so each match is attributable to exactly one
@@ -261,15 +269,12 @@ const _: () = {
 /// the per-packet path takes no locks.
 #[derive(Debug)]
 pub struct ShardState {
-    flows: FlowTable,
-    /// Per-flow TCP reassembly state, created lazily by
-    /// [`ScanEngine::scan_tcp_segment`] (session reconstruction as a
-    /// service — the paper's named future work).
-    reassemblers: HashMap<FlowKey, crate::reassembly::StreamReassembler>,
-    /// Per-flow deep-state sampling, feeding MCA² heavy-flow selection
-    /// (§4.3.1: the controller "migrates the heavy flows, which are
-    /// suspected to be malicious").
-    flow_stress: HashMap<FlowKey, (u64, u64)>,
+    /// Every per-flow mutable thing — scan state, TCP reassembly, stress
+    /// samples, L7 sessions — unified under one [`FlowArena`] lookup
+    /// with a single entry bound, per-flow byte accounting and
+    /// timer-wheel idle aging (DESIGN.md §15). One bound instead of four
+    /// independently-growing maps.
+    arena: FlowArena,
     telemetry: Telemetry,
     /// Per-shard lazy DFAs for anchor-less regex rules, keyed by
     /// (middlebox, rule index) and built on first use. The cache only
@@ -283,25 +288,22 @@ pub struct ShardState {
     /// Conflict policy for reassemblers this shard creates (copied from
     /// the engine at construction; see DESIGN.md §13).
     conflict_policy: crate::reassembly::ConflictPolicy,
-    /// Per-flow L7 decode sessions (DESIGN.md §14), created lazily by
-    /// [`ScanEngine::scan_tcp_segment`] when the engine has an L7
-    /// policy, torn down with the flow. Decoded-stream scan slots inside
-    /// are generation-tagged, so sessions survive hot engine swaps.
-    l7_sessions: HashMap<FlowKey, crate::l7::L7Session>,
 }
 
 impl ShardState {
-    /// A fresh shard sized for `engine`'s flow-table capacity.
+    /// A fresh shard sized for `engine`'s flow-arena capacity, idle
+    /// timeout and byte budget.
     pub fn new(engine: &ScanEngine) -> ShardState {
         ShardState {
-            flows: FlowTable::new(engine.max_flows),
-            reassemblers: HashMap::new(),
-            flow_stress: HashMap::new(),
+            arena: FlowArena::with_limits(
+                engine.max_flows,
+                engine.flow_idle_timeout,
+                engine.max_flow_bytes,
+            ),
             telemetry: Telemetry::default(),
             dfa_cache: HashMap::new(),
             trace: None,
             conflict_policy: engine.conflict_policy,
-            l7_sessions: HashMap::new(),
         }
     }
 
@@ -331,24 +333,39 @@ impl ShardState {
 
     /// Number of flows currently tracked by this shard.
     pub fn tracked_flows(&self) -> usize {
-        self.flows.len()
+        self.arena.len()
     }
 
-    /// Exports a flow's scan state for migration (§4.3.1). Returns `None`
-    /// for untracked flows.
-    pub fn export_flow(&mut self, key: &FlowKey) -> Option<(u32, u64)> {
-        let exported = self.flows.export(key);
+    /// Estimated bytes of per-flow state this shard holds (entries plus
+    /// reassembly/L7 heap allocations) — the memory-pressure signal the
+    /// overload detector's watermarks read.
+    pub fn flow_bytes(&self) -> u64 {
+        self.arena.total_bytes()
+    }
+
+    /// Exports a flow's **full** scan state for migration (§4.3.1) and
+    /// forgets the flow locally — reassembly buffers, stress samples and
+    /// L7 sessions included (the flow leaves this instance entirely).
+    /// Returns `None` for untracked flows. The record keeps its
+    /// generation tag and quarantine verdict — see
+    /// [`crate::flowstate::FlowTable::export`] for why dropping either
+    /// is a bug.
+    pub fn export_flow(&mut self, key: &FlowKey) -> Option<FlowState> {
+        let exported = self.arena.export_scan(key);
         if exported.is_some() {
-            self.flows.remove(key);
+            self.arena.remove(key);
         }
         exported
     }
 
-    /// Imports a migrated flow's scan state, tagged with the generation
-    /// of the automaton the state id belongs to (migration is only valid
-    /// between engines of the same generation).
-    pub fn import_flow(&mut self, key: FlowKey, state: u32, offset: u64, generation: u32) {
-        self.flows.put_gen(key, state, offset, generation);
+    /// Imports a migrated flow's scan state as exported — generation tag
+    /// and quarantine verdict included. State from another generation is
+    /// not re-tagged: the target's next lookup re-anchors it at the root
+    /// (miss-only), instead of feeding a foreign automaton's state id to
+    /// this engine.
+    pub fn import_flow(&mut self, key: FlowKey, fs: FlowState) {
+        self.arena.import_scan(key, fs);
+        self.drain_flow_events();
     }
 
     /// Prepares this shard for a hot engine swap. The lazy-DFA cache is
@@ -363,7 +380,7 @@ impl ShardState {
 
     /// Declares a new TCP stream with its initial sequence number.
     pub fn open_tcp_flow(&mut self, flow: FlowKey, initial_seq: u32) {
-        self.reassemblers.insert(
+        self.arena.set_reassembler(
             flow,
             crate::reassembly::StreamReassembler::with_policy(
                 initial_seq,
@@ -371,12 +388,13 @@ impl ShardState {
                 self.conflict_policy,
             ),
         );
+        self.drain_flow_events();
     }
 
     /// Whether a flow is quarantined (reassembly conflict under
     /// `ConflictPolicy::RejectFlow`).
     pub fn flow_quarantined(&self, flow: &FlowKey) -> bool {
-        self.flows.is_quarantined(flow)
+        self.arena.is_quarantined(flow)
     }
 
     /// Whether `flow` currently holds TCP reassembly state on this
@@ -384,21 +402,20 @@ impl ShardState {
     /// reassembler down and later segments are refused before one could
     /// be re-created (see [`ScanEngine::scan_tcp_segment`]).
     pub fn has_reassembler(&self, flow: &FlowKey) -> bool {
-        self.reassemblers.contains_key(flow)
+        self.arena.has_reassembler(flow)
     }
 
-    /// Tears down a flow's reassembly and scan state (RST/FIN/timeout).
+    /// Tears down a flow entirely (RST/FIN/timeout): scan state,
+    /// reassembly buffers, stress samples, L7 session and quarantine
+    /// verdict, in one arena removal.
     pub fn close_tcp_flow(&mut self, flow: &FlowKey) {
-        self.reassemblers.remove(flow);
-        self.flows.remove(flow);
-        self.flow_stress.remove(flow);
-        self.l7_sessions.remove(flow);
+        self.arena.remove(flow);
     }
 
     /// The L7 protocol a flow's decode session identified, if the flow
     /// has one (`Unknown` covers both unidentified and raw-fallback).
     pub fn l7_protocol(&self, flow: &FlowKey) -> Option<crate::l7::L7Protocol> {
-        self.l7_sessions.get(flow).map(|s| s.protocol())
+        self.arena.l7_protocol(flow)
     }
 
     /// Per-flow deep-state ratios observed since the last
@@ -406,31 +423,46 @@ impl ShardState {
     /// selection (§4.3.1). Flows with fewer than two samples are omitted
     /// (no signal).
     pub fn flow_deep_ratios(&self) -> Vec<(FlowKey, f64)> {
-        let mut v: Vec<(FlowKey, f64)> = self
-            .flow_stress
-            .iter()
-            .filter(|(_, (_, samples))| *samples >= 2)
-            .map(|(k, (deep, samples))| (*k, *deep as f64 / *samples as f64))
-            .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("ratios are finite"));
-        v
+        self.arena.stress_ratios()
     }
 
     /// Clears the per-flow stress window (after the controller consumed
     /// it).
     pub fn reset_flow_stress(&mut self) {
-        self.flow_stress.clear();
+        self.arena.reset_stress();
     }
 
     /// Adds one scan's depth samples to a flow's stress window (the MCA²
-    /// heavy-flow signal), bounded by a coarse reset under pressure.
+    /// heavy-flow signal). Bounded by the arena's entry capacity — the
+    /// old standalone map needed its own coarse reset under pressure.
     fn record_flow_stress(&mut self, key: FlowKey, deep: u64, samples: u64) {
-        if self.flow_stress.len() >= 4 * InstanceConfig::DEFAULT_MAX_FLOWS {
-            self.flow_stress.clear(); // bounded, coarse reset
+        self.arena.record_stress(key, deep, samples);
+    }
+
+    /// Folds the arena's pending lifecycle events (capacity/byte
+    /// evictions, forced quarantine drops, idle aging) into telemetry
+    /// and the trace, so nothing the arena does is silent. Called at the
+    /// end of every mutating scan path.
+    fn drain_flow_events(&mut self) {
+        let ev = self.arena.take_events();
+        if ev.is_empty() {
+            return;
         }
-        let e = self.flow_stress.entry(key).or_insert((0, 0));
-        e.0 += deep;
-        e.1 += samples;
+        self.telemetry.flows_evicted += ev.flows_evicted;
+        self.telemetry.quarantined_flow_evictions += ev.quarantined_evicted;
+        self.telemetry.flows_aged += ev.flows_aged;
+        if let Some(w) = self.trace.as_mut() {
+            if ev.quarantined_evicted > 0 {
+                w.record(crate::trace::TraceKind::QuarantinedFlowEvicted {
+                    flows: ev.quarantined_evicted,
+                });
+            }
+            if ev.flows_aged > 0 {
+                w.record(crate::trace::TraceKind::FlowsAged {
+                    flows: ev.flows_aged,
+                });
+            }
+        }
     }
 }
 
@@ -510,6 +542,8 @@ impl ScanEngine {
             max_flows: config
                 .max_flows
                 .unwrap_or(InstanceConfig::DEFAULT_MAX_FLOWS),
+            flow_idle_timeout: config.flow_idle_timeout,
+            max_flow_bytes: config.max_flow_bytes,
             generation,
             conflict_policy: config.conflict_policy,
             l7: config.l7,
@@ -586,7 +620,7 @@ impl ScanEngine {
         // would be a guess. The caller turns `quarantined` into the
         // fail-closed verdict mark. One non-mutating map probe.
         if let Some(key) = flow {
-            if shard.flows.is_quarantined(&key) {
+            if shard.arena.is_quarantined(&key) {
                 return Ok(ScanOutput {
                     reports: Vec::new(),
                     flow_offset: 0,
@@ -607,8 +641,8 @@ impl ScanEngine {
         // DESIGN.md §9).
         let (start_state, offset) = match (chain.any_stateful, flow) {
             (true, Some(key)) => shard
-                .flows
-                .get_if_generation(&key, self.generation)
+                .arena
+                .get_scan_if_generation(&key, self.generation)
                 .map(|fs| (fs.state, fs.offset))
                 .unwrap_or((self.ac.start(), 0)),
             _ => (self.ac.start(), 0),
@@ -623,9 +657,12 @@ impl ScanEngine {
         // matches would be filtered anyway.
         if chain.any_stateful {
             if let Some(key) = flow {
-                shard
-                    .flows
-                    .put_gen(key, state, offset + payload.len() as u64, self.generation);
+                shard.arena.put_scan_gen(
+                    key,
+                    state,
+                    offset + payload.len() as u64,
+                    self.generation,
+                );
             }
         }
 
@@ -634,6 +671,7 @@ impl ScanEngine {
         if let Some(key) = flow {
             shard.record_flow_stress(key, deep, samples);
         }
+        shard.drain_flow_events();
 
         Ok(out)
     }
@@ -937,10 +975,10 @@ impl ScanEngine {
         // will never be scanned again, so buffering its bytes would be
         // pure attacker-controlled memory — and a reassembler freshly
         // re-created after eviction must not resurrect the flow.
-        if shard.flows.is_quarantined(&flow) {
+        if shard.arena.is_quarantined(&flow) {
             let delivered = shard
-                .reassemblers
-                .get(&flow)
+                .arena
+                .reassembler(&flow)
                 .map(|r| r.delivered())
                 .unwrap_or(0);
             return Ok(vec![ScanOutput {
@@ -955,17 +993,11 @@ impl ScanEngine {
             }]);
         }
 
-        // Bound the reassembler map alongside the flow table.
-        if shard.reassemblers.len() > InstanceConfig::DEFAULT_MAX_FLOWS
-            && !shard.reassemblers.contains_key(&flow)
-        {
-            // Fail-open on pressure: drop an arbitrary old stream.
-            if let Some(k) = shard.reassemblers.keys().next().copied() {
-                shard.reassemblers.remove(&k);
-            }
-        }
+        // The arena's single entry bound covers the reassembler too —
+        // no separate per-map pressure valve. LRU-preferring eviction
+        // replaces the old drop-an-arbitrary-stream behaviour.
         let policy = shard.conflict_policy;
-        let r = shard.reassemblers.entry(flow).or_insert_with(|| {
+        let r = shard.arena.reassembler_or_insert_with(flow, || {
             crate::reassembly::StreamReassembler::with_policy(seq, 1 << 20, policy)
         });
         let evicted_before = r.evicted_bytes();
@@ -981,6 +1013,9 @@ impl ScanEngine {
         // Losing copies of any conflicts, for the stateless shadow scans
         // below (empty under RejectFlow).
         let alt_payloads = r.take_conflict_payloads();
+        // The push may have grown (or shrunk) the buffered byte count;
+        // re-sync the arena's byte accounting and let the budget act.
+        shard.arena.refresh_bytes(&flow);
 
         if evicted > 0 {
             if let Some(w) = shard.trace.as_mut() {
@@ -1002,13 +1037,14 @@ impl ScanEngine {
             // the reassembler is torn down — the flow is never scanned
             // again, so keeping (or later re-creating) buffers for it
             // would only store attacker-controlled bytes.
-            shard.flows.quarantine(flow);
-            shard.reassemblers.remove(&flow);
-            shard.l7_sessions.remove(&flow);
+            // `FlowArena::quarantine` sets the sticky verdict and drops
+            // the reassembler and L7 session in one step.
+            shard.arena.quarantine(flow);
             shard.telemetry.flows_quarantined += 1;
             if let Some(w) = shard.trace.as_mut() {
                 w.record(crate::trace::TraceKind::FlowQuarantined { bytes: delivered });
             }
+            shard.drain_flow_events();
             return Ok(vec![ScanOutput {
                 reports: Vec::new(),
                 flow_offset: delivered,
@@ -1041,6 +1077,7 @@ impl ScanEngine {
             out.shadow = true;
             outputs.push(out);
         }
+        shard.drain_flow_events();
         Ok(outputs)
     }
 
@@ -1061,18 +1098,11 @@ impl ScanEngine {
             .get(&chain_id)
             .ok_or(InstanceError::UnknownChain(chain_id))?;
 
-        // Bound the session map alongside the reassembler map: both hold
-        // per-flow attacker-growable state and evict fail-open.
-        if shard.l7_sessions.len() > InstanceConfig::DEFAULT_MAX_FLOWS
-            && !shard.l7_sessions.contains_key(&flow)
-        {
-            if let Some(k) = shard.l7_sessions.keys().next().copied() {
-                shard.l7_sessions.remove(&k);
-            }
-        }
-        // Take the session out of the map so the engine can scan (which
-        // borrows `shard` mutably) while driving it.
-        let mut session = shard.l7_sessions.remove(&flow).unwrap_or_default();
+        // Take the session out of the arena so the engine can scan
+        // (which borrows `shard` mutably) while driving it. The arena's
+        // entry bound and byte budget cover the session's buffers — no
+        // separate per-map pressure valve.
+        let mut session = shard.arena.take_l7(&flow).unwrap_or_default();
 
         let mut outputs = Vec::new();
         for run in runs {
@@ -1150,7 +1180,8 @@ impl ScanEngine {
             }
         }
 
-        shard.l7_sessions.insert(flow, session);
+        shard.arena.put_l7(flow, session);
+        shard.drain_flow_events();
         Ok(outputs)
     }
 
@@ -1290,18 +1321,21 @@ impl DpiInstance {
         self.engine.chain_ids()
     }
 
-    /// Exports a flow's scan state for migration to another instance
-    /// (§4.3.1). Returns `None` for untracked flows.
-    pub fn export_flow(&mut self, key: &FlowKey) -> Option<(u32, u64)> {
+    /// Exports a flow's **full** scan state for migration to another
+    /// instance (§4.3.1), forgetting it locally. Returns `None` for
+    /// untracked flows.
+    pub fn export_flow(&mut self, key: &FlowKey) -> Option<FlowState> {
         self.shard.export_flow(key)
     }
 
-    /// Imports a migrated flow's scan state (migration is only valid
-    /// between instances running the same rule generation; the state is
-    /// tagged with this engine's generation).
-    pub fn import_flow(&mut self, key: FlowKey, state: u32, offset: u64) {
-        let generation = self.engine.generation();
-        self.shard.import_flow(key, state, offset, generation);
+    /// Imports a migrated flow's scan state as exported. The generation
+    /// tag travels with the record: if it does not match this instance's
+    /// serving generation the flow simply re-anchors on next access
+    /// (miss-only) — it is **not** re-tagged, which would feed a foreign
+    /// automaton's state id to this engine. A quarantine verdict
+    /// likewise survives the move.
+    pub fn import_flow(&mut self, key: FlowKey, fs: FlowState) {
+        self.shard.import_flow(key, fs);
     }
 
     /// Hot-swaps this instance onto a new rule generation. The swap is a
@@ -1317,6 +1351,12 @@ impl DpiInstance {
     /// Number of flows currently tracked.
     pub fn tracked_flows(&self) -> usize {
         self.shard.tracked_flows()
+    }
+
+    /// Estimated bytes of per-flow state held (see
+    /// [`ShardState::flow_bytes`]).
+    pub fn flow_bytes(&self) -> u64 {
+        self.shard.flow_bytes()
     }
 
     /// Scans a raw payload for `chain_id` (§5.2's algorithm). `flow` must

@@ -75,6 +75,11 @@ impl Http1Decoder {
         }
     }
 
+    /// Heap bytes held across `push` calls (flow-arena accounting).
+    pub(crate) fn heap_bytes(&self) -> u64 {
+        (self.pending.len() + self.gz_buf.len()) as u64
+    }
+
     /// Feeds wire bytes through the framing state machine.
     pub(crate) fn push(&mut self, data: &[u8], limit: usize, out: &mut DecodeOut) {
         self.pending.extend_from_slice(data);

@@ -456,6 +456,20 @@ impl L7Session {
         self.direction
     }
 
+    /// Estimated heap bytes this session holds across calls: the
+    /// identification buffer or the active decoder's carried wire/body
+    /// buffers. Feeds the flow arena's per-flow byte accounting
+    /// (DESIGN.md §15).
+    pub fn heap_bytes(&self) -> u64 {
+        match &self.phase {
+            Phase::Identify(buf) => buf.len() as u64,
+            Phase::Http(d) => d.heap_bytes(),
+            Phase::Tls(d) => d.heap_bytes(),
+            Phase::Ws(d) => d.heap_bytes(),
+            Phase::Raw | Phase::Skip { .. } => 0,
+        }
+    }
+
     /// Feeds one in-order reassembled byte run through identification,
     /// the active decoder and the policy.
     pub fn accept(&mut self, run: &[u8], policy: &L7Policy) -> Ingest {

@@ -38,6 +38,11 @@ impl TlsDecoder {
         TlsDecoder::default()
     }
 
+    /// Heap bytes held across `push` calls (flow-arena accounting).
+    pub(crate) fn heap_bytes(&self) -> u64 {
+        (self.pending.len() + self.hs.len()) as u64
+    }
+
     /// Feeds wire bytes through the record layer.
     pub(crate) fn push(&mut self, data: &[u8], limit: usize, out: &mut DecodeOut) {
         self.pending.extend_from_slice(data);

@@ -35,6 +35,7 @@
 //!   stable flow hash so per-flow order and cross-packet state are
 //!   preserved with zero locks on the per-packet path.
 
+pub mod arena;
 pub mod chaos;
 pub mod config;
 pub mod decompress;
@@ -48,9 +49,11 @@ pub mod reassembly;
 pub mod report;
 pub mod rules;
 pub mod telemetry;
+pub mod timerwheel;
 pub mod trace;
 pub mod update;
 
+pub use arena::{ArenaEvents, FlowArena};
 pub use chaos::{ChaosEngine, FaultPlan, RetryOutcome, RetryPolicy, ShardFault, ShardFaultSpec};
 pub use config::{ChainSpec, InstanceConfig, MiddleboxProfile};
 pub use decompress::{
@@ -71,6 +74,7 @@ pub use reassembly::{ConflictPolicy, StreamReassembler};
 pub use report::compress_matches;
 pub use rules::{RuleKind, RuleSpec};
 pub use telemetry::{ShardTelemetry, Telemetry};
+pub use timerwheel::TimerWheel;
 pub use trace::{to_jsonl, TraceEvent, TraceKind, TraceSource, TraceWriter, Tracer};
 pub use update::{EngineSlot, GenerationId, UpdateArtifact, UpdateError, UpdateStats};
 

@@ -57,6 +57,15 @@ pub struct OverloadPolicy {
     /// EWMA smoothing: each observation moves the average by
     /// `1 / 2^ewma_shift` of the difference (3 ⇒ α = 1/8).
     pub ewma_shift: u32,
+    /// Flow-state bytes at or above which the shard is overloaded
+    /// (the flow arena's accounted footprint, DESIGN.md §15). `0`
+    /// disables the memory watermarks.
+    #[serde(default)]
+    pub memory_high_bytes: u64,
+    /// Flow-state bytes at or below which (jointly with the other low
+    /// watermarks) overload clears.
+    #[serde(default)]
+    pub memory_low_bytes: u64,
     /// What to do while overloaded.
     pub shed: ShedMode,
 }
@@ -70,6 +79,8 @@ impl Default for OverloadPolicy {
             latency_high_us: 5_000,
             latency_low_us: 1_000,
             ewma_shift: 3,
+            memory_high_bytes: 0,
+            memory_low_bytes: 0,
             shed: ShedMode::FailOpen,
         }
     }
@@ -93,6 +104,16 @@ impl OverloadPolicy {
     /// Sets the shed mode.
     pub fn with_shed(mut self, shed: ShedMode) -> OverloadPolicy {
         self.shed = shed;
+        self
+    }
+
+    /// Arms the flow-state memory watermarks: overload enters when a
+    /// shard's accounted flow-state bytes reach `high` and can clear
+    /// only once they fall to `low`.
+    pub fn with_memory_watermarks(mut self, high: u64, low: u64) -> OverloadPolicy {
+        assert!(low <= high, "low watermark above high");
+        self.memory_high_bytes = high;
+        self.memory_low_bytes = low;
         self
     }
 }
@@ -130,6 +151,8 @@ pub struct OverloadDetector {
     ewma_us: u64,
     /// Last observed queue depth.
     last_depth: usize,
+    /// Last observed flow-state byte footprint.
+    last_flow_bytes: u64,
     overloaded: bool,
     /// Lifetime count of overload entries.
     pub entries: u64,
@@ -150,6 +173,7 @@ impl OverloadDetector {
             policy,
             ewma_us: 0,
             last_depth: 0,
+            last_flow_bytes: 0,
             overloaded: false,
             entries: 0,
             exits: 0,
@@ -167,10 +191,26 @@ impl OverloadDetector {
     /// Feeds one observation — the backlog behind the packet just pulled
     /// off the queue and the wall time its scan took — and steps the
     /// hysteresis state machine. Returns the transition, if one happened.
+    /// Leaves the memory pressure signal at its last observed value (0
+    /// until one is fed via [`OverloadDetector::observe_with_memory`]).
     pub fn observe(
         &mut self,
         queue_depth: usize,
         scan_latency_us: u64,
+    ) -> Option<OverloadTransition> {
+        let flow_bytes = self.last_flow_bytes;
+        self.observe_with_memory(queue_depth, scan_latency_us, flow_bytes)
+    }
+
+    /// [`OverloadDetector::observe`] plus the shard's accounted
+    /// flow-state bytes: memory pressure enters overload like queue or
+    /// latency pressure, so a million-flow state build-up sheds and
+    /// CE-marks before the allocator (or the OOM killer) decides for us.
+    pub fn observe_with_memory(
+        &mut self,
+        queue_depth: usize,
+        scan_latency_us: u64,
+        flow_bytes: u64,
     ) -> Option<OverloadTransition> {
         // Integer EWMA: move 1/2^shift of the signed difference.
         let shift = self.policy.ewma_shift.min(16);
@@ -180,9 +220,13 @@ impl OverloadDetector {
             self.ewma_us -= (self.ewma_us - scan_latency_us) >> shift;
         }
         self.last_depth = queue_depth;
+        self.last_flow_bytes = flow_bytes;
+        let mem_armed = self.policy.memory_high_bytes > 0;
 
         if !self.overloaded {
-            if queue_depth >= self.policy.queue_high || self.ewma_us >= self.policy.latency_high_us
+            if queue_depth >= self.policy.queue_high
+                || self.ewma_us >= self.policy.latency_high_us
+                || (mem_armed && flow_bytes >= self.policy.memory_high_bytes)
             {
                 self.overloaded = true;
                 self.entries += 1;
@@ -191,6 +235,7 @@ impl OverloadDetector {
         } else if queue_depth <= self.policy.queue_low
             && (self.ewma_us <= self.policy.latency_low_us
                 || self.policy.latency_high_us == u64::MAX)
+            && (!mem_armed || flow_bytes <= self.policy.memory_low_bytes)
         {
             self.overloaded = false;
             self.exits += 1;
@@ -210,9 +255,9 @@ impl OverloadDetector {
         self.ewma_us
     }
 
-    /// Load score in `[0, ∞)`: the worse of queue-depth and latency
-    /// pressure, each normalized to its high watermark (1.0 = at the
-    /// watermark). Exported as a gauge.
+    /// Load score in `[0, ∞)`: the worst of queue-depth, latency and
+    /// flow-state-memory pressure, each normalized to its high watermark
+    /// (1.0 = at the watermark). Exported as a gauge.
     pub fn load_score(&self) -> f64 {
         let q = if self.policy.queue_high == 0 {
             0.0
@@ -224,7 +269,12 @@ impl OverloadDetector {
         } else {
             self.ewma_us as f64 / self.policy.latency_high_us as f64
         };
-        q.max(l)
+        let m = if self.policy.memory_high_bytes == 0 {
+            0.0
+        } else {
+            self.last_flow_bytes as f64 / self.policy.memory_high_bytes as f64
+        };
+        q.max(l).max(m)
     }
 
     /// Records one shed scan (the packet flowed unscanned).
@@ -400,7 +450,7 @@ mod tests {
             latency_high_us: 1_000,
             latency_low_us: 100,
             ewma_shift: 0, // EWMA tracks the observation exactly
-            shed: ShedMode::FailOpen,
+            ..OverloadPolicy::default()
         };
         let mut det = OverloadDetector::new(policy);
         assert_eq!(det.observe(0, 500), None);
@@ -419,7 +469,7 @@ mod tests {
             latency_high_us: 10_000,
             latency_low_us: 1_000,
             ewma_shift: 3,
-            shed: ShedMode::FailOpen,
+            ..OverloadPolicy::default()
         };
         let mut det = OverloadDetector::new(policy);
         // A single 16ms spike moves a zero EWMA by only 1/8th — no entry.
@@ -443,12 +493,48 @@ mod tests {
             latency_high_us: 1_000,
             latency_low_us: 100,
             ewma_shift: 0,
-            shed: ShedMode::FailOpen,
+            ..OverloadPolicy::default()
         });
         det.observe(50, 200);
         assert!((det.load_score() - 0.5).abs() < 1e-9);
         det.observe(10, 2_000);
         assert!(det.load_score() >= 2.0);
+    }
+
+    #[test]
+    fn memory_watermarks_enter_and_clear_with_hysteresis() {
+        let mut det = OverloadDetector::new(
+            OverloadPolicy::queue_only(usize::MAX, 0).with_memory_watermarks(1 << 20, 1 << 18),
+        );
+        // Below the high watermark: nothing.
+        assert_eq!(det.observe_with_memory(0, 0, (1 << 20) - 1), None);
+        assert_eq!(
+            det.observe_with_memory(0, 0, 1 << 20),
+            Some(OverloadTransition::Entered)
+        );
+        assert!(det.load_score() >= 1.0);
+        // Between the watermarks: hysteresis holds.
+        assert_eq!(det.observe_with_memory(0, 0, 1 << 19), None);
+        assert!(det.is_overloaded());
+        assert_eq!(
+            det.observe_with_memory(0, 0, 1 << 18),
+            Some(OverloadTransition::Cleared)
+        );
+        // The plain observe() keeps the last memory signal rather than
+        // forgetting it (a scan that observes no bytes is not evidence
+        // the arena shrank).
+        det.observe_with_memory(0, 0, 1 << 20);
+        assert!(det.is_overloaded());
+        assert_eq!(det.observe(0, 0), None, "memory pressure persists");
+        assert!(det.is_overloaded());
+    }
+
+    #[test]
+    fn disarmed_memory_watermarks_change_nothing() {
+        let mut det = OverloadDetector::new(OverloadPolicy::queue_only(10, 3));
+        assert_eq!(det.observe_with_memory(0, 0, u64::MAX), None);
+        assert!(!det.is_overloaded());
+        assert_eq!(det.load_score(), 0.0);
     }
 
     #[test]

@@ -518,7 +518,11 @@ impl ShardedScanner {
                             d.note_ce_mark();
                         }
                         let elapsed = started.expect("clock armed with detector").elapsed();
-                        let transition = d.observe(depth, elapsed.as_micros() as u64);
+                        let transition = d.observe_with_memory(
+                            depth,
+                            elapsed.as_micros() as u64,
+                            shard.flow_bytes(),
+                        );
                         if let Some(t) = transition {
                             if let Some(w) = shard.trace_writer_mut() {
                                 let (depth, ewma) = (depth as u64, d.ewma_us());
@@ -641,9 +645,10 @@ impl ShardedScanner {
                                 pkt.mark_congestion();
                                 d.note_ce_mark();
                             }
-                            let transition = d.observe(
+                            let transition = d.observe_with_memory(
                                 rx.len(),
                                 started.elapsed().as_micros() as u64,
+                                shard.flow_bytes(),
                             );
                             if let Some(t) = transition {
                                 if let Some(w) = shard.trace_writer_mut() {

@@ -243,6 +243,23 @@ impl StreamReassembler {
         self.next_seq
     }
 
+    /// Estimated heap bytes this reassembler holds: out-of-order
+    /// buffers, the retransmission-verification history tail, and any
+    /// stashed losing conflict copies. Feeds the flow arena's per-flow
+    /// byte accounting (DESIGN.md §15), so it is an estimate of payload
+    /// bytes plus per-segment container overhead, not an allocator
+    /// census.
+    pub fn heap_bytes(&self) -> u64 {
+        const SEGMENT_OVERHEAD: u64 = 48; // BTreeMap node share + Vec header
+        let pending = self.buffered as u64 + self.pending.len() as u64 * SEGMENT_OVERHEAD;
+        let stash: u64 = self
+            .conflict_stash
+            .iter()
+            .map(|c| c.len() as u64 + SEGMENT_OVERHEAD)
+            .sum();
+        pending + self.history.len() as u64 + stash
+    }
+
     /// Feeds one segment; returns every in-order byte run that became
     /// deliverable (usually zero or one run, more when a gap fills).
     pub fn push(&mut self, seq: u32, payload: &[u8]) -> Vec<Vec<u8>> {

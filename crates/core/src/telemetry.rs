@@ -66,6 +66,15 @@ pub struct Telemetry {
     pub l7_bypassed_flows: u64,
     /// Flows detoured by an [`crate::l7::L7Action::Detour`] policy.
     pub l7_detoured_flows: u64,
+    /// Flows evicted from the bounded flow arena by capacity or byte
+    /// pressure (LRU-preferring; see DESIGN.md §15).
+    pub flows_evicted: u64,
+    /// Quarantined flows force-evicted because *every* arena slot held a
+    /// quarantine verdict — each one is a verdict the engine could no
+    /// longer honour, so it is counted, never silent.
+    pub quarantined_flow_evictions: u64,
+    /// Flows aged out by the idle-timeout timer wheel.
+    pub flows_aged: u64,
 }
 
 impl Telemetry {
@@ -122,6 +131,9 @@ impl Telemetry {
         self.l7_blocked_flows += other.l7_blocked_flows;
         self.l7_bypassed_flows += other.l7_bypassed_flows;
         self.l7_detoured_flows += other.l7_detoured_flows;
+        self.flows_evicted += other.flows_evicted;
+        self.quarantined_flow_evictions += other.quarantined_flow_evictions;
+        self.flows_aged += other.flows_aged;
     }
 
     /// Difference since a previous snapshot (for rate computation).
@@ -172,6 +184,11 @@ impl Telemetry {
             l7_detoured_flows: self
                 .l7_detoured_flows
                 .saturating_sub(prev.l7_detoured_flows),
+            flows_evicted: self.flows_evicted.saturating_sub(prev.flows_evicted),
+            quarantined_flow_evictions: self
+                .quarantined_flow_evictions
+                .saturating_sub(prev.quarantined_flow_evictions),
+            flows_aged: self.flows_aged.saturating_sub(prev.flows_aged),
         }
     }
 }
@@ -294,6 +311,9 @@ mod tests {
             l7_blocked_flows: 2,
             l7_bypassed_flows: 1,
             l7_detoured_flows: 1,
+            flows_evicted: 11,
+            quarantined_flow_evictions: 3,
+            flows_aged: 17,
         };
         // Restarted: everything reset, a little new traffic since.
         let now = Telemetry {
@@ -322,6 +342,9 @@ mod tests {
         assert_eq!(d.l7_blocked_flows, 0);
         assert_eq!(d.l7_bypassed_flows, 0);
         assert_eq!(d.l7_detoured_flows, 0);
+        assert_eq!(d.flows_evicted, 0);
+        assert_eq!(d.quarantined_flow_evictions, 0);
+        assert_eq!(d.flows_aged, 0);
         // Forward progress still measures normally.
         let later = Telemetry {
             packets: 105,

@@ -1,0 +1,269 @@
+//! Hierarchical timer wheel over **logical ticks**.
+//!
+//! Drives idle-flow aging and reassembly timeouts for the flow arena
+//! (DESIGN.md §15). The wheel is deliberately clockless: a tick is one
+//! logical flow-table access (the same counter `FlowTable` has always
+//! used for LRU), so aging is deterministic and replayable — the same
+//! packet trace ages the same flows at the same points on every run,
+//! with no wall-clock reads on the hot path.
+//!
+//! Layout: [`LEVELS`] levels of [`SLOTS`] slots each. Level `l` buckets
+//! deadlines at a granularity of `SLOTS^l` ticks, so the wheel spans
+//! `SLOTS^LEVELS` ticks (~16.7M at 64⁴); anything farther sits in an
+//! overflow list that is re-examined when the top level cascades.
+//! Scheduling is O(1); advancing is O(ticks crossed + timers cascaded),
+//! and a fully idle wheel skips straight to the target tick.
+//!
+//! Cancellation is lazy: timers are never removed, the owner decides at
+//! fire time whether the timer is still meaningful (the flow arena
+//! checks the entry's stamp and last-touch tick). That keeps the wheel
+//! a plain value store — no intrusive links into foreign structs, no
+//! per-cancel bookkeeping.
+
+/// Slots per level. 64 keeps slot indexing a shift+mask.
+pub const SLOTS: usize = 64;
+/// Hierarchy depth. 64⁴ ≈ 16.7M ticks of horizon before overflow.
+pub const LEVELS: usize = 4;
+
+const SLOT_BITS: u32 = 6; // log2(SLOTS)
+
+/// A scheduled timer: an opaque payload and the tick it should fire at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Timer {
+    payload: u64,
+    deadline: u64,
+}
+
+/// Hierarchical timer wheel. See the module docs for the design.
+#[derive(Debug)]
+pub struct TimerWheel {
+    /// `levels[l][s]` holds timers due in that level-`l` slot. Slot
+    /// vectors keep their allocation across fires, so steady-state
+    /// scheduling is allocation-free.
+    levels: Vec<Vec<Vec<Timer>>>,
+    /// Timers beyond the wheel horizon, reconsidered on top-level wrap.
+    overflow: Vec<Timer>,
+    /// Current tick. Timers fire when the wheel advances past them.
+    now: u64,
+    /// Live timers across every level + overflow.
+    pending: usize,
+}
+
+impl TimerWheel {
+    /// An empty wheel starting at tick 0.
+    pub fn new() -> TimerWheel {
+        TimerWheel {
+            levels: (0..LEVELS)
+                .map(|_| (0..SLOTS).map(|_| Vec::new()).collect())
+                .collect(),
+            overflow: Vec::new(),
+            now: 0,
+            pending: 0,
+        }
+    }
+
+    /// Current tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Scheduled timers not yet fired.
+    pub fn len(&self) -> usize {
+        self.pending
+    }
+
+    /// Whether no timers are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.pending == 0
+    }
+
+    /// Schedules `payload` to fire once the wheel advances to or past
+    /// `deadline`. A deadline at or before the current tick fires on the
+    /// very next [`TimerWheel::advance`] call.
+    pub fn schedule(&mut self, deadline: u64, payload: u64) {
+        self.pending += 1;
+        self.place(Timer { payload, deadline });
+    }
+
+    fn place(&mut self, t: Timer) {
+        // Clamp past deadlines into the immediate next slot so they fire
+        // on the next advance rather than waiting a full wrap.
+        let due = t.deadline.max(self.now.saturating_add(1));
+        let delta = due - self.now;
+        for level in 0..LEVELS {
+            let span = 1u64 << (SLOT_BITS * (level as u32 + 1));
+            if delta < span {
+                let slot = (due >> (SLOT_BITS * level as u32)) as usize & (SLOTS - 1);
+                self.levels[level][slot].push(t);
+                return;
+            }
+        }
+        self.overflow.push(t);
+    }
+
+    /// Advances the wheel to tick `to`, invoking `fire(payload, deadline)`
+    /// for every timer whose deadline has been reached. Timers fire in
+    /// tick order between slots (intra-slot order is unspecified).
+    /// Advancing backwards is a no-op.
+    pub fn advance<F: FnMut(u64, u64)>(&mut self, to: u64, mut fire: F) {
+        while self.now < to {
+            if self.pending == 0 {
+                // Nothing can fire: skip the dead ticks entirely.
+                self.now = to;
+                return;
+            }
+            self.now += 1;
+            let t = self.now;
+            // Cascade higher levels top-down whenever their slot boundary
+            // is crossed, so timers land in lower slots before level 0 is
+            // drained for this tick.
+            for level in (1..LEVELS).rev() {
+                let gran = SLOT_BITS * level as u32;
+                if t & ((1u64 << gran) - 1) == 0 {
+                    let slot = (t >> gran) as usize & (SLOTS - 1);
+                    let timers = std::mem::take(&mut self.levels[level][slot]);
+                    for timer in timers {
+                        if timer.deadline <= t {
+                            self.pending -= 1;
+                            fire(timer.payload, timer.deadline);
+                        } else {
+                            self.place(timer);
+                        }
+                    }
+                    // Top-level wrap: the horizon moved, give overflow
+                    // timers another chance to land on the wheel.
+                    if level == LEVELS - 1 && slot == 0 {
+                        let far = std::mem::take(&mut self.overflow);
+                        for timer in far {
+                            self.place(timer);
+                        }
+                    }
+                }
+            }
+            let slot0 = t as usize & (SLOTS - 1);
+            let timers = std::mem::take(&mut self.levels[0][slot0]);
+            for timer in timers {
+                if timer.deadline <= t {
+                    self.pending -= 1;
+                    fire(timer.payload, timer.deadline);
+                } else {
+                    // A later lap of this slot: push back for its turn.
+                    self.place(timer);
+                }
+            }
+        }
+    }
+}
+
+impl Default for TimerWheel {
+    fn default() -> TimerWheel {
+        TimerWheel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(w: &mut TimerWheel, to: u64) -> Vec<(u64, u64)> {
+        let mut fired = Vec::new();
+        w.advance(to, |p, d| fired.push((p, d)));
+        fired
+    }
+
+    #[test]
+    fn fires_at_exact_tick() {
+        let mut w = TimerWheel::new();
+        w.schedule(5, 42);
+        assert!(drain(&mut w, 4).is_empty());
+        assert_eq!(drain(&mut w, 5), vec![(42, 5)]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn past_deadline_fires_on_next_advance() {
+        let mut w = TimerWheel::new();
+        w.advance(100, |_, _| {});
+        w.schedule(7, 1); // already past
+        assert_eq!(drain(&mut w, 101), vec![(1, 7)]);
+    }
+
+    #[test]
+    fn cross_level_deadlines_fire_in_order() {
+        let mut w = TimerWheel::new();
+        // One timer per level, plus one in overflow territory.
+        let deadlines = [3u64, 100, 5_000, 300_000, 20_000_000, 40_000_000];
+        for (i, &d) in deadlines.iter().enumerate() {
+            w.schedule(d, i as u64);
+        }
+        assert_eq!(w.len(), deadlines.len());
+        let fired = drain(&mut w, 50_000_000);
+        assert_eq!(
+            fired,
+            deadlines
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| (i as u64, d))
+                .collect::<Vec<_>>()
+        );
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn same_slot_different_laps_do_not_collide() {
+        let mut w = TimerWheel::new();
+        // Both land in level-0 slot (1) but a lap apart.
+        w.schedule(1, 10);
+        w.schedule(1 + SLOTS as u64, 20);
+        assert_eq!(drain(&mut w, 1), vec![(10, 1)]);
+        assert!(drain(&mut w, SLOTS as u64).is_empty());
+        assert_eq!(
+            drain(&mut w, 1 + SLOTS as u64),
+            vec![(20, 1 + SLOTS as u64)]
+        );
+    }
+
+    #[test]
+    fn idle_wheel_skips_dead_ticks() {
+        let mut w = TimerWheel::new();
+        // No timers: a huge advance must be O(1), not O(ticks).
+        w.advance(u64::MAX / 2, |_, _| panic!("nothing scheduled"));
+        assert_eq!(w.now(), u64::MAX / 2);
+        w.schedule(u64::MAX / 2 + 10, 9);
+        assert_eq!(
+            drain(&mut w, u64::MAX / 2 + 10),
+            vec![(9, u64::MAX / 2 + 10)]
+        );
+    }
+
+    #[test]
+    fn dense_schedule_fires_everything_exactly_once() {
+        let mut w = TimerWheel::new();
+        let n = 10_000u64;
+        for i in 0..n {
+            // Spread pseudo-randomly over ~1.5 wheel levels.
+            w.schedule((i * 2_654_435_761) % 300_000 + 1, i);
+        }
+        let fired = drain(&mut w, 300_001);
+        assert_eq!(fired.len(), n as usize);
+        let mut seen: Vec<u64> = fired.iter().map(|&(p, _)| p).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), n as usize);
+        // In-order between distinct deadlines.
+        for win in fired.windows(2) {
+            assert!(win[0].1 <= win[1].1);
+        }
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn backwards_advance_is_a_no_op() {
+        let mut w = TimerWheel::new();
+        w.advance(50, |_, _| {});
+        w.schedule(60, 1);
+        w.advance(10, |_, _| panic!("went backwards"));
+        assert_eq!(w.now(), 50);
+        assert_eq!(drain(&mut w, 60), vec![(1, 60)]);
+    }
+}

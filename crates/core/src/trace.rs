@@ -117,6 +117,20 @@ pub enum TraceKind {
         /// Bytes the flow had delivered before quarantine.
         bytes: u64,
     },
+    /// The flow arena force-evicted quarantined flows because every slot
+    /// held a quarantine verdict (batch-aggregated per shard). Each one
+    /// is a verdict the engine could no longer honour — counted, never
+    /// silent (DESIGN.md §15).
+    QuarantinedFlowEvicted {
+        /// Quarantined flows dropped.
+        flows: u64,
+    },
+    /// The idle-timeout timer wheel aged out flows and released their
+    /// state (batch-aggregated per shard).
+    FlowsAged {
+        /// Flows released.
+        flows: u64,
+    },
     /// The L7 layer identified a flow's application protocol from its
     /// first reassembled bytes (DESIGN.md §14). An HTTP→WebSocket
     /// upgrade emits a second event for the same flow.

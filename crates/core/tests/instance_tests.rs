@@ -134,8 +134,11 @@ fn stateless_chain_keeps_no_flow_state() {
     let mut dpi = two_middlebox_instance();
     let f = flow(7);
     dpi.scan_payload(2, Some(f), b"payload one").unwrap();
-    assert_eq!(dpi.tracked_flows(), 0);
-    // And scans never resume.
+    // The flow arena tracks stress samples for every scanned flow (the
+    // MCA² heavy-flow signal), but a stateless chain must store no scan
+    // state: there is nothing to export…
+    assert!(dpi.export_flow(&f).is_none());
+    // …and scans never resume.
     let out = dpi.scan_payload(2, Some(f), b"payload two").unwrap();
     assert!(!out.resumed);
 }
@@ -399,9 +402,9 @@ fn flow_migration_resumes_scanning_on_target_instance() {
     let mut dst = two_middlebox_instance();
     let f = flow(70);
     src.scan_payload(1, Some(f), b"...LONGPA").unwrap();
-    let (state, offset) = src.export_flow(&f).expect("flow tracked");
+    let exported = src.export_flow(&f).expect("flow tracked");
     assert_eq!(src.tracked_flows(), 0);
-    dst.import_flow(f, state, offset);
+    dst.import_flow(f, exported);
     let out = dst.scan_payload(1, Some(f), b"TTERN").unwrap();
     assert_eq!(positions_for(&out, IDS), vec![(1, 4)]);
     assert_eq!(out.flow_offset, 9);

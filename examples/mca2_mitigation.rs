@@ -88,8 +88,9 @@ fn main() {
                 }
                 Mca2Action::MigrateHeavyFlows { from } => {
                     let (_, ded) = dedicated.as_mut().expect("allocated first");
-                    if let Some((state, offset)) = regular.export_flow(&attack_flow) {
-                        ded.import_flow(attack_flow, state, offset);
+                    if let Some(exported) = regular.export_flow(&attack_flow) {
+                        let offset = exported.offset;
+                        ded.import_flow(attack_flow, exported);
                         migrated = true;
                         println!(
                             "    migrated heavy flow {attack_flow} off {from:?} (offset {offset})"

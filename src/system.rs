@@ -954,6 +954,21 @@ impl SystemHandle {
             "Flows quarantined by the RejectFlow conflict policy per instance",
             MetricKind::Counter,
         );
+        m.family(
+            "dpi_flows_evicted_total",
+            "Flows evicted from the bounded flow arena by capacity or byte pressure",
+            MetricKind::Counter,
+        );
+        m.family(
+            "dpi_quarantined_flow_evictions_total",
+            "Quarantined flows force-evicted under full-arena pressure (lost verdicts)",
+            MetricKind::Counter,
+        );
+        m.family(
+            "dpi_flows_aged_total",
+            "Flows aged out by the idle-timeout timer wheel",
+            MetricKind::Counter,
+        );
         for (i, t) in self.fleet_telemetry().iter().enumerate() {
             let i = i.to_string();
             let l = [("instance", i.as_str())];
@@ -962,6 +977,31 @@ impl SystemHandle {
             m.sample("dpi_instance_matches_total", &l, t.matches);
             m.sample("dpi_reassembly_conflicts_total", &l, t.reassembly_conflicts);
             m.sample("dpi_flows_quarantined_total", &l, t.flows_quarantined);
+            m.sample("dpi_flows_evicted_total", &l, t.flows_evicted);
+            m.sample(
+                "dpi_quarantined_flow_evictions_total",
+                &l,
+                t.quarantined_flow_evictions,
+            );
+            m.sample("dpi_flows_aged_total", &l, t.flows_aged);
+        }
+
+        m.family(
+            "dpi_instance_tracked_flows",
+            "Flows currently tracked in each instance's flow arena",
+            MetricKind::Gauge,
+        );
+        m.family(
+            "dpi_instance_flow_state_bytes",
+            "Estimated bytes of per-flow state (scan, reassembly, L7) per instance",
+            MetricKind::Gauge,
+        );
+        for (i, d) in self.dpi_instances.iter().enumerate() {
+            let d = d.lock();
+            let i = i.to_string();
+            let l = [("instance", i.as_str())];
+            m.sample("dpi_instance_tracked_flows", &l, d.tracked_flows() as u64);
+            m.sample("dpi_instance_flow_state_bytes", &l, d.flow_bytes());
         }
 
         m.family(

@@ -34,8 +34,8 @@ fn migration_preserves_cross_packet_matches() {
     // MCA² migrates the flow (the paper: "flow migration might require
     // some packet buffering at the source instance, until the process is
     // completed" — the simulator migrates between packets).
-    let (state, offset) = src.export_flow(&f).expect("tracked");
-    dst.import_flow(f, state, offset);
+    let exported = src.export_flow(&f).expect("tracked");
+    dst.import_flow(f, exported);
 
     // Second half on the destination instance: the match completes with a
     // correct flow-absolute position.
