@@ -196,11 +196,12 @@ pub fn profile_of_register(msg: &ControllerMessage) -> Option<dpi_core::Middlebo
             stateful: *stateful,
             read_only: *read_only,
             stopping_condition: *stopping_condition,
-            // The wire registration carries neither overload semantics
-            // nor L7 subscriptions; both are operator-side deployment
-            // properties.
+            // The wire registration carries neither overload semantics,
+            // L7 subscriptions, nor tenancy; all are operator-side
+            // deployment properties.
             fail_closed: false,
             l7_protocols: None,
+            tenant: dpi_core::TenantId::DEFAULT,
         }),
         _ => None,
     }

@@ -25,7 +25,7 @@
 //! the data plane) is attributable to exactly one rule-set version.
 
 use crate::controller::InstanceId;
-use dpi_core::{GenerationId, InstanceConfig, UpdateArtifact, UpdateError};
+use dpi_core::{GenerationId, InstanceConfig, TenantId, UpdateArtifact, UpdateError};
 use std::collections::HashMap;
 
 /// One deployed instance the orchestrator can push a generation to.
@@ -57,6 +57,14 @@ pub struct PreparedUpdate {
     pub artifact: UpdateArtifact,
     /// Bytes this update ships per instance (paper Fig. 11's unit).
     pub transfer_bytes: u64,
+    /// The single tenant this update targets, for tenant-scoped canary
+    /// rollouts ([`UpdateOrchestrator::prepare_for_tenant`]). `None` —
+    /// the fleet-wide default — moves every tenant's stamp together.
+    pub tenant: Option<TenantId>,
+    /// The tenant-generation override map baked into the artifact's
+    /// configuration (empty for fleet-wide updates). Becomes the
+    /// orchestrator's committed stamp map when this update commits.
+    pub tenant_generations: Vec<(TenantId, GenerationId)>,
 }
 
 /// How a rollout ended.
@@ -103,6 +111,12 @@ pub struct UpdateOrchestrator {
     artifacts: HashMap<GenerationId, UpdateArtifact>,
     /// Committed (controller version, generation) pairs, in commit order.
     version_map: Vec<(u64, GenerationId)>,
+    /// The committed per-tenant generation stamps (DESIGN.md §16):
+    /// tenants absent here stamp results with `committed`. Replaced
+    /// wholesale when an update commits — with the empty map for a
+    /// fleet-wide update, with the prepared override map for a
+    /// tenant-scoped one. Rollbacks never touch it.
+    tenant_stamps: Vec<(TenantId, GenerationId)>,
     /// Optional structured-event tracer; the update lifecycle (prepare,
     /// canary pass, commit, rollback) is recorded against
     /// [`dpi_core::trace::TraceSource::Controller`].
@@ -121,6 +135,7 @@ impl UpdateOrchestrator {
             committed: 0,
             artifacts,
             version_map: vec![(0, 0)],
+            tenant_stamps: Vec::new(),
             tracer: None,
         }
     }
@@ -154,12 +169,99 @@ impl UpdateOrchestrator {
             version,
             artifact,
             transfer_bytes,
+            tenant: None,
+            tenant_generations: Vec::new(),
+        }
+    }
+
+    /// Freezes `config` into the next generation's artifact, scoped to a
+    /// single tenant (DESIGN.md §16): the artifact's configuration pins
+    /// every *other* known tenant at its committed stamp and moves only
+    /// `tenant` to the new generation. After the update commits, results
+    /// for `tenant`'s chains carry the new generation while every other
+    /// tenant's results stay stamped with the generation it was already
+    /// serving — and a rollback of this update cannot disturb them either,
+    /// because the committed artifact being re-shipped embeds the prior
+    /// override map.
+    pub fn prepare_for_tenant(
+        &mut self,
+        version: u64,
+        config: &InstanceConfig,
+        tenant: TenantId,
+    ) -> PreparedUpdate {
+        let generation = self.next_generation;
+        self.next_generation += 1;
+
+        // Pin every known tenant — those named by the configuration and
+        // those with an existing committed stamp — at the generation it
+        // currently stamps results with, then move only the target.
+        let mut overrides: Vec<(TenantId, GenerationId)> = Vec::new();
+        let mut pin = |t: TenantId, stamps: &[(TenantId, GenerationId)], committed| {
+            if overrides.iter().any(|(o, _)| *o == t) {
+                return;
+            }
+            let stamp = stamps
+                .iter()
+                .find(|(s, _)| *s == t)
+                .map(|(_, g)| *g)
+                .unwrap_or(committed);
+            let at = overrides.partition_point(|(o, _)| *o < t);
+            overrides.insert(at, (t, stamp));
+        };
+        for (t, _) in &config.tenants {
+            pin(*t, &self.tenant_stamps, self.committed);
+        }
+        for profile in &config.profiles {
+            pin(profile.tenant, &self.tenant_stamps, self.committed);
+        }
+        for (t, _) in &self.tenant_stamps {
+            pin(*t, &self.tenant_stamps, self.committed);
+        }
+        pin(tenant, &self.tenant_stamps, self.committed);
+        if let Some(slot) = overrides.iter_mut().find(|(t, _)| *t == tenant) {
+            slot.1 = generation;
+        }
+
+        let mut cfg = config.clone();
+        cfg.tenant_generations = overrides.clone();
+        let artifact = UpdateArtifact::build(generation, &cfg);
+        let transfer_bytes = artifact.transfer_bytes() as u64;
+        self.artifacts.insert(generation, artifact.clone());
+        self.trace(dpi_core::trace::TraceKind::UpdatePrepared {
+            generation,
+            version,
+            transfer_bytes,
+        });
+        PreparedUpdate {
+            generation,
+            version,
+            artifact,
+            transfer_bytes,
+            tenant: Some(tenant),
+            tenant_generations: overrides,
         }
     }
 
     /// The last fleet-wide committed generation.
     pub fn committed_generation(&self) -> GenerationId {
         self.committed
+    }
+
+    /// The generation `tenant`'s results are stamped with under the
+    /// committed configuration: its committed override if one exists,
+    /// the fleet-wide committed generation otherwise.
+    pub fn tenant_committed_stamp(&self, tenant: TenantId) -> GenerationId {
+        self.tenant_stamps
+            .iter()
+            .find(|(t, _)| *t == tenant)
+            .map(|(_, g)| *g)
+            .unwrap_or(self.committed)
+    }
+
+    /// The committed per-tenant generation overrides (empty after a
+    /// fleet-wide commit).
+    pub fn tenant_stamps(&self) -> &[(TenantId, GenerationId)] {
+        &self.tenant_stamps
     }
 
     /// The artifact of a prepared or committed generation.
@@ -228,6 +330,14 @@ impl UpdateOrchestrator {
                 self.committed = prepared.generation;
                 self.version_map
                     .push((prepared.version, prepared.generation));
+                // A tenant-scoped commit adopts the override map the
+                // artifact shipped; a fleet-wide commit moves every
+                // tenant to the new generation, so the overrides clear.
+                if prepared.tenant.is_some() {
+                    self.tenant_stamps = prepared.tenant_generations.clone();
+                } else {
+                    self.tenant_stamps.clear();
+                }
                 self.trace(dpi_core::trace::TraceKind::UpdateCommitted {
                     generation: prepared.generation,
                     instances: targets.len() as u64,
@@ -402,6 +512,99 @@ mod tests {
         // The rest of the fleet was never asked to update.
         assert_eq!(b.served, vec![0]);
         assert_eq!(a.generation, 0);
+    }
+
+    fn two_tenant_config(extra_for_a: &[&str]) -> InstanceConfig {
+        let mut a_rules = vec!["alpha"];
+        a_rules.extend_from_slice(extra_for_a);
+        InstanceConfig::new()
+            .with_middlebox(
+                dpi_core::MiddleboxProfile::stateless(dpi_ac::MiddleboxId(1)).owned_by(TenantId(1)),
+                a_rules
+                    .iter()
+                    .map(|p| dpi_core::RuleSpec::exact(p.as_bytes().to_vec()))
+                    .collect(),
+            )
+            .with_middlebox(
+                dpi_core::MiddleboxProfile::stateless(dpi_ac::MiddleboxId(2)).owned_by(TenantId(2)),
+                vec![dpi_core::RuleSpec::exact(b"bravo".to_vec())],
+            )
+    }
+
+    #[test]
+    fn tenant_scoped_commit_moves_only_that_tenants_stamp() {
+        let baseline = two_tenant_config(&[]);
+        let mut orch = UpdateOrchestrator::new(&baseline);
+        let mut t = MockTarget::new(0);
+
+        let prepared = orch.prepare_for_tenant(9, &two_tenant_config(&["alpha2"]), TenantId(1));
+        assert_eq!(prepared.tenant, Some(TenantId(1)));
+        // Tenant 1 moves to the new generation; tenant 2 stays pinned at
+        // the committed generation inside the artifact's configuration.
+        assert_eq!(
+            prepared.tenant_generations,
+            vec![(TenantId(1), prepared.generation), (TenantId(2), 0)]
+        );
+        let report = orch.rollout(&prepared, &mut [&mut t], &mut |_| true);
+        assert!(report.committed());
+        assert_eq!(
+            orch.tenant_committed_stamp(TenantId(1)),
+            prepared.generation
+        );
+        assert_eq!(orch.tenant_committed_stamp(TenantId(2)), 0);
+
+        // A later fleet-wide commit clears the overrides: every tenant
+        // stamps with the new fleet generation again.
+        let fleet = orch.prepare(10, &two_tenant_config(&["alpha2"]));
+        let report = orch.rollout(&fleet, &mut [&mut t], &mut |_| true);
+        assert!(report.committed());
+        assert!(orch.tenant_stamps().is_empty());
+        assert_eq!(orch.tenant_committed_stamp(TenantId(1)), fleet.generation);
+        assert_eq!(orch.tenant_committed_stamp(TenantId(2)), fleet.generation);
+    }
+
+    #[test]
+    fn tenant_scoped_rollback_leaves_all_stamps_untouched() {
+        let baseline = two_tenant_config(&[]);
+        let mut orch = UpdateOrchestrator::new(&baseline);
+        let mut t = MockTarget::new(0);
+
+        // Commit a tenant-1 update first so there is a nontrivial
+        // committed override map to preserve.
+        let first = orch.prepare_for_tenant(1, &two_tenant_config(&["x"]), TenantId(1));
+        assert!(orch
+            .rollout(&first, &mut [&mut t], &mut |_| true)
+            .committed());
+        let stamp_a = orch.tenant_committed_stamp(TenantId(1));
+
+        // A second tenant-1 update is vetoed at the canary.
+        let second = orch.prepare_for_tenant(2, &two_tenant_config(&["x", "y"]), TenantId(1));
+        let report = orch.rollout(&second, &mut [&mut t], &mut |_| false);
+        assert_eq!(report.outcome, RolloutOutcome::RolledBack);
+        // Stamps are exactly as before the attempt, and the re-shipped
+        // committed artifact embeds them too.
+        assert_eq!(orch.tenant_committed_stamp(TenantId(1)), stamp_a);
+        assert_eq!(orch.tenant_committed_stamp(TenantId(2)), 0);
+        assert_eq!(t.generation, first.generation);
+    }
+
+    #[test]
+    fn successive_tenant_commits_compose_overrides() {
+        let baseline = two_tenant_config(&[]);
+        let mut orch = UpdateOrchestrator::new(&baseline);
+        let mut t = MockTarget::new(0);
+
+        let a = orch.prepare_for_tenant(1, &two_tenant_config(&["x"]), TenantId(1));
+        assert!(orch.rollout(&a, &mut [&mut t], &mut |_| true).committed());
+        let b = orch.prepare_for_tenant(2, &two_tenant_config(&["x"]), TenantId(2));
+        // Tenant 1's earlier override is carried into tenant 2's map.
+        assert_eq!(
+            b.tenant_generations,
+            vec![(TenantId(1), a.generation), (TenantId(2), b.generation)]
+        );
+        assert!(orch.rollout(&b, &mut [&mut t], &mut |_| true).committed());
+        assert_eq!(orch.tenant_committed_stamp(TenantId(1)), a.generation);
+        assert_eq!(orch.tenant_committed_stamp(TenantId(2)), b.generation);
     }
 
     #[test]

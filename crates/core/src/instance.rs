@@ -19,11 +19,12 @@
 //! one shard) and keeps the public API the rest of the system uses.
 
 use crate::arena::FlowArena;
-use crate::config::{InstanceConfig, MiddleboxProfile, NumberedRule};
+use crate::config::{InstanceConfig, MiddleboxProfile, NumberedRule, TenantId, TenantQuota};
 use crate::flowstate::FlowState;
+use crate::overload::TenantFairness;
 use crate::report::compress_matches;
 use crate::rules::RuleKind;
-use crate::telemetry::Telemetry;
+use crate::telemetry::{Telemetry, TenantCounters};
 use dpi_ac::trie::TrieError;
 use dpi_ac::{
     Automaton, CombinedAc, CombinedAcBuilder, DepthSamples, MiddleboxId, PatternId, ScanKernel,
@@ -72,6 +73,34 @@ pub enum InstanceError {
     TooManyRules(MiddleboxId),
     /// Two pattern sets were registered for the same middlebox id.
     DuplicateMiddlebox(MiddleboxId),
+    /// A policy chain mixes middleboxes of different tenants. Chains
+    /// must be tenant-homogeneous: the chain bitmap is the only thing
+    /// that routes matches to reports, so a mixed chain could leak one
+    /// tenant's match into another tenant's report (DESIGN.md §16).
+    MixedTenantChain {
+        /// The offending chain.
+        chain_id: u16,
+    },
+    /// A tenant registered more patterns than its quota allows.
+    TenantPatternQuotaExceeded {
+        /// The over-quota tenant.
+        tenant: TenantId,
+        /// Patterns the tenant's middleboxes registered.
+        count: u32,
+        /// The configured ceiling.
+        max: u32,
+    },
+    /// A tenant's patterns exceed its automaton-state budget (soundly
+    /// approximated as total pattern bytes — each byte adds at most one
+    /// trie state).
+    TenantStateQuotaExceeded {
+        /// The over-quota tenant.
+        tenant: TenantId,
+        /// Pattern bytes the tenant's middleboxes registered.
+        bytes: u64,
+        /// The configured ceiling.
+        max: u64,
+    },
 }
 
 impl std::fmt::Display for InstanceError {
@@ -104,6 +133,17 @@ impl std::fmt::Display for InstanceError {
             InstanceError::DuplicateMiddlebox(mb) => {
                 write!(f, "middlebox {} registered twice", mb.0)
             }
+            InstanceError::MixedTenantChain { chain_id } => {
+                write!(f, "chain {chain_id} mixes middleboxes of different tenants")
+            }
+            InstanceError::TenantPatternQuotaExceeded { tenant, count, max } => write!(
+                f,
+                "tenant {tenant} registered {count} patterns, quota allows {max}"
+            ),
+            InstanceError::TenantStateQuotaExceeded { tenant, bytes, max } => write!(
+                f,
+                "tenant {tenant} needs {bytes} automaton-state bytes, quota allows {max}"
+            ),
         }
     }
 }
@@ -150,6 +190,12 @@ struct ChainInfo {
     /// Any member is fail-closed: this chain's traffic must never have
     /// its scan shed under overload.
     any_fail_closed: bool,
+    /// The single tenant every member belongs to — enforced at build
+    /// time ([`InstanceError::MixedTenantChain`]), which makes "a match
+    /// only reaches the owning tenant's middleboxes" structural: the
+    /// chain bitmap routes matches, and the bitmap only ever spans one
+    /// tenant (DESIGN.md §16).
+    tenant: TenantId,
 }
 
 /// The result of scanning one packet.
@@ -254,6 +300,14 @@ pub struct ScanEngine {
     /// L7 inspection policy (DESIGN.md §14). `None` — the default —
     /// scans reassembled byte runs raw, exactly as before the L7 layer.
     l7: Option<crate::l7::L7Policy>,
+    /// Per-tenant quotas and fair-share weights, sorted by tenant
+    /// (DESIGN.md §16). Tenants absent here are unlimited at weight 1.
+    tenants: Vec<(TenantId, TenantQuota)>,
+    /// Tenant-scoped generation overrides, sorted by tenant: results on
+    /// a tenant's chains are stamped with its entry here instead of the
+    /// engine generation — the mechanism behind tenant-scoped canary
+    /// rollouts. Empty ⇒ fleet-wide stamping, exactly as before.
+    tenant_generations: Vec<(TenantId, u32)>,
 }
 
 // The engine is shared by reference across scan workers; this must hold
@@ -288,6 +342,17 @@ pub struct ShardState {
     /// Conflict policy for reassemblers this shard creates (copied from
     /// the engine at construction; see DESIGN.md §13).
     conflict_policy: crate::reassembly::ConflictPolicy,
+    /// Weighted-fair arrival shares across tenants — the shed policy's
+    /// tie-breaker under overload (DESIGN.md §16).
+    tenant_fairness: TenantFairness,
+    /// Per-tenant scan-byte token buckets `(tenant, capacity, tokens)`,
+    /// sorted by tenant; only tenants with a `scan_bytes_per_window`
+    /// quota appear. Refilled at every batch boundary
+    /// ([`ShardState::refill_tenant_window`]) — windows are batches, not
+    /// wall-clock, so enforcement is deterministic and replayable.
+    tenant_buckets: Vec<(TenantId, u64, u64)>,
+    /// Per-tenant telemetry attribution, sorted by tenant.
+    tenant_counters: Vec<(TenantId, TenantCounters)>,
 }
 
 impl ShardState {
@@ -304,6 +369,13 @@ impl ShardState {
             dfa_cache: HashMap::new(),
             trace: None,
             conflict_policy: engine.conflict_policy,
+            tenant_fairness: TenantFairness::new(&engine.tenant_weights()),
+            tenant_buckets: engine
+                .tenants
+                .iter()
+                .filter_map(|&(t, q)| q.scan_bytes_per_window.map(|cap| (t, cap, cap)))
+                .collect(),
+            tenant_counters: Vec::new(),
         }
     }
 
@@ -329,6 +401,78 @@ impl ShardState {
     /// Telemetry snapshot of this shard.
     pub fn telemetry(&self) -> Telemetry {
         self.telemetry
+    }
+
+    /// Per-tenant counter attribution for this shard, sorted by tenant.
+    /// Tenants appear once they have any activity.
+    pub fn tenant_counters(&self) -> &[(TenantId, TenantCounters)] {
+        &self.tenant_counters
+    }
+
+    /// The counter row for `tenant`, created on first touch.
+    pub(crate) fn tenant_counter_mut(&mut self, tenant: TenantId) -> &mut TenantCounters {
+        let i = match self
+            .tenant_counters
+            .binary_search_by_key(&tenant, |&(t, _)| t)
+        {
+            Ok(i) => i,
+            Err(i) => {
+                self.tenant_counters
+                    .insert(i, (tenant, TenantCounters::default()));
+                i
+            }
+        };
+        &mut self.tenant_counters[i].1
+    }
+
+    /// Opens a new scan-byte quota window: every tenant's token bucket
+    /// refills to capacity. The sharded pipeline calls this at each
+    /// batch boundary; sequential [`DpiInstance`] callers open windows
+    /// explicitly (bytes/sec ≈ bytes/window at the caller's cadence).
+    pub fn refill_tenant_window(&mut self) {
+        for (_, cap, tokens) in &mut self.tenant_buckets {
+            *tokens = *cap;
+        }
+    }
+
+    /// Deducts `bytes` from `tenant`'s scan-byte bucket. `true` when
+    /// the scan may proceed: no bucket configured, or enough tokens
+    /// remained (they are consumed). `false` leaves the bucket
+    /// untouched — the scan is skipped whole, never truncated.
+    fn consume_tenant_budget(&mut self, tenant: TenantId, bytes: u64) -> bool {
+        match self
+            .tenant_buckets
+            .binary_search_by_key(&tenant, |&(t, _, _)| t)
+        {
+            Err(_) => true,
+            Ok(i) => {
+                let tokens = &mut self.tenant_buckets[i].2;
+                if *tokens >= bytes {
+                    *tokens -= bytes;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records one packet arrival for `tenant` in the fairness tracker.
+    pub fn note_tenant_arrival(&mut self, tenant: TenantId) {
+        self.tenant_fairness.note_arrival(tenant);
+    }
+
+    /// Whether `tenant` is at or over its weighted fair share — the
+    /// precondition for shedding its fail-open traffic (DESIGN.md §16).
+    pub fn tenant_at_or_over_fair_share(&self, tenant: TenantId) -> bool {
+        self.tenant_fairness.at_or_over_fair_share(tenant)
+    }
+
+    /// Attributes one shed fail-open scan to `tenant`.
+    pub fn note_tenant_shed(&mut self, tenant: TenantId, bytes: u64) {
+        let c = self.tenant_counter_mut(tenant);
+        c.shed_packets += 1;
+        c.shed_bytes += bytes;
     }
 
     /// Number of flows currently tracked by this shard.
@@ -376,6 +520,19 @@ impl ShardState {
     /// Reassembly buffers carry raw bytes, which are generation-free.
     pub fn on_generation_swap(&mut self) {
         self.dfa_cache.clear();
+    }
+
+    /// Re-seeds fairness weights and quota buckets from a newly adopted
+    /// engine's tenant configuration (arrival history restarts; counters
+    /// are telemetry and survive). Called alongside
+    /// [`ShardState::on_generation_swap`] at engine adoption.
+    pub fn refresh_tenant_state(&mut self, engine: &ScanEngine) {
+        self.tenant_fairness = TenantFairness::new(&engine.tenant_weights());
+        self.tenant_buckets = engine
+            .tenants
+            .iter()
+            .filter_map(|&(t, q)| q.scan_bytes_per_window.map(|cap| (t, cap, cap)))
+            .collect();
     }
 
     /// Declares a new TCP stream with its initial sequence number.
@@ -488,6 +645,48 @@ impl ScanEngine {
         let mut builder = CombinedAcBuilder::new();
         let mut rules: HashMap<MiddleboxId, MbRules> = HashMap::new();
 
+        // Compile-time tenant quotas (DESIGN.md §16): pattern counts and
+        // the automaton-state budget — approximated as total pattern
+        // bytes, since each byte adds at most one trie state — are
+        // checked *before* compilation, so an over-quota configuration
+        // fails to build (and an over-quota live update rolls back)
+        // without the tenant ever occupying automaton memory.
+        let mut tenant_usage: Vec<(TenantId, u32, u64)> = Vec::new();
+        for (mb, specs) in &config.pattern_sets {
+            let tenant = profiles
+                .get(mb)
+                .map(|p| p.tenant)
+                .unwrap_or(TenantId::DEFAULT);
+            let count = specs.len() as u32;
+            let bytes: u64 = specs
+                .iter()
+                .map(|r| match &r.spec.kind {
+                    RuleKind::Exact(p) => p.len() as u64,
+                    RuleKind::Regex(src) => src.len() as u64,
+                })
+                .sum();
+            match tenant_usage.binary_search_by_key(&tenant, |&(t, _, _)| t) {
+                Ok(i) => {
+                    tenant_usage[i].1 += count;
+                    tenant_usage[i].2 += bytes;
+                }
+                Err(i) => tenant_usage.insert(i, (tenant, count, bytes)),
+            }
+        }
+        for &(tenant, count, bytes) in &tenant_usage {
+            let quota = config.tenant_quota(tenant);
+            if let Some(max) = quota.max_patterns {
+                if count > max {
+                    return Err(InstanceError::TenantPatternQuotaExceeded { tenant, count, max });
+                }
+            }
+            if let Some(max) = quota.max_state_bytes {
+                if bytes > max {
+                    return Err(InstanceError::TenantStateQuotaExceeded { tenant, bytes, max });
+                }
+            }
+        }
+
         for (mb, specs) in &config.pattern_sets {
             if rules.contains_key(mb) {
                 return Err(InstanceError::DuplicateMiddlebox(*mb));
@@ -504,12 +703,26 @@ impl ScanEngine {
         let mut chains = HashMap::new();
         for c in &config.chains {
             let mut members = Vec::new();
+            let mut tenant: Option<TenantId> = None;
             for m in &c.members {
-                if !profiles.contains_key(m) {
+                let Some(profile) = profiles.get(m) else {
                     return Err(InstanceError::UnknownMiddlebox {
                         chain_id: c.chain_id,
                         middlebox: *m,
                     });
+                };
+                // Chains must be tenant-homogeneous — every member of
+                // the chain (pattern-less ones included) belongs to one
+                // tenant, so the chain bitmap can never route a match
+                // across tenants.
+                match tenant {
+                    None => tenant = Some(profile.tenant),
+                    Some(t) if t != profile.tenant => {
+                        return Err(InstanceError::MixedTenantChain {
+                            chain_id: c.chain_id,
+                        });
+                    }
+                    Some(_) => {}
                 }
                 // Only middleboxes with pattern sets matter to the scan.
                 if rules.contains_key(m) {
@@ -530,9 +743,17 @@ impl ScanEngine {
                     bitmap,
                     any_stateful,
                     any_fail_closed,
+                    tenant: tenant.unwrap_or(TenantId::DEFAULT),
                 },
             );
         }
+
+        let mut tenants = config.tenants.clone();
+        tenants.sort_by_key(|&(t, _)| t);
+        tenants.dedup_by_key(|&mut (t, _)| t);
+        let mut tenant_generations = config.tenant_generations.clone();
+        tenant_generations.sort_by_key(|&(t, _)| t);
+        tenant_generations.dedup_by_key(|&mut (t, _)| t);
 
         Ok(ScanEngine {
             ac: builder.build_kernel(config.kernel),
@@ -547,6 +768,8 @@ impl ScanEngine {
             generation,
             conflict_policy: config.conflict_policy,
             l7: config.l7,
+            tenants,
+            tenant_generations,
         })
     }
 
@@ -563,6 +786,70 @@ impl ScanEngine {
     /// The rule generation this engine was compiled from.
     pub fn generation(&self) -> u32 {
         self.generation
+    }
+
+    /// The tenant owning `chain_id`'s middleboxes (`None` for unknown
+    /// chains). Chains are tenant-homogeneous by construction.
+    pub fn chain_tenant(&self, chain_id: u16) -> Option<TenantId> {
+        self.chains.get(&chain_id).map(|c| c.tenant)
+    }
+
+    /// The generation results on `chain_id` are stamped with: the owning
+    /// tenant's override when a tenant-scoped rollout set one, the
+    /// engine generation otherwise (DESIGN.md §16). Unknown chains use
+    /// the engine generation (they error before a result exists).
+    pub fn generation_for_chain(&self, chain_id: u16) -> u32 {
+        let Some(chain) = self.chains.get(&chain_id) else {
+            return self.generation;
+        };
+        self.generation_for_tenant(chain.tenant)
+    }
+
+    /// The generation stamp `tenant`'s results carry on this engine.
+    pub fn generation_for_tenant(&self, tenant: TenantId) -> u32 {
+        match self
+            .tenant_generations
+            .binary_search_by_key(&tenant, |&(t, _)| t)
+        {
+            Ok(i) => self.tenant_generations[i].1,
+            Err(_) => self.generation,
+        }
+    }
+
+    /// The tenant-scoped generation overrides this engine carries
+    /// (sorted by tenant; empty for fleet-wide stamping).
+    pub fn tenant_generations(&self) -> &[(TenantId, u32)] {
+        &self.tenant_generations
+    }
+
+    /// `tenant`'s quota on this engine (unlimited at weight 1 when
+    /// never configured).
+    pub fn tenant_quota(&self, tenant: TenantId) -> TenantQuota {
+        match self.tenants.binary_search_by_key(&tenant, |&(t, _)| t) {
+            Ok(i) => self.tenants[i].1,
+            Err(_) => TenantQuota::default(),
+        }
+    }
+
+    /// Fair-share weights for every tenant this engine knows about —
+    /// the union of quota entries and chain owners — the seed for each
+    /// shard's [`TenantFairness`] tracker.
+    pub fn tenant_weights(&self) -> Vec<(TenantId, u32)> {
+        let mut weights: Vec<(TenantId, u32)> = self
+            .tenants
+            .iter()
+            .map(|&(t, q)| (t, q.weight.max(1)))
+            .collect();
+        for c in self.chains.values() {
+            if weights
+                .binary_search_by_key(&c.tenant, |&(t, _)| t)
+                .is_err()
+            {
+                let i = weights.partition_point(|&(t, _)| t < c.tenant);
+                weights.insert(i, (c.tenant, 1));
+            }
+        }
+        weights
     }
 
     /// The combined automaton (size/stat introspection for experiments).
@@ -696,6 +983,41 @@ impl ScanEngine {
         l7: Option<crate::l7::L7Context>,
     ) -> (ScanOutput, u32, (u64, u64)) {
         let resumed = start_state != self.ac.start() || offset > 0;
+
+        // Per-tenant scan-byte budget (DESIGN.md §16): when the owning
+        // tenant's window bucket cannot cover this unit, the fail-open
+        // scan is skipped whole — the packet still flows, the rejection
+        // is counted and traced, and the automaton state is untouched.
+        // Fail-closed chains are exempt: their verdicts are sacred, so
+        // their scans always run and are charged against the bucket.
+        if !chain.any_fail_closed
+            && !shard.consume_tenant_budget(chain.tenant, payload.len() as u64)
+        {
+            shard.tenant_counter_mut(chain.tenant).quota_rejections += 1;
+            if let Some(w) = shard.trace.as_mut() {
+                w.record(crate::trace::TraceKind::TenantQuotaRejected {
+                    tenant: chain.tenant.0,
+                    bytes: payload.len() as u64,
+                });
+            }
+            return (
+                ScanOutput {
+                    reports: Vec::new(),
+                    flow_offset: offset,
+                    resumed,
+                    scanned: 0,
+                    quarantined: false,
+                    shadow: false,
+                    l7,
+                    blocked: false,
+                },
+                start_state,
+                (0, 0),
+            );
+        }
+        if chain.any_fail_closed {
+            shard.consume_tenant_budget(chain.tenant, payload.len() as u64);
+        }
 
         // The most conservative stopping condition: scan as deep as the
         // hungriest active middlebox needs (§5.2).
@@ -880,6 +1202,10 @@ impl ScanEngine {
         if let Some(ctx) = l7 {
             shard.telemetry.l7_matches[ctx.protocol.index()] += total_matches;
         }
+        let tc = shard.tenant_counter_mut(chain.tenant);
+        tc.packets += 1;
+        tc.bytes += scan_len as u64;
+        tc.matches += total_matches;
 
         (
             ScanOutput {
@@ -931,7 +1257,7 @@ impl ScanEngine {
                 packet.mark_matches();
                 return Ok(Some(ResultPacket {
                     packet_id: 0,
-                    generation: self.generation,
+                    generation: self.generation_for_chain(chain_id),
                     flow: key,
                     flow_offset: merged.flow_offset,
                     reports: merged.reports,
@@ -954,7 +1280,7 @@ impl ScanEngine {
         packet.mark_matches();
         Ok(Some(ResultPacket {
             packet_id: 0,
-            generation: self.generation,
+            generation: self.generation_for_chain(chain_id),
             flow: flow.expect("ipv4 payload implies flow key"),
             flow_offset: out.flow_offset,
             reports: out.reports,
@@ -1316,6 +1642,18 @@ impl DpiInstance {
         self.shard.telemetry()
     }
 
+    /// Per-tenant counter attribution, sorted by tenant (DESIGN.md §16).
+    pub fn tenant_counters(&self) -> &[(TenantId, TenantCounters)] {
+        self.shard.tenant_counters()
+    }
+
+    /// Opens a new per-tenant scan-byte quota window (refills every
+    /// bucket). Sequential callers define the window cadence; the
+    /// sharded pipeline does this per batch automatically.
+    pub fn refill_tenant_window(&mut self) {
+        self.shard.refill_tenant_window();
+    }
+
     /// The policy chains this instance serves.
     pub fn chain_ids(&self) -> Vec<u16> {
         self.engine.chain_ids()
@@ -1345,6 +1683,7 @@ impl DpiInstance {
     /// scans re-anchor on the new automaton (miss-only, DESIGN.md §9).
     pub fn swap_engine(&mut self, engine: Arc<ScanEngine>) {
         self.shard.on_generation_swap();
+        self.shard.refresh_tenant_state(&engine);
         self.engine = engine;
     }
 

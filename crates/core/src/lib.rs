@@ -55,7 +55,7 @@ pub mod update;
 
 pub use arena::{ArenaEvents, FlowArena};
 pub use chaos::{ChaosEngine, FaultPlan, RetryOutcome, RetryPolicy, ShardFault, ShardFaultSpec};
-pub use config::{ChainSpec, InstanceConfig, MiddleboxProfile};
+pub use config::{ChainSpec, InstanceConfig, MiddleboxProfile, TenantId, TenantQuota};
 pub use decompress::{
     deflate_fixed, deflate_stored, gunzip, gunzip_capped, gzip, inflate, inflate_capped, GzipError,
     InflateError,
@@ -68,12 +68,13 @@ pub use l7::{
 pub use metrics::{MetricKind, MetricsText};
 pub use overload::{
     InstanceLoadGauge, LoadWindow, OverloadDetector, OverloadPolicy, OverloadTransition, ShedMode,
+    TenantFairness,
 };
 pub use pipeline::ShardedScanner;
 pub use reassembly::{ConflictPolicy, StreamReassembler};
 pub use report::compress_matches;
 pub use rules::{RuleKind, RuleSpec};
-pub use telemetry::{ShardTelemetry, Telemetry};
+pub use telemetry::{ShardTelemetry, Telemetry, TenantCounters};
 pub use timerwheel::TimerWheel;
 pub use trace::{to_jsonl, TraceEvent, TraceKind, TraceSource, TraceWriter, Tracer};
 pub use update::{EngineSlot, GenerationId, UpdateArtifact, UpdateError, UpdateStats};

@@ -289,6 +289,100 @@ impl OverloadDetector {
     }
 }
 
+/// Weighted-fair arrival shares across tenants (DESIGN.md §16): the
+/// shed policy's tie-breaker under multi-tenant overload. Each shard
+/// tracks how many packets each tenant contributed; a tenant may only
+/// be shed while its arrival share is **at or above** its weighted fair
+/// share, so a bursting tenant sheds its own fail-open traffic first
+/// and a tenant below its share is never shed — it cannot be starved by
+/// a neighbour's burst.
+///
+/// With a single tenant (or no tenants configured) the equality
+/// `packets × total_weight ≥ total_packets × weight` always holds, so
+/// the shedder behaves exactly as it did before tenancy existed.
+///
+/// ```
+/// use dpi_core::config::TenantId;
+/// use dpi_core::overload::TenantFairness;
+///
+/// let mut f = TenantFairness::new(&[(TenantId(1), 1), (TenantId(2), 1)]);
+/// for _ in 0..9 {
+///     f.note_arrival(TenantId(1));
+/// }
+/// f.note_arrival(TenantId(2));
+/// assert!(f.at_or_over_fair_share(TenantId(1))); // 90% ≥ 50%
+/// assert!(!f.at_or_over_fair_share(TenantId(2))); // 10% < 50%: protected
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TenantFairness {
+    /// `(tenant, weight, packets)`, sorted by tenant id.
+    entries: Vec<(crate::config::TenantId, u32, u64)>,
+    total_weight: u64,
+    total_packets: u64,
+}
+
+impl TenantFairness {
+    /// A tracker over the configured tenant weights (weights clamp to at
+    /// least 1). Tenants that show up later auto-register at weight 1.
+    pub fn new(weights: &[(crate::config::TenantId, u32)]) -> TenantFairness {
+        let mut entries: Vec<(crate::config::TenantId, u32, u64)> =
+            weights.iter().map(|&(t, w)| (t, w.max(1), 0)).collect();
+        entries.sort_by_key(|&(t, _, _)| t);
+        entries.dedup_by_key(|&mut (t, _, _)| t);
+        let total_weight = entries.iter().map(|&(_, w, _)| u64::from(w)).sum();
+        TenantFairness {
+            entries,
+            total_weight,
+            total_packets: 0,
+        }
+    }
+
+    /// Records one packet arrival attributed to `tenant`.
+    pub fn note_arrival(&mut self, tenant: crate::config::TenantId) {
+        self.total_packets += 1;
+        match self.entries.binary_search_by_key(&tenant, |&(t, _, _)| t) {
+            Ok(i) => self.entries[i].2 += 1,
+            Err(i) => {
+                self.entries.insert(i, (tenant, 1, 1));
+                self.total_weight += 1;
+            }
+        }
+    }
+
+    /// Whether `tenant`'s arrival share is at or above its weighted fair
+    /// share — the precondition for shedding its fail-open traffic.
+    /// Vacuously true before any arrivals (and for a lone tenant), so
+    /// untenanted shedding is unchanged.
+    pub fn at_or_over_fair_share(&self, tenant: crate::config::TenantId) -> bool {
+        let (weight, packets) = match self.entries.binary_search_by_key(&tenant, |&(t, _, _)| t) {
+            Ok(i) => (u64::from(self.entries[i].1), self.entries[i].2),
+            Err(_) => (1, 0),
+        };
+        // packets / total_packets ≥ weight / total_weight, cross-
+        // multiplied in u128 so lifetime counters cannot overflow.
+        u128::from(packets) * u128::from(self.total_weight)
+            >= u128::from(self.total_packets) * u128::from(weight)
+    }
+
+    /// `tenant`'s observed arrival share in `[0, 1]` (0 before any
+    /// arrivals).
+    pub fn share_of(&self, tenant: crate::config::TenantId) -> f64 {
+        if self.total_packets == 0 {
+            return 0.0;
+        }
+        let packets = match self.entries.binary_search_by_key(&tenant, |&(t, _, _)| t) {
+            Ok(i) => self.entries[i].2,
+            Err(_) => 0,
+        };
+        packets as f64 / self.total_packets as f64
+    }
+
+    /// Total arrivals observed.
+    pub fn total_packets(&self) -> u64 {
+        self.total_packets
+    }
+}
+
 /// Shared per-instance load view: the data-plane node increments it per
 /// packet, the control plane closes windows each heartbeat round and sets
 /// the overload verdict, and the node consults that verdict to CE-mark
@@ -577,5 +671,67 @@ mod tests {
         assert!(w.is_overloaded());
         assert_eq!(w.observe(20), Some(OverloadTransition::Cleared));
         assert!(!w.is_overloaded());
+    }
+
+    #[test]
+    fn fairness_single_tenant_always_sheddable() {
+        use crate::config::TenantId;
+        // Untenanted / lone-tenant traffic must shed exactly as before:
+        // the share comparison degenerates to equality.
+        let mut f = TenantFairness::new(&[]);
+        assert!(f.at_or_over_fair_share(TenantId::DEFAULT));
+        for _ in 0..100 {
+            f.note_arrival(TenantId::DEFAULT);
+        }
+        assert!(f.at_or_over_fair_share(TenantId::DEFAULT));
+        assert_eq!(f.total_packets(), 100);
+        assert!((f.share_of(TenantId::DEFAULT) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_protects_tenant_below_share() {
+        use crate::config::TenantId;
+        let mut f = TenantFairness::new(&[(TenantId(1), 1), (TenantId(2), 1)]);
+        for _ in 0..16 {
+            f.note_arrival(TenantId(1));
+        }
+        f.note_arrival(TenantId(2));
+        // Tenant 1 holds ~94% of arrivals against a 50% fair share:
+        // sheddable. Tenant 2 sits at ~6%: protected.
+        assert!(f.at_or_over_fair_share(TenantId(1)));
+        assert!(!f.at_or_over_fair_share(TenantId(2)));
+        // Equal arrivals → both at fair share again.
+        for _ in 0..15 {
+            f.note_arrival(TenantId(2));
+        }
+        assert!(f.at_or_over_fair_share(TenantId(1)));
+        assert!(f.at_or_over_fair_share(TenantId(2)));
+    }
+
+    #[test]
+    fn fairness_weights_scale_the_share() {
+        use crate::config::TenantId;
+        // Tenant 1 carries weight 3, tenant 2 weight 1: tenant 1's fair
+        // share is 75%, so at a 50/50 split tenant 1 is under share
+        // (protected) and tenant 2 is over (sheddable).
+        let mut f = TenantFairness::new(&[(TenantId(1), 3), (TenantId(2), 1)]);
+        for _ in 0..10 {
+            f.note_arrival(TenantId(1));
+            f.note_arrival(TenantId(2));
+        }
+        assert!(!f.at_or_over_fair_share(TenantId(1)));
+        assert!(f.at_or_over_fair_share(TenantId(2)));
+    }
+
+    #[test]
+    fn fairness_auto_registers_unknown_tenants_at_weight_one() {
+        use crate::config::TenantId;
+        let mut f = TenantFairness::new(&[(TenantId(1), 1)]);
+        f.note_arrival(TenantId(9));
+        assert!(f.at_or_over_fair_share(TenantId(9)));
+        assert!(!f.at_or_over_fair_share(TenantId(1)));
+        // Weight 0 in config clamps to 1 rather than dividing by zero.
+        let z = TenantFairness::new(&[(TenantId(4), 0)]);
+        assert!(z.at_or_over_fair_share(TenantId(4)));
     }
 }

@@ -21,10 +21,10 @@
 //! in batch order after the workers finish.
 
 use crate::chaos::{ChaosEngine, ShardFault, ShardFaultSpec};
-use crate::config::InstanceConfig;
+use crate::config::{InstanceConfig, TenantId};
 use crate::instance::{InstanceError, ScanEngine, ShardState};
 use crate::overload::{OverloadDetector, OverloadPolicy, OverloadTransition, ShedMode};
-use crate::telemetry::{ShardTelemetry, Telemetry};
+use crate::telemetry::{merge_tenant_counters, ShardTelemetry, Telemetry, TenantCounters};
 use crate::trace::{TraceKind, TraceSource, Tracer};
 use crate::update::{EngineSlot, UpdateError, UpdateStats};
 use crossbeam::channel;
@@ -106,6 +106,9 @@ pub struct ShardedScanner {
     /// Telemetry inherited from restarted shard incarnations, so a
     /// restart never makes the merged counters go backwards.
     retired: Telemetry,
+    /// Per-tenant counters inherited from retired shard incarnations
+    /// (same never-backwards contract as `retired`).
+    retired_tenants: Vec<(TenantId, TenantCounters)>,
     /// Per-packet scan deadline; exceeding it condemns the worker at the
     /// batch boundary (the shard restarts with a fresh flow table).
     watchdog: Option<Duration>,
@@ -158,6 +161,7 @@ impl ShardedScanner {
             lost_scans: vec![0; n],
             shard_seen: vec![0; n],
             retired: Telemetry::default(),
+            retired_tenants: Vec::new(),
             watchdog: None,
             faults: Vec::new(),
             chaos: None,
@@ -340,12 +344,31 @@ impl ShardedScanner {
 
     fn adopt_engine(&mut self, engine: Arc<ScanEngine>) -> Duration {
         let from_generation = self.engine.generation();
+        // Tenant-scoped canary edges: any tenant whose explicit
+        // generation override changes effective stamp across this
+        // adoption gets its own event (fleet-wide movement is covered
+        // by `EngineSwapped`).
+        let mut tenant_swaps: Vec<(u16, u32, u32)> = Vec::new();
+        for &(t, _) in self
+            .engine
+            .tenant_generations()
+            .iter()
+            .chain(engine.tenant_generations())
+        {
+            let from = self.engine.generation_for_tenant(t);
+            let to = engine.generation_for_tenant(t);
+            if from != to && !tenant_swaps.iter().any(|&(seen, _, _)| seen == t.0) {
+                tenant_swaps.push((t.0, from, to));
+            }
+        }
         let started = Instant::now();
         // Per-shard lazy-DFA caches index into the outgoing generation's
         // rule lists and must not survive it; generation-tagged flow
-        // state re-anchors lazily and needs no sweep.
+        // state re-anchors lazily and needs no sweep. Tenant fairness
+        // and quota buckets re-seed from the incoming engine's config.
         for shard in &mut self.shards {
             shard.on_generation_swap();
+            shard.refresh_tenant_state(&engine);
         }
         self.engine = engine;
         let pause = started.elapsed();
@@ -358,6 +381,13 @@ impl ShardedScanner {
             pause_us: pause.as_micros() as u64,
             kernel: self.engine.kernel_name(),
         });
+        for (tenant, from, to) in tenant_swaps {
+            self.trace(TraceKind::TenantGenerationSwapped {
+                tenant,
+                from_generation: from,
+                to_generation: to,
+            });
+        }
         pause
     }
 
@@ -415,6 +445,13 @@ impl ShardedScanner {
         let mut send_lost = vec![0u64; n];
         let completed: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
 
+        // Batch boundary = tenant quota window: every shard's scan-byte
+        // buckets refill to capacity (deterministic, replayable windows;
+        // DESIGN.md §16).
+        for shard in &mut self.shards {
+            shard.refill_tenant_window();
+        }
+
         // Snapshot detector counters so the supervisor can aggregate this
         // batch's shed/CE activity into trace events afterwards.
         let pre_overload: Vec<(u64, u64, u64)> = self
@@ -426,6 +463,21 @@ impl ShardedScanner {
                     .collect()
             })
             .unwrap_or_default();
+        // Per-shard, per-tenant shed snapshot for batch-aggregated
+        // `TenantShed` trace events.
+        let pre_tenant_shed: Vec<Vec<(TenantId, u64, u64)>> = if self.detectors.is_some() {
+            self.shards
+                .iter()
+                .map(|sh| {
+                    sh.tenant_counters()
+                        .iter()
+                        .map(|&(t, c)| (t, c.shed_packets, c.shed_bytes))
+                        .collect()
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         let mut dets: Vec<Option<&mut OverloadDetector>> = match &mut self.detectors {
             Some(v) => v.iter_mut().map(Some).collect(),
             None => (0..n).map(|_| None).collect(),
@@ -494,14 +546,29 @@ impl ShardedScanner {
                     }
                     let mut shed = false;
                     if let Some(d) = det.as_deref_mut() {
+                        let tenant = pkt.chain_tag().and_then(|t| engine.chain_tenant(t));
+                        if let Some(t) = tenant {
+                            shard.note_tenant_arrival(t);
+                        }
                         if d.is_overloaded() && matches!(d.policy().shed, ShedMode::FailOpen) {
                             let fail_closed = pkt
                                 .chain_tag()
                                 .map(|t| engine.chain_fail_closed(t))
                                 .unwrap_or(true);
-                            if !fail_closed {
+                            // Weighted fairness (DESIGN.md §16): a
+                            // tenant below its fair arrival share is
+                            // never shed — a neighbour's burst sheds the
+                            // neighbour's own fail-open traffic first.
+                            let over_share = tenant
+                                .map(|t| shard.tenant_at_or_over_fair_share(t))
+                                .unwrap_or(true);
+                            if !fail_closed && over_share {
                                 shed = true;
-                                d.note_shed(pkt.payload().map(<[u8]>::len).unwrap_or(0));
+                                let bytes = pkt.payload().map(<[u8]>::len).unwrap_or(0);
+                                d.note_shed(bytes);
+                                if let Some(t) = tenant {
+                                    shard.note_tenant_shed(t, bytes as u64);
+                                }
                             }
                         }
                     }
@@ -614,14 +681,30 @@ impl ShardedScanner {
                         // are always scanned.
                         let mut shed = false;
                         if let Some(d) = det.as_deref_mut() {
+                            let tenant = pkt.chain_tag().and_then(|t| engine.chain_tenant(t));
+                            if let Some(t) = tenant {
+                                shard.note_tenant_arrival(t);
+                            }
                             if d.is_overloaded() && matches!(d.policy().shed, ShedMode::FailOpen) {
                                 let fail_closed = pkt
                                     .chain_tag()
                                     .map(|t| engine.chain_fail_closed(t))
                                     .unwrap_or(true);
-                                if !fail_closed {
+                                // Weighted fairness (DESIGN.md §16): a
+                                // tenant below its fair arrival share is
+                                // never shed — a neighbour's burst sheds
+                                // the neighbour's own fail-open traffic
+                                // first.
+                                let over_share = tenant
+                                    .map(|t| shard.tenant_at_or_over_fair_share(t))
+                                    .unwrap_or(true);
+                                if !fail_closed && over_share {
                                     shed = true;
-                                    d.note_shed(pkt.payload().map(<[u8]>::len).unwrap_or(0));
+                                    let bytes = pkt.payload().map(<[u8]>::len).unwrap_or(0);
+                                    d.note_shed(bytes);
+                                    if let Some(t) = tenant {
+                                        shard.note_tenant_shed(t, bytes as u64);
+                                    }
                                 }
                             }
                         }
@@ -772,6 +855,32 @@ impl ShardedScanner {
                     self.trace_shard(s, TraceKind::OverloadCeMarked { packets: ce });
                 }
             }
+            // Per-tenant shed attribution for the batch (restarted
+            // shards reset their counters; the `>` guards skip them —
+            // their activity was already folded into `retired_tenants`).
+            for s in 0..n {
+                let mut deltas: Vec<(u16, u64, u64)> = Vec::new();
+                for &(t, c) in self.shards[s].tenant_counters() {
+                    let (p0, b0) = pre_tenant_shed
+                        .get(s)
+                        .and_then(|pre| pre.iter().find(|&&(pt, _, _)| pt == t))
+                        .map(|&(_, p, b)| (p, b))
+                        .unwrap_or((0, 0));
+                    if c.shed_packets > p0 {
+                        deltas.push((t.0, c.shed_packets - p0, c.shed_bytes.saturating_sub(b0)));
+                    }
+                }
+                for (tenant, packets, bytes) in deltas {
+                    self.trace_shard(
+                        s,
+                        TraceKind::TenantShed {
+                            tenant,
+                            packets,
+                            bytes,
+                        },
+                    );
+                }
+            }
         }
 
         // Batch boundary: fold each shard's locally buffered events into
@@ -812,6 +921,7 @@ impl ShardedScanner {
     /// straddled the restart, never fabricate one.
     fn restart_shard(&mut self, s: usize) {
         self.retired.merge(&self.shards[s].telemetry());
+        merge_tenant_counters(&mut self.retired_tenants, self.shards[s].tenant_counters());
         // The condemned incarnation's buffered trace events survive the
         // restart: absorb them before the shard (and its writer) is
         // dropped, then give the fresh incarnation a new writer.
@@ -855,6 +965,17 @@ impl ShardedScanner {
         let mut total = self.retired;
         for shard in &self.shards {
             total.merge(&shard.telemetry());
+        }
+        total
+    }
+
+    /// Merged per-tenant counters across all shards, sorted by tenant —
+    /// including counters inherited from retired shard incarnations
+    /// (DESIGN.md §16).
+    pub fn tenant_telemetry(&self) -> Vec<(TenantId, TenantCounters)> {
+        let mut total = self.retired_tenants.clone();
+        for shard in &self.shards {
+            merge_tenant_counters(&mut total, shard.tenant_counters());
         }
         total
     }

@@ -241,6 +241,56 @@ pub struct ShardTelemetry {
     pub quarantined_flows: u64,
 }
 
+/// Per-tenant attribution counters (DESIGN.md §16). Kept outside
+/// [`Telemetry`] (which is `Copy` with explicit field-by-field merging)
+/// as a keyed map: tenants are sparse and only exist when configured.
+/// Each shard owns one, merged across shards — and across restarted
+/// shard incarnations via the pipeline's retired accumulator — exactly
+/// like the scalar telemetry.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantCounters {
+    /// Packets scanned on this tenant's chains.
+    pub packets: u64,
+    /// Payload bytes scanned on this tenant's chains.
+    pub bytes: u64,
+    /// Pattern matches reported to this tenant's middleboxes.
+    pub matches: u64,
+    /// Scans shed under overload on this tenant's fail-open chains.
+    pub shed_packets: u64,
+    /// Payload bytes of this tenant's shed packets.
+    pub shed_bytes: u64,
+    /// Scans skipped because the tenant's scan-byte token bucket was
+    /// empty (fail-open chains only; packets still flowed).
+    pub quota_rejections: u64,
+}
+
+impl TenantCounters {
+    /// Adds another incarnation's counters for the same tenant.
+    pub fn merge(&mut self, other: &TenantCounters) {
+        self.packets += other.packets;
+        self.bytes += other.bytes;
+        self.matches += other.matches;
+        self.shed_packets += other.shed_packets;
+        self.shed_bytes += other.shed_bytes;
+        self.quota_rejections += other.quota_rejections;
+    }
+}
+
+/// Merges per-tenant maps: `(tenant, counters)` pairs keyed by tenant,
+/// kept sorted by tenant id for deterministic iteration (metrics,
+/// traces, tests).
+pub fn merge_tenant_counters(
+    into: &mut Vec<(crate::config::TenantId, TenantCounters)>,
+    from: &[(crate::config::TenantId, TenantCounters)],
+) {
+    for (tenant, c) in from {
+        match into.binary_search_by_key(tenant, |(t, _)| *t) {
+            Ok(i) => into[i].1.merge(c),
+            Err(i) => into.insert(i, (*tenant, *c)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,5 +403,46 @@ mod tests {
         };
         assert_eq!(later.delta_since(&now).packets, 100);
         assert_eq!(later.delta_since(&now).bytes, 2_000);
+    }
+
+    #[test]
+    fn tenant_counter_maps_merge_keyed_and_sorted() {
+        use crate::config::TenantId;
+        let mut total = vec![(
+            TenantId(2),
+            TenantCounters {
+                packets: 1,
+                bytes: 10,
+                ..TenantCounters::default()
+            },
+        )];
+        merge_tenant_counters(
+            &mut total,
+            &[
+                (
+                    TenantId(1),
+                    TenantCounters {
+                        packets: 5,
+                        ..TenantCounters::default()
+                    },
+                ),
+                (
+                    TenantId(2),
+                    TenantCounters {
+                        packets: 3,
+                        bytes: 30,
+                        matches: 2,
+                        ..TenantCounters::default()
+                    },
+                ),
+            ],
+        );
+        assert_eq!(total.len(), 2);
+        assert_eq!(total[0].0, TenantId(1));
+        assert_eq!(total[0].1.packets, 5);
+        assert_eq!(total[1].0, TenantId(2));
+        assert_eq!(total[1].1.packets, 4);
+        assert_eq!(total[1].1.bytes, 40);
+        assert_eq!(total[1].1.matches, 2);
     }
 }

@@ -231,6 +231,37 @@ pub enum TraceKind {
         /// Packets marked.
         packets: u64,
     },
+    /// Fail-open scans shed under overload attributed to one tenant by
+    /// the weighted-fair shed policy (batch-aggregated per shard,
+    /// DESIGN.md §16). Only tenants at or over their fair share ever
+    /// appear here.
+    TenantShed {
+        /// The tenant whose traffic was shed.
+        tenant: u16,
+        /// Packets whose scan was skipped.
+        packets: u64,
+        /// Payload bytes those packets carried.
+        bytes: u64,
+    },
+    /// A fail-open scan was skipped because the tenant's scan-byte
+    /// window budget ran dry (DESIGN.md §16). The packet still flowed;
+    /// fail-closed chains are exempt and never land here.
+    TenantQuotaRejected {
+        /// The tenant whose budget ran out.
+        tenant: u16,
+        /// Payload bytes the skipped scan would have covered.
+        bytes: u64,
+    },
+    /// A tenant's generation stamp changed across an engine adoption —
+    /// the observable edge of a tenant-scoped canary rollout.
+    TenantGenerationSwapped {
+        /// The tenant whose stamp moved.
+        tenant: u16,
+        /// Stamp before the adoption.
+        from_generation: u32,
+        /// Stamp after the adoption.
+        to_generation: u32,
+    },
 
     // ---- controller ------------------------------------------------
     /// An instance missed enough heartbeat windows to be suspected.

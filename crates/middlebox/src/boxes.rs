@@ -24,6 +24,17 @@ pub struct MiddleboxTemplate {
     pub logic: RuleLogic,
 }
 
+impl MiddleboxTemplate {
+    /// Assigns the template's middlebox to a tenant (DESIGN.md §16).
+    /// Every member of a policy chain must share one tenant; the default
+    /// [`dpi_core::TenantId::DEFAULT`] keeps untenanted deployments
+    /// working unchanged.
+    pub fn owned_by(mut self, tenant: dpi_core::TenantId) -> MiddleboxTemplate {
+        self.profile.tenant = tenant;
+        self
+    }
+}
+
 fn numbered(rules: Vec<RuleSpec>) -> Vec<NumberedRule> {
     NumberedRule::sequence(rules)
 }

@@ -29,6 +29,7 @@ pub mod flows;
 pub mod l7;
 pub mod patterns;
 pub mod persist;
+pub mod tenants;
 pub mod trace;
 
 pub use evasion::{evasive_flow, evasive_flows, EvasionTactic, EvasiveFlow, EvasiveSegment};
@@ -39,4 +40,5 @@ pub use l7::{
 };
 pub use patterns::{clamav_like, snort_like, snort_like_regexes, split_set, PatternSetSpec};
 pub use persist::{load_records, save_records, PersistError};
+pub use tenants::{slice_by_chain, tenant_mix, TenantStream};
 pub use trace::{heavy_payload, TraceConfig, TraceKind};

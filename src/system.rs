@@ -27,7 +27,7 @@
 use dpi_ac::{KernelKind, MiddleboxId};
 use dpi_controller::{
     BalancePolicy, DpiController, HealthEvent, HealthPolicy, InstanceId, LoadBalancer,
-    UpdateOrchestrator, UpdateTarget,
+    PreparedUpdate, UpdateOrchestrator, UpdateTarget,
 };
 use dpi_core::chaos::{ChaosEngine, FaultPlan, RetryPolicy};
 use dpi_core::instance::ScanEngine;
@@ -35,9 +35,11 @@ use dpi_core::metrics::{MetricKind, MetricsText};
 use dpi_core::overload::{InstanceLoadGauge, LoadWindow, OverloadPolicy};
 use dpi_core::pipeline::ShardedScanner;
 use dpi_core::rules::RuleKind;
-use dpi_core::telemetry::ShardTelemetry;
+use dpi_core::telemetry::{merge_tenant_counters, ShardTelemetry, TenantCounters};
 use dpi_core::trace::{to_jsonl, TraceEvent, TraceKind, TraceSource, Tracer};
-use dpi_core::{ConflictPolicy, DpiInstance, GenerationId, UpdateArtifact, UpdateError};
+use dpi_core::{
+    ConflictPolicy, DpiInstance, GenerationId, TenantId, TenantQuota, UpdateArtifact, UpdateError,
+};
 use dpi_middlebox::boxes::MiddleboxTemplate;
 use dpi_middlebox::{
     FleetDpiNode, FleetDpiStats, MiddleboxNode, ResultsDelivery, ServiceMiddlebox,
@@ -124,6 +126,7 @@ pub struct SystemBuilder {
     kernel: KernelKind,
     conflict_policy: ConflictPolicy,
     l7: Option<dpi_core::L7Policy>,
+    tenant_quotas: Vec<(TenantId, TenantQuota)>,
 }
 
 impl Default for SystemBuilder {
@@ -150,7 +153,19 @@ impl SystemBuilder {
             kernel: KernelKind::Auto,
             conflict_policy: ConflictPolicy::FirstWins,
             l7: None,
+            tenant_quotas: Vec::new(),
         }
+    }
+
+    /// Declares a tenant's quota and fair-share weight (DESIGN.md §16).
+    /// Assign middleboxes to tenants with
+    /// [`MiddleboxTemplate::owned_by`]; tenants never declared here run
+    /// unlimited at weight 1. The quotas are registered with the
+    /// controller, so engines rebuilt by live rule updates keep them.
+    pub fn with_tenant_quota(mut self, tenant: TenantId, quota: TenantQuota) -> SystemBuilder {
+        self.tenant_quotas.retain(|(t, _)| *t != tenant);
+        self.tenant_quotas.push((tenant, quota));
+        self
     }
 
     /// Selects the byte-scanning kernel every engine in the system runs
@@ -272,6 +287,9 @@ impl SystemBuilder {
     pub fn build(self) -> Result<SystemHandle, SystemError> {
         let controller = DpiController::new();
         controller.set_health_policy(self.health_policy);
+        for (tenant, quota) in &self.tenant_quotas {
+            controller.set_tenant_quota(*tenant, *quota);
+        }
 
         // Register every middlebox and its rules with the controller.
         for t in &self.templates {
@@ -695,6 +713,12 @@ impl SystemHandle {
         }
         self.close_overload_windows();
         self.rebalance_round();
+        // A heartbeat window is also the fleet's tenant quota window:
+        // each instance's per-tenant scan-byte buckets refill here (the
+        // batch pipeline refills its own at batch boundaries).
+        for d in &self.dpi_instances {
+            d.lock().refill_tenant_window();
+        }
         events
     }
 
@@ -892,6 +916,19 @@ impl SystemHandle {
     /// watchdog trips, lost scans).
     pub fn shard_telemetry(&self) -> Vec<ShardTelemetry> {
         self.scanner.shard_telemetry()
+    }
+
+    /// Deployment-wide per-tenant attribution (DESIGN.md §16): the merge
+    /// of every fleet instance's and every pipeline shard's tenant
+    /// counters, sorted by tenant. Untenanted traffic accrues to
+    /// [`TenantId::DEFAULT`].
+    pub fn tenant_telemetry(&self) -> Vec<(TenantId, TenantCounters)> {
+        let mut agg: Vec<(TenantId, TenantCounters)> = Vec::new();
+        for d in &self.dpi_instances {
+            merge_tenant_counters(&mut agg, d.lock().tenant_counters());
+        }
+        merge_tenant_counters(&mut agg, &self.scanner.tenant_telemetry());
+        agg
     }
 
     /// The chaos fault log (empty without an attached plan).
@@ -1159,6 +1196,57 @@ impl SystemHandle {
         }
 
         m.family(
+            "dpi_tenant_packets_total",
+            "Packets scanned per tenant across the fleet and the pipeline",
+            MetricKind::Counter,
+        );
+        m.family(
+            "dpi_tenant_bytes_total",
+            "Payload bytes scanned per tenant",
+            MetricKind::Counter,
+        );
+        m.family(
+            "dpi_tenant_matches_total",
+            "Pattern matches reported per tenant",
+            MetricKind::Counter,
+        );
+        m.family(
+            "dpi_tenant_shed_packets_total",
+            "Fail-open packets shed under overload per tenant",
+            MetricKind::Counter,
+        );
+        m.family(
+            "dpi_tenant_shed_bytes_total",
+            "Payload bytes of shed packets per tenant",
+            MetricKind::Counter,
+        );
+        m.family(
+            "dpi_tenant_quota_rejections_total",
+            "Scans skipped because the tenant's scan-byte window was exhausted",
+            MetricKind::Counter,
+        );
+        m.family(
+            "dpi_tenant_rule_generation",
+            "Rule generation each tenant's results are stamped with",
+            MetricKind::Gauge,
+        );
+        for (tenant, c) in self.tenant_telemetry() {
+            let t = tenant.0.to_string();
+            let l = [("tenant", t.as_str())];
+            m.sample("dpi_tenant_packets_total", &l, c.packets);
+            m.sample("dpi_tenant_bytes_total", &l, c.bytes);
+            m.sample("dpi_tenant_matches_total", &l, c.matches);
+            m.sample("dpi_tenant_shed_packets_total", &l, c.shed_packets);
+            m.sample("dpi_tenant_shed_bytes_total", &l, c.shed_bytes);
+            m.sample("dpi_tenant_quota_rejections_total", &l, c.quota_rejections);
+            m.sample(
+                "dpi_tenant_rule_generation",
+                &l,
+                u64::from(self.orchestrator.tenant_committed_stamp(tenant)),
+            );
+        }
+
+        m.family(
             "dpi_fleet_health",
             "Fleet instances currently in each health state",
             MetricKind::Gauge,
@@ -1258,13 +1346,47 @@ impl SystemHandle {
     /// a generation mix and never goes down over a bad update.
     pub fn apply_update(&mut self) -> Result<UpdateOutcome, SystemError> {
         let version = self.controller.version();
+        let cfg = self.update_config()?;
+        let prepared = self.orchestrator.prepare(version, &cfg);
+        self.roll_out(prepared)
+    }
+
+    /// Like [`SystemHandle::apply_update`], but scoped to one tenant
+    /// (DESIGN.md §16): the new generation pins every other tenant at
+    /// its committed stamp, so after the commit only `tenant`'s results
+    /// carry the new generation — and a rollback (chaos corruption, a
+    /// failed canary) cannot disturb the other tenants' stamps either.
+    pub fn apply_update_for_tenant(
+        &mut self,
+        tenant: TenantId,
+    ) -> Result<UpdateOutcome, SystemError> {
+        let version = self.controller.version();
+        let cfg = self.update_config()?;
+        let prepared = self.orchestrator.prepare_for_tenant(version, &cfg, tenant);
+        self.roll_out(prepared)
+    }
+
+    /// The generation `tenant`'s results are stamped with under the
+    /// committed configuration.
+    pub fn tenant_rule_generation(&self, tenant: TenantId) -> GenerationId {
+        self.orchestrator.tenant_committed_stamp(tenant)
+    }
+
+    /// The controller's current configuration with the builder's
+    /// deployment-wide choices stamped in — what every update ships.
+    fn update_config(&self) -> Result<dpi_core::InstanceConfig, SystemError> {
         let mut cfg = self
             .controller
             .instance_config(&self.chain_ids)?
             .with_kernel(self.kernel)
             .with_conflict_policy(self.conflict_policy);
         cfg.l7 = self.l7;
-        let mut prepared = self.orchestrator.prepare(version, &cfg);
+        Ok(cfg)
+    }
+
+    /// Stages a prepared update across the fleet and the batch pipeline:
+    /// canary → verify → rest of fleet, rollback on any failure.
+    fn roll_out(&mut self, mut prepared: PreparedUpdate) -> Result<UpdateOutcome, SystemError> {
         let transfer_bytes = prepared.transfer_bytes;
 
         // The artifact is now "in transit" — chaos may garble it.

@@ -155,6 +155,61 @@ fn l7_families_have_per_protocol_series() {
 }
 
 #[test]
+fn tenant_families_have_per_tenant_series() {
+    // Per-tenant attribution (DESIGN.md §16): one series per tenant in
+    // every dpi_tenant_* family once that tenant's traffic has been
+    // scanned, tagged with the tenant id — and untenanted deployments
+    // attribute everything to tenant 0.
+    use dpi_service::core::TenantId;
+    let mut sys = SystemBuilder::new()
+        .with_middlebox(antivirus(MiddleboxId(1), &[b"golden-sig".to_vec()]).owned_by(TenantId(1)))
+        .with_middlebox(antivirus(MiddleboxId(2), &[b"other-sig".to_vec()]).owned_by(TenantId(2)))
+        .with_chain(&[MiddleboxId(1)])
+        .with_chain(&[MiddleboxId(2)])
+        .build()
+        .expect("system builds");
+    for (i, chain) in [0usize, 1].into_iter().enumerate() {
+        let f = flow(
+            [10, 0, 0, 1],
+            7000 + i as u16,
+            [10, 0, 0, 2],
+            80,
+            IpProtocol::Tcp,
+        );
+        let mut pkt = Packet::tcp(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            f,
+            0,
+            b"golden-sig and other-sig".to_vec(),
+        );
+        pkt.push_chain_tag(sys.chain_ids[chain]).unwrap();
+        sys.inspect_batch(&mut [pkt]);
+    }
+    let text = sys.metrics_text();
+    for family in [
+        "dpi_tenant_packets_total",
+        "dpi_tenant_bytes_total",
+        "dpi_tenant_matches_total",
+        "dpi_tenant_shed_packets_total",
+        "dpi_tenant_shed_bytes_total",
+        "dpi_tenant_quota_rejections_total",
+        "dpi_tenant_rule_generation",
+    ] {
+        for tenant in [1, 2] {
+            let series = format!("{family}{{tenant=\"{tenant}\"}}");
+            assert!(
+                text.lines().any(|l| l.starts_with(&series)),
+                "missing series {series}"
+            );
+        }
+    }
+    // Each tenant's matches landed on its own series.
+    assert!(text.contains("dpi_tenant_matches_total{tenant=\"1\"} 1"));
+    assert!(text.contains("dpi_tenant_matches_total{tenant=\"2\"} 1"));
+}
+
+#[test]
 fn overload_families_have_per_instance_series() {
     // Beyond the schema: the new overload gauges must emit one series
     // per fleet instance even when overload control is unarmed, so
